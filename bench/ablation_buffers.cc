@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Ablation: transfer-buffer sizing. The paper fixes 8 operand and 8
+ * result entries per cluster; this sweep shows the cost of smaller
+ * buffers (stalled slaves/masters, replay exceptions) and the
+ * diminishing returns of larger ones.
+ *
+ * Usage: ablation_buffers [scale] [max_insts]
+ */
+
+#include <cstdlib>
+#include <iostream>
+
+#include "compiler/pipeline.hh"
+#include "harness/experiment.hh"
+#include "support/table.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace mca;
+
+    workloads::WorkloadParams wp;
+    wp.scale = argc > 1 ? std::atof(argv[1]) : 0.2;
+    const std::uint64_t max_insts =
+        argc > 2 ? static_cast<std::uint64_t>(std::atoll(argv[2]))
+                 : 100'000;
+
+    std::cout << "Ablation: operand/result transfer-buffer entries per "
+                 "cluster\n  cell = dual-cluster cycles with the native "
+                 "binary (replays)\n\n";
+
+    const unsigned sizes[] = {1, 2, 4, 8, 16, 32};
+
+    TextTable table;
+    std::vector<std::string> hdr = {"benchmark"};
+    for (unsigned s : sizes)
+        hdr.push_back("B=" + std::to_string(s));
+    table.header(hdr);
+
+    for (const auto &bench : workloads::allBenchmarks()) {
+        const auto program = bench.make(wp);
+        compiler::CompileOptions copt;
+        copt.scheduler = compiler::SchedulerKind::Native;
+        copt.numClusters = 1;
+        const auto out = compiler::compile(program, copt);
+
+        std::vector<std::string> cells = {bench.name};
+        for (unsigned s : sizes) {
+            auto cfg = core::ProcessorConfig::dualCluster8();
+            cfg.operandBufferEntries = s;
+            cfg.resultBufferEntries = s;
+            cfg.regMap = out.hardwareMap(2);
+            StatGroup stats(bench.name);
+            exec::ProgramTrace trace(out.binary, 42, max_insts);
+            core::Processor cpu(cfg, trace, stats);
+            const auto result = cpu.run(50'000'000);
+            cells.push_back(
+                std::to_string(result.cycles) + " (" +
+                std::to_string(
+                    stats.counterAt("replay.exceptions").value()) +
+                ")");
+        }
+        table.row(cells);
+    }
+    table.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Ablation: cluster count. The paper analyses two clusters; the
+ * architecture generalizes (registers are assigned mod N), and this
+ * sweep shows how cycle counts scale when the same 8-way resource pool
+ * is split 1, 2, or 4 ways (paper §6 future work).
+ *
+ * Usage: ablation_clusters [scale] [max_insts]
+ */
+
+#include <cstdlib>
+#include <iostream>
+
+#include "compiler/pipeline.hh"
+#include "harness/experiment.hh"
+#include "support/table.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace mca;
+
+    workloads::WorkloadParams wp;
+    wp.scale = argc > 1 ? std::atof(argv[1]) : 0.2;
+    const std::uint64_t max_insts =
+        argc > 2 ? static_cast<std::uint64_t>(std::atoll(argv[2]))
+                 : 100'000;
+
+    std::cout << "Ablation: cluster count (8-way resource pool split N "
+                 "ways,\nnative binary; cell = cycles, dual-dist %)\n\n";
+
+    TextTable table;
+    table.header({"benchmark", "1 cluster", "2 clusters", "4 clusters"});
+
+    for (const auto &bench : workloads::allBenchmarks()) {
+        const auto program = bench.make(wp);
+        compiler::CompileOptions copt;
+        copt.scheduler = compiler::SchedulerKind::Native;
+        copt.numClusters = 1;
+        const auto out = compiler::compile(program, copt);
+
+        std::vector<std::string> cells = {bench.name};
+        for (unsigned n : {1u, 2u, 4u}) {
+            const auto cfg = core::ProcessorConfig::multiCluster8(n);
+            const auto s = harness::simulate(
+                out.binary, out.hardwareMap(n), cfg, 42, max_insts);
+            const double total =
+                static_cast<double>(s.distSingle + s.distDual);
+            cells.push_back(
+                std::to_string(s.cycles) + " (" +
+                TextTable::num(total ? 100.0 * s.distDual / total : 0.0,
+                               0) +
+                ")");
+        }
+        table.row(cells);
+    }
+    table.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Ablation: the local scheduler's imbalance threshold (§3.5 calls it a
+ * compile-time constant). Sweeps the threshold and reports the
+ * dual-cluster/local percentage and the dual-distribution fraction per
+ * benchmark.
+ *
+ * Usage: ablation_threshold [scale] [max_insts]
+ */
+
+#include <cstdlib>
+#include <iostream>
+
+#include "harness/experiment.hh"
+#include "support/table.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace mca;
+
+    harness::ExperimentOptions opt;
+    opt.workload.scale = argc > 1 ? std::atof(argv[1]) : 0.2;
+    opt.maxInsts = argc > 2
+                       ? static_cast<std::uint64_t>(std::atoll(argv[2]))
+                       : 100'000;
+
+    const unsigned thresholds[] = {1, 2, 4, 8, 16, 32};
+
+    std::cout << "Ablation: local-scheduler imbalance threshold\n"
+              << "  cell = local speedup% (dual-dist%)\n\n";
+
+    TextTable table;
+    std::vector<std::string> hdr = {"benchmark"};
+    for (unsigned t : thresholds)
+        hdr.push_back("T=" + std::to_string(t));
+    table.header(hdr);
+
+    for (const auto &bench : workloads::allBenchmarks()) {
+        std::vector<std::string> cells = {bench.name};
+        for (unsigned t : thresholds) {
+            auto o = opt;
+            o.imbalanceThreshold = t;
+            const auto row = harness::runTable2Row(bench, o);
+            const double total = static_cast<double>(
+                row.dualLocal.distSingle + row.dualLocal.distDual);
+            const double dual_pct =
+                total == 0 ? 0 : 100.0 * row.dualLocal.distDual / total;
+            cells.push_back(TextTable::signedPercent(row.pctLocal) +
+                            " (" + TextTable::num(dual_pct, 0) + ")");
+        }
+        table.row(cells);
+    }
+    table.print(std::cout);
+    return 0;
+}

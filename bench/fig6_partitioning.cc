@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Reproduces the paper's Figure 6: the example control-flow graph and
+ * the local scheduler's traversal/assignment behaviour on it.
+ *
+ * Expected (paper §3.5): blocks visited in the order 4, 1, 5, 3, 2;
+ * live ranges assigned in the order C, G, B, A, E, D, H; live range S
+ * (a global-register candidate) is never partitioned.
+ */
+
+#include <iostream>
+
+#include "compiler/partition.hh"
+#include "harness/figure6.hh"
+#include "support/table.hh"
+
+int
+main()
+{
+    using namespace mca;
+
+    const auto fig = harness::makeFigure6();
+
+    std::cout << "Figure 6: example control flow graph\n\n";
+    TextTable cfg;
+    cfg.header({"block", "estimate", "instructions"});
+    for (int blk = 1; blk <= 5; ++blk) {
+        const auto &bb =
+            fig.program.functions[0].blocks[fig.blocks.at(blk)];
+        std::string instrs;
+        for (const auto &in : bb.instrs) {
+            if (isa::isCtrlFlow(in.op))
+                continue;
+            if (!instrs.empty())
+                instrs += " ; ";
+            if (in.dest != prog::kNoValue)
+                instrs += fig.program.values[in.dest].name + "=...";
+        }
+        cfg.row({"#" + std::to_string(blk),
+                 TextTable::num(bb.weight, 0), instrs});
+    }
+    cfg.print(std::cout);
+
+    compiler::PartitionOptions opt;
+    compiler::PartitionTrace trace;
+    const auto assignment =
+        compiler::localSchedule(fig.program, opt, &trace);
+
+    std::cout << "\nLocal-scheduler block traversal order (paper: "
+                 "4, 1, 5, 3, 2):\n  ";
+    for (std::size_t i = 0; i < trace.blockOrder.size() && i < 5; ++i) {
+        for (const auto &[num, id] : fig.blocks)
+            if (id == trace.blockOrder[i].second)
+                std::cout << num << (i + 1 < 5 ? ", " : "\n");
+    }
+
+    std::cout << "\nLive-range assignment order (paper: C, G, B, A, E, "
+                 "D, H):\n  ";
+    for (std::size_t i = 0; i < trace.assignmentOrder.size(); ++i) {
+        const auto &name =
+            fig.program.values[trace.assignmentOrder[i]].name;
+        if (name.size() == 1)
+            std::cout << name
+                      << (i + 1 < trace.assignmentOrder.size() ? ", "
+                                                               : "");
+    }
+    std::cout << "\n\nCluster assignment:\n";
+    TextTable result;
+    result.header({"live range", "cluster"});
+    for (const auto &[name, v] : fig.values) {
+        const int c = assignment.clusterOf(v);
+        result.row({name, c < 0 ? "global (replicated)"
+                                : std::to_string(c)});
+    }
+    result.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Google-benchmark microbenchmarks of the reproduction's own
+ * infrastructure: simulator throughput (simulated instructions per
+ * wall-clock second), predictor and cache throughput, trace-generation
+ * speed, and compilation cost. These guard against performance
+ * regressions in the simulator itself.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "bpred/predictors.hh"
+#include "compiler/pipeline.hh"
+#include "exec/trace.hh"
+#include "harness/experiment.hh"
+#include "mem/cache.hh"
+#include "support/random.hh"
+#include "workloads/workloads.hh"
+
+namespace
+{
+
+using namespace mca;
+
+void
+BM_SimulatorSingleCluster(benchmark::State &state)
+{
+    const auto program =
+        workloads::makeCompress(workloads::WorkloadParams{0.2});
+    compiler::CompileOptions copt;
+    copt.scheduler = compiler::SchedulerKind::Native;
+    copt.numClusters = 1;
+    const auto out = compiler::compile(program, copt);
+
+    std::uint64_t insts = 0;
+    for (auto _ : state) {
+        StatGroup stats("bm");
+        exec::ProgramTrace trace(out.binary, 42, 50'000);
+        core::Processor cpu(core::ProcessorConfig::singleCluster8(),
+                            trace, stats);
+        const auto r = cpu.run();
+        insts += r.instructions;
+    }
+    state.counters["sim_inst_per_s"] = benchmark::Counter(
+        static_cast<double>(insts), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SimulatorSingleCluster)->Unit(benchmark::kMillisecond);
+
+void
+BM_SimulatorDualCluster(benchmark::State &state)
+{
+    const auto program =
+        workloads::makeCompress(workloads::WorkloadParams{0.2});
+    compiler::CompileOptions copt;
+    copt.scheduler = compiler::SchedulerKind::Local;
+    copt.numClusters = 2;
+    const auto out = compiler::compile(program, copt);
+
+    std::uint64_t insts = 0;
+    for (auto _ : state) {
+        StatGroup stats("bm");
+        exec::ProgramTrace trace(out.binary, 42, 50'000);
+        auto cfg = core::ProcessorConfig::dualCluster8();
+        cfg.regMap = out.hardwareMap(2);
+        core::Processor cpu(cfg, trace, stats);
+        const auto r = cpu.run();
+        insts += r.instructions;
+    }
+    state.counters["sim_inst_per_s"] = benchmark::Counter(
+        static_cast<double>(insts), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SimulatorDualCluster)->Unit(benchmark::kMillisecond);
+
+void
+BM_TraceGeneration(benchmark::State &state)
+{
+    const auto program =
+        workloads::makeGcc1(workloads::WorkloadParams{0.2});
+    compiler::CompileOptions copt;
+    copt.scheduler = compiler::SchedulerKind::Native;
+    copt.numClusters = 1;
+    const auto out = compiler::compile(program, copt);
+
+    std::uint64_t insts = 0;
+    for (auto _ : state) {
+        exec::ProgramTrace trace(out.binary, 42, 100'000);
+        while (auto di = trace.next()) {
+            benchmark::DoNotOptimize(di->pc);
+            ++insts;
+        }
+    }
+    state.counters["trace_inst_per_s"] = benchmark::Counter(
+        static_cast<double>(insts), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_TraceGeneration)->Unit(benchmark::kMillisecond);
+
+void
+BM_CompilePipeline(benchmark::State &state)
+{
+    const auto program =
+        workloads::makeGcc1(workloads::WorkloadParams{0.2});
+    for (auto _ : state) {
+        compiler::CompileOptions copt;
+        copt.scheduler = compiler::SchedulerKind::Local;
+        copt.numClusters = 2;
+        copt.profileMaxInsts = 20'000;
+        auto out = compiler::compile(program, copt);
+        benchmark::DoNotOptimize(out.binary.staticInstCount());
+    }
+}
+BENCHMARK(BM_CompilePipeline)->Unit(benchmark::kMillisecond);
+
+void
+BM_McFarlingPredictor(benchmark::State &state)
+{
+    bpred::McFarlingPredictor pred;
+    Rng rng(7);
+    std::uint64_t n = 0;
+    for (auto _ : state) {
+        const Addr pc = 0x1000 + (rng.next() % 256) * 4;
+        const bool taken = rng.nextBool(0.6);
+        benchmark::DoNotOptimize(pred.predict(pc));
+        pred.update(pc, taken);
+        ++n;
+    }
+    state.counters["branches_per_s"] = benchmark::Counter(
+        static_cast<double>(n), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_McFarlingPredictor);
+
+void
+BM_CacheAccess(benchmark::State &state)
+{
+    StatGroup stats("bm");
+    mem::Cache cache("d", mem::CacheParams{}, stats);
+    Rng rng(11);
+    Cycle now = 0;
+    std::uint64_t n = 0;
+    for (auto _ : state) {
+        const Addr a = (rng.next() % (256 * 1024)) & ~Addr{7};
+        benchmark::DoNotOptimize(cache.access(a, false, now));
+        now += 2;
+        ++n;
+    }
+    state.counters["accesses_per_s"] = benchmark::Counter(
+        static_cast<double>(n), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_CacheAccess);
+
+void
+BM_WorkloadGeneration(benchmark::State &state)
+{
+    for (auto _ : state) {
+        const auto p =
+            workloads::makeTomcatv(workloads::WorkloadParams{0.2});
+        benchmark::DoNotOptimize(p.staticInstCount());
+    }
+}
+BENCHMARK(BM_WorkloadGeneration)->Unit(benchmark::kMicrosecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

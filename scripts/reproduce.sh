@@ -1,0 +1,29 @@
+#!/bin/sh
+# Regenerate everything: build, test, and run every bench, capturing
+# the outputs the repository's EXPERIMENTS.md numbers come from.
+#
+#   scripts/reproduce.sh [build-dir]
+#
+# Outputs: <build-dir>/../test_output.txt and bench_output.txt next to
+# the repository root (the canonical artifact locations).
+set -e
+
+BUILD="${1:-build}"
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$ROOT"
+
+cmake -B "$BUILD" -G Ninja
+cmake --build "$BUILD"
+
+ctest --test-dir "$BUILD" 2>&1 | tee "$ROOT/test_output.txt"
+
+: > "$ROOT/bench_output.txt"
+for b in "$BUILD"/bench/*; do
+    [ -f "$b" ] && [ -x "$b" ] || continue
+    echo "==================== $(basename "$b") ====================" \
+        >> "$ROOT/bench_output.txt"
+    "$b" >> "$ROOT/bench_output.txt" 2>&1
+    echo >> "$ROOT/bench_output.txt"
+done
+
+echo "done: test_output.txt and bench_output.txt written"

@@ -1,0 +1,222 @@
+#include "bpred/predictors.hh"
+
+#include "support/panic.hh"
+
+namespace mca::bpred
+{
+
+namespace
+{
+
+/** Branch PCs are 4-byte aligned; drop the low bits before indexing. */
+std::uint64_t
+pcBits(Addr pc)
+{
+    return pc >> 2;
+}
+
+} // namespace
+
+// --- Bimodal ----------------------------------------------------------
+
+BimodalPredictor::BimodalPredictor(unsigned index_bits)
+    : indexBits_(index_bits),
+      table_(std::size_t{1} << index_bits, SatCounter(2, 1))
+{
+    MCA_ASSERT(index_bits >= 1 && index_bits <= 24, "bad bimodal size");
+}
+
+std::uint64_t
+BimodalPredictor::index(Addr pc) const
+{
+    return pcBits(pc) & ((std::uint64_t{1} << indexBits_) - 1);
+}
+
+bool
+BimodalPredictor::lookup(Addr pc) const
+{
+    return table_[index(pc)].predictTaken();
+}
+
+void
+BimodalPredictor::train(Addr pc, bool taken)
+{
+    table_[index(pc)].train(taken);
+}
+
+bool
+BimodalPredictor::predict(Addr pc)
+{
+    return lookup(pc);
+}
+
+void
+BimodalPredictor::update(Addr pc, bool taken)
+{
+    record(lookup(pc) == taken);
+    train(pc, taken);
+}
+
+// --- Gshare -----------------------------------------------------------
+
+GsharePredictor::GsharePredictor(unsigned history_bits,
+                                 unsigned index_bits,
+                                 bool speculative_history)
+    : historyBits_(history_bits), indexBits_(index_bits),
+      speculativeHistory_(speculative_history),
+      table_(std::size_t{1} << index_bits, SatCounter(2, 1))
+{
+    MCA_ASSERT(history_bits >= 1 && history_bits <= 24, "bad history size");
+    MCA_ASSERT(index_bits >= history_bits, "index must cover history");
+}
+
+std::uint64_t
+GsharePredictor::index(Addr pc) const
+{
+    return indexWith(pc, history_);
+}
+
+std::uint64_t
+GsharePredictor::indexWith(Addr pc, std::uint64_t history) const
+{
+    const std::uint64_t mask = (std::uint64_t{1} << indexBits_) - 1;
+    return (pcBits(pc) ^ history) & mask;
+}
+
+bool
+GsharePredictor::lookup(Addr pc) const
+{
+    return table_[index(pc)].predictTaken();
+}
+
+void
+GsharePredictor::train(Addr pc, bool taken)
+{
+    table_[index(pc)].train(taken);
+}
+
+void
+GsharePredictor::pushHistory(bool taken)
+{
+    const std::uint64_t mask = (std::uint64_t{1} << historyBits_) - 1;
+    history_ = ((history_ << 1) | (taken ? 1 : 0)) & mask;
+}
+
+void
+GsharePredictor::fixLastHistoryBit(bool taken)
+{
+    history_ = (history_ & ~std::uint64_t{1}) | (taken ? 1 : 0);
+}
+
+bool
+GsharePredictor::predict(Addr pc)
+{
+    const bool dir = lookup(pc);
+    if (speculativeHistory_) {
+        inflight_.emplace_back(pc, history_);
+        if (inflight_.size() > 64)
+            inflight_.pop_front(); // squashed branches age out
+        pushHistory(dir);
+    }
+    return dir;
+}
+
+bool
+GsharePredictor::resolveAndTrain(Addr pc, bool taken)
+{
+    // Train the entry the prediction actually read: the oldest
+    // in-flight snapshot for this pc.
+    std::uint64_t hist = history_;
+    for (auto it = inflight_.begin(); it != inflight_.end(); ++it) {
+        if (it->first == pc) {
+            hist = it->second;
+            inflight_.erase(it);
+            break;
+        }
+    }
+    const auto idx = indexWith(pc, hist);
+    const bool was_correct = table_[idx].predictTaken() == taken;
+    table_[idx].train(taken);
+    return was_correct;
+}
+
+void
+GsharePredictor::update(Addr pc, bool taken)
+{
+    if (speculativeHistory_) {
+        record(resolveAndTrain(pc, taken));
+        return;
+    }
+    record(lookup(pc) == taken);
+    train(pc, taken);
+    pushHistory(taken);
+}
+
+void
+GsharePredictor::squashRepair(bool taken)
+{
+    // Fetch stalls behind a misprediction, so the youngest history bit
+    // is this branch's wrong speculative push: fix it.
+    if (speculativeHistory_)
+        fixLastHistoryBit(taken);
+}
+
+// --- McFarling combining -----------------------------------------------
+
+McFarlingPredictor::McFarlingPredictor(unsigned bimodal_index_bits,
+                                       unsigned history_bits,
+                                       unsigned gshare_index_bits,
+                                       unsigned chooser_index_bits,
+                                       bool speculative_history)
+    : bimodal_(bimodal_index_bits),
+      gshare_(history_bits, gshare_index_bits, speculative_history),
+      chooserIndexBits_(chooser_index_bits),
+      chooser_(std::size_t{1} << chooser_index_bits, SatCounter(2, 1))
+{
+}
+
+void
+McFarlingPredictor::squashRepair(bool taken)
+{
+    gshare_.squashRepair(taken);
+}
+
+std::uint64_t
+McFarlingPredictor::chooserIndex(Addr pc) const
+{
+    return pcBits(pc) & ((std::uint64_t{1} << chooserIndexBits_) - 1);
+}
+
+bool
+McFarlingPredictor::predict(Addr pc)
+{
+    const bool use_gshare = chooser_[chooserIndex(pc)].predictTaken();
+    const bool gsh = gshare_.predict(pc); // pushes speculative history
+    const bool bim = bimodal_.lookup(pc);
+    return use_gshare ? gsh : bim;
+}
+
+void
+McFarlingPredictor::update(Addr pc, bool taken)
+{
+    const bool bim_correct = bimodal_.lookup(pc) == taken;
+    bool gsh_correct;
+    if (gshare_.speculativeHistory()) {
+        // Judge gshare against the snapshot its prediction used.
+        gsh_correct = gshare_.resolveAndTrain(pc, taken);
+    } else {
+        gsh_correct = gshare_.lookup(pc) == taken;
+        gshare_.train(pc, taken);
+        gshare_.pushHistory(taken);
+    }
+    const bool use_gshare = chooser_[chooserIndex(pc)].predictTaken();
+    record((use_gshare ? gsh_correct : bim_correct));
+
+    // The chooser only learns when the components disagree.
+    if (bim_correct != gsh_correct)
+        chooser_[chooserIndex(pc)].train(gsh_correct);
+
+    bimodal_.train(pc, taken);
+}
+
+} // namespace mca::bpred

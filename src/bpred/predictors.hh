@@ -1,0 +1,203 @@
+/**
+ * @file
+ * Branch predictors: bimodal, gshare, and the McFarling combining scheme.
+ *
+ * The paper's processors use McFarling's combining predictor (DEC WRL
+ * TN-36): a bimodal (per-PC 2-bit counter) predictor, a global-history
+ * predictor (gshare here), and a chooser table of 2-bit counters that
+ * learns which component to trust per branch. Matching the paper's
+ * footnote 2, predictions are made when a branch is inserted into the
+ * dispatch queue while table (and history) updates happen when the branch
+ * executes — so the caller invokes predict() and update() at those two
+ * distinct times and in-flight branches may predict from stale state.
+ */
+
+#ifndef MCA_BPRED_PREDICTORS_HH
+#define MCA_BPRED_PREDICTORS_HH
+
+#include <cstdint>
+#include <deque>
+#include <utility>
+#include <vector>
+
+#include "support/sat_counter.hh"
+#include "support/types.hh"
+
+namespace mca::bpred
+{
+
+/** Common interface so the processor can swap predictors. */
+class Predictor
+{
+  public:
+    virtual ~Predictor() = default;
+
+    /** Predict the direction of the conditional branch at `pc`. */
+    virtual bool predict(Addr pc) = 0;
+
+    /** Train with the resolved direction of the branch at `pc`. */
+    virtual void update(Addr pc, bool taken) = 0;
+
+    /**
+     * Repair speculative state after a resolved misprediction. The
+     * caller (the fetch engine) invokes this only for mispredicted
+     * branches, after update(); since fetch stalls behind a
+     * misprediction, no younger prediction is in flight and the repair
+     * is exact. Default: nothing to repair.
+     */
+    virtual void squashRepair(bool /*taken*/) {}
+
+    std::uint64_t predictions() const { return predictions_; }
+    std::uint64_t correct() const { return correct_; }
+
+    double
+    accuracy() const
+    {
+        return predictions_ == 0
+                   ? 0.0
+                   : static_cast<double>(correct_) /
+                         static_cast<double>(predictions_);
+    }
+
+  protected:
+    void
+    record(bool was_correct)
+    {
+        ++predictions_;
+        if (was_correct)
+            ++correct_;
+    }
+
+    std::uint64_t predictions_ = 0;
+    std::uint64_t correct_ = 0;
+};
+
+/** Per-PC table of 2-bit counters. */
+class BimodalPredictor : public Predictor
+{
+  public:
+    explicit BimodalPredictor(unsigned index_bits = 11);
+
+    bool predict(Addr pc) override;
+    void update(Addr pc, bool taken) override;
+
+    /** Direction the table currently predicts, without stats effects. */
+    bool lookup(Addr pc) const;
+    /** Train only (used as a component of the combining predictor). */
+    void train(Addr pc, bool taken);
+
+  private:
+    std::uint64_t index(Addr pc) const;
+
+    unsigned indexBits_;
+    std::vector<SatCounter> table_;
+};
+
+/** Global-history predictor: history XOR pc indexes a counter table. */
+class GsharePredictor : public Predictor
+{
+  public:
+    /**
+     * @param speculative_history  Push the *predicted* direction into
+     *     the history at predict time (repaired on misprediction)
+     *     instead of waiting for execution. The paper's footnote 2
+     *     describes update-at-execute; speculative history is the
+     *     conventional fix for the staleness it causes.
+     */
+    GsharePredictor(unsigned history_bits = 12, unsigned index_bits = 12,
+                    bool speculative_history = false);
+
+    bool predict(Addr pc) override;
+    void update(Addr pc, bool taken) override;
+    void squashRepair(bool taken) override;
+
+    bool lookup(Addr pc) const;
+    void train(Addr pc, bool taken);
+    /**
+     * Resolve one in-flight prediction against its predict-time
+     * history snapshot, train that entry, and report whether the
+     * component predicted correctly (speculative mode; used by the
+     * combining predictor's chooser).
+     */
+    bool resolveAndTrain(Addr pc, bool taken);
+    /** Shift the resolved direction into the global history. */
+    void pushHistory(bool taken);
+    /** Replace the most recent history bit (misprediction repair). */
+    void fixLastHistoryBit(bool taken);
+    std::uint64_t history() const { return history_; }
+    bool speculativeHistory() const { return speculativeHistory_; }
+
+  private:
+    std::uint64_t index(Addr pc) const;
+    std::uint64_t indexWith(Addr pc, std::uint64_t history) const;
+
+    unsigned historyBits_;
+    unsigned indexBits_;
+    bool speculativeHistory_;
+    std::uint64_t history_ = 0;
+    std::vector<SatCounter> table_;
+    /**
+     * Predict-time history snapshots for in-flight branches
+     * (speculative mode): update() must train the entry the prediction
+     * actually read. Bounded; stale entries (squashed branches) age
+     * out.
+     */
+    std::deque<std::pair<Addr, std::uint64_t>> inflight_;
+};
+
+/**
+ * McFarling combining predictor: bimodal + gshare + per-PC chooser.
+ *
+ * The chooser counter moves toward the component that was correct when
+ * exactly one of the two was correct.
+ */
+class McFarlingPredictor : public Predictor
+{
+  public:
+    McFarlingPredictor(unsigned bimodal_index_bits = 11,
+                       unsigned history_bits = 12,
+                       unsigned gshare_index_bits = 12,
+                       unsigned chooser_index_bits = 12,
+                       bool speculative_history = false);
+
+    bool predict(Addr pc) override;
+    void update(Addr pc, bool taken) override;
+    void squashRepair(bool taken) override;
+
+    const BimodalPredictor &bimodal() const { return bimodal_; }
+    const GsharePredictor &gshare() const { return gshare_; }
+
+  private:
+    std::uint64_t chooserIndex(Addr pc) const;
+
+    BimodalPredictor bimodal_;
+    GsharePredictor gshare_;
+    unsigned chooserIndexBits_;
+    std::vector<SatCounter> chooser_;
+};
+
+/** Degenerate predictor for experiments: always predicts `direction`. */
+class StaticPredictor : public Predictor
+{
+  public:
+    explicit StaticPredictor(bool direction) : direction_(direction) {}
+
+    bool
+    predict(Addr) override
+    {
+        return direction_;
+    }
+
+    void
+    update(Addr, bool taken) override
+    {
+        record(taken == direction_);
+    }
+
+  private:
+    bool direction_;
+};
+
+} // namespace mca::bpred
+
+#endif // MCA_BPRED_PREDICTORS_HH

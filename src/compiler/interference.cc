@@ -1,0 +1,113 @@
+#include "compiler/interference.hh"
+
+#include "support/panic.hh"
+
+namespace mca::compiler
+{
+
+InterferenceGraph::InterferenceGraph(std::vector<prog::ValueId> nodes,
+                                     std::size_t total_values)
+    : nodes_(std::move(nodes)),
+      nodeIndex_(total_values, ~std::size_t{0})
+{
+    for (std::size_t i = 0; i < nodes_.size(); ++i)
+        nodeIndex_[nodes_[i]] = i;
+    adj_.assign(nodes_.size(), BitSet(nodes_.size()));
+}
+
+std::size_t
+InterferenceGraph::nodeOf(prog::ValueId v) const
+{
+    return v < nodeIndex_.size() ? nodeIndex_[v] : ~std::size_t{0};
+}
+
+void
+InterferenceGraph::addEdge(prog::ValueId a, prog::ValueId b)
+{
+    const std::size_t na = nodeOf(a);
+    const std::size_t nb = nodeOf(b);
+    if (na == ~std::size_t{0} || nb == ~std::size_t{0} || na == nb)
+        return;
+    adj_[na].set(nb);
+    adj_[nb].set(na);
+}
+
+bool
+InterferenceGraph::interferes(prog::ValueId a, prog::ValueId b) const
+{
+    const std::size_t na = nodeOf(a);
+    const std::size_t nb = nodeOf(b);
+    if (na == ~std::size_t{0} || nb == ~std::size_t{0})
+        return false;
+    return adj_[na].test(nb);
+}
+
+InterferenceGraph
+buildInterference(const prog::Program &prog, prog::FunctionId fnid,
+                  isa::RegClass cls, const ProgramLiveness &live,
+                  const BitSet &spilled)
+{
+    const auto &fn = prog.functions[fnid];
+    const auto &fl = live.functions[fnid];
+    const std::size_t nvals = prog.values.size();
+
+    // Collect this function's candidate values of the requested class.
+    BitSet member(nvals);
+    auto consider = [&](prog::ValueId v) {
+        if (v == prog::kNoValue)
+            return;
+        const auto &info = prog.values[v];
+        if (info.cls != cls || info.globalCandidate || spilled.test(v))
+            return;
+        member.set(v);
+    };
+    for (const auto &blk : fn.blocks)
+        for (const auto &in : blk.instrs) {
+            consider(in.dest);
+            for (prog::ValueId s : in.srcs)
+                consider(s);
+        }
+
+    std::vector<prog::ValueId> nodes;
+    member.forEach([&](std::size_t v) {
+        nodes.push_back(static_cast<prog::ValueId>(v));
+    });
+    InterferenceGraph graph(std::move(nodes), nvals);
+
+    // Per-block backward scan.
+    for (std::size_t b = 0; b < fn.blocks.size(); ++b) {
+        BitSet liveNow = fl.liveOut[b];
+        const auto &instrs = fn.blocks[b].instrs;
+        for (std::size_t i = instrs.size(); i-- > 0;) {
+            const auto &in = instrs[i];
+            if (in.dest != prog::kNoValue) {
+                const prog::ValueId d = in.dest;
+                if (member.test(d)) {
+                    liveNow.forEach([&](std::size_t v) {
+                        if (member.test(v))
+                            graph.addEdge(d,
+                                          static_cast<prog::ValueId>(v));
+                    });
+                }
+                liveNow.reset(d);
+            }
+            for (prog::ValueId s : in.srcs)
+                if (s != prog::kNoValue)
+                    liveNow.set(s);
+        }
+    }
+
+    // Values live into the entry block pairwise interfere.
+    std::vector<prog::ValueId> entryLive;
+    fl.liveIn[prog::Function::kEntry].forEach([&](std::size_t v) {
+        if (member.test(v))
+            entryLive.push_back(static_cast<prog::ValueId>(v));
+    });
+    for (std::size_t i = 0; i < entryLive.size(); ++i)
+        for (std::size_t j = i + 1; j < entryLive.size(); ++j)
+            graph.addEdge(entryLive[i], entryLive[j]);
+
+    return graph;
+}
+
+} // namespace mca::compiler

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Interference graph construction.
+ *
+ * One graph per (function, register class); nodes are the function's live
+ * ranges of that class. Built by the standard backward scan: at each
+ * definition point the defined value interferes with everything currently
+ * live of the same class, and all values live into the entry block
+ * pairwise interfere (they carry distinct data from region start).
+ */
+
+#ifndef MCA_COMPILER_INTERFERENCE_HH
+#define MCA_COMPILER_INTERFERENCE_HH
+
+#include <vector>
+
+#include "compiler/liveness.hh"
+#include "prog/cfg.hh"
+#include "support/bitset.hh"
+
+namespace mca::compiler
+{
+
+/** Interference graph over a dense node renumbering of live ranges. */
+class InterferenceGraph
+{
+  public:
+    /** Create a graph over the given values (dense nodes 0..n-1). */
+    explicit InterferenceGraph(std::vector<prog::ValueId> nodes,
+                               std::size_t total_values);
+
+    std::size_t numNodes() const { return nodes_.size(); }
+
+    /** Original ValueId of node n. */
+    prog::ValueId valueOf(std::size_t n) const { return nodes_[n]; }
+
+    /** Dense node of value v, or SIZE_MAX if v is not in this graph. */
+    std::size_t nodeOf(prog::ValueId v) const;
+
+    void addEdge(prog::ValueId a, prog::ValueId b);
+    bool interferes(prog::ValueId a, prog::ValueId b) const;
+
+    /** Degree of node n. */
+    std::size_t degree(std::size_t n) const { return adj_[n].count(); }
+
+    /** Iterate the neighbours (dense node ids) of node n. */
+    template <typename Fn>
+    void
+    forEachNeighbor(std::size_t n, Fn &&fn) const
+    {
+        adj_[n].forEach(fn);
+    }
+
+  private:
+    std::vector<prog::ValueId> nodes_;
+    std::vector<std::size_t> nodeIndex_; // ValueId -> dense node or MAX
+    std::vector<BitSet> adj_;            // dense adjacency matrix rows
+};
+
+/**
+ * Build the interference graph for one function and register class.
+ *
+ * @param spilled  Values already assigned to memory (excluded as nodes —
+ *                 they no longer compete for registers).
+ */
+InterferenceGraph
+buildInterference(const prog::Program &prog, prog::FunctionId fn,
+                  isa::RegClass cls, const ProgramLiveness &live,
+                  const BitSet &spilled);
+
+} // namespace mca::compiler
+
+#endif // MCA_COMPILER_INTERFERENCE_HH

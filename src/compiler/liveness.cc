@@ -1,0 +1,119 @@
+#include "compiler/liveness.hh"
+
+#include "support/panic.hh"
+
+namespace mca::compiler
+{
+
+namespace
+{
+
+/** Apply one instruction's uses/defs to block-local use/def sets. */
+void
+accumulateUseDef(const prog::Instr &in, BitSet &use, BitSet &def)
+{
+    for (prog::ValueId s : in.srcs)
+        if (s != prog::kNoValue && !def.test(s))
+            use.set(s);
+    if (in.dest != prog::kNoValue)
+        def.set(in.dest);
+}
+
+} // namespace
+
+ProgramLiveness
+computeLiveness(const prog::Program &prog)
+{
+    const std::size_t nvals = prog.values.size();
+    ProgramLiveness result;
+    result.functions.resize(prog.functions.size());
+
+    for (std::size_t f = 0; f < prog.functions.size(); ++f) {
+        const auto &fn = prog.functions[f];
+        auto &fl = result.functions[f];
+        const std::size_t nblocks = fn.blocks.size();
+        fl.use.assign(nblocks, BitSet(nvals));
+        fl.def.assign(nblocks, BitSet(nvals));
+        fl.liveIn.assign(nblocks, BitSet(nvals));
+        fl.liveOut.assign(nblocks, BitSet(nvals));
+
+        for (std::size_t b = 0; b < nblocks; ++b)
+            for (const auto &in : fn.blocks[b].instrs)
+                accumulateUseDef(in, fl.use[b], fl.def[b]);
+
+        // Backward iterative dataflow to a fixed point.
+        bool changed = true;
+        while (changed) {
+            changed = false;
+            for (std::size_t bi = nblocks; bi-- > 0;) {
+                const auto &blk = fn.blocks[bi];
+                BitSet out(nvals);
+                for (prog::BlockId s : blk.succs)
+                    out.unionWith(fl.liveIn[s]);
+                if (!(out == fl.liveOut[bi])) {
+                    fl.liveOut[bi] = out;
+                    changed = true;
+                }
+                BitSet in = fl.liveOut[bi];
+                in.subtract(fl.def[bi]);
+                in.unionWith(fl.use[bi]);
+                if (!(in == fl.liveIn[bi])) {
+                    fl.liveIn[bi] = std::move(in);
+                    changed = true;
+                }
+            }
+        }
+    }
+    return result;
+}
+
+BitSet
+callCrossingValues(const prog::Program &prog, const ProgramLiveness &live)
+{
+    BitSet crossing(prog.values.size());
+    for (std::size_t f = 0; f < prog.functions.size(); ++f) {
+        const auto &fn = prog.functions[f];
+        for (std::size_t b = 0; b < fn.blocks.size(); ++b) {
+            const auto &blk = fn.blocks[b];
+            if (blk.terminatorOp() != isa::Op::Jsr)
+                continue;
+            // Everything live out of a call block is live across the
+            // call (the Jsr is the terminator, so liveOut is exactly the
+            // set live at the call).
+            live.functions[f].liveOut[b].forEach([&](std::size_t v) {
+                if (!prog.values[v].globalCandidate)
+                    crossing.set(v);
+            });
+        }
+    }
+    return crossing;
+}
+
+void
+checkValueLocality(const prog::Program &prog)
+{
+    constexpr std::uint32_t kUnseen = ~std::uint32_t{0};
+    std::vector<std::uint32_t> owner(prog.values.size(), kUnseen);
+
+    auto touch = [&](prog::ValueId v, std::uint32_t f) {
+        if (v == prog::kNoValue || prog.values[v].globalCandidate)
+            return;
+        if (owner[v] == kUnseen) {
+            owner[v] = f;
+        } else if (owner[v] != f) {
+            MCA_PANIC("value ", v, " ('", prog.values[v].name,
+                      "') referenced from functions ", owner[v], " and ", f,
+                      "; non-global live ranges must be function-local");
+        }
+    };
+
+    for (std::size_t f = 0; f < prog.functions.size(); ++f)
+        for (const auto &blk : prog.functions[f].blocks)
+            for (const auto &in : blk.instrs) {
+                touch(in.dest, static_cast<std::uint32_t>(f));
+                for (prog::ValueId s : in.srcs)
+                    touch(s, static_cast<std::uint32_t>(f));
+            }
+}
+
+} // namespace mca::compiler

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Live-variable analysis over the IL.
+ *
+ * Standard backward iterative dataflow on each function's CFG. Live
+ * ranges are function-local in this reproduction (only global-candidate
+ * values such as SP/GP cross functions, and those are precolored), which
+ * keeps the analysis intraprocedural exactly like the per-binary analysis
+ * the paper performed with ATOM.
+ */
+
+#ifndef MCA_COMPILER_LIVENESS_HH
+#define MCA_COMPILER_LIVENESS_HH
+
+#include <vector>
+
+#include "prog/cfg.hh"
+#include "support/bitset.hh"
+
+namespace mca::compiler
+{
+
+/** Liveness sets for one function, indexed by block id. */
+struct FunctionLiveness
+{
+    std::vector<BitSet> use;     ///< upward-exposed uses per block
+    std::vector<BitSet> def;     ///< values defined per block
+    std::vector<BitSet> liveIn;  ///< live at block entry
+    std::vector<BitSet> liveOut; ///< live at block exit
+};
+
+/** Liveness for every function of a program. */
+struct ProgramLiveness
+{
+    std::vector<FunctionLiveness> functions;
+};
+
+/**
+ * Compute liveness. All sets are sized to prog.values.size() so ValueIds
+ * index directly.
+ */
+ProgramLiveness computeLiveness(const prog::Program &prog);
+
+/**
+ * Values that are live across at least one call site (Jsr terminator).
+ * Under the caller-saved convention these must live in memory across the
+ * call, so the allocator force-spills them (DESIGN.md §5: call-crossing
+ * live ranges).
+ */
+BitSet callCrossingValues(const prog::Program &prog,
+                          const ProgramLiveness &live);
+
+/**
+ * Verify that every non-global value is referenced by exactly one
+ * function. Panics otherwise (the compiler's function-at-a-time register
+ * allocation depends on it).
+ */
+void checkValueLocality(const prog::Program &prog);
+
+} // namespace mca::compiler
+
+#endif // MCA_COMPILER_LIVENESS_HH

@@ -1,0 +1,326 @@
+#include "compiler/optimize.hh"
+
+#include <map>
+#include <optional>
+#include <tuple>
+#include <vector>
+
+#include "support/panic.hh"
+
+namespace mca::compiler
+{
+
+namespace
+{
+
+/** Evaluate an integer ALU op over constants, if foldable. */
+std::optional<std::int64_t>
+evalInt(isa::Op op, std::int64_t a, std::int64_t b)
+{
+    switch (op) {
+      case isa::Op::Add: return a + b;
+      case isa::Op::Sub: return a - b;
+      case isa::Op::And: return a & b;
+      case isa::Op::Or: return a | b;
+      case isa::Op::Xor: return a ^ b;
+      case isa::Op::Sll:
+        return (b & 63) == b ? std::optional<std::int64_t>(a << b)
+                             : std::nullopt;
+      case isa::Op::Srl:
+        return (b & 63) == b
+                   ? std::optional<std::int64_t>(static_cast<std::int64_t>(
+                         static_cast<std::uint64_t>(a) >> b))
+                   : std::nullopt;
+      case isa::Op::CmpEq: return a == b ? 1 : 0;
+      case isa::Op::CmpLt: return a < b ? 1 : 0;
+      case isa::Op::CmpLe: return a <= b ? 1 : 0;
+      case isa::Op::Mull: return a * b;
+      default: return std::nullopt;
+    }
+}
+
+/** Ops whose register-immediate form exists in the ISA. */
+bool
+hasImmediateForm(isa::Op op)
+{
+    switch (op) {
+      case isa::Op::Add: case isa::Op::Sub: case isa::Op::And:
+      case isa::Op::Or: case isa::Op::Xor: case isa::Op::Sll:
+      case isa::Op::Srl: case isa::Op::Sra: case isa::Op::CmpEq:
+      case isa::Op::CmpLt: case isa::Op::CmpLe: case isa::Op::Mull:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+hasSideEffects(const prog::Instr &in)
+{
+    return isa::isStore(in.op) || isa::isCtrlFlow(in.op) ||
+           in.op == isa::Op::Nop;
+}
+
+} // namespace
+
+OptStats
+constantFold(prog::Program &prog)
+{
+    OptStats stats;
+    for (auto &fn : prog.functions) {
+        for (auto &blk : fn.blocks) {
+            // Known constants within this block (killed on redefinition).
+            std::map<prog::ValueId, std::int64_t> known;
+            for (auto &in : blk.instrs) {
+                // Propagate known constants into immediate slots.
+                if (in.srcs[1] != prog::kNoValue &&
+                    hasImmediateForm(in.op)) {
+                    auto it = known.find(in.srcs[1]);
+                    if (it != known.end()) {
+                        in.srcs[1] = prog::kNoValue;
+                        in.imm = it->second;
+                        ++stats.immediatesPropagated;
+                    }
+                }
+                // Fold fully-constant integer ops into Lda.
+                if (in.dest != prog::kNoValue &&
+                    prog.values[in.dest].cls == isa::RegClass::Int &&
+                    in.op != isa::Op::Lda && !isa::isMemOp(in.op) &&
+                    !isa::isCtrlFlow(in.op)) {
+                    std::optional<std::int64_t> a, b;
+                    if (in.srcs[0] != prog::kNoValue) {
+                        auto it = known.find(in.srcs[0]);
+                        if (it != known.end())
+                            a = it->second;
+                    }
+                    if (in.srcs[1] == prog::kNoValue)
+                        b = in.imm;
+                    else {
+                        auto it = known.find(in.srcs[1]);
+                        if (it != known.end())
+                            b = it->second;
+                    }
+                    if (a && b) {
+                        if (auto r = evalInt(in.op, *a, *b)) {
+                            in.op = isa::Op::Lda;
+                            in.srcs = {prog::kNoValue, prog::kNoValue};
+                            in.imm = *r;
+                            ++stats.constantsFolded;
+                        }
+                    }
+                }
+                // Track definitions.
+                if (in.dest != prog::kNoValue) {
+                    if (in.op == isa::Op::Lda &&
+                        in.srcs[0] == prog::kNoValue)
+                        known[in.dest] = in.imm;
+                    else
+                        known.erase(in.dest);
+                }
+            }
+        }
+    }
+    return stats;
+}
+
+OptStats
+localCse(prog::Program &prog)
+{
+    OptStats stats;
+    using Key = std::tuple<isa::Op, prog::ValueId, prog::ValueId,
+                           std::int64_t>;
+    for (auto &fn : prog.functions) {
+        for (auto &blk : fn.blocks) {
+            std::map<Key, prog::ValueId> avail;
+            for (auto &in : blk.instrs) {
+                const bool eligible =
+                    in.dest != prog::kNoValue && !isa::isMemOp(in.op) &&
+                    !isa::isCtrlFlow(in.op) && in.op != isa::Op::Mov &&
+                    in.op != isa::Op::MovF;
+                bool replaced = false;
+                if (eligible) {
+                    const Key key{in.op, in.srcs[0], in.srcs[1], in.imm};
+                    auto it = avail.find(key);
+                    if (it != avail.end() && it->second != in.dest) {
+                        // Same expression already computed: use a move.
+                        const auto cls = prog.values[in.dest].cls;
+                        in.op = cls == isa::RegClass::Int ? isa::Op::Mov
+                                                          : isa::Op::MovF;
+                        in.srcs = {it->second, prog::kNoValue};
+                        in.imm = 0;
+                        ++stats.cseReplaced;
+                        replaced = true;
+                    }
+                }
+                // Kill expressions invalidated by the redefinition.
+                if (in.dest != prog::kNoValue) {
+                    for (auto it = avail.begin(); it != avail.end();) {
+                        const auto &[op, s0, s1, imm] = it->first;
+                        if (s0 == in.dest || s1 == in.dest ||
+                            it->second == in.dest)
+                            it = avail.erase(it);
+                        else
+                            ++it;
+                    }
+                }
+                // Record the fresh expression unless its destination is
+                // one of its own sources (self-redefinition).
+                if (eligible && !replaced && in.srcs[0] != in.dest &&
+                    in.srcs[1] != in.dest) {
+                    avail[Key{in.op, in.srcs[0], in.srcs[1], in.imm}] =
+                        in.dest;
+                }
+            }
+        }
+    }
+    return stats;
+}
+
+OptStats
+copyPropagate(prog::Program &prog)
+{
+    OptStats stats;
+
+    // Definition counts, for the whole-program single-def rule.
+    std::vector<std::uint32_t> defs(prog.values.size(), 0);
+    // copyOf[d] = s when d's unique definition is "d = Mov s".
+    std::vector<prog::ValueId> copyOf(prog.values.size(), prog::kNoValue);
+    for (const auto &fn : prog.functions)
+        for (const auto &blk : fn.blocks)
+            for (const auto &in : blk.instrs) {
+                if (in.dest == prog::kNoValue)
+                    continue;
+                ++defs[in.dest];
+                const bool is_move = (in.op == isa::Op::Mov ||
+                                      in.op == isa::Op::MovF) &&
+                                     in.srcs[0] != prog::kNoValue;
+                copyOf[in.dest] =
+                    is_move && defs[in.dest] == 1 ? in.srcs[0]
+                                                  : prog::kNoValue;
+            }
+
+    // Whole-program propagation: d = Mov s with d and s each defined
+    // exactly once means every use of d can read s directly (s is
+    // never overwritten). Chase chains of such copies.
+    auto resolve = [&](prog::ValueId v) {
+        unsigned guard = 0;
+        // The source must never be redefined: one def, or zero for
+        // live-in values.
+        while (v != prog::kNoValue && copyOf[v] != prog::kNoValue &&
+               defs[v] == 1 && defs[copyOf[v]] <= 1 && guard++ < 8)
+            v = copyOf[v];
+        return v;
+    };
+
+    for (auto &fn : prog.functions) {
+        for (auto &blk : fn.blocks) {
+            // Block-local copy table with proper kills (handles
+            // multiply-defined values).
+            std::map<prog::ValueId, prog::ValueId> local;
+            for (auto &in : blk.instrs) {
+                for (auto &src : in.srcs) {
+                    if (src == prog::kNoValue)
+                        continue;
+                    auto it = local.find(src);
+                    prog::ValueId repl =
+                        it != local.end() ? it->second : resolve(src);
+                    if (repl != src && repl != prog::kNoValue) {
+                        src = repl;
+                        ++stats.copiesPropagated;
+                    }
+                }
+                if (in.dest != prog::kNoValue) {
+                    // Kill table entries invalidated by this def.
+                    for (auto it = local.begin(); it != local.end();) {
+                        if (it->first == in.dest ||
+                            it->second == in.dest)
+                            it = local.erase(it);
+                        else
+                            ++it;
+                    }
+                    if ((in.op == isa::Op::Mov ||
+                         in.op == isa::Op::MovF) &&
+                        in.srcs[0] != prog::kNoValue &&
+                        in.srcs[0] != in.dest)
+                        local[in.dest] = in.srcs[0];
+                }
+            }
+        }
+    }
+    return stats;
+}
+
+OptStats
+deadCodeElim(prog::Program &prog)
+{
+    OptStats stats;
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        std::vector<std::uint64_t> uses(prog.values.size(), 0);
+        for (const auto &fn : prog.functions)
+            for (const auto &blk : fn.blocks)
+                for (const auto &in : blk.instrs)
+                    for (prog::ValueId s : in.srcs)
+                        if (s != prog::kNoValue)
+                            ++uses[s];
+
+        for (auto &fn : prog.functions) {
+            for (auto &blk : fn.blocks) {
+                std::vector<prog::Instr> kept;
+                kept.reserve(blk.instrs.size());
+                for (std::size_t i = 0; i < blk.instrs.size(); ++i) {
+                    const auto &in = blk.instrs[i];
+                    const bool is_term = i + 1 == blk.instrs.size() &&
+                                         isa::isCtrlFlow(in.op);
+                    const bool dead =
+                        !is_term && !hasSideEffects(in) &&
+                        in.dest != prog::kNoValue &&
+                        uses[in.dest] == 0 &&
+                        !prog.values[in.dest].globalCandidate;
+                    if (dead) {
+                        ++stats.deadRemoved;
+                        changed = true;
+                    } else {
+                        kept.push_back(in);
+                    }
+                }
+                blk.instrs = std::move(kept);
+            }
+        }
+    }
+    return stats;
+}
+
+OptStats
+optimizeProgram(prog::Program &prog, unsigned max_iters)
+{
+    OptStats total;
+    for (unsigned i = 0; i < max_iters; ++i) {
+        OptStats round;
+        const OptStats cf = constantFold(prog);
+        const OptStats cse = localCse(prog);
+        const OptStats cp = copyPropagate(prog);
+        const OptStats dce = deadCodeElim(prog);
+        round.constantsFolded = cf.constantsFolded;
+        round.immediatesPropagated = cf.immediatesPropagated;
+        round.cseReplaced = cse.cseReplaced;
+        round.copiesPropagated = cp.copiesPropagated;
+        round.deadRemoved = dce.deadRemoved;
+
+        total.constantsFolded += round.constantsFolded;
+        total.immediatesPropagated += round.immediatesPropagated;
+        total.cseReplaced += round.cseReplaced;
+        total.copiesPropagated += round.copiesPropagated;
+        total.deadRemoved += round.deadRemoved;
+
+        if (round.constantsFolded + round.immediatesPropagated +
+                round.cseReplaced + round.copiesPropagated +
+                round.deadRemoved ==
+            0)
+            break;
+    }
+    return total;
+}
+
+} // namespace mca::compiler

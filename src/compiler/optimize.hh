@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Conventional local optimizations (paper §3.2).
+ *
+ * The paper applies stock optimizations — common-subexpression
+ * elimination, constant propagation — before any multicluster-specific
+ * work, using existing techniques unchanged. These passes are the same:
+ * purely local (per basic block) constant folding/propagation, local CSE
+ * via available-expression tracking, and a program-wide dead-code
+ * elimination. They run before scheduling and partitioning, so the
+ * native and rescheduled binaries share the optimized IL.
+ */
+
+#ifndef MCA_COMPILER_OPTIMIZE_HH
+#define MCA_COMPILER_OPTIMIZE_HH
+
+#include <cstdint>
+
+#include "prog/cfg.hh"
+
+namespace mca::compiler
+{
+
+/** Aggregate effect of the optimization pipeline. */
+struct OptStats
+{
+    std::uint64_t constantsFolded = 0;
+    std::uint64_t immediatesPropagated = 0;
+    std::uint64_t cseReplaced = 0;
+    std::uint64_t copiesPropagated = 0;
+    std::uint64_t deadRemoved = 0;
+};
+
+/** Fold/propagate constants inside each basic block. */
+OptStats constantFold(prog::Program &prog);
+
+/** Local common-subexpression elimination (replaces repeats with moves). */
+OptStats localCse(prog::Program &prog);
+
+/**
+ * Copy propagation: forward Mov/MovF sources into the uses of their
+ * destinations (block-local with proper kills, plus whole-program
+ * propagation for single-definition values). Together with dead-code
+ * elimination this subsumes most of the benefit of move coalescing in
+ * the Briggs allocator, while staying cluster-independent so the
+ * native and rescheduled binaries keep identical instruction paths.
+ */
+OptStats copyPropagate(prog::Program &prog);
+
+/** Remove side-effect-free instructions whose results are never read. */
+OptStats deadCodeElim(prog::Program &prog);
+
+/** Run all passes to a fixed point (bounded) and sum their stats. */
+OptStats optimizeProgram(prog::Program &prog, unsigned max_iters = 4);
+
+} // namespace mca::compiler
+
+#endif // MCA_COMPILER_OPTIMIZE_HH

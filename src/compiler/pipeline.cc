@@ -1,0 +1,84 @@
+#include "compiler/pipeline.hh"
+
+#include "exec/trace.hh"
+#include "support/panic.hh"
+
+namespace mca::compiler
+{
+
+isa::RegisterMap
+CompileOutput::hardwareMap(unsigned num_clusters) const
+{
+    isa::RegisterMap map(num_clusters);
+    for (const auto &reg : alloc.globalRegs)
+        map.setGlobal(reg);
+    return map;
+}
+
+CompileOutput
+compile(const prog::Program &prog, const CompileOptions &options)
+{
+    CompileOutput out;
+    prog::Program work = prog;
+
+    // Step 1: conventional optimizations.
+    if (options.optimize)
+        out.optStats = optimizeProgram(work);
+
+    // Optional loop unrolling (paper §6 future work).
+    if (options.unrollFactor >= 2)
+        out.unrollStats = unrollLoops(work, options.unrollFactor);
+
+    // Optional superblock formation (paper §6 future work).
+    if (options.superblocks)
+        out.superblockStats = formSuperblocks(work);
+
+    // Step 2: prepass code scheduling.
+    if (options.listSchedule) {
+        ScheduleOptions sopt;
+        sopt.width = options.listScheduleWidth;
+        out.scheduleStats = listSchedule(work, sopt);
+    }
+
+    // Profiling: measured execution estimates for the partitioner.
+    if (options.profileFirst &&
+        options.scheduler != SchedulerKind::Native) {
+        const auto profile = exec::profileProgram(
+            work, options.profileSeed, options.profileMaxInsts);
+        exec::applyProfile(work, profile);
+    }
+
+    // Step 4: live-range partitioning.
+    PartitionOptions popt;
+    popt.numClusters = options.numClusters;
+    popt.imbalanceThreshold = options.imbalanceThreshold;
+    switch (options.scheduler) {
+      case SchedulerKind::Native:
+        // No partitioning: cluster-unaware allocation.
+        break;
+      case SchedulerKind::Local:
+        MCA_ASSERT(options.numClusters >= 2,
+                   "local scheduler needs a clustered target");
+        out.partition = localSchedule(work, popt, &out.partitionTrace);
+        break;
+      case SchedulerKind::RoundRobin:
+        MCA_ASSERT(options.numClusters >= 2,
+                   "round-robin needs a clustered target");
+        out.partition = roundRobinSchedule(work, popt);
+        break;
+    }
+
+    // Step 5: register allocation.
+    AllocOptions aopt;
+    aopt.regMap = isa::RegisterMap(
+        options.scheduler == SchedulerKind::Native ? 1
+                                                   : options.numClusters);
+    aopt.assignment = out.partition;
+    out.alloc = allocateRegisters(work, aopt);
+
+    // Step 6: machine-code emission.
+    out.binary = emitMachine(out.alloc);
+    return out;
+}
+
+} // namespace mca::compiler

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * The six-step compilation pipeline (paper §3.1).
+ *
+ *  1. conventional optimizations on the IL;
+ *  2. prepass code scheduling;
+ *  3. global-register candidate designation (done by the program
+ *     builder: SP/GP live ranges carry the globalCandidate flag);
+ *  4. live-range partitioning (the local scheduler);
+ *  5. register allocation (graph coloring with spilling);
+ *  6. machine-code emission.
+ *
+ * Profiling (the source of the local scheduler's execution estimates)
+ * runs between steps 2 and 4, mirroring the paper's profile-driven
+ * estimates.
+ */
+
+#ifndef MCA_COMPILER_PIPELINE_HH
+#define MCA_COMPILER_PIPELINE_HH
+
+#include "compiler/optimize.hh"
+#include "compiler/partition.hh"
+#include "compiler/regalloc.hh"
+#include "compiler/schedule.hh"
+#include "compiler/superblock.hh"
+#include "compiler/unroll.hh"
+#include "prog/cfg.hh"
+
+namespace mca::compiler
+{
+
+/** Which live-range partitioner to run (step 4). */
+enum class SchedulerKind
+{
+    /**
+     * None: cluster-unaware allocation over the full register file.
+     * This is the paper's baseline — the native binary, whose live
+     * ranges land on clusters only through the even/odd register map.
+     */
+    Native,
+    /** The paper's local scheduler (§3.5). */
+    Local,
+    /** Blind round-robin assignment (ablation). */
+    RoundRobin,
+};
+
+struct CompileOptions
+{
+    SchedulerKind scheduler = SchedulerKind::Native;
+    /** Cluster count the binary is scheduled for (1 for Native). */
+    unsigned numClusters = 1;
+    unsigned imbalanceThreshold = 4;
+    bool optimize = true;
+    /** Unroll eligible counted self-loops by this factor (1 = off). */
+    unsigned unrollFactor = 1;
+    /** Form superblocks (tail duplication + straightening, §6). */
+    bool superblocks = false;
+    bool listSchedule = true;
+    unsigned listScheduleWidth = 8;
+    /** Derive block weights from a profiling run before partitioning. */
+    bool profileFirst = true;
+    std::uint64_t profileSeed = 1;
+    std::uint64_t profileMaxInsts = 200'000;
+};
+
+struct CompileOutput
+{
+    /** The executable (what the timing simulator runs). */
+    prog::MachProgram binary;
+    /** Allocator outcome (rewritten IL, registers, spill stats). */
+    AllocResult alloc;
+    /** Partitioner assignment (pre-allocation; empty for Native). */
+    ClusterAssignment partition;
+    /** Partitioner decision record (Figure-6 reproduction). */
+    PartitionTrace partitionTrace;
+    OptStats optStats;
+    UnrollStats unrollStats;
+    SuperblockStats superblockStats;
+    ScheduleStats scheduleStats;
+
+    /**
+     * Register map a machine with `num_clusters` clusters must use to run
+     * this binary: the default local even/odd assignment plus the global
+     * registers this binary's global candidates were precolored onto.
+     */
+    isa::RegisterMap hardwareMap(unsigned num_clusters) const;
+};
+
+/** Run the full pipeline. The input program is copied, never modified. */
+CompileOutput compile(const prog::Program &prog,
+                      const CompileOptions &options);
+
+} // namespace mca::compiler
+
+#endif // MCA_COMPILER_PIPELINE_HH

@@ -1,0 +1,176 @@
+#include "compiler/superblock.hh"
+
+#include <algorithm>
+#include <vector>
+
+#include "support/panic.hh"
+
+namespace mca::compiler
+{
+
+namespace
+{
+
+/** Predecessor edge: block id + successor-slot index. */
+struct PredEdge
+{
+    prog::BlockId from;
+    std::size_t slot;
+    double weight;
+};
+
+std::vector<std::vector<PredEdge>>
+predecessors(const prog::Function &fn)
+{
+    std::vector<std::vector<PredEdge>> preds(fn.blocks.size());
+    for (const auto &blk : fn.blocks)
+        for (std::size_t i = 0; i < blk.succs.size(); ++i)
+            preds[blk.succs[i]].push_back(
+                {blk.id, i, blk.weight / blk.succs.size()});
+    return preds;
+}
+
+/** One pass of tail duplication over a function. */
+std::uint64_t
+duplicateTails(prog::Function &fn, std::size_t size_budget,
+               SuperblockStats &stats)
+{
+    std::uint64_t changed = 0;
+    const auto preds = predecessors(fn);
+    const std::size_t nblocks = fn.blocks.size();
+
+    std::size_t current = 0;
+    for (const auto &blk : fn.blocks)
+        current += blk.instrs.size();
+
+    // Hottest joins first, so a tight growth budget is spent where the
+    // enlarged blocks matter.
+    std::vector<prog::BlockId> joins;
+    for (prog::BlockId j = 1; j < nblocks; ++j)
+        if (preds[j].size() >= 2)
+            joins.push_back(j);
+    std::sort(joins.begin(), joins.end(),
+              [&](prog::BlockId a, prog::BlockId b) {
+                  if (fn.blocks[a].weight != fn.blocks[b].weight)
+                      return fn.blocks[a].weight > fn.blocks[b].weight;
+                  // Ties: larger joins buy more joint scheduling.
+                  return fn.blocks[a].instrs.size() >
+                         fn.blocks[b].instrs.size();
+              });
+
+    for (prog::BlockId j : joins) {
+        const auto &incoming = preds[j];
+        const std::size_t join_size = fn.blocks[j].instrs.size();
+        if (join_size > 16 || join_size == 0)
+            continue;
+        // Keep self-loops intact.
+        bool self = false;
+        for (const auto &e : incoming)
+            self |= (e.from == j);
+        if (self)
+            continue;
+        // The hottest edge keeps the original; every other edge gets a
+        // private clone.
+        const auto hot = std::max_element(
+            incoming.begin(), incoming.end(),
+            [](const PredEdge &a, const PredEdge &b) {
+                return a.weight < b.weight;
+            });
+        for (const auto &e : incoming) {
+            if (&e == &*hot)
+                continue;
+            if (e.weight <= 0)
+                continue; // never clone for dead edges
+            if (current + join_size > size_budget)
+                return changed;
+            prog::BasicBlock clone = fn.blocks[j];
+            clone.id = static_cast<prog::BlockId>(fn.blocks.size());
+            clone.name += ".t" + std::to_string(e.from);
+            clone.weight = e.weight;
+            fn.blocks.push_back(std::move(clone));
+            fn.blocks[e.from].succs[e.slot] = fn.blocks.back().id;
+            fn.blocks[j].weight =
+                std::max(1.0, fn.blocks[j].weight - e.weight);
+            current += join_size;
+            ++stats.tailsDuplicated;
+            stats.instsAdded += join_size;
+            ++changed;
+        }
+    }
+    return changed;
+}
+
+/** One pass of straightening over a function. */
+std::uint64_t
+straighten(prog::Function &fn, SuperblockStats &stats)
+{
+    std::uint64_t changed = 0;
+    const auto preds = predecessors(fn);
+    std::vector<bool> dead(fn.blocks.size(), false);
+
+    for (auto &blk : fn.blocks) {
+        if (dead[blk.id] || blk.succs.size() != 1)
+            continue;
+        const prog::BlockId s = blk.succs[0];
+        if (s == blk.id || s == prog::Function::kEntry || dead[s] ||
+            preds[s].size() != 1)
+            continue;
+        const auto term = blk.terminatorOp();
+        if (term != isa::Op::Nop && term != isa::Op::Br)
+            continue; // calls cannot be straightened through
+
+        // Drop the unconditional branch, splice the successor in.
+        auto &succ = fn.blocks[s];
+        if (term == isa::Op::Br)
+            blk.instrs.pop_back();
+        blk.instrs.insert(blk.instrs.end(), succ.instrs.begin(),
+                          succ.instrs.end());
+        blk.succs = succ.succs;
+        blk.succWeights = succ.succWeights;
+        // The successor becomes unreachable dead code; keep the CFG
+        // shape valid but never merge through it again.
+        succ.instrs.clear();
+        succ.succs = {blk.id};
+        succ.succWeights.clear();
+        succ.weight = 0;
+        dead[s] = true;
+        ++stats.blocksMerged;
+        ++changed;
+    }
+    return changed;
+}
+
+} // namespace
+
+SuperblockStats
+formSuperblocks(prog::Program &prog, double max_growth)
+{
+    MCA_ASSERT(max_growth >= 1.0, "growth bound below 1");
+    SuperblockStats stats;
+
+    for (auto &fn : prog.functions) {
+        std::size_t base = 0;
+        for (const auto &blk : fn.blocks)
+            base += blk.instrs.size();
+        const auto budget =
+            static_cast<std::size_t>(max_growth * static_cast<double>(
+                                                      std::max<std::size_t>(
+                                                          base, 8)));
+
+        for (unsigned round = 0; round < 4; ++round) {
+            std::size_t current = 0;
+            for (const auto &blk : fn.blocks)
+                current += blk.instrs.size();
+            std::uint64_t changed = 0;
+            if (current < budget)
+                changed += duplicateTails(fn, budget, stats);
+            changed += straighten(fn, stats);
+            if (changed == 0)
+                break;
+        }
+    }
+    prog.finalize();
+    return stats;
+}
+
+} // namespace mca::compiler

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Superblock formation (the paper's §6 future work).
+ *
+ * "Techniques such as superblock scheduling and trace scheduling might
+ * be used to increase the number of instructions that can be jointly
+ * scheduled, thus permitting a better estimation of the run-time
+ * distribution of the workload."
+ *
+ * This pass enlarges basic blocks in two profile-guided steps:
+ *
+ *  1. *Tail duplication*: a join block (multiple predecessors) is
+ *     cloned for each of its cold incoming edges, leaving the hot
+ *     predecessor as the join's only entry. Clones share the
+ *     original's live ranges, branch models, and address streams, so
+ *     the program's dynamic instruction sequence is unchanged — the
+ *     outcomes and addresses are drawn in the same execution order
+ *     regardless of which static copy runs.
+ *  2. *Straightening*: a block whose single successor has a single
+ *     predecessor is merged with it (dropping the unconditional branch
+ *     between them), producing the long blocks the local scheduler's
+ *     per-block imbalance estimate needs.
+ *
+ * Growth is bounded by max_growth x the function's original size.
+ */
+
+#ifndef MCA_COMPILER_SUPERBLOCK_HH
+#define MCA_COMPILER_SUPERBLOCK_HH
+
+#include <cstdint>
+
+#include "prog/cfg.hh"
+
+namespace mca::compiler
+{
+
+struct SuperblockStats
+{
+    std::uint64_t tailsDuplicated = 0;
+    std::uint64_t blocksMerged = 0;
+    std::uint64_t instsAdded = 0;
+};
+
+/** Run tail duplication + straightening; re-finalizes the program. */
+SuperblockStats formSuperblocks(prog::Program &prog,
+                                double max_growth = 1.5);
+
+} // namespace mca::compiler
+
+#endif // MCA_COMPILER_SUPERBLOCK_HH

@@ -1,0 +1,118 @@
+#include "compiler/unroll.hh"
+
+#include <map>
+
+#include "support/panic.hh"
+
+namespace mca::compiler
+{
+
+namespace
+{
+
+/** True if the block is an unrollable counted self-loop. */
+bool
+eligible(const prog::Program &prog, const prog::BasicBlock &blk)
+{
+    if (blk.instrs.size() < 2)
+        return false;
+    const auto &term = blk.instrs.back();
+    if (!isa::isCondBranch(term.op))
+        return false;
+    if (blk.succs.size() != 2 || blk.succs[1] != blk.id)
+        return false; // taken edge must be the self back edge
+    if (term.branchModel == prog::kNoBranchModel)
+        return false;
+    const auto &model = prog.branchModels[term.branchModel];
+    if (model.kind != prog::BranchModel::Kind::Loop || model.trip < 8)
+        return false;
+    for (const auto &in : blk.instrs)
+        if (in.op == isa::Op::Jsr)
+            return false;
+    return true;
+}
+
+} // namespace
+
+UnrollStats
+unrollLoops(prog::Program &prog, unsigned factor)
+{
+    MCA_ASSERT(factor >= 2, "unroll factor must be >= 2");
+    UnrollStats stats;
+
+    for (auto &fn : prog.functions) {
+        for (auto &blk : fn.blocks) {
+            if (!eligible(prog, blk))
+                continue;
+            ++stats.loopsUnrolled;
+
+            const std::vector<prog::Instr> body(
+                blk.instrs.begin(), blk.instrs.end() - 1);
+            const prog::Instr term = blk.instrs.back();
+
+            // Values defined inside the body (in definition order).
+            std::vector<prog::ValueId> defs;
+            for (const auto &in : body)
+                if (in.dest != prog::kNoValue)
+                    defs.push_back(in.dest);
+
+            std::vector<prog::Instr> out;
+            out.reserve(body.size() * factor + 1);
+
+            // current[v] = the live range holding v's value at this
+            // point of the unrolled body (original id on entry).
+            std::map<prog::ValueId, prog::ValueId> current;
+
+            for (unsigned inst = 0; inst < factor; ++inst) {
+                const bool last = (inst + 1 == factor);
+                for (const auto &in : body) {
+                    prog::Instr copy = in;
+                    for (auto &src : copy.srcs) {
+                        if (src == prog::kNoValue)
+                            continue;
+                        auto it = current.find(src);
+                        if (it != current.end())
+                            src = it->second;
+                    }
+                    if (copy.dest != prog::kNoValue) {
+                        if (last) {
+                            // The final instance restores the original
+                            // names so the back edge and the loop exit
+                            // see the expected live ranges.
+                            current[in.dest] = in.dest;
+                        } else {
+                            prog::ValueInfo info =
+                                prog.values[in.dest];
+                            info.name += ".u" + std::to_string(inst);
+                            prog.values.push_back(info);
+                            const auto fresh =
+                                static_cast<prog::ValueId>(
+                                    prog.values.size() - 1);
+                            current[in.dest] = fresh;
+                            copy.dest = fresh;
+                        }
+                    }
+                    out.push_back(copy);
+                }
+            }
+            stats.instsAdded += out.size() + 1 - blk.instrs.size();
+
+            // Back-edge trip count shrinks by the unroll factor.
+            prog::Instr new_term = term;
+            prog::BranchModel model = prog.branchModels[term.branchModel];
+            model.trip = (model.trip + factor - 1) / factor;
+            model.tripJitter /= factor;
+            prog.branchModels.push_back(model);
+            new_term.branchModel = static_cast<prog::BranchModelId>(
+                prog.branchModels.size() - 1);
+            out.push_back(new_term);
+
+            blk.instrs = std::move(out);
+        }
+    }
+    if (stats.loopsUnrolled > 0)
+        prog.finalize();
+    return stats;
+}
+
+} // namespace mca::compiler

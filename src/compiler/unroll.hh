@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Loop unrolling (the paper's §6 future work).
+ *
+ * "Loop unrolling ... could be used to generate a code schedule in
+ * which multiple iterations of a loop were interleaved, with each
+ * iteration scheduled to use a separate cluster of a multicluster
+ * processor."
+ *
+ * This pass unrolls self-looping blocks (a block whose conditional
+ * terminator targets itself) by a given factor: the body is replicated,
+ * block-defined values get a fresh live range per instance (so the
+ * partitioner can place different iterations in different clusters —
+ * the interleaving emerges from the §3.5 balance objective), and the
+ * final instance writes the original live ranges so loop-carried state
+ * flows across the back edge. The back-edge trip count is divided by
+ * the factor.
+ *
+ * Restrictions: only counted self-loops (Loop branch models) with no
+ * calls are unrolled, and trip counts are assumed large relative to the
+ * factor (the remainder iterations are folded into the quotient — an
+ * approximation that changes the dynamic instruction stream, which is
+ * fine because unrolling is applied to the program before *both*
+ * compilations being compared).
+ */
+
+#ifndef MCA_COMPILER_UNROLL_HH
+#define MCA_COMPILER_UNROLL_HH
+
+#include <cstdint>
+
+#include "prog/cfg.hh"
+
+namespace mca::compiler
+{
+
+struct UnrollStats
+{
+    std::uint64_t loopsUnrolled = 0;
+    std::uint64_t instsAdded = 0;
+};
+
+/**
+ * Unroll every eligible self-loop by `factor` (>= 2). Returns what was
+ * done; the program is modified in place (and re-finalized).
+ */
+UnrollStats unrollLoops(prog::Program &prog, unsigned factor);
+
+} // namespace mca::compiler
+
+#endif // MCA_COMPILER_UNROLL_HH

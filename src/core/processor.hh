@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Cycle-level timing model of single- and multi-cluster processors.
+ *
+ * The model implements the paper's machine (§2, §4.1): a shared fetch
+ * stream distributing up to 12 instructions per cycle into per-cluster
+ * dispatch queues through explicit register renaming; greedy oldest-first
+ * issue under the Table-1 slot rules; dual-distributed master/slave
+ * execution with operand and result transfer buffers; speculative
+ * execution with McFarling branch prediction (tables updated at
+ * execute); non-blocking caches with inverted-MSHR semantics; in-order
+ * retirement; and instruction-replay exceptions to break transfer-buffer
+ * deadlocks.
+ *
+ * Pipeline timing (DESIGN.md §5.1-5.2): an instruction issued at cycle t
+ * reads registers at t+1, executes during [t+2, t+1+lat], and writes
+ * back at t+2+lat; same-cluster consumers may issue at t+lat. A slave
+ * copy forwarding an operand lets its master issue from t_slave+1; a
+ * slave receiving a result may issue from t_master+lat.
+ */
+
+#ifndef MCA_CORE_PROCESSOR_HH
+#define MCA_CORE_PROCESSOR_HH
+
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "bpred/predictors.hh"
+#include "core/config.hh"
+#include "core/timeline.hh"
+#include "exec/trace.hh"
+#include "isa/distribution.hh"
+#include "isa/issue_rules.hh"
+#include "mem/cache.hh"
+#include "support/stats.hh"
+
+namespace mca::core
+{
+
+/** Outcome of a simulation. */
+struct SimResult
+{
+    Cycle cycles = 0;
+    std::uint64_t instructions = 0;
+    /** False if the run stopped on the cycle limit. */
+    bool completed = true;
+};
+
+class Processor
+{
+  public:
+    /**
+     * @param config  Machine shape; config.regMap defines the
+     *                register-to-cluster assignment the hardware applies.
+     * @param trace   Dynamic instruction source (not owned).
+     * @param stats   Statistic registry the processor populates.
+     */
+    Processor(const ProcessorConfig &config, exec::TraceSource &trace,
+              StatGroup &stats);
+    ~Processor();
+
+    Processor(const Processor &) = delete;
+    Processor &operator=(const Processor &) = delete;
+
+    /** Attach a timeline recorder (scenario figures); may be null. */
+    void attachTimeline(TimelineRecorder *recorder);
+
+    /** Run to completion (or the cycle bound). */
+    SimResult run(Cycle max_cycles = ~Cycle{0});
+
+    /**
+     * Advance one cycle. Returns false once the trace is exhausted and
+     * the pipeline has drained.
+     */
+    bool step();
+
+    Cycle now() const { return cycle_; }
+    std::uint64_t retiredInstructions() const;
+
+    const ProcessorConfig &config() const { return config_; }
+
+  private:
+    struct Impl;
+    ProcessorConfig config_;
+    Cycle cycle_ = 0;
+    std::unique_ptr<Impl> impl_;
+};
+
+} // namespace mca::core
+
+#endif // MCA_CORE_PROCESSOR_HH

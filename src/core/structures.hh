@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Reusable hardware bookkeeping structures of the multicluster core:
+ * transfer-buffer occupancy tracking and physical register files.
+ * Factored out of the processor so they can be unit-tested and reused
+ * by other machine models.
+ */
+
+#ifndef MCA_CORE_STRUCTURES_HH
+#define MCA_CORE_STRUCTURES_HH
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "support/panic.hh"
+#include "support/types.hh"
+
+namespace mca::core
+{
+
+/**
+ * Transfer-buffer occupancy tracker. Entries freed at cycle t become
+ * allocatable at t+1 (paper §2.1: "this entry can be used by another
+ * instruction in the next cycle").
+ */
+class TransferBuffer
+{
+  public:
+    void
+    init(unsigned capacity)
+    {
+        capacity_ = capacity;
+        inUse_ = 0;
+        pendingFrees_.clear();
+    }
+
+    /** Mature the frees scheduled for cycles <= now. */
+    void
+    beginCycle(Cycle now)
+    {
+        auto it = std::remove_if(pendingFrees_.begin(),
+                                 pendingFrees_.end(),
+                                 [&](Cycle c) { return c <= now; });
+        const auto freed =
+            static_cast<unsigned>(pendingFrees_.end() - it);
+        pendingFrees_.erase(it, pendingFrees_.end());
+        MCA_ASSERT(inUse_ >= freed, "transfer buffer underflow");
+        inUse_ -= freed;
+    }
+
+    bool canAlloc() const { return inUse_ < capacity_; }
+
+    void
+    alloc()
+    {
+        MCA_ASSERT(canAlloc(), "transfer buffer overflow");
+        ++inUse_;
+    }
+
+    /** Entry becomes reusable at now+1. */
+    void scheduleFree(Cycle now) { pendingFrees_.push_back(now + 1); }
+
+    unsigned inUse() const { return inUse_; }
+    unsigned pendingFrees() const
+    {
+        return static_cast<unsigned>(pendingFrees_.size());
+    }
+    unsigned capacity() const { return capacity_; }
+
+  private:
+    unsigned capacity_ = 0;
+    unsigned inUse_ = 0;
+    std::vector<Cycle> pendingFrees_;
+};
+
+/** Physical register file of one cluster and class. */
+struct PhysRegFile
+{
+    /** Cycle each physical register's value becomes readable. */
+    std::vector<Cycle> readyAt;
+    std::vector<std::uint16_t> freeList;
+
+    void
+    init(unsigned count)
+    {
+        readyAt.assign(count, 0);
+        freeList.clear();
+        freeList.reserve(count);
+        for (unsigned i = count; i-- > 0;)
+            freeList.push_back(static_cast<std::uint16_t>(i));
+    }
+
+    bool hasFree(unsigned n = 1) const { return freeList.size() >= n; }
+
+    std::uint16_t
+    alloc()
+    {
+        MCA_ASSERT(!freeList.empty(), "physical register underflow");
+        const std::uint16_t r = freeList.back();
+        freeList.pop_back();
+        return r;
+    }
+
+    void free(std::uint16_t r) { freeList.push_back(r); }
+};
+
+} // namespace mca::core
+
+#endif // MCA_CORE_STRUCTURES_HH

@@ -1,0 +1,43 @@
+#include "core/timeline.hh"
+
+#include <algorithm>
+
+namespace mca::core
+{
+
+std::string
+timelineEventName(TimelineEvent ev)
+{
+    switch (ev) {
+      case TimelineEvent::Dispatched: return "dispatched";
+      case TimelineEvent::MasterIssued: return "master issued";
+      case TimelineEvent::SlaveIssued: return "slave issued";
+      case TimelineEvent::OperandWrittenToBuffer:
+        return "operand written into transfer buffer";
+      case TimelineEvent::SlaveSuspended: return "slave suspended";
+      case TimelineEvent::SlaveWoke: return "slave wakes";
+      case TimelineEvent::ResultWrittenToBuffer:
+        return "result written into transfer buffer";
+      case TimelineEvent::ExecutionDone: return "execution done";
+      case TimelineEvent::RegWritten: return "register written";
+      case TimelineEvent::Retired: return "retired";
+      case TimelineEvent::ReplayException: return "replay exception";
+      default: return "<bad-event>";
+    }
+}
+
+std::vector<TimelineRecord>
+TimelineRecorder::forInst(InstSeq seq) const
+{
+    std::vector<TimelineRecord> out;
+    for (const auto &r : records_)
+        if (r.seq == seq)
+            out.push_back(r);
+    std::stable_sort(out.begin(), out.end(),
+                     [](const TimelineRecord &a, const TimelineRecord &b) {
+                         return a.cycle < b.cycle;
+                     });
+    return out;
+}
+
+} // namespace mca::core

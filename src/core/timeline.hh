@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Timeline recording for the scenario reproductions (Figures 2-5).
+ *
+ * The processor reports microarchitectural events (per dynamic
+ * instruction, per copy) to an attached recorder; the scenario bench
+ * renders them as the per-cycle timelines the paper draws.
+ */
+
+#ifndef MCA_CORE_TIMELINE_HH
+#define MCA_CORE_TIMELINE_HH
+
+#include <string>
+#include <vector>
+
+#include "support/types.hh"
+
+namespace mca::core
+{
+
+enum class TimelineEvent
+{
+    Dispatched,
+    MasterIssued,
+    SlaveIssued,
+    OperandWrittenToBuffer,
+    SlaveSuspended,
+    SlaveWoke,
+    ResultWrittenToBuffer,
+    ExecutionDone,
+    RegWritten,
+    Retired,
+    ReplayException,
+};
+
+std::string timelineEventName(TimelineEvent ev);
+
+struct TimelineRecord
+{
+    Cycle cycle = 0;
+    InstSeq seq = 0;
+    unsigned cluster = 0;
+    TimelineEvent event = TimelineEvent::Dispatched;
+};
+
+/** Passive collector of timeline records. */
+class TimelineRecorder
+{
+  public:
+    void
+    record(Cycle cycle, InstSeq seq, unsigned cluster, TimelineEvent ev)
+    {
+        records_.push_back({cycle, seq, cluster, ev});
+    }
+
+    const std::vector<TimelineRecord> &records() const { return records_; }
+    void clear() { records_.clear(); }
+
+    /** All records for one dynamic instruction, in time order. */
+    std::vector<TimelineRecord> forInst(InstSeq seq) const;
+
+  private:
+    std::vector<TimelineRecord> records_;
+};
+
+} // namespace mca::core
+
+#endif // MCA_CORE_TIMELINE_HH

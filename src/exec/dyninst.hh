@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Dynamic instruction record — one element of the simulated trace.
+ */
+
+#ifndef MCA_EXEC_DYNINST_HH
+#define MCA_EXEC_DYNINST_HH
+
+#include "isa/inst.hh"
+#include "support/types.hh"
+
+namespace mca::exec
+{
+
+/**
+ * One executed instruction as produced by the trace interpreter:
+ * the decoded static instruction plus its dynamic properties (effective
+ * address, actual branch direction and target).
+ */
+struct DynInst
+{
+    InstSeq seq = 0;
+    Addr pc = 0;
+    isa::MachInst mi;
+    /** Effective address for loads/stores. */
+    Addr effAddr = 0;
+    /** Actual direction for control flow (true for unconditional). */
+    bool taken = false;
+    /** PC of the next instruction actually executed. */
+    Addr nextPc = 0;
+    /** Compiler-inserted spill load/store. */
+    bool isSpill = false;
+    /**
+     * Dynamic register reassignment point (paper §6 extension): index
+     * into ProcessorConfig::mapSchedule to switch to before this
+     * instruction dispatches, or kNoRemap.
+     */
+    std::uint32_t remapIndex = kNoRemap;
+
+    static constexpr std::uint32_t kNoRemap = ~std::uint32_t{0};
+};
+
+} // namespace mca::exec
+
+#endif // MCA_EXEC_DYNINST_HH

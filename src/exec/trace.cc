@@ -1,0 +1,128 @@
+#include "exec/trace.hh"
+
+#include "support/panic.hh"
+
+namespace mca::exec
+{
+
+ProgramTrace::ProgramTrace(prog::MachProgram prog, std::uint64_t seed,
+                           std::uint64_t max_insts)
+    : prog_(std::move(prog)), seed_(seed), walker_(prog_, seed),
+      maxInsts_(max_insts)
+{
+}
+
+Addr
+ProgramTrace::addrFor(const prog::MachEntry &entry)
+{
+    const prog::AddrStreamId id = entry.stream;
+    MCA_ASSERT(id != prog::kNoAddrStream, "memory op without stream");
+    auto it = streamStates_.find(id);
+    if (it == streamStates_.end()) {
+        Rng rng(hashSeed(seed_, 0x5eed5, id));
+        it = streamStates_
+                 .emplace(id, prog::AddrStreamState(prog_.streams[id], rng))
+                 .first;
+    }
+    return it->second.nextAddr();
+}
+
+std::optional<DynInst>
+ProgramTrace::next()
+{
+    if (seq_ >= maxInsts_)
+        return std::nullopt;
+
+    WalkSite site;
+    if (!walker_.step(site))
+        return std::nullopt;
+
+    const auto &entry =
+        prog_.functions[site.fn].blocks[site.blk].instrs[site.idx];
+
+    DynInst di;
+    di.seq = seq_++;
+    di.pc = site.pc;
+    di.mi = entry.mi;
+    di.taken = site.taken;
+    di.nextPc = site.nextPc;
+    di.isSpill = entry.isSpill;
+    if (isa::isMemOp(entry.mi.op))
+        di.effAddr = addrFor(entry);
+    return di;
+}
+
+VectorTrace::VectorTrace(std::vector<DynInst> insts)
+    : insts_(std::move(insts))
+{
+}
+
+std::optional<DynInst>
+VectorTrace::next()
+{
+    if (pos_ >= insts_.size())
+        return std::nullopt;
+    return insts_[pos_++];
+}
+
+std::vector<DynInst>
+VectorTrace::normalize(std::vector<DynInst> insts)
+{
+    for (std::size_t i = 0; i < insts.size(); ++i) {
+        insts[i].seq = i;
+        if (insts[i].pc == 0)
+            insts[i].pc = 0x1000 + 4 * i;
+    }
+    // Second pass: successors' PCs are final now.
+    for (std::size_t i = 0; i < insts.size(); ++i)
+        if (insts[i].nextPc == 0)
+            insts[i].nextPc =
+                i + 1 < insts.size() ? insts[i + 1].pc : 0;
+    return insts;
+}
+
+ProfileResult
+profileProgram(const prog::Program &prog, std::uint64_t seed,
+               std::uint64_t max_insts)
+{
+    ProfileResult result;
+    result.visits.resize(prog.functions.size());
+    for (std::size_t f = 0; f < prog.functions.size(); ++f)
+        result.visits[f].assign(prog.functions[f].blocks.size(), 0);
+
+    CfgWalker<prog::Program> walker(prog, seed);
+    WalkSite site;
+    std::uint64_t n = 0;
+    bool completed = true;
+    while (n < max_insts) {
+        if (!walker.step(site)) {
+            break;
+        }
+        // Count a visit when entering instruction 0 of a block.
+        if (site.idx == 0)
+            ++result.visits[site.fn][site.blk];
+        ++n;
+    }
+    if (n >= max_insts)
+        completed = false;
+    result.totalInsts = n;
+    result.completed = completed;
+    return result;
+}
+
+void
+applyProfile(prog::Program &prog, const ProfileResult &profile)
+{
+    MCA_ASSERT(profile.visits.size() == prog.functions.size(),
+               "profile shape mismatch");
+    for (std::size_t f = 0; f < prog.functions.size(); ++f) {
+        auto &fn = prog.functions[f];
+        MCA_ASSERT(profile.visits[f].size() == fn.blocks.size(),
+                   "profile shape mismatch");
+        for (std::size_t b = 0; b < fn.blocks.size(); ++b)
+            fn.blocks[b].weight =
+                static_cast<double>(profile.visits[f][b]);
+    }
+}
+
+} // namespace mca::exec

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Trace sources: the stream of dynamic instructions the timing models
+ * consume, and the profiler that measures block execution counts.
+ */
+
+#ifndef MCA_EXEC_TRACE_HH
+#define MCA_EXEC_TRACE_HH
+
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "exec/dyninst.hh"
+#include "exec/walker.hh"
+#include "prog/cfg.hh"
+
+namespace mca::exec
+{
+
+/** Abstract producer of dynamic instructions. */
+class TraceSource
+{
+  public:
+    virtual ~TraceSource() = default;
+
+    /** Produce the next instruction, or nullopt at end of trace. */
+    virtual std::optional<DynInst> next() = 0;
+};
+
+/**
+ * Trace source that interprets a compiled program.
+ *
+ * Wraps a CfgWalker over the machine program and attaches effective
+ * addresses drawn from the program's address streams. Bounded by
+ * max_insts to keep simulations finite even for non-terminating CFGs.
+ */
+class ProgramTrace : public TraceSource
+{
+  public:
+    /**
+     * The program is copied: a ProgramTrace stays valid even if the
+     * CompileOutput it came from goes out of scope.
+     */
+    ProgramTrace(prog::MachProgram prog, std::uint64_t seed,
+                 std::uint64_t max_insts = ~std::uint64_t{0});
+
+    std::optional<DynInst> next() override;
+
+  private:
+    Addr addrFor(const prog::MachEntry &entry);
+
+    prog::MachProgram prog_;
+    std::uint64_t seed_;
+    CfgWalker<prog::MachProgram> walker_;
+    std::map<prog::AddrStreamId, prog::AddrStreamState> streamStates_;
+    std::uint64_t maxInsts_;
+    InstSeq seq_ = 0;
+};
+
+/** Trace source fed from a prebuilt vector (unit-test harness). */
+class VectorTrace : public TraceSource
+{
+  public:
+    explicit VectorTrace(std::vector<DynInst> insts);
+
+    std::optional<DynInst> next() override;
+
+    /** Renumber seq/nextPc fields to be self-consistent. */
+    static std::vector<DynInst> normalize(std::vector<DynInst> insts);
+
+  private:
+    std::vector<DynInst> insts_;
+    std::size_t pos_ = 0;
+};
+
+/** Per-block dynamic execution counts from a profiling walk. */
+struct ProfileResult
+{
+    /** visits[fn][blk] = number of times the block was entered. */
+    std::vector<std::vector<std::uint64_t>> visits;
+    std::uint64_t totalInsts = 0;
+    /** True if the walk ended because main returned (vs. inst cap). */
+    bool completed = false;
+};
+
+/**
+ * Execute the IL program's CFG and count block visits (the "profiling
+ * run" the paper uses to derive the local scheduler's execution
+ * estimates).
+ */
+ProfileResult profileProgram(const prog::Program &prog, std::uint64_t seed,
+                             std::uint64_t max_insts);
+
+/** Store measured profile counts into the program's block weights. */
+void applyProfile(prog::Program &prog, const ProfileResult &profile);
+
+} // namespace mca::exec
+
+#endif // MCA_EXEC_TRACE_HH

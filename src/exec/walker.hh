@@ -1,0 +1,276 @@
+/**
+ * @file
+ * Deterministic CFG walker shared by the tracer and the profiler.
+ *
+ * The walker advances instruction by instruction through a program's CFG,
+ * resolving conditional branches through their behaviour models and
+ * indirect jumps through per-site weighted draws. All randomness is
+ * derived by hashing (seed, site identifiers), so the walk is a pure
+ * function of (program shape, seed) — the property that lets the native
+ * and rescheduled binaries replay the identical path.
+ *
+ * The walker is a template instantiable over prog::Program (IL level, used
+ * for profiling) and prog::MachProgram (used for trace generation).
+ */
+
+#ifndef MCA_EXEC_WALKER_HH
+#define MCA_EXEC_WALKER_HH
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "prog/cfg.hh"
+#include "support/panic.hh"
+#include "support/random.hh"
+
+namespace mca::exec
+{
+
+/** Uniform access to the fields that differ between Instr and MachEntry. */
+inline isa::Op instrOp(const prog::Instr &in) { return in.op; }
+inline isa::Op instrOp(const prog::MachEntry &e) { return e.mi.op; }
+
+inline prog::BranchModelId
+instrBranchModel(const prog::Instr &in)
+{
+    return in.branchModel;
+}
+
+inline prog::BranchModelId
+instrBranchModel(const prog::MachEntry &e)
+{
+    return e.branchModel;
+}
+
+inline prog::FunctionId instrCallee(const prog::Instr &in)
+{
+    return in.callee;
+}
+
+inline prog::FunctionId instrCallee(const prog::MachEntry &e)
+{
+    return e.callee;
+}
+
+/** Mix a site identifier into a seed (splitmix-style avalanche). */
+inline std::uint64_t
+hashSeed(std::uint64_t seed, std::uint64_t salt, std::uint64_t id)
+{
+    std::uint64_t z = seed ^ (salt * 0x9e3779b97f4a7c15ULL) ^
+                      (id * 0xbf58476d1ce4e5b9ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+/** One step of a CFG walk. */
+struct WalkSite
+{
+    prog::FunctionId fn = 0;
+    prog::BlockId blk = 0;
+    std::uint32_t idx = 0;
+    /** Direction taken if the instruction is control flow. */
+    bool taken = false;
+    Addr pc = 0;
+    /** PC of the next instruction on the walk (0 at program end). */
+    Addr nextPc = 0;
+};
+
+template <typename ProgT>
+class CfgWalker
+{
+  public:
+    CfgWalker(const ProgT &prog, std::uint64_t seed)
+        : prog_(&prog), seed_(seed)
+    {
+        MCA_ASSERT(!prog.functions.empty(), "walking empty program");
+    }
+
+    /**
+     * Advance one instruction. Returns false when the program has ended
+     * (main returned); `out` is untouched in that case.
+     */
+    bool
+    step(WalkSite &out)
+    {
+        if (ended_)
+            return false;
+
+        const auto &fn = prog_->functions[fn_];
+        const auto &blk = fn.blocks[blk_];
+        MCA_ASSERT(idx_ < blk.instrs.size() || blk.instrs.empty(),
+                   "walker index out of range");
+
+        // Empty blocks simply fall through.
+        if (blk.instrs.empty()) {
+            MCA_ASSERT(blk.succs.size() == 1, "empty block needs 1 succ");
+            blk_ = blk.succs[0];
+            idx_ = 0;
+            return step(out);
+        }
+
+        const auto &in = blk.instrs[idx_];
+        const isa::Op op = instrOp(in);
+
+        out.fn = fn_;
+        out.blk = blk_;
+        out.idx = idx_;
+        out.pc = blk.startPc + 4 * idx_;
+        out.taken = false;
+
+        const bool is_term = (idx_ + 1 == blk.instrs.size());
+
+        if (!is_term || !isa::isCtrlFlow(op)) {
+            // Mid-block instruction, or a fall-through terminator.
+            if (!is_term) {
+                ++idx_;
+                out.nextPc = out.pc + 4;
+            } else {
+                MCA_ASSERT(blk.succs.size() == 1,
+                           "fall-through block needs 1 succ");
+                moveTo(blk.succs[0]);
+                out.nextPc = currentPc();
+            }
+            return true;
+        }
+
+        // Control-flow terminator.
+        switch (op) {
+          case isa::Op::Br:
+            out.taken = true;
+            moveTo(blk.succs[0]);
+            break;
+          case isa::Op::Beq: case isa::Op::Bne:
+          case isa::Op::FBeq: case isa::Op::FBne: {
+            const bool taken = branchOutcome(in);
+            out.taken = taken;
+            moveTo(blk.succs[taken ? 1 : 0]);
+            break;
+          }
+          case isa::Op::Jmp: {
+            out.taken = true;
+            moveTo(blk.succs[pickSuccessor(blk)]);
+            break;
+          }
+          case isa::Op::Jsr: {
+            out.taken = true;
+            const prog::FunctionId callee = instrCallee(in);
+            callStack_.push_back({fn_, blk.succs[0]});
+            fn_ = callee;
+            blk_ = 0;
+            idx_ = 0;
+            break;
+          }
+          case isa::Op::Ret: {
+            out.taken = true;
+            if (callStack_.empty()) {
+                ended_ = true;
+                out.nextPc = 0;
+                return true;
+            }
+            const auto frame = callStack_.back();
+            callStack_.pop_back();
+            fn_ = frame.fn;
+            blk_ = frame.contBlock;
+            idx_ = 0;
+            break;
+          }
+          default:
+            MCA_PANIC("unhandled terminator op");
+        }
+        out.nextPc = currentPc();
+        return true;
+    }
+
+    /** Count of dynamic call-stack frames (diagnostics). */
+    std::size_t stackDepth() const { return callStack_.size(); }
+
+  private:
+    struct Frame
+    {
+        prog::FunctionId fn;
+        prog::BlockId contBlock;
+    };
+
+    void
+    moveTo(prog::BlockId next)
+    {
+        blk_ = next;
+        idx_ = 0;
+    }
+
+    /** PC of the walker's current position (skipping empty blocks). */
+    Addr
+    currentPc()
+    {
+        // Skip empty blocks so the reported nextPc is a real instruction.
+        for (;;) {
+            const auto &fn = prog_->functions[fn_];
+            const auto &blk = fn.blocks[blk_];
+            if (!blk.instrs.empty())
+                return blk.startPc + 4 * idx_;
+            MCA_ASSERT(blk.succs.size() == 1, "empty block needs 1 succ");
+            blk_ = blk.succs[0];
+            idx_ = 0;
+        }
+    }
+
+    template <typename InstrT>
+    bool
+    branchOutcome(const InstrT &in)
+    {
+        const prog::BranchModelId id = instrBranchModel(in);
+        MCA_ASSERT(id != prog::kNoBranchModel, "branch without model");
+        auto it = branchStates_.find(id);
+        if (it == branchStates_.end()) {
+            Rng rng(hashSeed(seed_, 0xb7a9c4, id));
+            it = branchStates_
+                     .emplace(id, prog::BranchModelState(
+                                      prog_->branchModels[id], rng))
+                     .first;
+        }
+        return it->second.nextOutcome();
+    }
+
+    template <typename BlockT>
+    std::size_t
+    pickSuccessor(const BlockT &blk)
+    {
+        const std::uint64_t site =
+            (std::uint64_t{fn_} << 32) | blk.id;
+        auto it = jumpRngs_.find(site);
+        if (it == jumpRngs_.end())
+            it = jumpRngs_.emplace(site, Rng(hashSeed(seed_, 0x1d3a5, site)))
+                     .first;
+        Rng &rng = it->second;
+
+        if (blk.succWeights.empty())
+            return rng.nextBelow(blk.succs.size());
+
+        double total = 0;
+        for (double w : blk.succWeights)
+            total += w;
+        double draw = rng.nextDouble() * total;
+        for (std::size_t i = 0; i < blk.succWeights.size(); ++i) {
+            draw -= blk.succWeights[i];
+            if (draw <= 0)
+                return i;
+        }
+        return blk.succWeights.size() - 1;
+    }
+
+    const ProgT *prog_;
+    std::uint64_t seed_;
+    prog::FunctionId fn_ = 0;
+    prog::BlockId blk_ = 0;
+    std::uint32_t idx_ = 0;
+    bool ended_ = false;
+    std::vector<Frame> callStack_;
+    std::map<prog::BranchModelId, prog::BranchModelState> branchStates_;
+    std::map<std::uint64_t, Rng> jumpRngs_;
+};
+
+} // namespace mca::exec
+
+#endif // MCA_EXEC_WALKER_HH

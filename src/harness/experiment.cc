@@ -1,0 +1,118 @@
+#include "harness/experiment.hh"
+
+#include "exec/trace.hh"
+#include "support/panic.hh"
+
+namespace mca::harness
+{
+
+RunStats
+simulate(const prog::MachProgram &binary, const isa::RegisterMap &map,
+         core::ProcessorConfig base, std::uint64_t trace_seed,
+         std::uint64_t max_insts, Cycle max_cycles)
+{
+    base.regMap = map;
+    MCA_ASSERT(map.numClusters() == base.numClusters,
+               "register map does not match machine cluster count");
+
+    StatGroup stats(binary.name);
+    exec::ProgramTrace trace(binary, trace_seed, max_insts);
+    core::Processor cpu(base, trace, stats);
+    const core::SimResult result = cpu.run(max_cycles);
+
+    RunStats out;
+    out.cycles = result.cycles;
+    out.retired = result.instructions;
+    out.ipc = stats.formulaAt("sim.ipc");
+    out.distSingle = stats.counterAt("dist.single").value();
+    out.distDual = stats.counterAt("dist.dual").value();
+    out.operandForwards = stats.counterAt("dist.operand_forwards").value();
+    out.resultForwards = stats.counterAt("dist.result_forwards").value();
+    out.replays = stats.counterAt("replay.exceptions").value();
+    out.issueDisorder = stats.counterAt("issue.disorder").value();
+    out.bpredAccuracy = stats.formulaAt("bpred.accuracy");
+    const auto dacc = stats.counterAt("dcache.accesses").value();
+    const auto dmiss = stats.counterAt("dcache.misses").value();
+    out.dcacheMissRate =
+        dacc ? static_cast<double>(dmiss) / static_cast<double>(dacc)
+             : 0.0;
+    const auto iacc = stats.counterAt("icache.accesses").value();
+    const auto imiss = stats.counterAt("icache.misses").value();
+    out.icacheMissRate =
+        iacc ? static_cast<double>(imiss) / static_cast<double>(iacc)
+             : 0.0;
+    out.completed = result.completed;
+    return out;
+}
+
+Table2Row
+runTable2Row(const workloads::BenchmarkInfo &bench,
+             const ExperimentOptions &options)
+{
+    Table2Row row;
+    row.benchmark = bench.name;
+
+    const prog::Program program = bench.make(options.workload);
+
+    // Native binary (cluster-unaware compilation).
+    compiler::CompileOptions nopt;
+    nopt.scheduler = compiler::SchedulerKind::Native;
+    nopt.numClusters = 1;
+    nopt.profileSeed = options.traceSeed;
+    const auto native = compiler::compile(program, nopt);
+
+    // Rescheduled binary (local scheduler, dual-cluster target).
+    compiler::CompileOptions lopt;
+    lopt.scheduler = compiler::SchedulerKind::Local;
+    lopt.numClusters = 2;
+    lopt.imbalanceThreshold = options.imbalanceThreshold;
+    lopt.profileSeed = options.traceSeed;
+    const auto local = compiler::compile(program, lopt);
+    row.spillLoadsLocal = local.alloc.spillLoadsInserted;
+    row.spillStoresLocal = local.alloc.spillStoresInserted;
+    row.otherClusterSpills = local.alloc.otherClusterSpills;
+
+    const auto singleCfg = options.eightWay
+                               ? core::ProcessorConfig::singleCluster8()
+                               : core::ProcessorConfig::singleCluster4();
+    const auto dualCfg = options.eightWay
+                             ? core::ProcessorConfig::dualCluster8()
+                             : core::ProcessorConfig::dualCluster4();
+
+    row.single = simulate(native.binary, native.hardwareMap(1), singleCfg,
+                          options.traceSeed, options.maxInsts);
+    row.dualNone = simulate(native.binary, native.hardwareMap(2), dualCfg,
+                            options.traceSeed, options.maxInsts);
+    row.dualLocal = simulate(local.binary, local.hardwareMap(2), dualCfg,
+                             options.traceSeed, options.maxInsts);
+
+    auto pct = [&](const RunStats &dual) {
+        return 100.0 - 100.0 * (static_cast<double>(dual.cycles) /
+                                static_cast<double>(row.single.cycles));
+    };
+    row.pctNone = pct(row.dualNone);
+    row.pctLocal = pct(row.dualLocal);
+    return row;
+}
+
+std::vector<Table2Row>
+runTable2(const ExperimentOptions &options)
+{
+    std::vector<Table2Row> rows;
+    for (const auto &bench : workloads::allBenchmarks())
+        rows.push_back(runTable2Row(bench, options));
+    return rows;
+}
+
+const std::vector<PaperTable2Entry> &
+paperTable2()
+{
+    static const std::vector<PaperTable2Entry> kPaper = {
+        {"compress", -14, +6},  {"doduc", -21, -15},
+        {"gcc1", -15, -10},     {"ora", -5, -22},
+        {"su2cor", -36, -25},   {"tomcatv", -41, -19},
+    };
+    return kPaper;
+}
+
+} // namespace mca::harness

@@ -1,0 +1,100 @@
+#include "harness/figure6.hh"
+
+#include "prog/builder.hh"
+
+namespace mca::harness
+{
+
+Figure6
+makeFigure6()
+{
+    using isa::Op;
+    using isa::RegClass;
+
+    prog::Builder b("figure6");
+    Figure6 fig;
+
+    // Live range S (the stack pointer) is the global-register candidate;
+    // all others are local candidates (paper Figure 6 caption).
+    const auto S = b.globalValue(RegClass::Int, "S");
+    const auto A = b.value(RegClass::Int, "A");
+    const auto B = b.value(RegClass::Int, "B");
+    const auto C = b.value(RegClass::Int, "C");
+    const auto D = b.value(RegClass::Int, "D");
+    const auto E = b.value(RegClass::Int, "E");
+    const auto G = b.value(RegClass::Int, "G");
+    const auto H = b.value(RegClass::Int, "H");
+    fig.values = {{"S", S}, {"A", A}, {"B", B}, {"C", C},
+                  {"D", D}, {"E", E}, {"G", G}, {"H", H}};
+
+    // Branch conditions are live-in values so they do not perturb the
+    // assignment order of the named live ranges.
+    const auto c1 = b.liveInValue(RegClass::Int, "c1");
+    const auto c4 = b.liveInValue(RegClass::Int, "c4");
+    const auto c5 = b.liveInValue(RegClass::Int, "c5");
+
+    const auto fn = b.function("main");
+    const auto b1 = b.block(fn, 20, "bb1");
+    const auto b2 = b.block(fn, 10, "bb2");
+    const auto b3 = b.block(fn, 10, "bb3");
+    const auto b4 = b.block(fn, 100, "bb4");
+    const auto b5 = b.block(fn, 20, "bb5");
+    const auto bend = b.block(fn, 1, "end");
+    fig.blocks = {{1, b1}, {2, b2}, {3, b3}, {4, b4}, {5, b5}};
+
+    // Block 1 (20): C = 0 ; E = 16.
+    b.setInsertPoint(fn, b1);
+    {
+        prog::Instr in;
+        in.op = Op::Lda;
+        in.dest = C;
+        in.imm = 0;
+        b.emitRaw(in);
+        in.dest = E;
+        in.imm = 16;
+        b.emitRaw(in);
+    }
+    b.emitBranch(Op::Bne, c1, b.branch(prog::BranchModel::bernoulli(0.5)));
+    b.edge(fn, b1, b2); // fall-through
+    b.edge(fn, b1, b3); // taken
+
+    // Block 2 (10): G = [S] + 8 ; H = [S] + 4. Modeled as ALU ops so
+    // the register references match the figure exactly.
+    b.setInsertPoint(fn, b2);
+    b.emitRRITo(G, Op::Add, S, 8);
+    b.emitRRITo(H, Op::Add, S, 4);
+    b.edge(fn, b2, b4);
+
+    // Block 3 (10): G = [S] + E ; H = [S] + 12 ; S = H + E.
+    b.setInsertPoint(fn, b3);
+    b.emitRRRTo(G, Op::Add, S, E);
+    b.emitRRITo(H, Op::Add, S, 12);
+    b.emitRRRTo(S, Op::Add, H, E);
+    b.edge(fn, b3, b4);
+
+    // Block 4 (100): A = G + 10 ; B = A * A ; G = B / H ; C = G + C.
+    // (The divide is a multi-cycle integer op in our ISA.)
+    b.setInsertPoint(fn, b4);
+    b.emitRRITo(A, Op::Add, G, 10);
+    b.emitRRRTo(B, Op::Mull, A, A);
+    b.emitRRRTo(G, Op::Mull, B, H);
+    b.emitRRRTo(C, Op::Add, G, C);
+    b.emitBranch(Op::Bne, c4, b.branch(prog::BranchModel::loop(5)));
+    b.edge(fn, b4, b5); // fall-through: loop exit
+    b.edge(fn, b4, b4); // taken: repeat
+
+    // Block 5 (20): D = C + G.
+    b.setInsertPoint(fn, b5);
+    b.emitRRRTo(D, Op::Add, C, G);
+    b.emitBranch(Op::Bne, c5, b.branch(prog::BranchModel::loop(20)));
+    b.edge(fn, b5, bend); // fall-through: done
+    b.edge(fn, b5, b1);   // taken: next outer iteration
+
+    b.setInsertPoint(fn, bend);
+    b.emitRet();
+
+    fig.program = b.build();
+    return fig;
+}
+
+} // namespace mca::harness

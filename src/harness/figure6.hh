@@ -1,0 +1,38 @@
+/**
+ * @file
+ * The example control-flow graph of the paper's Figure 6.
+ *
+ * Five basic blocks with dynamic-execution estimates (20, 10, 10, 100,
+ * 20); live range S (the stack pointer) is a global-register candidate,
+ * A, B, C, D, E, G, H are local candidates. The local scheduler must
+ * traverse the blocks in the order 4, 1, 5, 3, 2 and assign the live
+ * ranges in the order C, G, B, A, E, D, H.
+ */
+
+#ifndef MCA_HARNESS_FIGURE6_HH
+#define MCA_HARNESS_FIGURE6_HH
+
+#include <map>
+#include <string>
+
+#include "prog/cfg.hh"
+
+namespace mca::harness
+{
+
+/** The Figure-6 program plus name lookups for checking the result. */
+struct Figure6
+{
+    prog::Program program;
+    /** Live ranges by paper name ("A".."H", "S"). */
+    std::map<std::string, prog::ValueId> values;
+    /** Block ids by paper number (1-5). */
+    std::map<int, prog::BlockId> blocks;
+};
+
+/** Build the Figure-6 program (finalized, ready for the scheduler). */
+Figure6 makeFigure6();
+
+} // namespace mca::harness
+
+#endif // MCA_HARNESS_FIGURE6_HH

@@ -1,0 +1,103 @@
+#include "isa/distribution.hh"
+
+#include <algorithm>
+
+#include "support/panic.hh"
+
+namespace mca::isa
+{
+
+Distribution
+decideDistribution(const MachInst &mi, const RegisterMap &map,
+                   unsigned tie_break)
+{
+    const unsigned nclusters = map.numClusters();
+    Distribution dist;
+
+    if (nclusters == 1) {
+        dist.masterCluster = 0;
+        dist.masterWritesDest = mi.hasDest() && !mi.dest->isZero();
+        return dist;
+    }
+
+    // Count the local registers named per cluster (the paper's
+    // master-selection rule: the master executes where the majority of
+    // the named local registers live).
+    std::vector<unsigned> local_count(nclusters, 0);
+    bool any_local = false;
+
+    auto countReg = [&](const RegId &reg) {
+        if (reg.isZero() || map.isGlobal(reg))
+            return;
+        ++local_count[map.homeCluster(reg)];
+        any_local = true;
+    };
+
+    for (const auto &src : mi.srcs)
+        if (src)
+            countReg(*src);
+    if (mi.dest && !mi.dest->isZero())
+        countReg(*mi.dest);
+
+    unsigned master;
+    if (!any_local) {
+        // No local-register constraint: the distribution hardware is free
+        // to pick a cluster (all operands global/zero).
+        master = tie_break % nclusters;
+    } else {
+        master = 0;
+        for (unsigned c = 1; c < nclusters; ++c)
+            if (local_count[c] > local_count[master])
+                master = c;
+        // Ties resolve to the lowest cluster index (matches the paper's
+        // Figure 5, where the C1 operand's cluster hosts the master).
+    }
+    dist.masterCluster = master;
+
+    // Destination handling.
+    const bool has_dest = mi.hasDest() && !mi.dest->isZero();
+    const bool dest_global = has_dest && map.isGlobal(*mi.dest);
+    const bool dest_local = has_dest && !dest_global;
+    const unsigned dest_home =
+        dest_local ? map.homeCluster(*mi.dest) : 0;
+
+    dist.masterWritesDest =
+        has_dest && (dest_global || dest_home == master);
+
+    // Build slave roles, merged per cluster.
+    auto slaveFor = [&](unsigned cluster) -> SlaveRole & {
+        for (auto &s : dist.slaves)
+            if (s.cluster == cluster)
+                return s;
+        dist.slaves.push_back(SlaveRole{cluster, false, false, 0});
+        return dist.slaves.back();
+    };
+
+    for (unsigned i = 0; i < 2; ++i) {
+        const auto &src = mi.srcs[i];
+        if (!src || src->isZero() || map.isGlobal(*src))
+            continue;
+        const unsigned home = map.homeCluster(*src);
+        if (home == master)
+            continue;
+        SlaveRole &slave = slaveFor(home);
+        slave.forwardsOperand = true;
+        slave.srcMask |= (1u << i);
+    }
+
+    if (dest_local && dest_home != master) {
+        slaveFor(dest_home).receivesResult = true;
+    } else if (dest_global) {
+        for (unsigned c = 0; c < nclusters; ++c)
+            if (c != master)
+                slaveFor(c).receivesResult = true;
+    }
+
+    std::sort(dist.slaves.begin(), dist.slaves.end(),
+              [](const SlaveRole &a, const SlaveRole &b) {
+                  return a.cluster < b.cluster;
+              });
+    return dist;
+}
+
+} // namespace mca::isa

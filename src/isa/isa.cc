@@ -1,0 +1,222 @@
+#include "isa/inst.hh"
+#include "isa/opcodes.hh"
+
+#include <sstream>
+
+#include "support/panic.hh"
+
+namespace mca::isa
+{
+
+OpClass
+opClass(Op op)
+{
+    switch (op) {
+      case Op::Mull:
+        return OpClass::IntMul;
+      case Op::Add: case Op::Sub: case Op::And: case Op::Or:
+      case Op::Xor: case Op::Sll: case Op::Srl: case Op::Sra:
+      case Op::CmpEq: case Op::CmpLt: case Op::CmpLe:
+      case Op::Lda: case Op::Mov:
+        return OpClass::IntOther;
+      case Op::DivF: case Op::DivD: case Op::SqrtD:
+        return OpClass::FpDiv;
+      case Op::AddF: case Op::SubF: case Op::MulF: case Op::CmpF:
+      case Op::CvtIF: case Op::CvtFI: case Op::MovF:
+        return OpClass::FpOther;
+      case Op::Ldl: case Op::Ldt: case Op::Stl: case Op::Stt:
+        return OpClass::LoadStore;
+      case Op::Br: case Op::Beq: case Op::Bne: case Op::FBeq:
+      case Op::FBne: case Op::Jmp: case Op::Jsr: case Op::Ret:
+        return OpClass::CtrlFlow;
+      case Op::Nop:
+        return OpClass::Nop;
+      default:
+        MCA_PANIC("opClass: unknown op ", static_cast<int>(op));
+    }
+}
+
+unsigned
+opLatency(Op op)
+{
+    switch (opClass(op)) {
+      case OpClass::IntMul:
+        return 6;
+      case OpClass::IntOther:
+        return 1;
+      case OpClass::FpDiv:
+        // 8 cycles for 32-bit divides, 16 for 64-bit divides and sqrt.
+        return op == Op::DivF ? 8 : 16;
+      case OpClass::FpOther:
+        return 3;
+      case OpClass::LoadStore:
+        // Loads: 1-cycle access + the single load-delay slot of Table 1.
+        // Stores complete in one cycle (no register result).
+        return isLoad(op) ? 2 : 1;
+      case OpClass::CtrlFlow:
+        return 1;
+      case OpClass::Nop:
+        return 1;
+      default:
+        MCA_PANIC("opLatency: unknown op ", static_cast<int>(op));
+    }
+}
+
+bool
+opPipelined(Op op)
+{
+    // All units are fully pipelined except the floating-point divider.
+    return opClass(op) != OpClass::FpDiv;
+}
+
+std::string_view
+opName(Op op)
+{
+    switch (op) {
+      case Op::Add: return "add";
+      case Op::Sub: return "sub";
+      case Op::And: return "and";
+      case Op::Or: return "or";
+      case Op::Xor: return "xor";
+      case Op::Sll: return "sll";
+      case Op::Srl: return "srl";
+      case Op::Sra: return "sra";
+      case Op::CmpEq: return "cmpeq";
+      case Op::CmpLt: return "cmplt";
+      case Op::CmpLe: return "cmple";
+      case Op::Lda: return "lda";
+      case Op::Mov: return "mov";
+      case Op::Mull: return "mull";
+      case Op::AddF: return "addf";
+      case Op::SubF: return "subf";
+      case Op::MulF: return "mulf";
+      case Op::CmpF: return "cmpf";
+      case Op::CvtIF: return "cvtif";
+      case Op::CvtFI: return "cvtfi";
+      case Op::MovF: return "movf";
+      case Op::DivF: return "divf";
+      case Op::DivD: return "divd";
+      case Op::SqrtD: return "sqrtd";
+      case Op::Ldl: return "ldl";
+      case Op::Ldt: return "ldt";
+      case Op::Stl: return "stl";
+      case Op::Stt: return "stt";
+      case Op::Br: return "br";
+      case Op::Beq: return "beq";
+      case Op::Bne: return "bne";
+      case Op::FBeq: return "fbeq";
+      case Op::FBne: return "fbne";
+      case Op::Jmp: return "jmp";
+      case Op::Jsr: return "jsr";
+      case Op::Ret: return "ret";
+      case Op::Nop: return "nop";
+      default: return "<bad-op>";
+    }
+}
+
+std::string_view
+opClassName(OpClass cls)
+{
+    switch (cls) {
+      case OpClass::IntMul: return "int-mul";
+      case OpClass::IntOther: return "int-other";
+      case OpClass::FpDiv: return "fp-div";
+      case OpClass::FpOther: return "fp-other";
+      case OpClass::LoadStore: return "load-store";
+      case OpClass::CtrlFlow: return "ctrl-flow";
+      case OpClass::Nop: return "nop";
+      default: return "<bad-class>";
+    }
+}
+
+std::string
+MachInst::toString() const
+{
+    std::ostringstream oss;
+    oss << opName(op);
+    bool first = true;
+    auto emit = [&](const std::string &s) {
+        oss << (first ? " " : ", ") << s;
+        first = false;
+    };
+    if (dest)
+        emit(regName(*dest));
+    for (const auto &src : srcs)
+        if (src)
+            emit(regName(*src));
+    if (imm != 0 || isMemOp(op) || op == Op::Lda)
+        emit("#" + std::to_string(imm));
+    return oss.str();
+}
+
+MachInst
+makeRRR(Op op, RegId dest, RegId src1, RegId src2)
+{
+    MachInst mi;
+    mi.op = op;
+    mi.dest = dest;
+    mi.srcs[0] = src1;
+    mi.srcs[1] = src2;
+    return mi;
+}
+
+MachInst
+makeRRI(Op op, RegId dest, RegId src, std::int64_t imm)
+{
+    MachInst mi;
+    mi.op = op;
+    mi.dest = dest;
+    mi.srcs[0] = src;
+    mi.imm = imm;
+    return mi;
+}
+
+MachInst
+makeLoad(Op op, RegId dest, RegId base, std::int64_t disp)
+{
+    MCA_ASSERT(isLoad(op), "makeLoad with non-load op");
+    MachInst mi;
+    mi.op = op;
+    mi.dest = dest;
+    mi.srcs[0] = base;
+    mi.imm = disp;
+    return mi;
+}
+
+MachInst
+makeStore(Op op, RegId data, RegId base, std::int64_t disp)
+{
+    MCA_ASSERT(isStore(op), "makeStore with non-store op");
+    MachInst mi;
+    mi.op = op;
+    mi.srcs[0] = data;
+    mi.srcs[1] = base;
+    mi.imm = disp;
+    return mi;
+}
+
+MachInst
+makeBranch(Op op, RegId cond)
+{
+    MCA_ASSERT(isCondBranch(op), "makeBranch with non-branch op");
+    MachInst mi;
+    mi.op = op;
+    mi.srcs[0] = cond;
+    return mi;
+}
+
+MachInst
+makeJump(Op op)
+{
+    MCA_ASSERT(isCtrlFlow(op) && !isCondBranch(op),
+               "makeJump with non-jump op");
+    MachInst mi;
+    mi.op = op;
+    if (op == Op::Jsr)
+        mi.dest = intReg(kLinkReg);
+    if (op == Op::Ret || op == Op::Jmp)
+        mi.srcs[0] = intReg(kLinkReg);
+    return mi;
+}
+
+} // namespace mca::isa

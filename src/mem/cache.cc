@@ -1,0 +1,164 @@
+#include "mem/cache.hh"
+
+#include <algorithm>
+
+#include "support/panic.hh"
+
+namespace mca::mem
+{
+
+namespace
+{
+
+bool
+isPowerOfTwo(std::uint64_t x)
+{
+    return x != 0 && (x & (x - 1)) == 0;
+}
+
+} // namespace
+
+Cache::Cache(std::string name, const CacheParams &params, StatGroup &stats)
+    : params_(params)
+{
+    MCA_ASSERT(isPowerOfTwo(params.blockBytes), "block size not 2^n");
+    MCA_ASSERT(params.assoc >= 1, "associativity must be >= 1");
+    MCA_ASSERT(params.sizeBytes % (params.blockBytes * params.assoc) == 0,
+               "cache size not divisible by (block * assoc)");
+    numSets_ = params.sizeBytes / (params.blockBytes * params.assoc);
+    MCA_ASSERT(isPowerOfTwo(numSets_), "set count not 2^n");
+    lines_.resize(numSets_ * params.assoc);
+
+    accesses_ = &stats.counter(name + ".accesses", "cache accesses");
+    hits_ = &stats.counter(name + ".hits", "cache hits");
+    misses_ = &stats.counter(name + ".misses", "cache misses");
+    merged_ = &stats.counter(name + ".merged_misses",
+                             "misses merged with in-flight fills");
+    writebacks_ = &stats.counter(name + ".writebacks",
+                                 "dirty blocks written back");
+    rejections_ = &stats.counter(
+        name + ".mshr_reject_polls",
+        "retry polls rejected by a full MSHR (per blocked cycle)");
+}
+
+void
+Cache::pruneOutstanding(Cycle now)
+{
+    auto it = std::remove_if(outstanding_.begin(), outstanding_.end(),
+                             [&](Cycle c) { return c <= now; });
+    outstanding_.erase(it, outstanding_.end());
+}
+
+unsigned
+Cache::outstandingFills(Cycle now)
+{
+    pruneOutstanding(now);
+    return static_cast<unsigned>(outstanding_.size());
+}
+
+bool
+Cache::wouldReject(Addr addr, Cycle now)
+{
+    if (params_.mshrEntries == 0)
+        return false; // inverted MSHR: never rejects
+    pruneOutstanding(now);
+    if (outstanding_.size() < params_.mshrEntries)
+        return false;
+    // A hit or a merge with an in-flight fill needs no new entry.
+    const std::uint64_t set = setIndex(addr);
+    const Addr tag = tagOf(addr);
+    for (unsigned w = 0; w < params_.assoc; ++w) {
+        const Line &line = lines_[set * params_.assoc + w];
+        if (line.valid && line.tag == tag)
+            return false;
+    }
+    ++*rejections_;
+    return true;
+}
+
+std::uint64_t
+Cache::setIndex(Addr addr) const
+{
+    return (addr / params_.blockBytes) & (numSets_ - 1);
+}
+
+Addr
+Cache::tagOf(Addr addr) const
+{
+    return (addr / params_.blockBytes) / numSets_;
+}
+
+bool
+Cache::probe(Addr addr) const
+{
+    const std::uint64_t set = setIndex(addr);
+    const Addr tag = tagOf(addr);
+    for (unsigned w = 0; w < params_.assoc; ++w) {
+        const Line &line = lines_[set * params_.assoc + w];
+        if (line.valid && line.tag == tag)
+            return true;
+    }
+    return false;
+}
+
+AccessResult
+Cache::access(Addr addr, bool is_write, Cycle now)
+{
+    ++*accesses_;
+    const std::uint64_t set = setIndex(addr);
+    const Addr tag = tagOf(addr);
+    Line *victim = nullptr;
+
+    for (unsigned w = 0; w < params_.assoc; ++w) {
+        Line &line = lines_[set * params_.assoc + w];
+        if (line.valid && line.tag == tag) {
+            line.lastUse = ++useClock_;
+            if (is_write)
+                line.dirty = true;
+            if (line.fillReadyAt > now) {
+                // Block still in flight: merge with the outstanding fill
+                // (the inverted MSHR tracks any number of these).
+                ++*misses_;
+                ++*merged_;
+                return AccessResult{false, true, false, line.fillReadyAt};
+            }
+            ++*hits_;
+            return AccessResult{true, false, false, now};
+        }
+        if (!victim || !line.valid ||
+            (victim->valid && line.lastUse < victim->lastUse)) {
+            if (!victim || victim->valid)
+                victim = &line;
+        }
+    }
+
+    // Miss: allocate (loads always; stores per write-allocate policy).
+    MCA_ASSERT(params_.mshrEntries == 0 ||
+                   outstandingFills(now) < params_.mshrEntries,
+               "access during MSHR-full; callers must poll wouldReject");
+    ++*misses_;
+    const Cycle ready = now + params_.missLatency;
+    if (params_.mshrEntries != 0)
+        outstanding_.push_back(ready);
+    if (!is_write || params_.writeAllocate) {
+        MCA_ASSERT(victim != nullptr, "no victim line found");
+        if (victim->valid && victim->dirty)
+            ++*writebacks_;
+        victim->valid = true;
+        victim->dirty = is_write;
+        victim->tag = tag;
+        victim->lastUse = ++useClock_;
+        victim->fillReadyAt = ready;
+    }
+    return AccessResult{false, false, false, ready};
+}
+
+void
+Cache::flush()
+{
+    for (auto &line : lines_)
+        line = Line{};
+    useClock_ = 0;
+}
+
+} // namespace mca::mem

@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Memory-address stream models.
+ *
+ * Every static memory instruction in a program references an address
+ * stream; the trace interpreter draws successive effective addresses from
+ * the stream's state. Streams are deterministic given the walker seed and
+ * independent of each other, so rescheduling (which adds spill streams but
+ * never touches existing ones) leaves original address sequences intact.
+ */
+
+#ifndef MCA_PROG_ADDR_STREAM_HH
+#define MCA_PROG_ADDR_STREAM_HH
+
+#include <cstdint>
+
+#include "support/panic.hh"
+#include "support/random.hh"
+#include "support/types.hh"
+
+namespace mca::prog
+{
+
+/** Identifier of an address stream within a Program. */
+using AddrStreamId = std::uint32_t;
+
+inline constexpr AddrStreamId kNoAddrStream = ~AddrStreamId{0};
+
+/** Static description of one memory instruction's address behaviour. */
+struct AddrStream
+{
+    enum class Kind : std::uint8_t
+    {
+        /** Fixed address (a named scalar / spill slot). */
+        Fixed,
+        /** base + i*stride, wrapping at base + extent. */
+        Stride,
+        /** Uniformly random within [base, base + extent). */
+        RandomIn,
+        /**
+         * Hash-table style: random element index, but successive accesses
+         * revisit a recent index with probability pRevisit (temporal
+         * locality knob used by the compress-like workload).
+         */
+        HashTable,
+    };
+
+    Kind kind = Kind::Fixed;
+    Addr base = 0;
+    std::uint64_t stride = 8;
+    std::uint64_t extent = 8;
+    double pRevisit = 0.0;
+
+    static AddrStream
+    fixed(Addr address)
+    {
+        AddrStream s;
+        s.kind = Kind::Fixed;
+        s.base = address;
+        return s;
+    }
+
+    static AddrStream
+    strided(Addr base, std::uint64_t stride, std::uint64_t extent)
+    {
+        MCA_ASSERT(extent >= stride && stride > 0, "bad stride stream");
+        AddrStream s;
+        s.kind = Kind::Stride;
+        s.base = base;
+        s.stride = stride;
+        s.extent = extent;
+        return s;
+    }
+
+    static AddrStream
+    randomIn(Addr base, std::uint64_t extent)
+    {
+        MCA_ASSERT(extent >= 8, "random stream extent too small");
+        AddrStream s;
+        s.kind = Kind::RandomIn;
+        s.base = base;
+        s.extent = extent;
+        return s;
+    }
+
+    static AddrStream
+    hashTable(Addr base, std::uint64_t extent, double p_revisit)
+    {
+        MCA_ASSERT(extent >= 8, "hash stream extent too small");
+        AddrStream s;
+        s.kind = Kind::HashTable;
+        s.base = base;
+        s.extent = extent;
+        s.pRevisit = p_revisit;
+        return s;
+    }
+};
+
+/** Runtime state of one address stream inside a walker. */
+class AddrStreamState
+{
+  public:
+    AddrStreamState(AddrStream stream, Rng rng)
+        : stream_(stream), rng_(rng), last_(stream.base)
+    {}
+
+    /** Produce the next effective address (8-byte aligned). */
+    Addr
+    nextAddr()
+    {
+        switch (stream_.kind) {
+          case AddrStream::Kind::Fixed:
+            return stream_.base;
+          case AddrStream::Kind::Stride: {
+            const Addr a = stream_.base + offset_;
+            offset_ += stream_.stride;
+            if (offset_ >= stream_.extent)
+                offset_ = 0;
+            return a;
+          }
+          case AddrStream::Kind::RandomIn:
+            return stream_.base +
+                   (rng_.nextBelow(stream_.extent / 8) * 8);
+          case AddrStream::Kind::HashTable: {
+            if (rng_.nextBool(stream_.pRevisit))
+                return last_;
+            last_ = stream_.base + (rng_.nextBelow(stream_.extent / 8) * 8);
+            return last_;
+          }
+          default:
+            MCA_PANIC("bad address stream kind");
+        }
+    }
+
+  private:
+    AddrStream stream_;
+    Rng rng_;
+    std::uint64_t offset_ = 0;
+    Addr last_;
+};
+
+} // namespace mca::prog
+
+#endif // MCA_PROG_ADDR_STREAM_HH

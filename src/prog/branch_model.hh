@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Branch-behaviour models.
+ *
+ * The trace interpreter resolves every conditional branch through one of
+ * these models. The models are deterministic given the walker's seed, so
+ * the native and rescheduled binaries of a program follow identical paths
+ * (rescheduling only renames registers and adds spill code — exactly the
+ * invariant the paper's ATOM methodology relies on). The mix of model
+ * kinds controls how predictable a workload is to the McFarling predictor.
+ */
+
+#ifndef MCA_PROG_BRANCH_MODEL_HH
+#define MCA_PROG_BRANCH_MODEL_HH
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "support/panic.hh"
+#include "support/random.hh"
+
+namespace mca::prog
+{
+
+/** Identifier of a branch model within a Program. */
+using BranchModelId = std::uint32_t;
+
+inline constexpr BranchModelId kNoBranchModel = ~BranchModelId{0};
+
+/** Static description of one branch's dynamic behaviour. */
+struct BranchModel
+{
+    enum class Kind : std::uint8_t
+    {
+        AlwaysTaken,
+        NeverTaken,
+        /** Loop back-edge: taken (trip - 1) times, then falls through. */
+        Loop,
+        /** Independent coin flips with probability pTaken. */
+        Bernoulli,
+        /** Repeating T/NT pattern (predictable by global history). */
+        Pattern,
+    };
+
+    Kind kind = Kind::NeverTaken;
+    /** Loop trip count (Kind::Loop). */
+    std::uint64_t trip = 1;
+    /** Trip-count jitter: trips drawn uniformly in [trip-jitter, trip+jitter]. */
+    std::uint64_t tripJitter = 0;
+    /** Taken probability (Kind::Bernoulli). */
+    double pTaken = 0.5;
+    /** Repeating direction pattern (Kind::Pattern). */
+    std::vector<bool> pattern;
+
+    static BranchModel
+    loop(std::uint64_t trip_count, std::uint64_t jitter = 0)
+    {
+        BranchModel m;
+        m.kind = Kind::Loop;
+        m.trip = trip_count;
+        m.tripJitter = jitter;
+        return m;
+    }
+
+    static BranchModel
+    bernoulli(double p_taken)
+    {
+        BranchModel m;
+        m.kind = Kind::Bernoulli;
+        m.pTaken = p_taken;
+        return m;
+    }
+
+    static BranchModel
+    patterned(std::vector<bool> pat)
+    {
+        MCA_ASSERT(!pat.empty(), "empty branch pattern");
+        BranchModel m;
+        m.kind = Kind::Pattern;
+        m.pattern = std::move(pat);
+        return m;
+    }
+
+    static BranchModel
+    always()
+    {
+        BranchModel m;
+        m.kind = Kind::AlwaysTaken;
+        return m;
+    }
+
+    static BranchModel
+    never()
+    {
+        BranchModel m;
+        m.kind = Kind::NeverTaken;
+        return m;
+    }
+};
+
+/**
+ * Runtime state of one branch model inside a walker.
+ *
+ * Each instance owns a forked Rng so outcome streams are independent of
+ * the order in which other models draw.
+ */
+class BranchModelState
+{
+  public:
+    BranchModelState(BranchModel model, Rng rng)
+        : model_(std::move(model)), rng_(rng)
+    {
+        resetTrip();
+    }
+
+    /** Resolve the next dynamic instance of this branch. */
+    bool
+    nextOutcome()
+    {
+        switch (model_.kind) {
+          case BranchModel::Kind::AlwaysTaken:
+            return true;
+          case BranchModel::Kind::NeverTaken:
+            return false;
+          case BranchModel::Kind::Loop:
+            if (remaining_ > 0) {
+                --remaining_;
+                return true;    // back edge taken
+            }
+            resetTrip();
+            return false;       // loop exit
+          case BranchModel::Kind::Bernoulli:
+            return rng_.nextBool(model_.pTaken);
+          case BranchModel::Kind::Pattern: {
+            const bool out = model_.pattern[patternPos_];
+            patternPos_ = (patternPos_ + 1) % model_.pattern.size();
+            return out;
+          }
+          default:
+            MCA_PANIC("bad branch model kind");
+        }
+    }
+
+  private:
+    void
+    resetTrip()
+    {
+        std::uint64_t trip = model_.trip;
+        if (model_.tripJitter > 0) {
+            const std::uint64_t lo = trip > model_.tripJitter
+                                         ? trip - model_.tripJitter
+                                         : 1;
+            trip = lo + rng_.nextBelow(2 * model_.tripJitter + 1);
+        }
+        remaining_ = trip > 0 ? trip - 1 : 0;
+    }
+
+    BranchModel model_;
+    Rng rng_;
+    std::uint64_t remaining_ = 0;
+    std::size_t patternPos_ = 0;
+};
+
+} // namespace mca::prog
+
+#endif // MCA_PROG_BRANCH_MODEL_HH

@@ -1,0 +1,217 @@
+#include "prog/cfg.hh"
+
+#include <cstdio>
+
+#include "support/panic.hh"
+
+namespace mca::prog
+{
+
+namespace
+{
+
+/** Validate terminator/successor agreement for one block. */
+template <typename BlockT>
+void
+checkBlockShape(const std::string &prog_name, FunctionId fn,
+                const BlockT &blk)
+{
+    const isa::Op term = blk.terminatorOp();
+    const std::size_t nsucc = blk.succs.size();
+    auto bad = [&](const char *why) {
+        MCA_PANIC("program '", prog_name, "' fn ", fn, " block ", blk.id,
+                  " ('", blk.name, "'): ", why);
+    };
+
+    if (isa::isCondBranch(term)) {
+        if (nsucc != 2)
+            bad("conditional branch needs exactly 2 successors");
+    } else if (term == isa::Op::Br) {
+        if (nsucc != 1)
+            bad("unconditional branch needs exactly 1 successor");
+    } else if (term == isa::Op::Jmp) {
+        if (nsucc < 1)
+            bad("indirect jump needs at least 1 successor");
+        if (!blk.succWeights.empty() && blk.succWeights.size() != nsucc)
+            bad("succWeights size must match successor count");
+    } else if (term == isa::Op::Jsr) {
+        if (nsucc != 1)
+            bad("call needs exactly 1 continuation successor");
+    } else if (term == isa::Op::Ret) {
+        if (nsucc != 0)
+            bad("return must have no successors");
+    } else {
+        // Fall-through block.
+        if (nsucc != 1)
+            bad("fall-through block needs exactly 1 successor");
+    }
+}
+
+} // namespace
+
+std::size_t
+Program::staticInstCount() const
+{
+    std::size_t n = 0;
+    for (const auto &fn : functions)
+        for (const auto &blk : fn.blocks)
+            n += blk.instrs.size();
+    return n;
+}
+
+void
+Program::finalize()
+{
+    MCA_ASSERT(!functions.empty(), "program has no functions");
+    Addr pc = codeBase;
+    for (auto &fn : functions) {
+        MCA_ASSERT(!fn.blocks.empty(), "function '", fn.name,
+                   "' has no blocks");
+        for (auto &blk : fn.blocks) {
+            blk.startPc = pc;
+            pc += 4 * blk.instrs.size();
+            checkBlockShape(name, fn.id, blk);
+            for (const auto &in : blk.instrs) {
+                if (isa::isMemOp(in.op) && in.stream == kNoAddrStream)
+                    MCA_PANIC("memory op without address stream in '",
+                              name, "'");
+                if (in.stream != kNoAddrStream)
+                    MCA_ASSERT(in.stream < streams.size(),
+                               "dangling stream id");
+                if (isa::isCondBranch(in.op) &&
+                    in.branchModel == kNoBranchModel)
+                    MCA_PANIC("conditional branch without model in '",
+                              name, "'");
+                if (in.branchModel != kNoBranchModel)
+                    MCA_ASSERT(in.branchModel < branchModels.size(),
+                               "dangling branch model id");
+                if (in.op == isa::Op::Jsr)
+                    MCA_ASSERT(in.callee != kNoFunction &&
+                                   in.callee < functions.size(),
+                               "call without valid callee");
+                if (in.dest != kNoValue)
+                    MCA_ASSERT(in.dest < values.size(), "dangling dest");
+                for (ValueId s : in.srcs)
+                    if (s != kNoValue)
+                        MCA_ASSERT(s < values.size(), "dangling source");
+            }
+            for (BlockId s : blk.succs)
+                MCA_ASSERT(s < fn.blocks.size(), "dangling successor");
+        }
+    }
+}
+
+std::size_t
+MachProgram::staticInstCount() const
+{
+    std::size_t n = 0;
+    for (const auto &fn : functions)
+        for (const auto &blk : fn.blocks)
+            n += blk.instrs.size();
+    return n;
+}
+
+void
+MachProgram::finalize()
+{
+    MCA_ASSERT(!functions.empty(), "machine program has no functions");
+    Addr pc = codeBase;
+    for (auto &fn : functions) {
+        for (auto &blk : fn.blocks) {
+            blk.startPc = pc;
+            pc += 4 * blk.instrs.size();
+            checkBlockShape(name, fn.id, blk);
+        }
+    }
+}
+
+namespace
+{
+
+/** Successor list rendering shared by both dumpers. */
+template <typename BlockT>
+std::string
+succString(const BlockT &blk)
+{
+    if (blk.succs.empty())
+        return "";
+    std::string out = "  -> ";
+    for (std::size_t i = 0; i < blk.succs.size(); ++i) {
+        if (i)
+            out += ", ";
+        out += "bb" + std::to_string(blk.succs[i]);
+    }
+    return out;
+}
+
+} // namespace
+
+std::string
+dumpProgram(const Program &prog)
+{
+    std::string out = "program '" + prog.name + "'\n";
+    auto vname = [&](ValueId v) {
+        if (v == kNoValue)
+            return std::string("_");
+        const auto &info = prog.values[v];
+        std::string n = info.name.empty() ? "v" + std::to_string(v)
+                                          : info.name;
+        if (info.globalCandidate)
+            n += "!";
+        return n;
+    };
+    for (const auto &fn : prog.functions) {
+        out += "fn " + fn.name + ":\n";
+        for (const auto &blk : fn.blocks) {
+            out += "  bb" + std::to_string(blk.id);
+            if (!blk.name.empty())
+                out += " '" + blk.name + "'";
+            out += " (w=" + std::to_string(
+                static_cast<long long>(blk.weight)) + ")" +
+                succString(blk) + "\n";
+            for (const auto &in : blk.instrs) {
+                out += "    ";
+                out += std::string(isa::opName(in.op));
+                if (in.dest != kNoValue)
+                    out += " " + vname(in.dest) + " <-";
+                for (auto s : in.srcs)
+                    if (s != kNoValue)
+                        out += " " + vname(s);
+                if (in.imm != 0 || isa::isMemOp(in.op))
+                    out += " #" + std::to_string(in.imm);
+                if (in.stream != kNoAddrStream)
+                    out += " @s" + std::to_string(in.stream);
+                if (in.callee != kNoFunction)
+                    out += " -> " + prog.functions[in.callee].name;
+                out += "\n";
+            }
+        }
+    }
+    return out;
+}
+
+std::string
+dumpProgram(const MachProgram &prog)
+{
+    std::string out = "binary '" + prog.name + "'\n";
+    for (const auto &fn : prog.functions) {
+        out += "fn " + fn.name + ":\n";
+        for (const auto &blk : fn.blocks) {
+            out += "  bb" + std::to_string(blk.id) + " @0x";
+            char pc[32];
+            std::snprintf(pc, sizeof(pc), "%llx",
+                          static_cast<unsigned long long>(blk.startPc));
+            out += pc;
+            out += succString(blk) + "\n";
+            for (const auto &e : blk.instrs) {
+                out += "    " + e.mi.toString();
+                if (e.isSpill)
+                    out += "  ; spill";
+                out += "\n";
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace mca::prog

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Values (live ranges) of the intermediate language.
+ *
+ * Following the paper's methodology, IL instructions name live ranges
+ * rather than architectural registers; the compiler later partitions the
+ * live ranges across clusters and colors them onto registers. Each Value
+ * in a program is one live range (a def-use web produced directly by the
+ * workload generators).
+ */
+
+#ifndef MCA_PROG_VALUE_HH
+#define MCA_PROG_VALUE_HH
+
+#include <cstdint>
+#include <string>
+
+#include "isa/registers.hh"
+
+namespace mca::prog
+{
+
+/** Live-range identifier; index into Program's value table. */
+using ValueId = std::uint32_t;
+
+inline constexpr ValueId kNoValue = ~ValueId{0};
+
+/** Metadata for one live range. */
+struct ValueInfo
+{
+    /** Register class the live range must be colored into. */
+    isa::RegClass cls = isa::RegClass::Int;
+    /** Optional name for diagnostics and the Figure-6 reproduction. */
+    std::string name;
+    /**
+     * True for live ranges designated as global-register candidates
+     * (step 3 of the paper's methodology: the stack- and global-pointer
+     * live ranges).
+     */
+    bool globalCandidate = false;
+    /**
+     * True for values that must be materialized before the program region
+     * starts (incoming arguments, the SP/GP themselves). They are live-in
+     * to the entry block.
+     */
+    bool liveIn = false;
+};
+
+} // namespace mca::prog
+
+#endif // MCA_PROG_VALUE_HH

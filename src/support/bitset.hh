@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Dynamic bitset for dataflow sets (liveness, interference).
+ */
+
+#ifndef MCA_SUPPORT_BITSET_HH
+#define MCA_SUPPORT_BITSET_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "support/panic.hh"
+
+namespace mca
+{
+
+class BitSet
+{
+  public:
+    BitSet() = default;
+
+    explicit BitSet(std::size_t nbits)
+        : nbits_(nbits), words_((nbits + 63) / 64, 0)
+    {}
+
+    std::size_t size() const { return nbits_; }
+
+    void
+    set(std::size_t i)
+    {
+        MCA_ASSERT(i < nbits_, "bitset index out of range");
+        words_[i >> 6] |= (std::uint64_t{1} << (i & 63));
+    }
+
+    void
+    reset(std::size_t i)
+    {
+        MCA_ASSERT(i < nbits_, "bitset index out of range");
+        words_[i >> 6] &= ~(std::uint64_t{1} << (i & 63));
+    }
+
+    bool
+    test(std::size_t i) const
+    {
+        MCA_ASSERT(i < nbits_, "bitset index out of range");
+        return (words_[i >> 6] >> (i & 63)) & 1;
+    }
+
+    void
+    clear()
+    {
+        for (auto &w : words_)
+            w = 0;
+    }
+
+    /** this |= other; returns true if any bit changed. */
+    bool
+    unionWith(const BitSet &other)
+    {
+        MCA_ASSERT(nbits_ == other.nbits_, "bitset size mismatch");
+        bool changed = false;
+        for (std::size_t i = 0; i < words_.size(); ++i) {
+            const std::uint64_t before = words_[i];
+            words_[i] |= other.words_[i];
+            changed |= (words_[i] != before);
+        }
+        return changed;
+    }
+
+    /** this &= ~other. */
+    void
+    subtract(const BitSet &other)
+    {
+        MCA_ASSERT(nbits_ == other.nbits_, "bitset size mismatch");
+        for (std::size_t i = 0; i < words_.size(); ++i)
+            words_[i] &= ~other.words_[i];
+    }
+
+    bool
+    operator==(const BitSet &other) const
+    {
+        return nbits_ == other.nbits_ && words_ == other.words_;
+    }
+
+    std::size_t
+    count() const
+    {
+        std::size_t n = 0;
+        for (auto w : words_)
+            n += static_cast<std::size_t>(__builtin_popcountll(w));
+        return n;
+    }
+
+    /** Invoke fn(index) for every set bit, in increasing index order. */
+    template <typename Fn>
+    void
+    forEach(Fn &&fn) const
+    {
+        for (std::size_t wi = 0; wi < words_.size(); ++wi) {
+            std::uint64_t w = words_[wi];
+            while (w) {
+                const int bit = __builtin_ctzll(w);
+                fn(wi * 64 + static_cast<std::size_t>(bit));
+                w &= w - 1;
+            }
+        }
+    }
+
+  private:
+    std::size_t nbits_ = 0;
+    std::vector<std::uint64_t> words_;
+};
+
+} // namespace mca
+
+#endif // MCA_SUPPORT_BITSET_HH

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Fixed-capacity FIFO queue backed by a circular buffer.
+ *
+ * A general hardware-queue utility. The current processor models its
+ * dispatch queues and retire window with flat vectors (issue removes
+ * from the middle), so this structure serves library users and tests.
+ */
+
+#ifndef MCA_SUPPORT_CIRCULAR_QUEUE_HH
+#define MCA_SUPPORT_CIRCULAR_QUEUE_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "support/panic.hh"
+
+namespace mca
+{
+
+template <typename T>
+class CircularQueue
+{
+  public:
+    explicit CircularQueue(std::size_t capacity)
+        : slots_(capacity), capacity_(capacity)
+    {
+        MCA_ASSERT(capacity > 0, "circular queue needs nonzero capacity");
+    }
+
+    bool empty() const { return size_ == 0; }
+    bool full() const { return size_ == capacity_; }
+    std::size_t size() const { return size_; }
+    std::size_t capacity() const { return capacity_; }
+    std::size_t freeSlots() const { return capacity_ - size_; }
+
+    /** Append to the tail; queue must not be full. */
+    void
+    pushBack(T value)
+    {
+        MCA_ASSERT(!full(), "push to full circular queue");
+        slots_[(head_ + size_) % capacity_] = std::move(value);
+        ++size_;
+    }
+
+    /** Remove and return the head element; queue must not be empty. */
+    T
+    popFront()
+    {
+        MCA_ASSERT(!empty(), "pop from empty circular queue");
+        T value = std::move(slots_[head_]);
+        head_ = (head_ + 1) % capacity_;
+        --size_;
+        return value;
+    }
+
+    /** Access the i-th oldest element (0 == head). */
+    T &
+    at(std::size_t i)
+    {
+        MCA_ASSERT(i < size_, "circular queue index out of range");
+        return slots_[(head_ + i) % capacity_];
+    }
+
+    const T &
+    at(std::size_t i) const
+    {
+        MCA_ASSERT(i < size_, "circular queue index out of range");
+        return slots_[(head_ + i) % capacity_];
+    }
+
+    T &front() { return at(0); }
+    const T &front() const { return at(0); }
+    T &back() { return at(size_ - 1); }
+
+    /** Drop the newest n elements (used on squash). */
+    void
+    truncate(std::size_t n)
+    {
+        MCA_ASSERT(n <= size_, "truncate more than queue size");
+        size_ -= n;
+    }
+
+    void
+    clear()
+    {
+        head_ = 0;
+        size_ = 0;
+    }
+
+  private:
+    std::vector<T> slots_;
+    std::size_t capacity_;
+    std::size_t head_ = 0;
+    std::size_t size_ = 0;
+};
+
+} // namespace mca
+
+#endif // MCA_SUPPORT_CIRCULAR_QUEUE_HH

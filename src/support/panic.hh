@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Error-reporting helpers in the spirit of gem5's logging.hh.
+ *
+ * panic() is for conditions that indicate a bug in the simulator itself;
+ * fatal() is for user-caused conditions (bad configuration, impossible
+ * parameters). Both print a message and terminate; panic() aborts so a
+ * debugger or core dump can capture the state, fatal() exits cleanly.
+ */
+
+#ifndef MCA_SUPPORT_PANIC_HH
+#define MCA_SUPPORT_PANIC_HH
+
+#include <sstream>
+#include <string>
+
+namespace mca
+{
+
+[[noreturn]] void panicImpl(const char *file, int line,
+                            const std::string &msg);
+[[noreturn]] void fatalImpl(const char *file, int line,
+                            const std::string &msg);
+void warnImpl(const std::string &msg);
+void informImpl(const std::string &msg);
+
+namespace detail
+{
+
+/** Format a parameter pack into a string via an ostringstream. */
+template <typename... Args>
+std::string
+formatMsg(Args &&...args)
+{
+    std::ostringstream oss;
+    (oss << ... << args);
+    return oss.str();
+}
+
+} // namespace detail
+
+} // namespace mca
+
+/** Terminate with a simulator-bug diagnostic (aborts). */
+#define MCA_PANIC(...) \
+    ::mca::panicImpl(__FILE__, __LINE__, ::mca::detail::formatMsg(__VA_ARGS__))
+
+/** Terminate with a user-error diagnostic (clean exit). */
+#define MCA_FATAL(...) \
+    ::mca::fatalImpl(__FILE__, __LINE__, ::mca::detail::formatMsg(__VA_ARGS__))
+
+/** Non-fatal warning to stderr. */
+#define MCA_WARN(...) \
+    ::mca::warnImpl(::mca::detail::formatMsg(__VA_ARGS__))
+
+/** Status message to stderr. */
+#define MCA_INFORM(...) \
+    ::mca::informImpl(::mca::detail::formatMsg(__VA_ARGS__))
+
+/** Internal-invariant check that is kept in release builds. */
+#define MCA_ASSERT(cond, ...)                                            \
+    do {                                                                 \
+        if (!(cond)) {                                                   \
+            ::mca::panicImpl(__FILE__, __LINE__,                         \
+                ::mca::detail::formatMsg("assertion '" #cond "' failed: ", \
+                                         ##__VA_ARGS__));                \
+        }                                                                \
+    } while (0)
+
+#endif // MCA_SUPPORT_PANIC_HH

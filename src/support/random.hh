@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * Every stochastic decision in the reproduction (workload generation,
+ * branch-outcome models, address streams) draws from an explicitly seeded
+ * Rng so that whole experiments are bit-reproducible. The generator is
+ * xoshiro256** seeded through splitmix64, which gives high-quality streams
+ * even from small integer seeds.
+ */
+
+#ifndef MCA_SUPPORT_RANDOM_HH
+#define MCA_SUPPORT_RANDOM_HH
+
+#include <cstdint>
+
+namespace mca
+{
+
+/** Seedable xoshiro256** generator with convenience draw helpers. */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) { reseed(seed); }
+
+    /** Re-initialize the state from a single 64-bit seed. */
+    void reseed(std::uint64_t seed);
+
+    /** Next raw 64-bit draw. */
+    std::uint64_t next();
+
+    /** Uniform integer in [0, bound); bound must be nonzero. */
+    std::uint64_t nextBelow(std::uint64_t bound);
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    std::int64_t nextRange(std::int64_t lo, std::int64_t hi);
+
+    /** Uniform double in [0, 1). */
+    double nextDouble();
+
+    /** Bernoulli draw with probability p of returning true. */
+    bool nextBool(double p);
+
+    /**
+     * Geometric-ish draw: number of successes before failure, capped.
+     * Used for run lengths in branch/trip-count models.
+     */
+    std::uint64_t nextGeometric(double p_continue, std::uint64_t cap);
+
+    /** Fork a child generator with a decorrelated seed stream. */
+    Rng fork();
+
+  private:
+    std::uint64_t s_[4];
+};
+
+} // namespace mca
+
+#endif // MCA_SUPPORT_RANDOM_HH

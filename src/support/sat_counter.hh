@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Saturating counter used by the branch predictors.
+ */
+
+#ifndef MCA_SUPPORT_SAT_COUNTER_HH
+#define MCA_SUPPORT_SAT_COUNTER_HH
+
+#include <cstdint>
+
+#include "support/panic.hh"
+
+namespace mca
+{
+
+/**
+ * An n-bit saturating up/down counter.
+ *
+ * The counter saturates at [0, 2^bits - 1]. For 2-bit predictor entries the
+ * conventional "predict taken" test is value >= 2 (weakly taken).
+ */
+class SatCounter
+{
+  public:
+    explicit SatCounter(unsigned bits = 2, std::uint8_t initial = 0)
+        : max_(static_cast<std::uint8_t>((1u << bits) - 1)), value_(initial)
+    {
+        MCA_ASSERT(bits >= 1 && bits <= 8, "counter width out of range");
+        MCA_ASSERT(initial <= max_, "initial value exceeds saturation");
+    }
+
+    void increment() { if (value_ < max_) ++value_; }
+    void decrement() { if (value_ > 0) --value_; }
+
+    /** Train toward taken (true) or not-taken (false). */
+    void train(bool taken) { taken ? increment() : decrement(); }
+
+    std::uint8_t value() const { return value_; }
+    std::uint8_t saturation() const { return max_; }
+
+    /** MSB test: true in the upper half of the range. */
+    bool predictTaken() const { return value_ > max_ / 2; }
+
+  private:
+    std::uint8_t max_;
+    std::uint8_t value_;
+};
+
+} // namespace mca
+
+#endif // MCA_SUPPORT_SAT_COUNTER_HH

@@ -1,0 +1,162 @@
+#include "support/stats.hh"
+
+#include <iomanip>
+
+#include "support/panic.hh"
+
+namespace mca
+{
+
+void
+Distribution::configure(std::uint64_t bucket_width, std::size_t num_buckets)
+{
+    MCA_ASSERT(bucket_width > 0, "distribution bucket width must be > 0");
+    bucketWidth_ = bucket_width;
+    buckets_.assign(num_buckets, 0);
+    reset();
+}
+
+void
+Distribution::sample(std::uint64_t value, std::uint64_t count)
+{
+    const std::size_t idx = value / bucketWidth_;
+    if (idx < buckets_.size())
+        buckets_[idx] += count;
+    else
+        overflow_ += count;
+    samples_ += count;
+    sum_ += value * count;
+    if (value > max_)
+        max_ = value;
+}
+
+void
+Distribution::reset()
+{
+    for (auto &b : buckets_)
+        b = 0;
+    overflow_ = 0;
+    samples_ = 0;
+    sum_ = 0;
+    max_ = 0;
+}
+
+double
+Distribution::mean() const
+{
+    return samples_ == 0 ? 0.0
+                         : static_cast<double>(sum_) /
+                               static_cast<double>(samples_);
+}
+
+Counter &
+StatGroup::counter(const std::string &name, const std::string &desc)
+{
+    auto [it, inserted] = counters_.try_emplace(name);
+    if (inserted)
+        it->second.desc = desc;
+    return it->second.counter;
+}
+
+Distribution &
+StatGroup::distribution(const std::string &name, std::uint64_t bucket_width,
+                        std::size_t num_buckets, const std::string &desc)
+{
+    auto [it, inserted] = dists_.try_emplace(name);
+    if (inserted) {
+        it->second.desc = desc;
+        it->second.dist.configure(bucket_width, num_buckets);
+    }
+    return it->second.dist;
+}
+
+void
+StatGroup::formula(const std::string &name, std::function<double()> fn,
+                   const std::string &desc)
+{
+    formulas_[name] = FormulaEntry{std::move(fn), desc};
+}
+
+const Counter &
+StatGroup::counterAt(const std::string &name) const
+{
+    auto it = counters_.find(name);
+    if (it == counters_.end())
+        MCA_PANIC("no counter named '", name, "' in group '", name_, "'");
+    return it->second.counter;
+}
+
+bool
+StatGroup::hasCounter(const std::string &name) const
+{
+    return counters_.count(name) != 0;
+}
+
+double
+StatGroup::formulaAt(const std::string &name) const
+{
+    auto it = formulas_.find(name);
+    if (it == formulas_.end())
+        MCA_PANIC("no formula named '", name, "' in group '", name_, "'");
+    return it->second.fn();
+}
+
+void
+StatGroup::resetAll()
+{
+    for (auto &[name, entry] : counters_)
+        entry.counter.reset();
+    for (auto &[name, entry] : dists_)
+        entry.dist.reset();
+}
+
+void
+StatGroup::dump(std::ostream &os) const
+{
+    os << "==== stats: " << name_ << " ====\n";
+    for (const auto &[name, entry] : counters_) {
+        os << std::left << std::setw(40) << name << std::right
+           << std::setw(16) << entry.counter.value();
+        if (!entry.desc.empty())
+            os << "  # " << entry.desc;
+        os << "\n";
+    }
+    for (const auto &[name, entry] : formulas_) {
+        os << std::left << std::setw(40) << name << std::right
+           << std::setw(16) << std::fixed << std::setprecision(4)
+           << entry.fn();
+        if (!entry.desc.empty())
+            os << "  # " << entry.desc;
+        os << "\n";
+    }
+    for (const auto &[name, entry] : dists_) {
+        os << std::left << std::setw(40) << name << std::right
+           << "  samples=" << entry.dist.samples()
+           << " mean=" << std::fixed << std::setprecision(2)
+           << entry.dist.mean() << " max=" << entry.dist.max();
+        if (!entry.desc.empty())
+            os << "  # " << entry.desc;
+        os << "\n";
+    }
+}
+
+void
+StatGroup::dumpJson(std::ostream &os) const
+{
+    os << "{\n  \"group\": \"" << name_ << "\"";
+    for (const auto &[name, entry] : counters_)
+        os << ",\n  \"" << name << "\": " << entry.counter.value();
+    for (const auto &[name, entry] : formulas_)
+        os << ",\n  \"" << name << "\": " << std::fixed
+           << std::setprecision(6) << entry.fn();
+    for (const auto &[name, entry] : dists_) {
+        os << ",\n  \"" << name << ".samples\": "
+           << entry.dist.samples();
+        os << ",\n  \"" << name << ".mean\": " << std::fixed
+           << std::setprecision(4) << entry.dist.mean();
+        os << ",\n  \"" << name << ".max\": " << entry.dist.max();
+    }
+    os << "\n}\n";
+}
+
+} // namespace mca

@@ -1,0 +1,88 @@
+#include "support/table.hh"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+#include "support/panic.hh"
+
+namespace mca
+{
+
+void
+TextTable::header(std::vector<std::string> cells)
+{
+    header_ = std::move(cells);
+}
+
+void
+TextTable::row(std::vector<std::string> cells)
+{
+    MCA_ASSERT(header_.empty() || cells.size() == header_.size(),
+               "table row width mismatch");
+    rows_.push_back(std::move(cells));
+}
+
+void
+TextTable::separator()
+{
+    rows_.emplace_back();
+}
+
+void
+TextTable::print(std::ostream &os) const
+{
+    const std::size_t ncols = header_.size();
+    std::vector<std::size_t> widths(ncols, 0);
+    for (std::size_t c = 0; c < ncols; ++c)
+        widths[c] = header_[c].size();
+    for (const auto &r : rows_)
+        for (std::size_t c = 0; c < r.size(); ++c)
+            widths[c] = std::max(widths[c], r[c].size());
+
+    auto print_sep = [&] {
+        os << "+";
+        for (auto w : widths)
+            os << std::string(w + 2, '-') << "+";
+        os << "\n";
+    };
+    auto print_row = [&](const std::vector<std::string> &cells) {
+        os << "|";
+        for (std::size_t c = 0; c < ncols; ++c) {
+            const std::string &s = c < cells.size() ? cells[c] : "";
+            os << " " << std::left << std::setw(static_cast<int>(widths[c]))
+               << s << " |";
+        }
+        os << "\n";
+    };
+
+    print_sep();
+    print_row(header_);
+    print_sep();
+    for (const auto &r : rows_) {
+        if (r.empty())
+            print_sep();
+        else
+            print_row(r);
+    }
+    print_sep();
+}
+
+std::string
+TextTable::num(double value, int precision)
+{
+    std::ostringstream oss;
+    oss << std::fixed << std::setprecision(precision) << value;
+    return oss.str();
+}
+
+std::string
+TextTable::signedPercent(double value, int precision)
+{
+    std::ostringstream oss;
+    oss << std::showpos << std::fixed << std::setprecision(precision)
+        << value;
+    return oss.str();
+}
+
+} // namespace mca

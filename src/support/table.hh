@@ -1,0 +1,48 @@
+/**
+ * @file
+ * ASCII table formatter for benchmark-harness output.
+ *
+ * The benches that regenerate the paper's tables print through this class so
+ * they share one consistent, diffable layout.
+ */
+
+#ifndef MCA_SUPPORT_TABLE_HH
+#define MCA_SUPPORT_TABLE_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace mca
+{
+
+class TextTable
+{
+  public:
+    /** Set column headers; defines the column count. */
+    void header(std::vector<std::string> cells);
+
+    /** Append a data row; must match the header's column count. */
+    void row(std::vector<std::string> cells);
+
+    /** Append a horizontal separator row. */
+    void separator();
+
+    /** Render with column widths fitted to the content. */
+    void print(std::ostream &os) const;
+
+    /** Format a double with fixed precision — helper for row building. */
+    static std::string num(double value, int precision = 2);
+
+    /** Format a signed percentage like the paper's Table 2 ("+6", "-14"). */
+    static std::string signedPercent(double value, int precision = 0);
+
+  private:
+    std::vector<std::string> header_;
+    // Separator rows are encoded as empty vectors.
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace mca
+
+#endif // MCA_SUPPORT_TABLE_HH

@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Fundamental scalar types shared across the multicluster reproduction.
+ */
+
+#ifndef MCA_SUPPORT_TYPES_HH
+#define MCA_SUPPORT_TYPES_HH
+
+#include <cstdint>
+
+namespace mca
+{
+
+/** Simulated clock cycle count. */
+using Cycle = std::uint64_t;
+
+/** Byte address in the simulated address space. */
+using Addr = std::uint64_t;
+
+/** Unique, monotonically increasing dynamic instruction sequence number. */
+using InstSeq = std::uint64_t;
+
+/** Sentinel for "no cycle" / "not yet scheduled". */
+inline constexpr Cycle kNoCycle = ~Cycle{0};
+
+/** Sentinel for invalid sequence numbers. */
+inline constexpr InstSeq kNoSeq = ~InstSeq{0};
+
+} // namespace mca
+
+#endif // MCA_SUPPORT_TYPES_HH

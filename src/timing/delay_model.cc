@@ -1,0 +1,70 @@
+#include "timing/delay_model.hh"
+
+#include <cmath>
+
+#include "support/panic.hh"
+
+namespace mca::timing
+{
+
+namespace
+{
+
+/** Gate-path width-growth exponent: (w'/w)^pg with 2^pg = kGateGrowth. */
+const double kGateExp = std::log2(1.07);
+
+} // namespace
+
+double
+DelayModel::wireShare(double feature_um) const
+{
+    MCA_ASSERT(feature_um > 0.01 && feature_um <= 2.0,
+               "feature size out of modeled range");
+    const double s =
+        kWireShareBase * std::pow(kBaseFeature / feature_um,
+                                  kWireShareExp);
+    return s > 1.0 ? 1.0 : s;
+}
+
+double
+DelayModel::criticalPathPs(unsigned issue_width, double feature_um) const
+{
+    MCA_ASSERT(issue_width >= 1, "issue width must be >= 1");
+    const double s = wireShare(feature_um);
+    const double w = static_cast<double>(issue_width) / 4.0;
+    // Absolute 4-way delay: anchored at 1248 ps for 0.35 um; other nodes
+    // use approximate constant-field scaling (only ratios are quoted by
+    // the paper).
+    const double base =
+        kBaseDelay4WayPs * std::pow(feature_um / kBaseFeature, 0.8);
+    return base * ((1.0 - s) * std::pow(w, kGateExp) + s * w * w);
+}
+
+double
+DelayModel::widthGrowthRatio(unsigned from_width, unsigned to_width,
+                             double feature_um) const
+{
+    return criticalPathPs(to_width, feature_um) /
+           criticalPathPs(from_width, feature_um);
+}
+
+double
+DelayModel::requiredClockReduction(double slowdown_pct)
+{
+    const double r = 1.0 + slowdown_pct / 100.0;
+    MCA_ASSERT(r > 0, "bad slowdown");
+    return 1.0 - 1.0 / r;
+}
+
+double
+DelayModel::netSpeedupPercent(double cycle_ratio, unsigned single_width,
+                              unsigned cluster_width,
+                              double feature_um) const
+{
+    const double t_cluster = criticalPathPs(cluster_width, feature_um);
+    const double t_single = criticalPathPs(single_width, feature_um);
+    const double time_ratio = cycle_ratio * t_cluster / t_single;
+    return 100.0 * (1.0 - time_ratio);
+}
+
+} // namespace mca::timing

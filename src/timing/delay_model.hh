@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Analytical cycle-time (critical-path delay) model.
+ *
+ * Stands in for the Palacharla/Jouppi/Smith delay models the paper uses
+ * for its cycle-time argument (§4.2). The model splits the worst-case
+ * issue-path delay into a gate-dominated component (grows slowly with
+ * issue width, scales with feature size) and a wire-dominated component
+ * (grows quadratically with issue width, scales much less). The two free
+ * calibration constants are set so the model reproduces the paper's
+ * quoted data points exactly:
+ *
+ *   - 0.35 um: 1248 ps at 4-way, 1484 ps at 8-way (+18%);
+ *   - 0.18 um: +82% growth from 4-way to 8-way.
+ *
+ * This is a calibrated reproduction of the published numbers, not an
+ * independent circuit model; see DESIGN.md §2.
+ */
+
+#ifndef MCA_TIMING_DELAY_MODEL_HH
+#define MCA_TIMING_DELAY_MODEL_HH
+
+namespace mca::timing
+{
+
+class DelayModel
+{
+  public:
+    /**
+     * Fraction of the 4-way critical path that is wire-dominated at the
+     * given feature size (um). Grows as features shrink.
+     */
+    double wireShare(double feature_um) const;
+
+    /** Worst-case critical-path delay in picoseconds. */
+    double criticalPathPs(unsigned issue_width, double feature_um) const;
+
+    /** Ratio delay(to_width) / delay(from_width) at one feature size. */
+    double widthGrowthRatio(unsigned from_width, unsigned to_width,
+                            double feature_um) const;
+
+    /**
+     * Fractional clock-period reduction the clustered machine needs to
+     * break even on a cycle-count slowdown (paper §4.2: a 25% slowdown
+     * needs a 20% smaller clock period).
+     *
+     * @param slowdown_pct  Extra cycles in percent (e.g. 25 for +25%).
+     */
+    static double requiredClockReduction(double slowdown_pct);
+
+    /**
+     * Net run-time speedup (percent; positive = clustered machine is
+     * faster) when a dual-cluster machine built from `cluster_width`-way
+     * clusters replaces a `single_width`-way single-cluster machine and
+     * needs `cycle_ratio` = cycles_dual / cycles_single.
+     */
+    double netSpeedupPercent(double cycle_ratio, unsigned single_width,
+                             unsigned cluster_width,
+                             double feature_um) const;
+
+  private:
+    // Calibration anchors (see file header).
+    static constexpr double kBaseDelay4WayPs = 1248.0; // at 0.35 um
+    static constexpr double kBaseFeature = 0.35;
+    static constexpr double kGateGrowth = 1.07;  // 4->8 gate-path growth
+    static constexpr double kWireGrowth = 4.0;   // 4->8 wire-path growth
+    static constexpr double kWireShareBase = 0.037542;
+    static constexpr double kWireShareExp = 2.8868;
+};
+
+} // namespace mca::timing
+
+#endif // MCA_TIMING_DELAY_MODEL_HH

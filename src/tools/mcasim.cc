@@ -1,0 +1,343 @@
+/**
+ * @file
+ * mcasim — the command-line driver for the multicluster simulator.
+ *
+ * Covers the full workflow from one binary: generate or load a
+ * workload, compile it with any scheduler, save/replay trace files,
+ * pick a machine, override the major configuration knobs, and dump
+ * statistics or per-instruction timelines.
+ *
+ *   mcasim --benchmark compress --machine dual8 --scheduler local
+ *   mcasim --benchmark ora --save-trace ora.mct
+ *   mcasim --load-trace ora.mct --machine single8 --dump-stats
+ *   mcasim --random-seed 7 --machine dual8 --timeline 40
+ */
+
+#include <cstdint>
+#include <cstdlib>
+#include <iostream>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "compiler/pipeline.hh"
+#include "core/processor.hh"
+#include "exec/trace.hh"
+#include "exec/trace_io.hh"
+#include "support/panic.hh"
+#include "workloads/workloads.hh"
+
+namespace
+{
+
+using namespace mca;
+
+struct Options
+{
+    std::string benchmark;
+    std::optional<std::uint64_t> randomSeed;
+    std::string machine = "dual8";
+    std::string scheduler = "local";
+    double scale = 0.2;
+    std::uint64_t maxInsts = 300'000;
+    std::uint64_t traceSeed = 42;
+    unsigned threshold = 4;
+    unsigned unroll = 1;
+    unsigned clusters = 0; // 0 = implied by machine
+    std::optional<unsigned> dqEntries;
+    std::optional<unsigned> otbEntries;
+    std::optional<unsigned> rtbEntries;
+    std::optional<unsigned> mshrEntries;
+    std::string queueMode;
+    std::string predictor;
+    bool specHistory = false;
+    bool reserveOldest = false;
+    std::string saveTrace;
+    std::string loadTrace;
+    bool dumpStats = false;
+    bool jsonStats = false;
+    bool dumpBinary = false;
+    unsigned timeline = 0; // print the first N instructions' events
+    bool quiet = false;
+};
+
+void
+usage()
+{
+    std::cout <<
+        "mcasim — multicluster architecture simulator\n\n"
+        "workload (choose one):\n"
+        "  --benchmark NAME     compress|doduc|gcc1|ora|su2cor|tomcatv\n"
+        "  --random-seed N      random fuzzer program\n"
+        "  --load-trace FILE    replay a saved trace file\n\n"
+        "compilation:\n"
+        "  --scheduler KIND     native|local|roundrobin  [local]\n"
+        "  --threshold N        local-scheduler imbalance threshold [4]\n"
+        "  --unroll N           unroll counted self-loops [1]\n"
+        "  --scale X            workload scale [0.2]\n\n"
+        "machine:\n"
+        "  --machine NAME       single8|dual8|single4|dual4|quad8 [dual8]\n"
+        "  --dq N               dispatch-queue entries per cluster\n"
+        "  --otb N --rtb N      transfer-buffer entries per cluster\n"
+        "  --mshr N             explicit MSHR entries (0 = inverted)\n"
+        "  --queue-mode KIND    window|rs (hold entries to retire/issue)\n"
+        "  --predictor KIND     mcfarling|gshare|bimodal|taken|nottaken\n"
+        "  --spec-history       speculative global history\n"
+        "  --reserve-oldest     reserve a buffer entry for the oldest\n\n"
+        "run control:\n"
+        "  --max-insts N        trace length cap [300000]\n"
+        "  --trace-seed N       trace interpreter seed [42]\n"
+        "  --save-trace FILE    write the trace file and exit\n"
+        "  --dump-stats         dump the full statistics registry\n"
+        "  --json               dump statistics as JSON\n"
+        "  --dump-binary        print the compiled binary's disassembly\n"
+        "  --timeline N         print events for the first N instructions\n"
+        "  --quiet              only the one-line summary\n";
+}
+
+Options
+parse(int argc, char **argv)
+{
+    Options opt;
+    std::vector<std::string> args(argv + 1, argv + argc);
+    for (std::size_t i = 0; i < args.size(); ++i) {
+        const std::string &a = args[i];
+        auto need = [&](const char *what) -> std::string {
+            if (i + 1 >= args.size())
+                MCA_FATAL("missing value for ", what);
+            return args[++i];
+        };
+        if (a == "--help" || a == "-h") {
+            usage();
+            std::exit(0);
+        } else if (a == "--benchmark") {
+            opt.benchmark = need("--benchmark");
+        } else if (a == "--random-seed") {
+            opt.randomSeed = std::strtoull(
+                need("--random-seed").c_str(), nullptr, 10);
+        } else if (a == "--machine") {
+            opt.machine = need("--machine");
+        } else if (a == "--scheduler") {
+            opt.scheduler = need("--scheduler");
+        } else if (a == "--scale") {
+            opt.scale = std::atof(need("--scale").c_str());
+        } else if (a == "--max-insts") {
+            opt.maxInsts = std::strtoull(need("--max-insts").c_str(),
+                                         nullptr, 10);
+        } else if (a == "--trace-seed") {
+            opt.traceSeed = std::strtoull(need("--trace-seed").c_str(),
+                                          nullptr, 10);
+        } else if (a == "--threshold") {
+            opt.threshold = static_cast<unsigned>(
+                std::atoi(need("--threshold").c_str()));
+        } else if (a == "--unroll") {
+            opt.unroll = static_cast<unsigned>(
+                std::atoi(need("--unroll").c_str()));
+        } else if (a == "--dq") {
+            opt.dqEntries = static_cast<unsigned>(
+                std::atoi(need("--dq").c_str()));
+        } else if (a == "--otb") {
+            opt.otbEntries = static_cast<unsigned>(
+                std::atoi(need("--otb").c_str()));
+        } else if (a == "--rtb") {
+            opt.rtbEntries = static_cast<unsigned>(
+                std::atoi(need("--rtb").c_str()));
+        } else if (a == "--queue-mode") {
+            opt.queueMode = need("--queue-mode");
+        } else if (a == "--mshr") {
+            opt.mshrEntries = static_cast<unsigned>(
+                std::atoi(need("--mshr").c_str()));
+        } else if (a == "--predictor") {
+            opt.predictor = need("--predictor");
+        } else if (a == "--spec-history") {
+            opt.specHistory = true;
+        } else if (a == "--reserve-oldest") {
+            opt.reserveOldest = true;
+        } else if (a == "--save-trace") {
+            opt.saveTrace = need("--save-trace");
+        } else if (a == "--load-trace") {
+            opt.loadTrace = need("--load-trace");
+        } else if (a == "--dump-stats") {
+            opt.dumpStats = true;
+        } else if (a == "--json") {
+            opt.jsonStats = true;
+        } else if (a == "--dump-binary") {
+            opt.dumpBinary = true;
+        } else if (a == "--timeline") {
+            opt.timeline = static_cast<unsigned>(
+                std::atoi(need("--timeline").c_str()));
+        } else if (a == "--quiet") {
+            opt.quiet = true;
+        } else {
+            usage();
+            MCA_FATAL("unknown argument: ", a);
+        }
+    }
+    return opt;
+}
+
+core::ProcessorConfig
+machineConfig(const Options &opt, unsigned *clusters)
+{
+    static const std::map<std::string,
+                          core::ProcessorConfig (*)()>
+        kMachines = {
+            {"single8", &core::ProcessorConfig::singleCluster8},
+            {"dual8", &core::ProcessorConfig::dualCluster8},
+            {"single4", &core::ProcessorConfig::singleCluster4},
+            {"dual4", &core::ProcessorConfig::dualCluster4},
+        };
+    core::ProcessorConfig cfg;
+    if (opt.machine == "quad8") {
+        cfg = core::ProcessorConfig::multiCluster8(4);
+    } else {
+        auto it = kMachines.find(opt.machine);
+        if (it == kMachines.end())
+            MCA_FATAL("unknown machine '", opt.machine, "'");
+        cfg = it->second();
+    }
+    *clusters = cfg.numClusters;
+    if (opt.dqEntries)
+        cfg.dispatchQueueEntries = *opt.dqEntries;
+    if (opt.otbEntries)
+        cfg.operandBufferEntries = *opt.otbEntries;
+    if (opt.rtbEntries)
+        cfg.resultBufferEntries = *opt.rtbEntries;
+    if (opt.mshrEntries)
+        cfg.dcache.mshrEntries = *opt.mshrEntries;
+    cfg.speculativeHistory = opt.specHistory;
+    cfg.reserveOldestEntry = opt.reserveOldest;
+    if (opt.queueMode == "window")
+        cfg.holdQueueUntilRetire = true;
+    else if (opt.queueMode == "rs")
+        cfg.holdQueueUntilRetire = false;
+    else if (!opt.queueMode.empty())
+        MCA_FATAL("unknown queue mode '", opt.queueMode, "'");
+    if (!opt.predictor.empty()) {
+        using Kind = core::ProcessorConfig::PredictorKind;
+        if (opt.predictor == "mcfarling")
+            cfg.predictor = Kind::McFarling;
+        else if (opt.predictor == "gshare")
+            cfg.predictor = Kind::Gshare;
+        else if (opt.predictor == "bimodal")
+            cfg.predictor = Kind::Bimodal;
+        else if (opt.predictor == "taken")
+            cfg.predictor = Kind::StaticTaken;
+        else if (opt.predictor == "nottaken")
+            cfg.predictor = Kind::StaticNotTaken;
+        else
+            MCA_FATAL("unknown predictor '", opt.predictor, "'");
+    }
+    return cfg;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const Options opt = parse(argc, argv);
+
+    unsigned clusters = 2;
+    core::ProcessorConfig cfg = machineConfig(opt, &clusters);
+
+    std::unique_ptr<exec::TraceSource> trace;
+    std::string source_desc;
+    // Kept alive for the whole run: ProgramTrace references the binary.
+    std::optional<compiler::CompileOutput> compiled;
+
+    if (!opt.loadTrace.empty()) {
+        auto ft = std::make_unique<exec::FileTrace>(opt.loadTrace);
+        source_desc = opt.loadTrace + " (" +
+                      std::to_string(ft->count()) + " records)";
+        // Reconstruct the producing binary's global registers so the
+        // replay models them correctly.
+        ft->applyGlobals(cfg.regMap);
+        trace = std::move(ft);
+    } else {
+        prog::Program program = [&] {
+            if (opt.randomSeed) {
+                workloads::RandomProgramParams rp;
+                rp.seed = *opt.randomSeed;
+                return workloads::makeRandomProgram(rp);
+            }
+            const std::string name =
+                opt.benchmark.empty() ? "compress" : opt.benchmark;
+            workloads::WorkloadParams wp;
+            wp.scale = opt.scale;
+            return workloads::benchmarkByName(name).make(wp);
+        }();
+
+        compiler::CompileOptions copt;
+        if (opt.scheduler == "native") {
+            copt.scheduler = compiler::SchedulerKind::Native;
+            copt.numClusters = 1;
+        } else if (opt.scheduler == "roundrobin") {
+            copt.scheduler = compiler::SchedulerKind::RoundRobin;
+            copt.numClusters = std::max(2u, clusters);
+        } else if (opt.scheduler == "local") {
+            copt.scheduler = clusters >= 2
+                                 ? compiler::SchedulerKind::Local
+                                 : compiler::SchedulerKind::Native;
+            copt.numClusters = clusters;
+        } else {
+            MCA_FATAL("unknown scheduler '", opt.scheduler, "'");
+        }
+        copt.imbalanceThreshold = opt.threshold;
+        copt.unrollFactor = opt.unroll;
+        compiled = compiler::compile(program, copt);
+        cfg.regMap = compiled->hardwareMap(clusters);
+        source_desc = program.name + " / " + opt.scheduler;
+
+        if (!opt.saveTrace.empty()) {
+            exec::ProgramTrace pt(compiled->binary, opt.traceSeed,
+                                  opt.maxInsts);
+            const auto n = exec::writeTrace(opt.saveTrace, pt,
+                                            compiled->alloc.globalRegs,
+                                            opt.maxInsts);
+            std::cout << "wrote " << n << " instructions to "
+                      << opt.saveTrace << "\n";
+            return 0;
+        }
+        if (opt.dumpBinary)
+            std::cout << prog::dumpProgram(compiled->binary);
+        trace = std::make_unique<exec::ProgramTrace>(
+            compiled->binary, opt.traceSeed, opt.maxInsts);
+    }
+
+    StatGroup stats("mcasim");
+    core::Processor cpu(cfg, *trace, stats);
+    core::TimelineRecorder recorder;
+    if (opt.timeline > 0)
+        cpu.attachTimeline(&recorder);
+
+    const auto result = cpu.run();
+
+    std::cout << source_desc << " on " << opt.machine << ": "
+              << result.instructions << " instructions, "
+              << result.cycles << " cycles (ipc "
+              << (result.cycles ? static_cast<double>(
+                                      result.instructions) /
+                                      static_cast<double>(result.cycles)
+                                : 0.0)
+              << ")\n";
+
+    if (opt.timeline > 0) {
+        for (InstSeq seq = 0; seq < opt.timeline; ++seq) {
+            const auto events = recorder.forInst(seq);
+            if (events.empty())
+                break;
+            std::cout << "inst " << seq << ":\n";
+            for (const auto &ev : events)
+                std::cout << "  cycle " << ev.cycle << "  cluster "
+                          << ev.cluster << "  "
+                          << core::timelineEventName(ev.event) << "\n";
+        }
+    }
+    if (opt.dumpStats && !opt.quiet)
+        stats.dump(std::cout);
+    if (opt.jsonStats)
+        stats.dumpJson(std::cout);
+    return 0;
+}

@@ -1,0 +1,146 @@
+#include "workloads/workloads.hh"
+
+#include "workloads/util.hh"
+
+namespace mca::workloads
+{
+
+using namespace detail;
+
+/**
+ * compress-like workload: an integer dictionary/hash loop.
+ *
+ * Character codes stream in sequentially; a shift/xor hash probes a
+ * table larger than the data cache, a data-dependent branch separates
+ * hit and miss paths (the predictor sees a noisy ~60/40 branch), and
+ * both paths update tables. This reproduces compress's signature
+ * behaviour: integer-only, data-dependent control flow, and cache
+ * behaviour that is sensitive to issue order.
+ */
+prog::Program
+makeCompress(const WorkloadParams &params)
+{
+    Builder b("compress");
+    emitPreamble(b);
+
+    const auto inner =
+        static_cast<std::uint64_t>(4000 * params.scale) + 1;
+    const std::uint64_t outer = 4;
+
+    const FunctionId fn = b.function("main");
+    const BlockId b_init = b.block(fn, 1, "init");
+    const BlockId b_ihead = b.block(fn, outer, "inner_head");
+    const BlockId b_body =
+        b.block(fn, static_cast<double>(inner * outer), "body");
+    const BlockId b_miss =
+        b.block(fn, static_cast<double>(inner * outer) * 0.38, "miss");
+    const BlockId b_hit =
+        b.block(fn, static_cast<double>(inner * outer) * 0.62, "hit");
+    const BlockId b_join =
+        b.block(fn, static_cast<double>(inner * outer), "join");
+    const BlockId b_olatch = b.block(fn, outer, "outer_latch");
+    const BlockId b_end = b.block(fn, 1, "end");
+
+    const auto s_input = b.stream(AddrStream::strided(0x0100'0000, 8,
+                                                      512 * 1024));
+    const auto s_hash = b.stream(AddrStream::hashTable(0x0200'21a0,
+                                                       96 * 1024, 0.5));
+    const auto s_hash_w = b.stream(AddrStream::hashTable(0x0200'21a0,
+                                                         96 * 1024, 0.5));
+    const auto s_code = b.stream(AddrStream::strided(0x0300'4360, 8,
+                                                     64 * 1024));
+    const auto s_code_w = b.stream(AddrStream::strided(0x0300'4360, 8,
+                                                       64 * 1024));
+    const auto s_out = b.stream(AddrStream::strided(0x0400'6520, 8,
+                                                    256 * 1024));
+
+    // --- init ----------------------------------------------------------
+    b.setInsertPoint(fn, b_init);
+    const ValueId mask = b.emitConst(RegClass::Int, 0xffff, "mask");
+    const ValueId i = b.emitConst(RegClass::Int, 0, "i");
+    const ValueId j = b.emitConst(RegClass::Int, 0, "j");
+    const ValueId prev = b.emitConst(RegClass::Int, 0, "prev");
+    const ValueId acc = b.emitConst(RegClass::Int, 0, "acc");
+    const ValueId in = b.emitConst(RegClass::Int, 0, "in");
+    const ValueId inbase = b.emitConst(RegClass::Int, 0x0100'0000, "inb");
+    // Long-lived compressor state (ratio counters, code widths, limits)
+    // keeps register pressure realistic: a cluster's local registers are
+    // scarce, the full file is not.
+    std::vector<ValueId> state;
+    for (int s = 0; s < 4; ++s)
+        state.push_back(b.emitConst(RegClass::Int, 100 + s,
+                                    "st" + std::to_string(s)));
+    b.edge(fn, b_init, b_ihead);
+
+    // --- inner_head: reset the inner counter ---------------------------
+    b.setInsertPoint(fn, b_ihead);
+    {
+        prog::Instr reset;
+        reset.op = Op::Lda;
+        reset.dest = i;
+        reset.imm = 0;
+        b.emitRaw(reset);
+    }
+    b.edge(fn, b_ihead, b_body);
+
+    // --- body: read a code, hash, probe --------------------------------
+    b.setInsertPoint(fn, b_body);
+    b.emitLoadTo(in, Op::Ldl, s_input, inbase);
+    const ValueId h1 = b.emitRRR(Op::Xor, in, prev, "h1");
+    const ValueId h2 = b.emitRRI(Op::Sll, h1, 3, "h2");
+    const ValueId h3 = b.emitRRR(Op::Add, h2, in, "h3");
+    const ValueId idx = b.emitRRR(Op::And, h3, mask, "idx");
+    const ValueId probe = b.emitLoad(Op::Ldl, s_hash, idx, "probe");
+    b.emitRRITo(prev, Op::Mov, in, 0);
+    const ValueId found = b.emitRRR(Op::CmpEq, probe, in, "found");
+    // Hit/miss follows the input text: repeating but irregular, so the
+    // global-history predictor can learn it only when its tables and
+    // history are reasonably fresh. The single-cluster machine's larger
+    // dispatch queue lengthens the prediction-to-update delay, which is
+    // exactly the compress anomaly of §4.2.
+    b.emitBranch(Op::Bne, found,
+                 b.branch(BranchModel::patterned(
+                     {true, true, false, true, false, true, true, true,
+                      false, false, true, true, false})));
+    b.edge(fn, b_body, b_miss); // fall-through: miss
+    b.edge(fn, b_body, b_hit);  // taken: hit
+
+    // --- miss: insert a fresh dictionary entry -------------------------
+    b.setInsertPoint(fn, b_miss);
+    b.emitStore(Op::Stl, in, s_hash_w, idx);
+    const ValueId ncode = b.emitRRI(Op::Add, acc, 1, "ncode");
+    b.emitStore(Op::Stl, ncode, s_code_w, idx);
+    b.emitRRRTo(acc, Op::Add, acc, ncode);
+    b.emitRRRTo(state[0], Op::Add, state[0], in);
+    b.edge(fn, b_miss, b_join);
+
+    // --- hit: emit the existing code -----------------------------------
+    b.setInsertPoint(fn, b_hit);
+    const ValueId code = b.emitLoad(Op::Ldl, s_code, idx, "code");
+    b.emitRRRTo(acc, Op::Add, acc, code);
+    b.emitStore(Op::Stl, acc, s_out, code);
+    b.emitRRRTo(state[1], Op::Add, state[1], code);
+    b.edge(fn, b_hit, b_join);
+
+    // --- join: inner latch ----------------------------------------------
+    b.setInsertPoint(fn, b_join);
+    // Compression-ratio bookkeeping keeps a little long-lived state.
+    b.emitRRRTo(state[2], Op::Add, state[2], state[0]);
+    b.emitRRRTo(state[3], Op::Xor, state[3], state[1]);
+    emitLoopLatch(b, i, static_cast<std::int64_t>(inner), inner);
+    b.edge(fn, b_join, b_olatch); // fall-through: inner loop done
+    b.edge(fn, b_join, b_body);   // taken: continue inner loop
+
+    // --- outer latch ------------------------------------------------------
+    b.setInsertPoint(fn, b_olatch);
+    emitLoopLatch(b, j, static_cast<std::int64_t>(outer), outer);
+    b.edge(fn, b_olatch, b_end);
+    b.edge(fn, b_olatch, b_ihead);
+
+    b.setInsertPoint(fn, b_end);
+    b.emitRet();
+
+    return b.build();
+}
+
+} // namespace mca::workloads

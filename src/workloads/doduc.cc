@@ -1,0 +1,168 @@
+#include "workloads/workloads.hh"
+
+#include "workloads/util.hh"
+
+namespace mca::workloads
+{
+
+using namespace detail;
+
+namespace
+{
+
+/**
+ * Emit one fp kernel function: a strided sweep whose body mixes divide
+ * and multiply/add chains, with a biased internal diamond.
+ */
+void
+emitKernel(Builder &b, FunctionId fn, std::uint64_t trip, bool heavy_div)
+{
+    const BlockId k_entry = b.block(fn, 1, "k_entry");
+    const BlockId k_body = b.block(fn, static_cast<double>(trip),
+                                   "k_body");
+    const BlockId k_then =
+        b.block(fn, static_cast<double>(trip) * 0.8, "k_then");
+    const BlockId k_join = b.block(fn, static_cast<double>(trip),
+                                   "k_join");
+    const BlockId k_exit = b.block(fn, 1, "k_exit");
+
+    const auto s_in = b.stream(AddrStream::strided(
+        0x0500'0000 + 0x0010'2140 * fn, 8, 32 * 1024));
+    const auto s_out = b.stream(AddrStream::strided(
+        0x0600'5260 + 0x0010'3180 * fn, 8, 32 * 1024));
+
+    b.setInsertPoint(fn, k_entry);
+    const ValueId k = b.emitConst(RegClass::Int, 0, "k");
+    const ValueId base = b.emitConst(RegClass::Int, 0x500000, "kb");
+    const ValueId c1 = b.emitConst(RegClass::Fp, 3, "c1");
+    const ValueId c2 = b.emitConst(RegClass::Fp, 7, "c2");
+    // Hot shared coefficients live in global registers (paper §2.1:
+    // globals suit "other commonly used variables"), so their reads
+    // never cost an inter-cluster transfer.
+    b.markGlobalCandidate(c1);
+    b.markGlobalCandidate(c2);
+    const ValueId sum = b.emitConst(RegClass::Fp, 0, "sum");
+    // Cross-section physics state held in registers across the loop.
+    const ValueId w1 = b.emitConst(RegClass::Fp, 11, "w1");
+    const ValueId w2 = b.emitConst(RegClass::Fp, 13, "w2");
+    const ValueId w3 = b.emitConst(RegClass::Fp, 17, "w3");
+    const ValueId w4 = b.emitConst(RegClass::Fp, 19, "w4");
+    b.edge(fn, k_entry, k_body);
+
+    b.setInsertPoint(fn, k_body);
+    const ValueId x = b.emitLoad(Op::Ldt, s_in, base, "x");
+    const ValueId t1 = b.emitRRR(Op::MulF, x, c1, "t1");
+    const ValueId t2 =
+        b.emitRRR(heavy_div ? Op::DivD : Op::DivF, t1, c2, "t2");
+    const ValueId t3 = b.emitRRR(Op::AddF, t2, sum, "t3");
+    const ValueId t4 = b.emitRRR(Op::MulF, t3, x, "t4");
+    const ValueId gate = b.emitRRR(Op::CmpF, t4, c1, "gate");
+    b.emitBranch(Op::FBne, gate, b.branch(BranchModel::bernoulli(0.8)));
+    b.edge(fn, k_body, k_join); // fall-through
+    b.edge(fn, k_body, k_then); // taken
+
+    b.setInsertPoint(fn, k_then);
+    const ValueId u1 = b.emitRRR(Op::SubF, t4, t2, "u1");
+    const ValueId u2 = b.emitRRR(Op::DivF, u1, c1, "u2");
+    b.emitRRRTo(sum, Op::AddF, sum, u2);
+    b.emitStore(Op::Stt, u2, s_out, base);
+    b.emitBr();
+    b.edge(fn, k_then, k_join);
+
+    b.setInsertPoint(fn, k_join);
+    b.emitRRRTo(sum, Op::AddF, sum, t4);
+    b.emitRRRTo(w1, Op::AddF, w1, t2);
+    b.emitRRRTo(w2, Op::MulF, w2, c1);
+    b.emitRRRTo(w3, Op::AddF, w3, w1);
+    b.emitRRRTo(w4, Op::SubF, w4, w2);
+    emitLoopLatch(b, k, static_cast<std::int64_t>(trip), trip);
+    b.edge(fn, k_join, k_exit);
+    b.edge(fn, k_join, k_body);
+
+    b.setInsertPoint(fn, k_exit);
+    b.emitStore(Op::Stt, sum, s_out, base);
+    b.emitRet();
+}
+
+} // namespace
+
+/**
+ * doduc-like workload: a Monte-Carlo-style nuclear-reactor simulation
+ * stand-in — floating-point heavy, many divides (both precisions),
+ * moderately predictable branches, and a main loop that calls three fp
+ * kernels (exercising call-crossing live ranges).
+ */
+prog::Program
+makeDoduc(const WorkloadParams &params)
+{
+    Builder b("doduc");
+    emitPreamble(b);
+
+    const auto outer =
+        static_cast<std::uint64_t>(550 * params.scale) + 1;
+
+    const FunctionId fn = b.function("main");
+    const FunctionId k1 = b.function("kernel1");
+    const FunctionId k2 = b.function("kernel2");
+    const FunctionId k3 = b.function("kernel3");
+
+    const BlockId m_init = b.block(fn, 1, "init");
+    const BlockId m_body = b.block(fn, static_cast<double>(outer),
+                                   "body");
+    const BlockId m_c1 = b.block(fn, static_cast<double>(outer), "c1");
+    const BlockId m_c2 = b.block(fn, static_cast<double>(outer), "c2");
+    const BlockId m_c3 = b.block(fn, static_cast<double>(outer), "c3");
+    const BlockId m_latch = b.block(fn, static_cast<double>(outer),
+                                    "latch");
+    const BlockId m_end = b.block(fn, 1, "end");
+
+    b.setInsertPoint(fn, m_init);
+    const ValueId n = b.emitConst(RegClass::Int, 0, "n");
+    const ValueId e1 = b.emitConst(RegClass::Fp, 2, "e1");
+    const ValueId e2 = b.emitConst(RegClass::Fp, 5, "e2");
+    b.markGlobalCandidate(e1);
+    b.markGlobalCandidate(e2);
+    const ValueId flux = b.emitConst(RegClass::Fp, 1, "flux");
+    b.edge(fn, m_init, m_body);
+
+    // Glue fp work between calls keeps values live across them.
+    b.setInsertPoint(fn, m_body);
+    const ValueId g1 = b.emitRRR(Op::MulF, flux, e1, "g1");
+    const ValueId g2 = b.emitRRR(Op::DivD, g1, e2, "g2");
+    b.emitRRRTo(flux, Op::AddF, g2, e1);
+    b.emitJsr(k1);
+    b.edge(fn, m_body, m_c1);
+
+    b.setInsertPoint(fn, m_c1);
+    const ValueId g3 = b.emitRRR(Op::SubF, flux, g2, "g3");
+    b.emitRRRTo(flux, Op::MulF, g3, e1);
+    b.emitJsr(k2);
+    b.edge(fn, m_c1, m_c2);
+
+    b.setInsertPoint(fn, m_c2);
+    const ValueId g4 = b.emitRRR(Op::AddF, flux, e2, "g4");
+    b.emitRRRTo(flux, Op::DivF, g4, e1);
+    b.emitJsr(k3);
+    b.edge(fn, m_c2, m_c3);
+
+    b.setInsertPoint(fn, m_c3);
+    b.emitRRRTo(flux, Op::MulF, flux, e2);
+    b.emitBr();
+    b.edge(fn, m_c3, m_latch);
+
+    b.setInsertPoint(fn, m_latch);
+    emitLoopLatch(b, n, static_cast<std::int64_t>(outer), outer);
+    b.edge(fn, m_latch, m_end);
+    b.edge(fn, m_latch, m_body);
+
+    b.setInsertPoint(fn, m_end);
+    b.emitRet();
+
+    emitKernel(b, k1, 9, false);
+    emitKernel(b, k2, 6, true);
+    emitKernel(b, k3, 11, false);
+
+    return b.build();
+}
+
+} // namespace mca::workloads

@@ -1,0 +1,173 @@
+#include "workloads/workloads.hh"
+
+#include "support/random.hh"
+#include "workloads/util.hh"
+
+namespace mca::workloads
+{
+
+using namespace detail;
+
+namespace
+{
+
+/**
+ * Emit one small "compiler pass helper": an integer function with a
+ * biased diamond, a pointer-chasing load, and optionally a call to a
+ * deeper helper. Returns nothing; the function is self-contained.
+ */
+void
+emitHelper(Builder &b, FunctionId fn, Rng &rng, double est_calls,
+           FunctionId callee)
+{
+    const bool has_call = callee != prog::kNoFunction;
+    const BlockId entry = b.block(fn, est_calls, "h_entry");
+    const BlockId then_b = b.block(fn, est_calls * 0.5, "h_then");
+    const BlockId else_b = b.block(fn, est_calls * 0.5, "h_else");
+    const BlockId join = b.block(fn, est_calls, "h_join");
+    const BlockId tail =
+        has_call ? b.block(fn, est_calls, "h_tail") : join;
+
+    const auto s_heap = b.stream(
+        AddrStream::randomIn(0x0800'2020, 96 * 1024));
+
+    b.setInsertPoint(fn, entry);
+    const ValueId p = b.emitConst(RegClass::Int, 0x800000, "p");
+    // Pass-local analysis state live across the whole helper.
+    const ValueId flags = b.emitConst(RegClass::Int, 3, "flags");
+    const ValueId depth = b.emitConst(RegClass::Int, 5, "depth");
+    const ValueId costv = b.emitConst(RegClass::Int, 7, "cost");
+    const ValueId node = b.emitLoad(Op::Ldl, s_heap, p, "node");
+    const ValueId tag = b.emitRRI(Op::And, node, 0x1f, "tag");
+    const ValueId c = b.emitRRI(Op::CmpLt, tag, 12, "c");
+    const double bias = 0.3 + 0.4 * rng.nextDouble();
+    b.emitBranch(Op::Bne, c, b.branch(BranchModel::bernoulli(bias)));
+    b.edge(fn, entry, else_b);
+    b.edge(fn, entry, then_b);
+
+    b.setInsertPoint(fn, then_b);
+    const ValueId t1 = b.emitRRI(Op::Sll, node, 2, "t1");
+    const ValueId t2 = b.emitRRR(Op::Add, t1, tag, "t2");
+    const ValueId t3 = b.emitRRR(Op::Xor, t2, node, "t3");
+    b.emitStore(Op::Stl, t3, s_heap, t2);
+    b.emitRRRTo(costv, Op::Add, costv, t1);
+    b.emitRRRTo(flags, Op::Or, flags, tag);
+    b.emitBr();
+    b.edge(fn, then_b, join);
+
+    b.setInsertPoint(fn, else_b);
+    const ValueId u1 = b.emitRRI(Op::Srl, node, 3, "u1");
+    const ValueId u2 = b.emitRRR(Op::Sub, u1, tag, "u2");
+    const ValueId u3 = b.emitLoad(Op::Ldl, s_heap, u2, "u3");
+    const ValueId u4 = b.emitRRR(Op::Or, u3, u2, "u4");
+    b.emitStore(Op::Stl, u4, s_heap, u3);
+    b.emitRRRTo(costv, Op::Add, costv, u1);
+    b.emitRRRTo(depth, Op::Add, depth, flags);
+    b.edge(fn, else_b, join);
+
+    b.setInsertPoint(fn, join);
+    const ValueId verdict = b.emitRRR(Op::Add, costv, depth, "verdict");
+    b.emitStore(Op::Stl, verdict, s_heap, flags);
+    if (has_call) {
+        b.emitJsr(callee);
+        b.edge(fn, join, tail);
+        b.setInsertPoint(fn, tail);
+    }
+    b.emitRet();
+}
+
+} // namespace
+
+/**
+ * gcc1-like workload: a branchy integer "compiler" — a dispatch loop
+ * switching over synthetic IR opcodes into two dozen handlers, each
+ * calling into a tree of small helper functions with biased,
+ * hard-to-predict branches and pointer-chasing heap accesses.
+ */
+prog::Program
+makeGcc1(const WorkloadParams &params)
+{
+    Builder b("gcc1");
+    emitPreamble(b);
+    Rng rng(0x9cc1);
+
+    const auto trips =
+        static_cast<std::uint64_t>(4500 * params.scale) + 1;
+    constexpr unsigned kHandlers = 24;
+
+    const FunctionId fn = b.function("main");
+
+    // Two levels of helpers: every handler calls a level-1 helper that
+    // itself calls a level-2 leaf.
+    std::vector<FunctionId> l1, l2;
+    for (unsigned i = 0; i < kHandlers; ++i)
+        l2.push_back(b.function("leaf" + std::to_string(i)));
+    for (unsigned i = 0; i < kHandlers; ++i)
+        l1.push_back(b.function("pass" + std::to_string(i)));
+
+    const BlockId m_init = b.block(fn, 1, "init");
+    const BlockId m_head = b.block(fn, static_cast<double>(trips),
+                                   "dispatch");
+    const BlockId m_latch = b.block(fn, static_cast<double>(trips),
+                                    "latch");
+    const BlockId m_end = b.block(fn, 1, "end");
+
+    const auto s_ir = b.stream(AddrStream::strided(0x0700'4148, 8,
+                                                   1024 * 1024));
+
+    b.setInsertPoint(fn, m_init);
+    const ValueId n = b.emitConst(RegClass::Int, 0, "n");
+    const ValueId ir = b.emitConst(RegClass::Int, 0x700000, "ir");
+    b.edge(fn, m_init, m_head);
+
+    // Dispatch: load the next IR op and switch on it.
+    b.setInsertPoint(fn, m_head);
+    const ValueId op = b.emitLoad(Op::Ldl, s_ir, ir, "op");
+    const ValueId sel = b.emitRRI(Op::And, op, kHandlers - 1, "sel");
+    b.emitJmp(sel);
+
+    // Handlers: each does local work then calls its pass helper.
+    std::vector<double> weights;
+    for (unsigned h = 0; h < kHandlers; ++h) {
+        // Skewed handler popularity, like real opcode frequencies.
+        const double w = 1.0 / (1.0 + h * 0.35);
+        weights.push_back(w);
+        const BlockId hb = b.block(fn, trips * w / kHandlers,
+                                   "handler" + std::to_string(h));
+        const BlockId hc = b.block(fn, trips * w / kHandlers,
+                                   "hcont" + std::to_string(h));
+        b.edge(fn, m_head, hb);
+
+        b.setInsertPoint(fn, hb);
+        const ValueId a1 = b.emitRRI(Op::Add, op, 17 + h, "a1");
+        const ValueId a2 = b.emitRRR(Op::Xor, a1, sel, "a2");
+        const ValueId a3 = b.emitRRI(Op::Sll, a2, (h % 5) + 1, "a3");
+        b.emitStore(Op::Stl, a3, s_ir, a2);
+        b.emitJsr(l1[h]);
+        b.edge(fn, hb, hc);
+
+        b.setInsertPoint(fn, hc);
+        b.emitBr();
+        b.edge(fn, hc, m_latch);
+    }
+    b.succWeights(fn, m_head, weights);
+
+    b.setInsertPoint(fn, m_latch);
+    emitLoopLatch(b, n, static_cast<std::int64_t>(trips), trips);
+    b.edge(fn, m_latch, m_end);
+    b.edge(fn, m_latch, m_head);
+
+    b.setInsertPoint(fn, m_end);
+    b.emitRet();
+
+    // Helper bodies.
+    for (unsigned i = 0; i < kHandlers; ++i)
+        emitHelper(b, l2[i], rng, trips * weights[i] / kHandlers,
+                   prog::kNoFunction);
+    for (unsigned i = 0; i < kHandlers; ++i)
+        emitHelper(b, l1[i], rng, trips * weights[i] / kHandlers, l2[i]);
+
+    return b.build();
+}
+
+} // namespace mca::workloads

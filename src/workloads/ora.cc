@@ -1,0 +1,100 @@
+#include "workloads/workloads.hh"
+
+#include "workloads/util.hh"
+
+namespace mca::workloads
+{
+
+using namespace detail;
+
+/**
+ * ora-like workload: optical ray tracing — dominated by long serial
+ * chains of floating-point divides and square roots, with almost no
+ * memory traffic and highly predictable control flow.
+ *
+ * Two interleaved serial chains (one per ray component) run per
+ * iteration. Each chain link is a fresh live range that dies at the
+ * next link, so cluster-unaware graph coloring collapses a whole chain
+ * onto a single architectural register — the native binary keeps each
+ * chain inside one cluster, and the dual-cluster machine runs it with
+ * very little transfer traffic (the paper's ora barely slows down
+ * unscheduled). The local scheduler, in contrast, balances the
+ * per-link live ranges across both clusters, which introduces
+ * cross-cluster hops with *late* forwarded operands into the middles of
+ * the chains; combined with the ready-operand transfers of the other
+ * chain this exhausts the 8-entry operand transfer buffers and provokes
+ * the instruction-replay exceptions the paper blames for ora's
+ * rescheduled slowdown.
+ */
+prog::Program
+makeOra(const WorkloadParams &params)
+{
+    Builder b("ora");
+    emitPreamble(b);
+
+    const auto rays =
+        static_cast<std::uint64_t>(4600 * params.scale) + 1;
+
+    const FunctionId fn = b.function("main");
+    const BlockId m_init = b.block(fn, 1, "init");
+    const BlockId m_body = b.block(fn, static_cast<double>(rays),
+                                   "trace");
+    const BlockId m_refract =
+        b.block(fn, static_cast<double>(rays) * 0.9, "refract");
+    const BlockId m_join = b.block(fn, static_cast<double>(rays),
+                                   "join");
+    const BlockId m_end = b.block(fn, 1, "end");
+
+    const auto s_img = b.stream(AddrStream::strided(0x0900'1040, 8,
+                                                    64 * 1024));
+
+    b.setInsertPoint(fn, m_init);
+    const ValueId i = b.emitConst(RegClass::Int, 0, "i");
+    const ValueId oneA = b.emitConst(RegClass::Fp, 1, "oneA");
+    const ValueId oneB = b.emitConst(RegClass::Fp, 1, "oneB");
+    const ValueId muA = b.emitConst(RegClass::Fp, 2, "muA");
+    const ValueId muB = b.emitConst(RegClass::Fp, 3, "muB");
+    const ValueId va = b.emitConst(RegClass::Fp, 5, "va");
+    const ValueId vb = b.emitConst(RegClass::Fp, 7, "vb");
+    const ValueId lum = b.emitConst(RegClass::Fp, 0, "lum");
+    b.edge(fn, m_init, m_body);
+
+    // Two interleaved serial divide/sqrt chains. Every link is a fresh
+    // live range that dies at the next link.
+    b.setInsertPoint(fn, m_body);
+    const ValueId a1 = b.emitRRR(Op::DivD, va, muA, "a1");
+    const ValueId b1 = b.emitRRR(Op::DivD, vb, muB, "b1");
+    const ValueId a2 = b.emitRRR(Op::SqrtD, a1, oneA, "a2");
+    const ValueId b2 = b.emitRRR(Op::SqrtD, b1, oneB, "b2");
+    const ValueId a3 = b.emitRRR(Op::DivD, a2, muA, "a3");
+    const ValueId b3 = b.emitRRR(Op::DivD, b2, muB, "b3");
+    const ValueId a4 = b.emitRRR(Op::SqrtD, a3, oneA, "a4");
+    const ValueId b4 = b.emitRRR(Op::SqrtD, b3, oneB, "b4");
+    const ValueId a5 = b.emitRRR(Op::DivD, a4, muA, "a5");
+    const ValueId b5 = b.emitRRR(Op::DivD, b4, muB, "b5");
+    b.emitRRRTo(va, Op::MulF, a5, muA);
+    b.emitRRRTo(vb, Op::MulF, b5, muB);
+    const ValueId hit = b.emitRRR(Op::CmpF, va, vb, "hit");
+    b.emitBranch(Op::FBne, hit, b.branch(BranchModel::bernoulli(0.9)));
+    b.edge(fn, m_body, m_join);     // fall-through: ray misses
+    b.edge(fn, m_body, m_refract);  // taken: refract
+
+    // Refraction accumulates luminance from both chains.
+    b.setInsertPoint(fn, m_refract);
+    const ValueId q1 = b.emitRRR(Op::AddF, va, vb, "q1");
+    b.emitRRRTo(lum, Op::AddF, lum, q1);
+    b.edge(fn, m_refract, m_join);
+
+    b.setInsertPoint(fn, m_join);
+    b.emitStore(Op::Stt, lum, s_img, i);
+    emitLoopLatch(b, i, static_cast<std::int64_t>(rays), rays);
+    b.edge(fn, m_join, m_end);
+    b.edge(fn, m_join, m_body);
+
+    b.setInsertPoint(fn, m_end);
+    b.emitRet();
+
+    return b.build();
+}
+
+} // namespace mca::workloads

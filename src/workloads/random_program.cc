@@ -1,0 +1,207 @@
+#include "workloads/workloads.hh"
+
+#include <vector>
+
+#include "support/panic.hh"
+#include "support/random.hh"
+#include "workloads/util.hh"
+
+namespace mca::workloads
+{
+
+using namespace detail;
+
+namespace
+{
+
+/** State for generating one random function. */
+struct FuncGen
+{
+    Builder &b;
+    FunctionId fn;
+    Rng rng;
+    const RandomProgramParams &params;
+    /** Recently defined values available as operands, per class. */
+    std::vector<ValueId> intPool;
+    std::vector<ValueId> fpPool;
+
+    ValueId
+    pick(RegClass cls)
+    {
+        auto &pool = cls == RegClass::Int ? intPool : fpPool;
+        MCA_ASSERT(!pool.empty(), "operand pool empty");
+        return pool[rng.nextBelow(pool.size())];
+    }
+
+    void
+    push(RegClass cls, ValueId v)
+    {
+        auto &pool = cls == RegClass::Int ? intPool : fpPool;
+        pool.push_back(v);
+        if (pool.size() > 24)
+            pool.erase(pool.begin());
+    }
+
+    /** Emit a random non-control instruction at the insert point. */
+    void
+    emitRandomInstr()
+    {
+        const bool fp = rng.nextBool(params.fpFraction);
+        const bool mem = rng.nextBool(params.memFraction);
+        if (mem) {
+            const Addr base = 0x2000'0000 + rng.nextBelow(16) * 0x0010'0000;
+            const auto stream =
+                rng.nextBool(0.5)
+                    ? b.stream(AddrStream::strided(base, 8, 64 * 1024))
+                    : b.stream(AddrStream::randomIn(base, 64 * 1024));
+            if (rng.nextBool(0.6)) {
+                const Op op = fp ? Op::Ldt : Op::Ldl;
+                const ValueId v =
+                    b.emitLoad(op, stream, pick(RegClass::Int));
+                push(fp ? RegClass::Fp : RegClass::Int, v);
+            } else {
+                const Op op = fp ? Op::Stt : Op::Stl;
+                const ValueId data =
+                    pick(fp ? RegClass::Fp : RegClass::Int);
+                b.emitStore(op, data, stream, pick(RegClass::Int));
+            }
+            return;
+        }
+        if (fp) {
+            static const Op kFpOps[] = {Op::AddF, Op::SubF, Op::MulF,
+                                        Op::DivF, Op::DivD, Op::SqrtD};
+            const Op op = kFpOps[rng.nextBelow(4 + (rng.nextBool(0.3)
+                                                        ? 2
+                                                        : 0))];
+            const ValueId v = b.emitRRR(op, pick(RegClass::Fp),
+                                        pick(RegClass::Fp));
+            push(RegClass::Fp, v);
+        } else {
+            static const Op kIntOps[] = {Op::Add, Op::Sub, Op::And,
+                                         Op::Or,  Op::Xor, Op::Sll,
+                                         Op::Mull};
+            const Op op = kIntOps[rng.nextBelow(7)];
+            ValueId v;
+            if (rng.nextBool(0.3))
+                v = b.emitRRI(op, pick(RegClass::Int),
+                              static_cast<std::int64_t>(
+                                  rng.nextBelow(64)));
+            else
+                v = b.emitRRR(op, pick(RegClass::Int),
+                              pick(RegClass::Int));
+            push(RegClass::Int, v);
+        }
+    }
+
+    void
+    fillBlock(BlockId blk, unsigned n)
+    {
+        b.setInsertPoint(fn, blk);
+        for (unsigned i = 0; i < n; ++i)
+            emitRandomInstr();
+    }
+};
+
+} // namespace
+
+prog::Program
+makeRandomProgram(const RandomProgramParams &params)
+{
+    MCA_ASSERT(params.numFunctions >= 1, "need at least one function");
+    Builder b("random-" + std::to_string(params.seed));
+    emitPreamble(b);
+    Rng top(params.seed);
+
+    std::vector<FunctionId> fns;
+    for (unsigned f = 0; f < params.numFunctions; ++f)
+        fns.push_back(b.function("f" + std::to_string(f)));
+
+    for (unsigned f = 0; f < params.numFunctions; ++f) {
+        FuncGen gen{b, fns[f], top.fork(), params, {}, {}};
+
+        // Seed the operand pools in an entry block.
+        const BlockId entry = b.block(fns[f], 1, "entry");
+        b.setInsertPoint(fns[f], entry);
+        for (unsigned i = 0; i < 4; ++i) {
+            gen.push(RegClass::Int,
+                     b.emitConst(RegClass::Int,
+                                 static_cast<std::int64_t>(i * 3 + 1)));
+            gen.push(RegClass::Fp,
+                     b.emitConst(RegClass::Fp,
+                                 static_cast<std::int64_t>(i + 2)));
+        }
+
+        BlockId cur = entry;
+        // Append random segments: straight / diamond / loop / call.
+        for (unsigned s = 0; s < params.segmentsPerFunction; ++s) {
+            const double roll = gen.rng.nextDouble();
+            if (roll < 0.35) {
+                // Straight-line block.
+                const BlockId nb = b.block(fns[f], 1, "s");
+                b.edge(fns[f], cur, nb);
+                gen.fillBlock(nb, params.instrsPerBlock);
+                cur = nb;
+            } else if (roll < 0.65) {
+                // Diamond.
+                const BlockId head = b.block(fns[f], 1, "dh");
+                const BlockId t = b.block(fns[f], 1, "dt");
+                const BlockId e = b.block(fns[f], 1, "de");
+                const BlockId join = b.block(fns[f], 1, "dj");
+                b.edge(fns[f], cur, head);
+                gen.fillBlock(head, params.instrsPerBlock / 2 + 1);
+                b.setInsertPoint(fns[f], head);
+                b.emitBranch(
+                    Op::Bne, gen.pick(RegClass::Int),
+                    b.branch(BranchModel::bernoulli(
+                        0.2 + 0.6 * gen.rng.nextDouble())));
+                b.edge(fns[f], head, e);
+                b.edge(fns[f], head, t);
+                gen.fillBlock(t, params.instrsPerBlock / 2 + 1);
+                b.setInsertPoint(fns[f], t);
+                b.emitBr();
+                b.edge(fns[f], t, join);
+                gen.fillBlock(e, params.instrsPerBlock / 2 + 1);
+                b.edge(fns[f], e, join);
+                cur = join;
+            } else if (roll < 0.9 || f + 1 >= params.numFunctions) {
+                // Counted loop (counter initialized in the preheader).
+                const BlockId body = b.block(fns[f], 10, "lb");
+                const BlockId exit = b.block(fns[f], 1, "lx");
+                b.setInsertPoint(fns[f], cur);
+                const ValueId counter =
+                    b.emitConst(RegClass::Int, 0, "lc");
+                b.edge(fns[f], cur, body);
+                gen.fillBlock(body, params.instrsPerBlock);
+                b.setInsertPoint(fns[f], body);
+                const std::uint64_t trip =
+                    1 + gen.rng.nextBelow(params.loopTrip);
+                emitLoopLatch(b, counter,
+                              static_cast<std::int64_t>(trip), trip);
+                b.edge(fns[f], body, exit);
+                b.edge(fns[f], body, body);
+                cur = exit;
+            } else {
+                // Call a later function (keeps the call graph acyclic).
+                const unsigned callee =
+                    f + 1 +
+                    static_cast<unsigned>(gen.rng.nextBelow(
+                        params.numFunctions - f - 1));
+                const BlockId cb = b.block(fns[f], 1, "call");
+                const BlockId cont = b.block(fns[f], 1, "cont");
+                b.edge(fns[f], cur, cb);
+                gen.fillBlock(cb, 2);
+                b.setInsertPoint(fns[f], cb);
+                b.emitJsr(fns[callee]);
+                b.edge(fns[f], cb, cont);
+                cur = cont;
+            }
+        }
+        const BlockId last = b.block(fns[f], 1, "ret");
+        b.edge(fns[f], cur, last);
+        b.setInsertPoint(fns[f], last);
+        b.emitRet();
+    }
+    return b.build();
+}
+
+} // namespace mca::workloads

@@ -1,0 +1,93 @@
+#include "workloads/workloads.hh"
+
+#include "workloads/util.hh"
+
+namespace mca::workloads
+{
+
+using namespace detail;
+
+/**
+ * su2cor-like workload: quantum-physics vector code — long strided
+ * floating-point vector loops over arrays far larger than the data
+ * cache (streaming misses), plus a dot-product reduction loop with a
+ * serial accumulation chain. Control flow is almost perfectly
+ * predictable; the action is memory-level parallelism and fp throughput.
+ */
+prog::Program
+makeSu2cor(const WorkloadParams &params)
+{
+    Builder b("su2cor");
+    emitPreamble(b);
+
+    const auto t1 =
+        static_cast<std::uint64_t>(9000 * params.scale) + 1;
+    const auto t2 =
+        static_cast<std::uint64_t>(5000 * params.scale) + 1;
+
+    const FunctionId fn = b.function("main");
+    const BlockId m_init = b.block(fn, 1, "init");
+    const BlockId v_body = b.block(fn, static_cast<double>(t1),
+                                   "vec_body");
+    const BlockId mid = b.block(fn, 1, "mid");
+    const BlockId d_body = b.block(fn, static_cast<double>(t2),
+                                   "dot_body");
+    const BlockId m_end = b.block(fn, 1, "end");
+
+    // 2 MB arrays: sequential sweeps miss every 4th access (32 B
+    // blocks). Bases are staggered so concurrent streams do not land in
+    // the same cache sets (real arrays are not set-aligned).
+    const auto s_a = b.stream(AddrStream::strided(0x0a00'0000, 8,
+                                                  2 * 1024 * 1024));
+    const auto s_b = b.stream(AddrStream::strided(0x0b00'31a0, 8,
+                                                  2 * 1024 * 1024));
+    const auto s_c = b.stream(AddrStream::strided(0x0c00'6260, 8,
+                                                  2 * 1024 * 1024));
+    const auto s_d = b.stream(AddrStream::strided(0x0d00'95e8, 8,
+                                                  2 * 1024 * 1024));
+    const auto s_e = b.stream(AddrStream::strided(0x0e00'c728, 8,
+                                                  2 * 1024 * 1024));
+
+    b.setInsertPoint(fn, m_init);
+    const ValueId i = b.emitConst(RegClass::Int, 0, "i");
+    const ValueId j = b.emitConst(RegClass::Int, 0, "j");
+    const ValueId pa = b.emitConst(RegClass::Int, 0xa00000, "pa");
+    const ValueId pb = b.emitConst(RegClass::Int, 0xb00000, "pb");
+    const ValueId k1 = b.emitConst(RegClass::Fp, 3, "k1");
+    const ValueId acc = b.emitConst(RegClass::Fp, 0, "acc");
+    b.edge(fn, m_init, v_body);
+
+    // Vector update: c[i] = a[i]*k1 + b[i]; e[i] = a[i] - b[i].
+    b.setInsertPoint(fn, v_body);
+    const ValueId av = b.emitLoad(Op::Ldt, s_a, pa, "av");
+    const ValueId bv = b.emitLoad(Op::Ldt, s_b, pb, "bv");
+    const ValueId m1 = b.emitRRR(Op::MulF, av, k1, "m1");
+    const ValueId c1 = b.emitRRR(Op::AddF, m1, bv, "c1");
+    b.emitStore(Op::Stt, c1, s_c, pa);
+    const ValueId e1 = b.emitRRR(Op::SubF, av, bv, "e1");
+    b.emitStore(Op::Stt, e1, s_e, pb);
+    emitLoopLatch(b, i, static_cast<std::int64_t>(t1), t1);
+    b.edge(fn, v_body, mid);
+    b.edge(fn, v_body, v_body);
+
+    b.setInsertPoint(fn, mid);
+    b.edge(fn, mid, d_body);
+
+    // Dot product: acc += c[j] * d[j] (serial reduction chain).
+    b.setInsertPoint(fn, d_body);
+    const ValueId cv = b.emitLoad(Op::Ldt, s_c, pa, "cv");
+    const ValueId dv = b.emitLoad(Op::Ldt, s_d, pb, "dv");
+    const ValueId p1 = b.emitRRR(Op::MulF, cv, dv, "p1");
+    b.emitRRRTo(acc, Op::AddF, acc, p1);
+    emitLoopLatch(b, j, static_cast<std::int64_t>(t2), t2);
+    b.edge(fn, d_body, m_end);
+    b.edge(fn, d_body, d_body);
+
+    b.setInsertPoint(fn, m_end);
+    b.emitStore(Op::Stt, acc, s_e, pa);
+    b.emitRet();
+
+    return b.build();
+}
+
+} // namespace mca::workloads

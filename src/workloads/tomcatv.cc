@@ -1,0 +1,106 @@
+#include "workloads/workloads.hh"
+
+#include "workloads/util.hh"
+
+namespace mca::workloads
+{
+
+using namespace detail;
+
+/**
+ * tomcatv-like workload: a 2-D vectorized mesh-generation stencil.
+ * Nested loops sweep a mesh row by row reading five neighbouring points
+ * per update (same stride, offset bases — neighbouring-row reuse in the
+ * cache), combining them with fp multiplies/adds and one divide, and
+ * writing two result arrays. Perfectly predictable control flow.
+ */
+prog::Program
+makeTomcatv(const WorkloadParams &params)
+{
+    Builder b("tomcatv");
+    emitPreamble(b);
+
+    const auto rows =
+        static_cast<std::uint64_t>(55 * params.scale) + 1;
+    const std::uint64_t cols = 250;
+
+    const FunctionId fn = b.function("main");
+    const BlockId m_init = b.block(fn, 1, "init");
+    const BlockId r_head = b.block(fn, static_cast<double>(rows),
+                                   "row_head");
+    const BlockId c_body = b.block(fn,
+                                   static_cast<double>(rows * cols),
+                                   "col_body");
+    const BlockId r_latch = b.block(fn, static_cast<double>(rows),
+                                    "row_latch");
+    const BlockId m_end = b.block(fn, 1, "end");
+
+    // One 500 KB mesh; the five read streams walk it with row offsets.
+    constexpr Addr kMesh = 0x0f00'0000;
+    constexpr std::uint64_t kMeshBytes = 500 * 1024;
+    const std::uint64_t row_bytes = cols * 8;
+    const auto s_c = b.stream(AddrStream::strided(kMesh + row_bytes, 8,
+                                                  kMeshBytes));
+    const auto s_n = b.stream(AddrStream::strided(kMesh, 8, kMeshBytes));
+    const auto s_s = b.stream(AddrStream::strided(kMesh + 2 * row_bytes,
+                                                  8, kMeshBytes));
+    const auto s_w = b.stream(AddrStream::strided(kMesh + row_bytes - 8,
+                                                  8, kMeshBytes));
+    const auto s_e = b.stream(AddrStream::strided(kMesh + row_bytes + 8,
+                                                  8, kMeshBytes));
+    const auto s_rx = b.stream(AddrStream::strided(0x1100'2360, 8,
+                                                   kMeshBytes));
+    const auto s_ry = b.stream(AddrStream::strided(0x1200'55c8, 8,
+                                                   kMeshBytes));
+
+    b.setInsertPoint(fn, m_init);
+    const ValueId r = b.emitConst(RegClass::Int, 0, "r");
+    const ValueId cc = b.emitConst(RegClass::Int, 0, "cc");
+    const ValueId pm = b.emitConst(RegClass::Int, 0xf00000, "pm");
+    const ValueId w2 = b.emitConst(RegClass::Fp, 2, "w2");
+    const ValueId w4 = b.emitConst(RegClass::Fp, 4, "w4");
+    b.edge(fn, m_init, r_head);
+
+    b.setInsertPoint(fn, r_head);
+    {
+        prog::Instr reset;
+        reset.op = Op::Lda;
+        reset.dest = cc;
+        reset.imm = 0;
+        b.emitRaw(reset);
+    }
+    b.edge(fn, r_head, c_body);
+
+    // Five-point stencil update.
+    b.setInsertPoint(fn, c_body);
+    const ValueId vc = b.emitLoad(Op::Ldt, s_c, pm, "vc");
+    const ValueId vn = b.emitLoad(Op::Ldt, s_n, pm, "vn");
+    const ValueId vs = b.emitLoad(Op::Ldt, s_s, pm, "vs");
+    const ValueId vw = b.emitLoad(Op::Ldt, s_w, pm, "vw");
+    const ValueId ve = b.emitLoad(Op::Ldt, s_e, pm, "ve");
+    const ValueId ns = b.emitRRR(Op::AddF, vn, vs, "ns");
+    const ValueId we = b.emitRRR(Op::AddF, vw, ve, "we");
+    const ValueId lap = b.emitRRR(Op::AddF, ns, we, "lap");
+    const ValueId cw = b.emitRRR(Op::MulF, vc, w4, "cw");
+    const ValueId resid = b.emitRRR(Op::SubF, lap, cw, "resid");
+    const ValueId relax = b.emitRRR(Op::DivF, resid, w2, "relax");
+    const ValueId nx = b.emitRRR(Op::AddF, vc, relax, "nx");
+    const ValueId ny = b.emitRRR(Op::MulF, relax, w2, "ny");
+    b.emitStore(Op::Stt, nx, s_rx, pm);
+    b.emitStore(Op::Stt, ny, s_ry, pm);
+    emitLoopLatch(b, cc, static_cast<std::int64_t>(cols), cols);
+    b.edge(fn, c_body, r_latch);
+    b.edge(fn, c_body, c_body);
+
+    b.setInsertPoint(fn, r_latch);
+    emitLoopLatch(b, r, static_cast<std::int64_t>(rows), rows);
+    b.edge(fn, r_latch, m_end);
+    b.edge(fn, r_latch, r_head);
+
+    b.setInsertPoint(fn, m_end);
+    b.emitRet();
+
+    return b.build();
+}
+
+} // namespace mca::workloads

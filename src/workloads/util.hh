@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Shared helpers for the workload generators (internal).
+ */
+
+#ifndef MCA_WORKLOADS_UTIL_HH
+#define MCA_WORKLOADS_UTIL_HH
+
+#include "prog/builder.hh"
+
+namespace mca::workloads::detail
+{
+
+using isa::Op;
+using isa::RegClass;
+using prog::AddrStream;
+using prog::BlockId;
+using prog::BranchModel;
+using prog::Builder;
+using prog::FunctionId;
+using prog::ValueId;
+
+/**
+ * Emit the standard counted-loop latch into the current block: the
+ * counter is incremented, compared, and a loop-model branch closes the
+ * back edge. Returns the comparison value (for reuse if needed).
+ *
+ * The caller must add the successors: edge(fn, body, exit) first
+ * (fall-through, loop exit) then edge(fn, body, head) (taken, back
+ * edge).
+ */
+inline ValueId
+emitLoopLatch(Builder &b, ValueId counter, std::int64_t bound,
+              std::uint64_t trip, std::uint64_t jitter = 0)
+{
+    b.emitRRITo(counter, Op::Add, counter, 1);
+    const ValueId cond = b.emitRRI(Op::CmpLt, counter, bound, "lc");
+    b.emitBranch(Op::Bne, cond, b.branch(BranchModel::loop(trip, jitter)));
+    return cond;
+}
+
+/** Common program preamble: SP and GP global candidates. */
+struct Preamble
+{
+    ValueId sp;
+    ValueId gp;
+};
+
+inline Preamble
+emitPreamble(Builder &b)
+{
+    Preamble p;
+    p.sp = b.globalValue(RegClass::Int, "sp");
+    p.gp = b.globalValue(RegClass::Int, "gp");
+    return p;
+}
+
+} // namespace mca::workloads::detail
+
+#endif // MCA_WORKLOADS_UTIL_HH

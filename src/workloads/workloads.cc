@@ -1,0 +1,28 @@
+#include "workloads/workloads.hh"
+
+#include "support/panic.hh"
+
+namespace mca::workloads
+{
+
+const std::vector<BenchmarkInfo> &
+allBenchmarks()
+{
+    static const std::vector<BenchmarkInfo> kBenchmarks = {
+        {"compress", makeCompress}, {"doduc", makeDoduc},
+        {"gcc1", makeGcc1},         {"ora", makeOra},
+        {"su2cor", makeSu2cor},     {"tomcatv", makeTomcatv},
+    };
+    return kBenchmarks;
+}
+
+const BenchmarkInfo &
+benchmarkByName(const std::string &name)
+{
+    for (const auto &info : allBenchmarks())
+        if (info.name == name)
+            return info;
+    MCA_FATAL("unknown benchmark '", name, "'");
+}
+
+} // namespace mca::workloads

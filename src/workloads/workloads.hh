@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Synthetic SPEC92-like workload generators.
+ *
+ * The paper evaluates compress, doduc, gcc1, ora, su2cor, and tomcatv
+ * under ATOM on Alpha hardware. SPEC92 sources and binaries are not
+ * redistributable, so each generator here builds an IL program that
+ * mimics the corresponding benchmark along the axes the evaluation is
+ * sensitive to: instruction mix (integer vs floating point vs memory vs
+ * control), dependence-chain depth (ILP), branch predictability, basic
+ * block size, call behaviour, and memory footprint/locality. See
+ * DESIGN.md §5.6 for the per-benchmark sketches.
+ *
+ * All generators are deterministic: a given (name, scale) pair always
+ * produces the identical program.
+ */
+
+#ifndef MCA_WORKLOADS_WORKLOADS_HH
+#define MCA_WORKLOADS_WORKLOADS_HH
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "prog/cfg.hh"
+
+namespace mca::workloads
+{
+
+/** Generator sizing knobs. */
+struct WorkloadParams
+{
+    /**
+     * Linear scale on loop trip counts; 1.0 targets roughly 150k-300k
+     * dynamic instructions per benchmark.
+     */
+    double scale = 1.0;
+};
+
+prog::Program makeCompress(const WorkloadParams &params = {});
+prog::Program makeDoduc(const WorkloadParams &params = {});
+prog::Program makeGcc1(const WorkloadParams &params = {});
+prog::Program makeOra(const WorkloadParams &params = {});
+prog::Program makeSu2cor(const WorkloadParams &params = {});
+prog::Program makeTomcatv(const WorkloadParams &params = {});
+
+/** One registered benchmark. */
+struct BenchmarkInfo
+{
+    std::string name;
+    std::function<prog::Program(const WorkloadParams &)> make;
+};
+
+/** The paper's six benchmarks, in Table-2 order. */
+const std::vector<BenchmarkInfo> &allBenchmarks();
+
+/** Look up one benchmark by name; fatal if unknown. */
+const BenchmarkInfo &benchmarkByName(const std::string &name);
+
+/** Shape parameters for the random-program fuzzer. */
+struct RandomProgramParams
+{
+    std::uint64_t seed = 1;
+    unsigned numFunctions = 3;
+    unsigned segmentsPerFunction = 6;
+    unsigned instrsPerBlock = 8;
+    /** Probability a generated value is floating point. */
+    double fpFraction = 0.3;
+    /** Probability an instruction is a memory operation. */
+    double memFraction = 0.2;
+    std::uint64_t loopTrip = 12;
+};
+
+/**
+ * Build a random but well-formed program (reducible CFG, terminating
+ * branch models, valid operand classes). Used by property tests to fuzz
+ * the compiler and the timing model.
+ */
+prog::Program makeRandomProgram(const RandomProgramParams &params);
+
+} // namespace mca::workloads
+
+#endif // MCA_WORKLOADS_WORKLOADS_HH

@@ -1,0 +1,268 @@
+/**
+ * @file
+ * Unit tests for the branch predictors: bimodal, gshare, and the
+ * McFarling combining predictor.
+ */
+
+#include <gtest/gtest.h>
+
+#include <deque>
+
+#include "bpred/predictors.hh"
+#include "support/random.hh"
+
+namespace
+{
+
+using namespace mca;
+
+// --- Bimodal ---------------------------------------------------------
+
+TEST(Bimodal, LearnsABiasedBranch)
+{
+    bpred::BimodalPredictor p(10);
+    const Addr pc = 0x1000;
+    for (int i = 0; i < 10; ++i)
+        p.update(pc, true);
+    EXPECT_TRUE(p.predict(pc));
+    EXPECT_GT(p.accuracy(), 0.7);
+}
+
+TEST(Bimodal, HysteresisSurvivesOneFlip)
+{
+    bpred::BimodalPredictor p(10);
+    const Addr pc = 0x2000;
+    for (int i = 0; i < 4; ++i)
+        p.update(pc, true);
+    p.update(pc, false); // single anomaly
+    EXPECT_TRUE(p.predict(pc)); // 2-bit counter still weakly taken
+}
+
+TEST(Bimodal, DistinctPcsIndependent)
+{
+    bpred::BimodalPredictor p(10);
+    for (int i = 0; i < 8; ++i) {
+        p.update(0x1000, true);
+        p.update(0x1004, false);
+    }
+    EXPECT_TRUE(p.predict(0x1000));
+    EXPECT_FALSE(p.predict(0x1004));
+}
+
+TEST(Bimodal, CannotLearnAlternation)
+{
+    bpred::BimodalPredictor p(10);
+    const Addr pc = 0x3000;
+    int correct = 0;
+    bool dir = false;
+    for (int i = 0; i < 1000; ++i) {
+        dir = !dir;
+        correct += (p.predict(pc) == dir) ? 1 : 0;
+        p.update(pc, dir);
+    }
+    EXPECT_LT(correct / 1000.0, 0.7);
+}
+
+// --- Gshare -----------------------------------------------------------
+
+TEST(Gshare, LearnsAPeriodicPattern)
+{
+    bpred::GsharePredictor p(12, 12);
+    const Addr pc = 0x4000;
+    const bool pattern[] = {true, true, false, true, false};
+    int correct = 0;
+    for (int i = 0; i < 5000; ++i) {
+        const bool dir = pattern[i % 5];
+        correct += (p.predict(pc) == dir) ? 1 : 0;
+        p.update(pc, dir);
+    }
+    // After warmup the history disambiguates every pattern position.
+    EXPECT_GT(correct / 5000.0, 0.95);
+}
+
+TEST(Gshare, HistoryIsBounded)
+{
+    bpred::GsharePredictor p(4, 12);
+    for (int i = 0; i < 100; ++i)
+        p.pushHistory(true);
+    EXPECT_LT(p.history(), 16u);
+}
+
+TEST(Gshare, LearnsCorrelatedBranches)
+{
+    bpred::GsharePredictor p(12, 12);
+    Rng rng(3);
+    // Branch B follows branch A's direction; A is random.
+    int correct_b = 0;
+    const int n = 4000;
+    for (int i = 0; i < n; ++i) {
+        const bool a = rng.nextBool(0.5);
+        p.update(0x100, a);
+        correct_b += (p.predict(0x200) == a) ? 1 : 0;
+        p.update(0x200, a);
+    }
+    EXPECT_GT(static_cast<double>(correct_b) / n, 0.9);
+}
+
+// --- McFarling combining ------------------------------------------------
+
+TEST(McFarling, BeatsBimodalOnPatterns)
+{
+    bpred::McFarlingPredictor comb;
+    bpred::BimodalPredictor bim(11);
+    const Addr pc = 0x5000;
+    const bool pattern[] = {true, false, true, true, false, false};
+    int comb_ok = 0, bim_ok = 0;
+    for (int i = 0; i < 6000; ++i) {
+        const bool dir = pattern[i % 6];
+        comb_ok += (comb.predict(pc) == dir) ? 1 : 0;
+        bim_ok += (bim.predict(pc) == dir) ? 1 : 0;
+        comb.update(pc, dir);
+        bim.update(pc, dir);
+    }
+    EXPECT_GT(comb_ok, bim_ok);
+    EXPECT_GT(comb_ok / 6000.0, 0.9);
+}
+
+TEST(McFarling, MatchesBimodalOnBiasedNoise)
+{
+    bpred::McFarlingPredictor comb;
+    Rng rng(17);
+    const Addr pc = 0x6000;
+    int ok = 0;
+    const int n = 8000;
+    for (int i = 0; i < n; ++i) {
+        const bool dir = rng.nextBool(0.85);
+        ok += (comb.predict(pc) == dir) ? 1 : 0;
+        comb.update(pc, dir);
+    }
+    // On an unlearnable biased branch the combiner should approach the
+    // bias itself.
+    EXPECT_GT(static_cast<double>(ok) / n, 0.78);
+}
+
+TEST(McFarling, AccuracyBookkeeping)
+{
+    bpred::McFarlingPredictor comb;
+    const Addr pc = 0x7000;
+    for (int i = 0; i < 10; ++i)
+        comb.update(pc, true);
+    EXPECT_EQ(comb.predictions(), 10u);
+    EXPECT_GT(comb.accuracy(), 0.5);
+}
+
+TEST(McFarling, PredictHasNoSideEffects)
+{
+    bpred::McFarlingPredictor comb;
+    const Addr pc = 0x8000;
+    const bool first = comb.predict(pc);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(comb.predict(pc), first);
+    EXPECT_EQ(comb.predictions(), 0u); // stats only count updates
+}
+
+TEST(McFarling, ChooserSelectsPerBranch)
+{
+    bpred::McFarlingPredictor comb;
+    Rng rng(23);
+    // pc1: heavily biased (bimodal-friendly); pc2: alternating
+    // (history-friendly). Train both interleaved; the chooser should
+    // let each be predicted well.
+    int ok1 = 0, ok2 = 0;
+    bool alt = false;
+    const int n = 6000;
+    for (int i = 0; i < n; ++i) {
+        const bool d1 = rng.nextBool(0.95);
+        alt = !alt;
+        ok1 += (comb.predict(0x9000) == d1) ? 1 : 0;
+        comb.update(0x9000, d1);
+        ok2 += (comb.predict(0xa000) == alt) ? 1 : 0;
+        comb.update(0xa000, alt);
+    }
+    EXPECT_GT(static_cast<double>(ok1) / n, 0.85);
+    EXPECT_GT(static_cast<double>(ok2) / n, 0.9);
+}
+
+// --- speculative history ---------------------------------------------------
+
+TEST(SpeculativeHistory, GshareLearnsPatternsWithInFlightBranches)
+{
+    // Model the machine: predictions happen several branches ahead of
+    // updates. With update-at-execute history the pattern is
+    // unlearnable; with speculative history it is learned.
+    auto run = [](bool spec) {
+        bpred::GsharePredictor p(12, 12, spec);
+        const Addr pc = 0x4000;
+        const bool pattern[] = {true, true, false, true, false};
+        std::deque<std::pair<bool, bool>> inflight; // (predicted, actual)
+        int correct = 0, total = 0;
+        for (int i = 0; i < 6000; ++i) {
+            const bool dir = pattern[i % 5];
+            inflight.emplace_back(p.predict(pc), dir);
+            // Updates lag predictions by 4 branches.
+            if (inflight.size() > 4) {
+                auto [pred, actual] = inflight.front();
+                inflight.pop_front();
+                ++total;
+                correct += (pred == actual);
+                p.update(pc, actual);
+                if (pred != actual)
+                    p.squashRepair(actual);
+            }
+        }
+        return static_cast<double>(correct) / total;
+    };
+    EXPECT_LT(run(false), 0.8); // stale history cannot learn it
+    EXPECT_GT(run(true), 0.90); // speculative history can
+}
+
+TEST(SpeculativeHistory, RepairRestoresHistoryAfterMispredict)
+{
+    bpred::GsharePredictor p(8, 12, true);
+    // Cold counters predict not-taken; a taken branch mispredicts.
+    const bool pred = p.predict(0x100);
+    EXPECT_FALSE(pred);
+    EXPECT_EQ(p.history() & 1, 0u); // speculative push of the prediction
+    p.update(0x100, true);
+    p.squashRepair(true);
+    EXPECT_EQ(p.history() & 1, 1u); // repaired to the actual direction
+}
+
+TEST(SpeculativeHistory, McFarlingChooserLearnsFromSnapshots)
+{
+    // With in-flight lag, the combining predictor must still route the
+    // pattern branch to its (speculative-history) gshare component.
+    bpred::McFarlingPredictor p(11, 12, 12, 12, true);
+    const Addr pc = 0x5000;
+    const bool pattern[] = {true, false, false, true, true, false};
+    std::deque<std::pair<bool, bool>> inflight;
+    int correct = 0, total = 0;
+    for (int i = 0; i < 9000; ++i) {
+        const bool dir = pattern[i % 6];
+        inflight.emplace_back(p.predict(pc), dir);
+        if (inflight.size() > 3) {
+            auto [predicted, actual] = inflight.front();
+            inflight.pop_front();
+            ++total;
+            correct += (predicted == actual);
+            p.update(pc, actual);
+            if (predicted != actual)
+                p.squashRepair(actual);
+        }
+    }
+    EXPECT_GT(static_cast<double>(correct) / total, 0.85);
+}
+
+// --- StaticPredictor ------------------------------------------------------
+
+TEST(StaticPredictor, AlwaysSameDirection)
+{
+    bpred::StaticPredictor taken(true);
+    EXPECT_TRUE(taken.predict(0x100));
+    taken.update(0x100, false);
+    taken.update(0x100, true);
+    EXPECT_TRUE(taken.predict(0x100));
+    EXPECT_DOUBLE_EQ(taken.accuracy(), 0.5);
+}
+
+} // namespace

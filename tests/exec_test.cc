@@ -1,0 +1,364 @@
+/**
+ * @file
+ * Unit tests for the trace interpreter: CFG walking, branch resolution,
+ * calls/returns, profiling, and trace sources.
+ */
+
+#include <gtest/gtest.h>
+
+#include "compiler/pipeline.hh"
+#include "exec/trace.hh"
+#include "exec/walker.hh"
+#include "prog/builder.hh"
+#include "workloads/workloads.hh"
+
+namespace
+{
+
+using namespace mca;
+using isa::Op;
+using isa::RegClass;
+
+/** Loop program: entry -> body (x trip) -> exit. */
+prog::Program
+loopProgram(std::uint64_t trip)
+{
+    prog::Builder b("loop");
+    const auto fn = b.function("main");
+    const auto b0 = b.block(fn, 1, "entry");
+    const auto b1 = b.block(fn, static_cast<double>(trip), "body");
+    const auto b2 = b.block(fn, 1, "exit");
+    b.setInsertPoint(fn, b0);
+    const auto i = b.emitConst(RegClass::Int, 0, "i");
+    b.edge(fn, b0, b1);
+    b.setInsertPoint(fn, b1);
+    b.emitRRITo(i, Op::Add, i, 1);
+    const auto c = b.emitRRI(Op::CmpLt, i, 100, "c");
+    b.emitBranch(Op::Bne, c, b.branch(prog::BranchModel::loop(trip)));
+    b.edge(fn, b1, b2);
+    b.edge(fn, b1, b1);
+    b.setInsertPoint(fn, b2);
+    b.emitRet();
+    return b.build();
+}
+
+/** Program with a call: main calls callee twice. */
+prog::Program
+callProgram()
+{
+    prog::Builder b("calls");
+    const auto fn = b.function("main");
+    const auto callee = b.function("callee");
+
+    const auto m0 = b.block(fn, 1, "m0");
+    const auto m1 = b.block(fn, 1, "m1");
+    const auto m2 = b.block(fn, 1, "m2");
+    b.setInsertPoint(fn, m0);
+    b.emitConst(RegClass::Int, 1, "x");
+    b.emitJsr(callee);
+    b.edge(fn, m0, m1);
+    b.setInsertPoint(fn, m1);
+    b.emitJsr(callee);
+    b.edge(fn, m1, m2);
+    b.setInsertPoint(fn, m2);
+    b.emitRet();
+
+    const auto c0 = b.block(callee, 2, "c0");
+    b.setInsertPoint(callee, c0);
+    b.emitConst(RegClass::Int, 9, "y");
+    b.emitConst(RegClass::Int, 10, "z");
+    b.emitRet();
+    return b.build();
+}
+
+/** Walk an IL program and collect (fn, blk, op) triples. */
+std::vector<std::tuple<prog::FunctionId, prog::BlockId, isa::Op>>
+walkAll(const prog::Program &p, std::uint64_t seed,
+        std::size_t cap = 100000)
+{
+    exec::CfgWalker<prog::Program> walker(p, seed);
+    exec::WalkSite site;
+    std::vector<std::tuple<prog::FunctionId, prog::BlockId, isa::Op>> out;
+    while (out.size() < cap && walker.step(site)) {
+        const auto &in =
+            p.functions[site.fn].blocks[site.blk].instrs[site.idx];
+        out.emplace_back(site.fn, site.blk, in.op);
+    }
+    return out;
+}
+
+// --- CfgWalker -----------------------------------------------------------
+
+TEST(Walker, LoopExecutesBodyTripTimes)
+{
+    const auto p = loopProgram(7);
+    const auto trace = walkAll(p, 1);
+    std::size_t body_entries = 0;
+    for (const auto &[fn, blk, op] : trace)
+        if (blk == 1 && op == Op::Add)
+            ++body_entries;
+    EXPECT_EQ(body_entries, 7u);
+    // 1 (entry) + 7*3 (body) + 1 (ret) instructions.
+    EXPECT_EQ(trace.size(), 23u);
+}
+
+TEST(Walker, EndsAfterMainReturns)
+{
+    const auto p = loopProgram(2);
+    exec::CfgWalker<prog::Program> walker(p, 1);
+    exec::WalkSite site;
+    std::size_t n = 0;
+    while (walker.step(site))
+        ++n;
+    EXPECT_FALSE(walker.step(site)); // stays ended
+    EXPECT_EQ(n, 8u);
+}
+
+TEST(Walker, CallsEnterAndReturn)
+{
+    const auto p = callProgram();
+    const auto trace = walkAll(p, 1);
+    // main: const, jsr | callee: const, const, ret | main: jsr |
+    // callee again | main: ret.
+    std::vector<prog::FunctionId> fns;
+    for (const auto &[fn, blk, op] : trace)
+        fns.push_back(fn);
+    EXPECT_EQ(fns, (std::vector<prog::FunctionId>{0, 0, 1, 1, 1, 0, 1, 1,
+                                                  1, 0}));
+}
+
+TEST(Walker, NextPcFollowsTakenBranches)
+{
+    const auto p = loopProgram(3);
+    exec::CfgWalker<prog::Program> walker(p, 1);
+    exec::WalkSite site;
+    // entry const.
+    ASSERT_TRUE(walker.step(site));
+    const Addr body_pc = site.nextPc;
+    // body: add, cmp, bne (taken, back to body start).
+    ASSERT_TRUE(walker.step(site));
+    EXPECT_EQ(site.pc, body_pc);
+    ASSERT_TRUE(walker.step(site));
+    ASSERT_TRUE(walker.step(site));
+    EXPECT_TRUE(site.taken);
+    EXPECT_EQ(site.nextPc, body_pc);
+}
+
+TEST(Walker, DeterministicAcrossRuns)
+{
+    const auto p = workloads::makeGcc1(workloads::WorkloadParams{0.01});
+    const auto a = walkAll(p, 77, 5000);
+    const auto bb = walkAll(p, 77, 5000);
+    EXPECT_EQ(a, bb);
+}
+
+TEST(Walker, SeedChangesBernoulliPath)
+{
+    const auto p = workloads::makeGcc1(workloads::WorkloadParams{0.01});
+    const auto a = walkAll(p, 1, 3000);
+    const auto bb = walkAll(p, 2, 3000);
+    EXPECT_NE(a, bb);
+}
+
+TEST(Walker, NestedCallsUnwindCorrectly)
+{
+    // main -> a -> b, with work after each return.
+    prog::Builder b("nested");
+    const auto fm = b.function("main");
+    const auto fa = b.function("a");
+    const auto fb = b.function("b");
+
+    const auto m0 = b.block(fm, 1);
+    const auto m1 = b.block(fm, 1);
+    b.setInsertPoint(fm, m0);
+    b.emitConst(RegClass::Int, 1, "m");
+    b.emitJsr(fa);
+    b.edge(fm, m0, m1);
+    b.setInsertPoint(fm, m1);
+    b.emitConst(RegClass::Int, 2, "after_a");
+    b.emitRet();
+
+    const auto a0 = b.block(fa, 1);
+    const auto a1 = b.block(fa, 1);
+    b.setInsertPoint(fa, a0);
+    b.emitConst(RegClass::Int, 3, "a_pre");
+    b.emitJsr(fb);
+    b.edge(fa, a0, a1);
+    b.setInsertPoint(fa, a1);
+    b.emitConst(RegClass::Int, 4, "a_post");
+    b.emitRet();
+
+    const auto b0 = b.block(fb, 1);
+    b.setInsertPoint(fb, b0);
+    b.emitConst(RegClass::Int, 5, "b_body");
+    b.emitRet();
+
+    const auto p = b.build();
+    const auto trace = walkAll(p, 1);
+    std::vector<prog::FunctionId> fns;
+    for (const auto &[fn, blk, op] : trace)
+        fns.push_back(fn);
+    // main(2) -> a(2) -> b(2) -> a(2) -> main(2)
+    EXPECT_EQ(fns, (std::vector<prog::FunctionId>{0, 0, 1, 1, 2, 2, 1,
+                                                  1, 0, 0}));
+    exec::CfgWalker<prog::Program> w(p, 1);
+    exec::WalkSite site;
+    std::size_t max_depth = 0;
+    while (w.step(site))
+        max_depth = std::max(max_depth, w.stackDepth());
+    EXPECT_EQ(max_depth, 2u);
+}
+
+TEST(Walker, IndirectJumpFollowsWeights)
+{
+    // A Jmp with 3 targets weighted 8:1:1 visited many times.
+    prog::Builder b("switchy");
+    const auto fn = b.function("main");
+    const auto head = b.block(fn, 100, "head");
+    const auto t0 = b.block(fn, 80, "t0");
+    const auto t1 = b.block(fn, 10, "t1");
+    const auto t2 = b.block(fn, 10, "t2");
+    const auto latch = b.block(fn, 100, "latch");
+    const auto done = b.block(fn, 1, "done");
+    b.setInsertPoint(fn, head);
+    const auto sel = b.emitConst(RegClass::Int, 0, "sel");
+    b.emitJmp(sel);
+    b.edge(fn, head, t0);
+    b.edge(fn, head, t1);
+    b.edge(fn, head, t2);
+    b.succWeights(fn, head, {8, 1, 1});
+    for (auto t : {t0, t1, t2}) {
+        b.setInsertPoint(fn, t);
+        b.emitRRI(Op::Add, sel, 1);
+        b.emitBr();
+        b.edge(fn, t, latch);
+    }
+    b.setInsertPoint(fn, latch);
+    const auto i = b.emitConst(RegClass::Int, 0, "i");
+    b.emitRRITo(i, Op::Add, i, 1);
+    const auto c = b.emitRRI(Op::CmpLt, i, 4000, "c");
+    b.emitBranch(Op::Bne, c, b.branch(prog::BranchModel::loop(4000)));
+    b.edge(fn, latch, done);
+    b.edge(fn, latch, head);
+    b.setInsertPoint(fn, done);
+    b.emitRet();
+    const auto p = b.build();
+
+    const auto prof = exec::profileProgram(p, 3, 10'000'000);
+    ASSERT_TRUE(prof.completed);
+    const double v0 = static_cast<double>(prof.visits[0][t0]);
+    const double v1 = static_cast<double>(prof.visits[0][t1]);
+    const double v2 = static_cast<double>(prof.visits[0][t2]);
+    EXPECT_NEAR(v0 / 4000.0, 0.8, 0.03);
+    EXPECT_NEAR(v1 / 4000.0, 0.1, 0.02);
+    EXPECT_NEAR(v2 / 4000.0, 0.1, 0.02);
+}
+
+// --- profiling --------------------------------------------------------
+
+TEST(Profile, CountsBlockVisits)
+{
+    const auto p = loopProgram(5);
+    const auto prof = exec::profileProgram(p, 1, 100000);
+    EXPECT_TRUE(prof.completed);
+    EXPECT_EQ(prof.visits[0][0], 1u); // entry
+    EXPECT_EQ(prof.visits[0][1], 5u); // body
+    EXPECT_EQ(prof.visits[0][2], 1u); // exit
+}
+
+TEST(Profile, ApplyProfileOverwritesWeights)
+{
+    auto p = loopProgram(9);
+    const auto prof = exec::profileProgram(p, 1, 100000);
+    exec::applyProfile(p, prof);
+    EXPECT_DOUBLE_EQ(p.functions[0].blocks[1].weight, 9.0);
+}
+
+TEST(Profile, InstCapMarksIncomplete)
+{
+    const auto p = loopProgram(1000);
+    const auto prof = exec::profileProgram(p, 1, 50);
+    EXPECT_FALSE(prof.completed);
+    EXPECT_EQ(prof.totalInsts, 50u);
+}
+
+// --- ProgramTrace -----------------------------------------------------
+
+TEST(ProgramTrace, EmitsMachineInstructionsWithAddresses)
+{
+    const auto p = workloads::makeCompress(workloads::WorkloadParams{0.01});
+    compiler::CompileOptions copt;
+    copt.scheduler = compiler::SchedulerKind::Native;
+    copt.numClusters = 1;
+    const auto out = compiler::compile(p, copt);
+
+    exec::ProgramTrace trace(out.binary, 5, 2000);
+    std::size_t n = 0, mem_with_addr = 0;
+    while (auto di = trace.next()) {
+        ++n;
+        if (isa::isMemOp(di->mi.op)) {
+            EXPECT_NE(di->effAddr, 0u);
+            ++mem_with_addr;
+        }
+        EXPECT_EQ(di->seq, n - 1);
+    }
+    EXPECT_EQ(n, 2000u);
+    EXPECT_GT(mem_with_addr, 100u);
+}
+
+TEST(ProgramTrace, SpillCodeIsMarked)
+{
+    // A block with 40 simultaneously live values guarantees spills.
+    prog::Builder b("pressure");
+    const auto fn = b.function("main");
+    const auto b0 = b.block(fn, 1);
+    b.setInsertPoint(fn, b0);
+    std::vector<prog::ValueId> vals;
+    for (int i = 0; i < 40; ++i)
+        vals.push_back(b.emitConst(RegClass::Int, i, "v"));
+    auto acc = vals[0];
+    for (int i = 1; i < 40; ++i)
+        acc = b.emitRRR(Op::Add, acc, vals[i], "s");
+    b.emitRet();
+    const auto p = b.build();
+
+    compiler::CompileOptions copt;
+    copt.scheduler = compiler::SchedulerKind::Native;
+    copt.numClusters = 1;
+    copt.optimize = false; // keep all 40 constants live
+    const auto out = compiler::compile(p, copt);
+    ASSERT_GT(out.alloc.spillLoadsInserted, 0u);
+    exec::ProgramTrace trace(out.binary, 5, 20000);
+    std::size_t spills = 0;
+    while (auto di = trace.next())
+        spills += di->isSpill ? 1 : 0;
+    EXPECT_GT(spills, 0u);
+}
+
+// --- VectorTrace ---------------------------------------------------------
+
+TEST(VectorTrace, NormalizeAssignsSequentialSeqAndPcs)
+{
+    std::vector<exec::DynInst> insts(3);
+    insts[0].mi = isa::makeRRR(Op::Add, isa::intReg(1), isa::intReg(2),
+                               isa::intReg(3));
+    insts[1].mi = insts[0].mi;
+    insts[2].mi = insts[0].mi;
+    const auto norm = exec::VectorTrace::normalize(insts);
+    EXPECT_EQ(norm[0].seq, 0u);
+    EXPECT_EQ(norm[2].seq, 2u);
+    EXPECT_EQ(norm[0].nextPc, norm[1].pc);
+    EXPECT_EQ(norm[1].nextPc, norm[2].pc);
+    EXPECT_EQ(norm[2].nextPc, 0u);
+}
+
+TEST(VectorTrace, DrainsThenEnds)
+{
+    std::vector<exec::DynInst> insts(2);
+    exec::VectorTrace trace(exec::VectorTrace::normalize(insts));
+    EXPECT_TRUE(trace.next().has_value());
+    EXPECT_TRUE(trace.next().has_value());
+    EXPECT_FALSE(trace.next().has_value());
+}
+
+} // namespace

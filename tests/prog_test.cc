@@ -1,0 +1,333 @@
+/**
+ * @file
+ * Unit tests for the program IR: builder, CFG validation, PC
+ * assignment, branch-behaviour models, and address streams.
+ */
+
+#include <gtest/gtest.h>
+
+#include "prog/addr_stream.hh"
+#include "prog/branch_model.hh"
+#include "prog/builder.hh"
+#include "prog/cfg.hh"
+#include "support/random.hh"
+
+namespace
+{
+
+using namespace mca;
+using isa::Op;
+using isa::RegClass;
+
+prog::Program
+tinyProgram()
+{
+    prog::Builder b("tiny");
+    const auto fn = b.function("main");
+    const auto b0 = b.block(fn, 1, "entry");
+    const auto b1 = b.block(fn, 1, "exit");
+    b.setInsertPoint(fn, b0);
+    const auto x = b.emitConst(RegClass::Int, 5, "x");
+    b.emitRRI(Op::Add, x, 1, "y");
+    b.edge(fn, b0, b1);
+    b.setInsertPoint(fn, b1);
+    b.emitRet();
+    return b.build();
+}
+
+// --- Builder and validation ------------------------------------------
+
+TEST(Builder, BuildsValidProgram)
+{
+    const auto p = tinyProgram();
+    EXPECT_EQ(p.functions.size(), 1u);
+    EXPECT_EQ(p.staticInstCount(), 3u);
+    EXPECT_EQ(p.values.size(), 2u);
+}
+
+TEST(Builder, PcAssignmentIsContiguous)
+{
+    prog::Builder b("pcs");
+    const auto fn = b.function("main");
+    const auto b0 = b.block(fn, 1);
+    const auto b1 = b.block(fn, 1);
+    b.setInsertPoint(fn, b0);
+    b.emitConst(RegClass::Int, 1);
+    b.emitConst(RegClass::Int, 2);
+    b.edge(fn, b0, b1);
+    b.setInsertPoint(fn, b1);
+    b.emitRet();
+    const auto p = b.build();
+    EXPECT_EQ(p.functions[0].blocks[0].startPc, p.codeBase);
+    EXPECT_EQ(p.functions[0].blocks[1].startPc, p.codeBase + 8);
+}
+
+TEST(Builder, GlobalValuesAreLiveInCandidates)
+{
+    prog::Builder b("glob");
+    const auto sp = b.globalValue(RegClass::Int, "sp");
+    const auto fn = b.function("main");
+    const auto b0 = b.block(fn, 1);
+    b.setInsertPoint(fn, b0);
+    b.emitRRI(Op::Add, sp, 8);
+    b.emitRet();
+    const auto p = b.build();
+    EXPECT_TRUE(p.values[sp].globalCandidate);
+    EXPECT_TRUE(p.values[sp].liveIn);
+}
+
+TEST(BuilderDeath, CondBranchNeedsTwoSuccessors)
+{
+    prog::Builder b("bad");
+    const auto fn = b.function("main");
+    const auto b0 = b.block(fn, 1);
+    b.setInsertPoint(fn, b0);
+    const auto x = b.emitConst(RegClass::Int, 0);
+    b.emitBranch(Op::Bne, x, b.branch(prog::BranchModel::never()));
+    // only one successor
+    const auto b1 = b.block(fn, 1);
+    b.edge(fn, b0, b1);
+    b.setInsertPoint(fn, b1);
+    b.emitRet();
+    EXPECT_DEATH(b.build(), "2 successors");
+}
+
+TEST(BuilderDeath, ReturnMustNotHaveSuccessors)
+{
+    prog::Builder b("bad");
+    const auto fn = b.function("main");
+    const auto b0 = b.block(fn, 1);
+    const auto b1 = b.block(fn, 1);
+    b.setInsertPoint(fn, b0);
+    b.emitRet();
+    b.edge(fn, b0, b1);
+    b.setInsertPoint(fn, b1);
+    b.emitRet();
+    EXPECT_DEATH(b.build(), "no successors");
+}
+
+TEST(BuilderDeath, FallthroughNeedsExactlyOneSuccessor)
+{
+    prog::Builder b("bad");
+    const auto fn = b.function("main");
+    const auto b0 = b.block(fn, 1);
+    b.setInsertPoint(fn, b0);
+    b.emitConst(RegClass::Int, 1);
+    EXPECT_DEATH(b.build(), "1 succ");
+}
+
+TEST(BuilderDeath, MemoryOpRequiresStream)
+{
+    prog::Program p;
+    p.name = "bad";
+    prog::Function fn;
+    fn.id = 0;
+    prog::BasicBlock blk;
+    blk.id = 0;
+    prog::Instr ld;
+    ld.op = Op::Ldl;
+    ld.dest = 0;
+    blk.instrs.push_back(ld);
+    prog::Instr ret;
+    ret.op = Op::Ret;
+    blk.instrs.push_back(ret);
+    fn.blocks.push_back(blk);
+    p.functions.push_back(fn);
+    p.values.push_back({});
+    EXPECT_DEATH(p.finalize(), "without address stream");
+}
+
+TEST(BuilderDeath, CallNeedsCallee)
+{
+    prog::Program p;
+    p.name = "bad";
+    prog::Function fn;
+    fn.id = 0;
+    prog::BasicBlock b0;
+    b0.id = 0;
+    prog::Instr jsr;
+    jsr.op = Op::Jsr;
+    b0.instrs.push_back(jsr);
+    b0.succs = {1};
+    prog::BasicBlock b1;
+    b1.id = 1;
+    prog::Instr ret;
+    ret.op = Op::Ret;
+    b1.instrs.push_back(ret);
+    fn.blocks.push_back(b0);
+    fn.blocks.push_back(b1);
+    p.functions.push_back(fn);
+    EXPECT_DEATH(p.finalize(), "callee");
+}
+
+// --- Branch models ------------------------------------------------------
+
+TEST(BranchModel, LoopTakesTripMinusOneThenExits)
+{
+    const auto m = prog::BranchModel::loop(4);
+    prog::BranchModelState st(m, Rng(1));
+    // Two full loop executions: T T T N, T T T N.
+    for (int round = 0; round < 2; ++round) {
+        EXPECT_TRUE(st.nextOutcome());
+        EXPECT_TRUE(st.nextOutcome());
+        EXPECT_TRUE(st.nextOutcome());
+        EXPECT_FALSE(st.nextOutcome());
+    }
+}
+
+TEST(BranchModel, LoopTripOneNeverTaken)
+{
+    prog::BranchModelState st(prog::BranchModel::loop(1), Rng(1));
+    EXPECT_FALSE(st.nextOutcome());
+    EXPECT_FALSE(st.nextOutcome());
+}
+
+TEST(BranchModel, PatternRepeats)
+{
+    const auto m = prog::BranchModel::patterned({true, false, false});
+    prog::BranchModelState st(m, Rng(1));
+    for (int i = 0; i < 3; ++i) {
+        EXPECT_TRUE(st.nextOutcome());
+        EXPECT_FALSE(st.nextOutcome());
+        EXPECT_FALSE(st.nextOutcome());
+    }
+}
+
+TEST(BranchModel, AlwaysAndNever)
+{
+    prog::BranchModelState a(prog::BranchModel::always(), Rng(1));
+    prog::BranchModelState n(prog::BranchModel::never(), Rng(1));
+    for (int i = 0; i < 5; ++i) {
+        EXPECT_TRUE(a.nextOutcome());
+        EXPECT_FALSE(n.nextOutcome());
+    }
+}
+
+TEST(BranchModel, BernoulliDeterministicPerSeed)
+{
+    const auto m = prog::BranchModel::bernoulli(0.5);
+    prog::BranchModelState a(m, Rng(9));
+    prog::BranchModelState b(m, Rng(9));
+    for (int i = 0; i < 50; ++i)
+        EXPECT_EQ(a.nextOutcome(), b.nextOutcome());
+}
+
+TEST(BranchModel, BernoulliMatchesBias)
+{
+    prog::BranchModelState st(prog::BranchModel::bernoulli(0.8), Rng(3));
+    int taken = 0;
+    for (int i = 0; i < 5000; ++i)
+        taken += st.nextOutcome() ? 1 : 0;
+    EXPECT_NEAR(taken / 5000.0, 0.8, 0.03);
+}
+
+TEST(BranchModel, JitteredTripStaysInBounds)
+{
+    const auto m = prog::BranchModel::loop(10, 3);
+    prog::BranchModelState st(m, Rng(5));
+    for (int round = 0; round < 20; ++round) {
+        unsigned trip = 1;
+        while (st.nextOutcome())
+            ++trip;
+        EXPECT_GE(trip, 7u);
+        EXPECT_LE(trip, 13u);
+    }
+}
+
+// --- Address streams ------------------------------------------------------
+
+TEST(AddrStream, FixedAlwaysSameAddress)
+{
+    prog::AddrStreamState st(prog::AddrStream::fixed(0x1000), Rng(1));
+    for (int i = 0; i < 5; ++i)
+        EXPECT_EQ(st.nextAddr(), 0x1000u);
+}
+
+TEST(AddrStream, StrideAdvancesAndWraps)
+{
+    const auto s = prog::AddrStream::strided(0x100, 8, 24);
+    prog::AddrStreamState st(s, Rng(1));
+    EXPECT_EQ(st.nextAddr(), 0x100u);
+    EXPECT_EQ(st.nextAddr(), 0x108u);
+    EXPECT_EQ(st.nextAddr(), 0x110u);
+    EXPECT_EQ(st.nextAddr(), 0x100u); // wrapped
+}
+
+TEST(AddrStream, RandomStaysInRegion)
+{
+    const auto s = prog::AddrStream::randomIn(0x4000, 256);
+    prog::AddrStreamState st(s, Rng(7));
+    for (int i = 0; i < 200; ++i) {
+        const auto a = st.nextAddr();
+        EXPECT_GE(a, 0x4000u);
+        EXPECT_LT(a, 0x4100u);
+        EXPECT_EQ(a % 8, 0u);
+    }
+}
+
+TEST(AddrStream, HashTableRevisitsLastAddress)
+{
+    const auto s = prog::AddrStream::hashTable(0x8000, 4096, 1.0);
+    prog::AddrStreamState st(s, Rng(11));
+    const auto first = st.nextAddr();
+    // pRevisit = 1.0: every subsequent access revisits.
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(st.nextAddr(), first);
+}
+
+TEST(AddrStream, DeterministicPerSeed)
+{
+    const auto s = prog::AddrStream::randomIn(0, 4096);
+    prog::AddrStreamState a(s, Rng(21)), b(s, Rng(21));
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.nextAddr(), b.nextAddr());
+}
+
+// --- MachProgram ---------------------------------------------------------
+
+TEST(MachProgram, FinalizeAssignsPcs)
+{
+    prog::MachProgram mp;
+    mp.name = "m";
+    prog::MachFunction fn;
+    fn.id = 0;
+    prog::MachBlock blk;
+    blk.id = 0;
+    prog::MachEntry e;
+    e.mi = isa::makeJump(Op::Ret);
+    blk.instrs.push_back(e);
+    fn.blocks.push_back(blk);
+    mp.functions.push_back(fn);
+    mp.finalize();
+    EXPECT_EQ(mp.functions[0].blocks[0].startPc, mp.codeBase);
+    EXPECT_EQ(mp.staticInstCount(), 1u);
+}
+
+
+
+TEST(Dump, IlProgramRendersNamesAndStructure)
+{
+    const auto p = tinyProgram();
+    const std::string text = prog::dumpProgram(p);
+    EXPECT_NE(text.find("program 'tiny'"), std::string::npos);
+    EXPECT_NE(text.find("fn main:"), std::string::npos);
+    EXPECT_NE(text.find("bb0"), std::string::npos);
+    EXPECT_NE(text.find("-> bb1"), std::string::npos);
+    EXPECT_NE(text.find("lda x"), std::string::npos);
+    EXPECT_NE(text.find("ret"), std::string::npos);
+}
+
+TEST(Dump, GlobalCandidatesAreMarked)
+{
+    prog::Builder b("g");
+    const auto sp = b.globalValue(RegClass::Int, "sp");
+    const auto fn = b.function("main");
+    const auto b0 = b.block(fn, 1);
+    b.setInsertPoint(fn, b0);
+    b.emitRRI(Op::Add, sp, 8, "t");
+    b.emitRet();
+    const auto p = b.build();
+    EXPECT_NE(prog::dumpProgram(p).find("sp!"), std::string::npos);
+}
+
+} // namespace

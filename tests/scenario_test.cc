@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Tests for the Figure 2-5 scenario reproductions: each scenario's
+ * timeline must show the paper's event structure and ordering.
+ */
+
+#include <gtest/gtest.h>
+
+#include "harness/scenarios.hh"
+
+namespace
+{
+
+using namespace mca;
+using core::TimelineEvent;
+
+struct ScenarioFixture : ::testing::Test
+{
+    static const std::vector<harness::ScenarioResult> &
+    results()
+    {
+        static const auto r = harness::runScenarios();
+        return r;
+    }
+
+    static Cycle
+    cycleOf(const harness::ScenarioResult &s, TimelineEvent ev,
+            unsigned cluster = ~0u)
+    {
+        for (const auto &rec : s.addEvents)
+            if (rec.event == ev &&
+                (cluster == ~0u || rec.cluster == cluster))
+                return rec.cycle;
+        return kNoCycle;
+    }
+
+    static bool
+    has(const harness::ScenarioResult &s, TimelineEvent ev)
+    {
+        return cycleOf(s, ev) != kNoCycle;
+    }
+};
+
+TEST_F(ScenarioFixture, FiveScenariosRun)
+{
+    ASSERT_EQ(results().size(), 5u);
+    for (unsigned i = 0; i < 5; ++i)
+        EXPECT_EQ(results()[i].number, i + 1);
+}
+
+TEST_F(ScenarioFixture, Scenario1IsSingleDistribution)
+{
+    const auto &s = results()[0];
+    EXPECT_FALSE(s.dual);
+    EXPECT_FALSE(has(s, TimelineEvent::SlaveIssued));
+    EXPECT_FALSE(has(s, TimelineEvent::OperandWrittenToBuffer));
+    EXPECT_FALSE(has(s, TimelineEvent::ResultWrittenToBuffer));
+}
+
+TEST_F(ScenarioFixture, Scenario2OperandForwardTimeline)
+{
+    const auto &s = results()[1];
+    EXPECT_TRUE(s.dual);
+    const Cycle slave = cycleOf(s, TimelineEvent::SlaveIssued);
+    const Cycle opwrite = cycleOf(s, TimelineEvent::OperandWrittenToBuffer);
+    const Cycle master = cycleOf(s, TimelineEvent::MasterIssued);
+    const Cycle regwrite = cycleOf(s, TimelineEvent::RegWritten);
+    ASSERT_NE(slave, kNoCycle);
+    ASSERT_NE(master, kNoCycle);
+    // Figure 2: slave issued, operand into C1's buffer, master issued,
+    // then the result register is written.
+    EXPECT_LT(slave, master);
+    EXPECT_GE(opwrite, slave);
+    EXPECT_LE(opwrite, master);
+    EXPECT_GT(regwrite, master);
+    // No result transfer in scenario 2.
+    EXPECT_FALSE(has(s, TimelineEvent::ResultWrittenToBuffer));
+    EXPECT_FALSE(has(s, TimelineEvent::SlaveWoke));
+}
+
+TEST_F(ScenarioFixture, Scenario3ResultForwardTimeline)
+{
+    const auto &s = results()[2];
+    EXPECT_TRUE(s.dual);
+    const Cycle master = cycleOf(s, TimelineEvent::MasterIssued);
+    const Cycle slave = cycleOf(s, TimelineEvent::SlaveIssued);
+    const Cycle reswrite = cycleOf(s, TimelineEvent::ResultWrittenToBuffer);
+    ASSERT_NE(master, kNoCycle);
+    ASSERT_NE(slave, kNoCycle);
+    // Figure 3: master first, result into C2's buffer, slave issues
+    // one cycle after the master (1-cycle add), then writes r2.
+    EXPECT_EQ(slave, master + 1);
+    EXPECT_NE(reswrite, kNoCycle);
+    EXPECT_FALSE(has(s, TimelineEvent::OperandWrittenToBuffer));
+    // The destination register is written in the slave's cluster (1).
+    EXPECT_NE(cycleOf(s, TimelineEvent::RegWritten, 1), kNoCycle);
+    EXPECT_EQ(cycleOf(s, TimelineEvent::RegWritten, 0), kNoCycle);
+}
+
+TEST_F(ScenarioFixture, Scenario4GlobalDestWritesBothCopies)
+{
+    const auto &s = results()[3];
+    EXPECT_TRUE(s.dual);
+    // Figure 4: both clusters write their copy of the global register.
+    EXPECT_NE(cycleOf(s, TimelineEvent::RegWritten, 0), kNoCycle);
+    EXPECT_NE(cycleOf(s, TimelineEvent::RegWritten, 1), kNoCycle);
+    EXPECT_TRUE(has(s, TimelineEvent::ResultWrittenToBuffer));
+    // The master's copy is written before or when the slave's is.
+    EXPECT_LE(cycleOf(s, TimelineEvent::RegWritten, 0),
+              cycleOf(s, TimelineEvent::RegWritten, 1));
+}
+
+TEST_F(ScenarioFixture, Scenario5SuspendWakeTimeline)
+{
+    const auto &s = results()[4];
+    EXPECT_TRUE(s.dual);
+    const Cycle slave = cycleOf(s, TimelineEvent::SlaveIssued);
+    const Cycle susp = cycleOf(s, TimelineEvent::SlaveSuspended);
+    const Cycle master = cycleOf(s, TimelineEvent::MasterIssued);
+    const Cycle wake = cycleOf(s, TimelineEvent::SlaveWoke);
+    ASSERT_NE(slave, kNoCycle);
+    ASSERT_NE(susp, kNoCycle);
+    ASSERT_NE(master, kNoCycle);
+    ASSERT_NE(wake, kNoCycle);
+    // Figure 5 ordering: slave issued (operand sent), suspended, master
+    // issued, slave wakes, both register copies written.
+    EXPECT_EQ(susp, slave);
+    EXPECT_GT(master, slave);
+    EXPECT_GT(wake, master);
+    EXPECT_TRUE(has(s, TimelineEvent::OperandWrittenToBuffer));
+    EXPECT_TRUE(has(s, TimelineEvent::ResultWrittenToBuffer));
+    EXPECT_NE(cycleOf(s, TimelineEvent::RegWritten, 0), kNoCycle);
+    EXPECT_NE(cycleOf(s, TimelineEvent::RegWritten, 1), kNoCycle);
+}
+
+TEST_F(ScenarioFixture, AllScenariosRetire)
+{
+    for (const auto &s : results()) {
+        SCOPED_TRACE(s.title);
+        EXPECT_TRUE(has(s, TimelineEvent::Retired));
+        EXPECT_GT(s.totalCycles, 0u);
+    }
+}
+
+TEST_F(ScenarioFixture, FormattingIncludesEveryEvent)
+{
+    const auto &s = results()[1];
+    const std::string text = harness::formatScenario(s);
+    EXPECT_NE(text.find("Scenario 2"), std::string::npos);
+    EXPECT_NE(text.find("slave issued"), std::string::npos);
+    EXPECT_NE(text.find("master issued"), std::string::npos);
+}
+
+TEST_F(ScenarioFixture, DeterministicAcrossInvocations)
+{
+    const auto again = harness::runScenarios();
+    for (unsigned i = 0; i < 5; ++i)
+        EXPECT_EQ(again[i].totalCycles, results()[i].totalCycles);
+}
+
+} // namespace

@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Unit tests for the core hardware bookkeeping structures: transfer
+ * buffers (delayed-free semantics) and physical register files.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/structures.hh"
+
+namespace
+{
+
+using namespace mca;
+
+// --- TransferBuffer ----------------------------------------------------
+
+TEST(TransferBuffer, AllocUntilCapacity)
+{
+    core::TransferBuffer buf;
+    buf.init(3);
+    EXPECT_EQ(buf.capacity(), 3u);
+    for (int i = 0; i < 3; ++i) {
+        EXPECT_TRUE(buf.canAlloc());
+        buf.alloc();
+    }
+    EXPECT_FALSE(buf.canAlloc());
+    EXPECT_EQ(buf.inUse(), 3u);
+}
+
+TEST(TransferBuffer, FreedEntryReusableNextCycle)
+{
+    core::TransferBuffer buf;
+    buf.init(1);
+    buf.alloc();
+    buf.scheduleFree(10);
+    // Still unavailable within the freeing cycle...
+    buf.beginCycle(10);
+    EXPECT_FALSE(buf.canAlloc());
+    // ...available from the next one (paper §2.1).
+    buf.beginCycle(11);
+    EXPECT_TRUE(buf.canAlloc());
+    EXPECT_EQ(buf.inUse(), 0u);
+}
+
+TEST(TransferBuffer, PendingFreesAreCounted)
+{
+    core::TransferBuffer buf;
+    buf.init(4);
+    buf.alloc();
+    buf.alloc();
+    buf.scheduleFree(5);
+    EXPECT_EQ(buf.pendingFrees(), 1u);
+    EXPECT_EQ(buf.inUse(), 2u); // still occupied until maturity
+    buf.beginCycle(6);
+    EXPECT_EQ(buf.pendingFrees(), 0u);
+    EXPECT_EQ(buf.inUse(), 1u);
+}
+
+TEST(TransferBuffer, MultipleFreesMatureTogether)
+{
+    core::TransferBuffer buf;
+    buf.init(4);
+    for (int i = 0; i < 4; ++i)
+        buf.alloc();
+    buf.scheduleFree(3);
+    buf.scheduleFree(3);
+    buf.scheduleFree(7);
+    buf.beginCycle(4);
+    EXPECT_EQ(buf.inUse(), 2u);
+    buf.beginCycle(8);
+    EXPECT_EQ(buf.inUse(), 1u);
+}
+
+TEST(TransferBuffer, InitResetsState)
+{
+    core::TransferBuffer buf;
+    buf.init(2);
+    buf.alloc();
+    buf.scheduleFree(1);
+    buf.init(2);
+    EXPECT_EQ(buf.inUse(), 0u);
+    EXPECT_EQ(buf.pendingFrees(), 0u);
+}
+
+TEST(TransferBufferDeath, OverflowAndUnderflowPanic)
+{
+    core::TransferBuffer buf;
+    buf.init(1);
+    buf.alloc();
+    EXPECT_DEATH(buf.alloc(), "overflow");
+    buf.scheduleFree(0);
+    buf.scheduleFree(0); // one more free than allocations
+    EXPECT_DEATH(buf.beginCycle(1), "underflow");
+}
+
+// --- PhysRegFile -----------------------------------------------------------
+
+TEST(PhysRegFile, AllRegistersStartFreeAndReady)
+{
+    core::PhysRegFile rf;
+    rf.init(8);
+    EXPECT_TRUE(rf.hasFree(8));
+    for (Cycle c : rf.readyAt)
+        EXPECT_EQ(c, 0u);
+}
+
+TEST(PhysRegFile, AllocReturnsDistinctRegisters)
+{
+    core::PhysRegFile rf;
+    rf.init(16);
+    std::set<std::uint16_t> seen;
+    for (int i = 0; i < 16; ++i)
+        EXPECT_TRUE(seen.insert(rf.alloc()).second);
+    EXPECT_FALSE(rf.hasFree());
+}
+
+TEST(PhysRegFile, FreeMakesRegisterAvailableAgain)
+{
+    core::PhysRegFile rf;
+    rf.init(2);
+    const auto a = rf.alloc();
+    rf.alloc();
+    EXPECT_FALSE(rf.hasFree());
+    rf.free(a);
+    EXPECT_TRUE(rf.hasFree());
+    EXPECT_EQ(rf.alloc(), a); // LIFO reuse
+}
+
+TEST(PhysRegFileDeath, UnderflowPanics)
+{
+    core::PhysRegFile rf;
+    rf.init(1);
+    rf.alloc();
+    EXPECT_DEATH(rf.alloc(), "underflow");
+}
+
+} // namespace

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Tests for the cycle-time (delay) model: the Palacharla anchor points
+ * the paper quotes, monotonicity, and the break-even arithmetic.
+ */
+
+#include <gtest/gtest.h>
+
+#include "timing/delay_model.hh"
+
+namespace
+{
+
+using mca::timing::DelayModel;
+
+TEST(DelayModel, FourWayAnchorAt035um)
+{
+    DelayModel m;
+    EXPECT_NEAR(m.criticalPathPs(4, 0.35), 1248.0, 1.0);
+}
+
+TEST(DelayModel, EightWayAnchorAt035um)
+{
+    DelayModel m;
+    // Paper: 1484 ps for the 8-way machine at 0.35 um (+18%).
+    EXPECT_NEAR(m.criticalPathPs(8, 0.35), 1484.0, 15.0);
+    EXPECT_NEAR(m.widthGrowthRatio(4, 8, 0.35), 1.18, 0.01);
+}
+
+TEST(DelayModel, GrowthAt018umIs82Percent)
+{
+    DelayModel m;
+    EXPECT_NEAR(m.widthGrowthRatio(4, 8, 0.18), 1.82, 0.02);
+}
+
+TEST(DelayModel, WireShareGrowsAsFeaturesShrink)
+{
+    DelayModel m;
+    EXPECT_LT(m.wireShare(0.35), m.wireShare(0.25));
+    EXPECT_LT(m.wireShare(0.25), m.wireShare(0.18));
+    EXPECT_LT(m.wireShare(0.18), m.wireShare(0.10));
+    EXPECT_LE(m.wireShare(0.02), 1.0);
+}
+
+TEST(DelayModel, DelayMonotonicInWidth)
+{
+    DelayModel m;
+    for (double f : {0.35, 0.25, 0.18}) {
+        double prev = 0;
+        for (unsigned w : {1u, 2u, 4u, 8u, 16u}) {
+            const double d = m.criticalPathPs(w, f);
+            EXPECT_GT(d, prev);
+            prev = d;
+        }
+    }
+}
+
+TEST(DelayModel, GrowthRatioIncreasesAsFeaturesShrink)
+{
+    DelayModel m;
+    EXPECT_LT(m.widthGrowthRatio(4, 8, 0.35),
+              m.widthGrowthRatio(4, 8, 0.25));
+    EXPECT_LT(m.widthGrowthRatio(4, 8, 0.25),
+              m.widthGrowthRatio(4, 8, 0.18));
+}
+
+TEST(DelayModel, RequiredClockReductionMatchesPaper)
+{
+    // Paper §4.2: a 25% cycle-count slowdown needs a 20% smaller period.
+    EXPECT_NEAR(DelayModel::requiredClockReduction(25.0), 0.20, 1e-9);
+    EXPECT_NEAR(DelayModel::requiredClockReduction(0.0), 0.0, 1e-12);
+    EXPECT_NEAR(DelayModel::requiredClockReduction(100.0), 0.5, 1e-12);
+}
+
+TEST(DelayModel, NetSpeedupNegativeAt035ForWorstCase)
+{
+    DelayModel m;
+    // Paper conclusion: at 0.35 um a 25% slowdown outweighs the 18%
+    // faster clock of the 4-way-per-cluster machine.
+    const double s = m.netSpeedupPercent(1.25, 8, 4, 0.35);
+    EXPECT_LT(s, 0.0);
+}
+
+TEST(DelayModel, NetSpeedupPositiveAt018ForWorstCase)
+{
+    DelayModel m;
+    // ...but at 0.18 um the 82% clock advantage wins decisively.
+    const double s = m.netSpeedupPercent(1.25, 8, 4, 0.18);
+    EXPECT_GT(s, 20.0);
+}
+
+TEST(DelayModel, BreakEvenSlowdownBetween035And018)
+{
+    DelayModel m;
+    // At exactly the clock ratio, speedup is zero: slowdown of 18%
+    // breaks even at 0.35 um.
+    EXPECT_NEAR(m.netSpeedupPercent(1.18, 8, 4, 0.35), 0.0, 0.5);
+    EXPECT_NEAR(m.netSpeedupPercent(1.82, 8, 4, 0.18), 0.0, 1.0);
+}
+
+TEST(DelayModelDeath, RejectsNonsenseInputs)
+{
+    DelayModel m;
+    EXPECT_DEATH(m.criticalPathPs(0, 0.35), "issue width");
+    EXPECT_DEATH(m.criticalPathPs(8, 0.0), "feature size");
+}
+
+} // namespace
