@@ -13,13 +13,20 @@
  * local scheduler, compress crossing into speedup, and ora degrading
  * under rescheduling via replay exceptions.
  *
- * Usage: table2_speedup [scale] [max_insts]
+ * The experiment runs through the campaign runner (src/runner): the 18
+ * compile-and-simulate jobs (6 benchmarks × {single/native, dual/native,
+ * dual/local}) are independent and shard across worker threads. Results
+ * are bit-identical at any job width (see docs/campaigns.md).
+ *
+ * Usage: table2_speedup [scale] [max_insts] [jobs]
+ *   jobs defaults to the hardware thread count.
  */
 
 #include <cstdlib>
 #include <iostream>
+#include <thread>
 
-#include "harness/experiment.hh"
+#include "runner/table2.hh"
 #include "support/table.hh"
 
 int
@@ -33,11 +40,19 @@ main(int argc, char **argv)
                        ? static_cast<std::uint64_t>(std::atoll(argv[2]))
                        : 400'000;
 
+    runner::CampaignOptions campaign;
+    campaign.jobs = argc > 3
+                        ? static_cast<unsigned>(std::atoi(argv[3]))
+                        : std::max(1u, std::thread::hardware_concurrency());
+
     std::cout << "Table 2: dual-cluster speedup ratios, 8-way machines\n"
               << "  100 - 100*(cycles_dual / cycles_single); "
               << "positive = speedup\n"
               << "  workload scale " << opt.workload.scale
-              << ", trace cap " << opt.maxInsts << " instructions\n\n";
+              << ", trace cap " << opt.maxInsts << " instructions, "
+              << campaign.jobs << " parallel jobs\n\n";
+
+    const auto result = runner::runTable2Campaign(opt, campaign);
 
     TextTable table;
     table.header({"benchmark", "none (paper)", "none (ours)",
@@ -45,9 +60,8 @@ main(int argc, char **argv)
                   "dual-none cycles", "dual-local cycles", "replays(l)"});
 
     const auto &paper = harness::paperTable2();
-    for (std::size_t i = 0; i < workloads::allBenchmarks().size(); ++i) {
-        const auto &bench = workloads::allBenchmarks()[i];
-        const auto row = harness::runTable2Row(bench, opt);
+    for (std::size_t i = 0; i < result.rows.size(); ++i) {
+        const auto &row = result.rows[i];
         table.row({row.benchmark,
                    TextTable::signedPercent(paper[i].pctNone),
                    TextTable::signedPercent(row.pctNone),
@@ -65,8 +79,7 @@ main(int argc, char **argv)
     diag.header({"benchmark", "dual% n/l", "fwd op+res n", "fwd op+res l",
                  "spill ld/st", "bpred s/n/l", "dmiss% s/n/l",
                  "disorder s/l"});
-    for (const auto &bench : workloads::allBenchmarks()) {
-        const auto row = harness::runTable2Row(bench, opt);
+    for (const auto &row : result.rows) {
         auto dualPct = [](const harness::RunStats &s) {
             const double total =
                 static_cast<double>(s.distSingle + s.distDual);

@@ -1,0 +1,16 @@
+#!/bin/sh
+# Tier-1 verification, exactly as the project's canonical verify line:
+# configure, build, and run the full test suite. Fails fast on the
+# first broken step.
+#
+#   scripts/ci.sh [build-dir]
+set -e
+
+BUILD="${1:-build}"
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$ROOT"
+
+cmake -B "$BUILD" -S .
+cmake --build "$BUILD" -j
+cd "$BUILD"
+ctest --output-on-failure -j

@@ -26,4 +26,15 @@ for b in "$BUILD"/bench/*; do
     echo >> "$ROOT/bench_output.txt"
 done
 
-echo "done: test_output.txt and bench_output.txt written"
+# The Table-2 campaign through the parallel runner: sharded across
+# every core, results cached under <build>/mcarun-cache (a rerun only
+# simulates changed points), JSONL next to the other artifacts.
+echo "==================== mcarun --table2 ====================" \
+    >> "$ROOT/bench_output.txt"
+"$BUILD"/src/tools/mcarun --table2 --scale 1.0 --max-insts 400000 \
+    --jobs "$(nproc)" --cache "$BUILD/mcarun-cache" \
+    --out "$ROOT/table2_results.jsonl" --quiet \
+    >> "$ROOT/bench_output.txt" 2>&1
+echo >> "$ROOT/bench_output.txt"
+
+echo "done: test_output.txt, bench_output.txt, and table2_results.jsonl written"

@@ -1,0 +1,118 @@
+#include "runner/campaign.hh"
+
+#include <chrono>
+#include <mutex>
+#include <stdexcept>
+
+#include "runner/thread_pool.hh"
+
+namespace mca::runner
+{
+
+std::vector<JobSpec>
+expandGrid(const CampaignGrid &grid)
+{
+    auto requireAxis = [](bool nonempty, const char *axis) {
+        if (!nonempty)
+            throw std::runtime_error(std::string("campaign grid axis '") +
+                                     axis + "' is empty");
+    };
+    requireAxis(!grid.benchmarks.empty(), "benchmarks");
+    requireAxis(!grid.machines.empty(), "machines");
+    requireAxis(!grid.schedulers.empty(), "schedulers");
+    requireAxis(!grid.thresholds.empty(), "thresholds");
+    requireAxis(!grid.traceSeeds.empty(), "traceSeeds");
+
+    std::vector<JobSpec> specs;
+    specs.reserve(grid.benchmarks.size() * grid.machines.size() *
+                  grid.schedulers.size() * grid.thresholds.size() *
+                  grid.traceSeeds.size());
+    for (const auto &benchmark : grid.benchmarks)
+        for (const auto &machine : grid.machines)
+            for (const auto &scheduler : grid.schedulers)
+                for (unsigned threshold : grid.thresholds)
+                    for (std::uint64_t seed : grid.traceSeeds) {
+                        JobSpec spec;
+                        spec.benchmark = benchmark;
+                        spec.machine = machine;
+                        spec.scheduler = scheduler;
+                        spec.threshold = threshold;
+                        spec.traceSeed = seed;
+                        spec.scale = grid.scale;
+                        spec.unroll = grid.unroll;
+                        spec.predictor = grid.predictor;
+                        spec.maxInsts = grid.maxInsts;
+                        spec.maxCycles = grid.maxCycles;
+                        spec.profileSeed =
+                            grid.profileSeedFollowsTraceSeed
+                                ? seed
+                                : spec.profileSeed;
+                        specs.push_back(std::move(spec));
+                    }
+    return specs;
+}
+
+CampaignSummary
+summarize(const std::vector<JobResult> &results, double wall_ms)
+{
+    CampaignSummary summary;
+    summary.total = results.size();
+    summary.wallMs = wall_ms;
+    for (const auto &result : results) {
+        switch (result.status) {
+        case JobStatus::Ok: ++summary.ok; break;
+        case JobStatus::TimedOut: ++summary.timedOut; break;
+        case JobStatus::Failed: ++summary.failed; break;
+        }
+        if (result.fromCache)
+            ++summary.fromCache;
+    }
+    return summary;
+}
+
+std::vector<JobResult>
+runCampaign(const std::vector<JobSpec> &specs,
+            const CampaignOptions &options, CampaignSummary *summary)
+{
+    const auto start = std::chrono::steady_clock::now();
+    const ResultCache cache(options.cacheDir);
+
+    std::vector<JobResult> results(specs.size());
+    std::mutex progressMutex;
+    std::size_t finished = 0;
+
+    auto settle = [&](std::size_t index, JobResult result) {
+        // Slot assignment keeps output order == spec order no matter
+        // which worker finishes first.
+        results[index] = std::move(result);
+        std::lock_guard<std::mutex> lock(progressMutex);
+        ++finished;
+        if (options.onResult)
+            options.onResult(finished, specs.size(), results[index]);
+    };
+
+    {
+        ThreadPool pool(options.jobs);
+        for (std::size_t i = 0; i < specs.size(); ++i) {
+            if (auto cached = cache.load(specs[i])) {
+                settle(i, std::move(*cached));
+                continue;
+            }
+            pool.submit([&, i] {
+                JobResult result = runJob(specs[i]);
+                cache.store(result);
+                settle(i, std::move(result));
+            });
+        }
+        pool.wait();
+    }
+
+    const double wallMs = std::chrono::duration<double, std::milli>(
+                              std::chrono::steady_clock::now() - start)
+                              .count();
+    if (summary)
+        *summary = summarize(results, wallMs);
+    return results;
+}
+
+} // namespace mca::runner

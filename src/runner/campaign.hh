@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Experiment campaigns: parameter-grid expansion and parallel execution.
+ *
+ * A CampaignGrid is the cross product of benchmark × machine ×
+ * scheduler × threshold × trace-seed lists over a shared set of
+ * run-control bounds; expandGrid() flattens it into JobSpecs in a
+ * deterministic order (the nesting order documented on the struct).
+ *
+ * runCampaign() executes any job list N-wide on a ThreadPool with an
+ * optional on-disk ResultCache. Determinism guarantee: results are
+ * written into their spec's slot (never in completion order), each job
+ * owns all of its state, and `harness::simulate` is single-threaded
+ * internally — so the emitted results are bit-identical for any
+ * `jobs` width. A job that throws or exhausts its cycle budget is
+ * recorded (status Failed / TimedOut) and the campaign continues.
+ */
+
+#ifndef MCA_RUNNER_CAMPAIGN_HH
+#define MCA_RUNNER_CAMPAIGN_HH
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "runner/jobspec.hh"
+#include "runner/result_cache.hh"
+
+namespace mca::runner
+{
+
+/** Parameter grid; expansion nests benchmark(outer) → machine →
+ *  scheduler → threshold → traceSeed(inner). */
+struct CampaignGrid
+{
+    std::vector<std::string> benchmarks = {"compress"};
+    std::vector<std::string> machines = {"dual8"};
+    std::vector<std::string> schedulers = {"local"};
+    std::vector<unsigned> thresholds = {4};
+    std::vector<std::uint64_t> traceSeeds = {42};
+
+    // Shared run-control bounds (copied into every spec).
+    double scale = 0.2;
+    unsigned unroll = 1;
+    std::string predictor;
+    std::uint64_t maxInsts = 300'000;
+    Cycle maxCycles = 100'000'000;
+    /** Tie each spec's profileSeed to its traceSeed (Table-2 harness
+     *  convention). When false, profileSeed stays at the spec default. */
+    bool profileSeedFollowsTraceSeed = true;
+};
+
+/** Flatten the grid. Throws std::runtime_error if any axis is empty. */
+std::vector<JobSpec> expandGrid(const CampaignGrid &grid);
+
+/** Aggregate campaign outcome. */
+struct CampaignSummary
+{
+    std::size_t total = 0;
+    std::size_t ok = 0;
+    std::size_t timedOut = 0;
+    std::size_t failed = 0;
+    std::size_t fromCache = 0;
+    double wallMs = 0.0; ///< whole-campaign wall clock
+};
+
+struct CampaignOptions
+{
+    /** Worker width (1 = serial; results are identical either way). */
+    unsigned jobs = 1;
+    /** Cache directory; empty disables caching. */
+    std::string cacheDir;
+    /**
+     * Called after each job settles, under a lock (safe to write to a
+     * stream), with (finished-count, total, just-finished result).
+     * Used for the live progress line.
+     */
+    std::function<void(std::size_t, std::size_t, const JobResult &)>
+        onResult;
+};
+
+/**
+ * Run every spec (cache-first), return results in spec order.
+ * Never throws for per-job errors; see JobResult::status.
+ */
+std::vector<JobResult> runCampaign(const std::vector<JobSpec> &specs,
+                                   const CampaignOptions &options,
+                                   CampaignSummary *summary = nullptr);
+
+/** Summarize an already-run result list (plus wall time if known). */
+CampaignSummary summarize(const std::vector<JobResult> &results,
+                          double wall_ms = 0.0);
+
+} // namespace mca::runner
+
+#endif // MCA_RUNNER_CAMPAIGN_HH

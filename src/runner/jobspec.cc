@@ -1,0 +1,265 @@
+#include "runner/jobspec.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <sstream>
+#include <stdexcept>
+
+#include "compiler/pipeline.hh"
+#include "core/config.hh"
+#include "harness/experiment.hh"
+#include "workloads/workloads.hh"
+
+namespace mca::runner
+{
+
+namespace
+{
+
+/** Shortest round-trippable decimal form, stable across platforms. */
+std::string
+canonicalDouble(double value)
+{
+    char buf[40];
+    std::snprintf(buf, sizeof buf, "%.17g", value);
+    return buf;
+}
+
+core::ProcessorConfig
+machineConfigFor(const JobSpec &spec)
+{
+    core::ProcessorConfig cfg;
+    if (spec.machine == "single8")
+        cfg = core::ProcessorConfig::singleCluster8();
+    else if (spec.machine == "dual8")
+        cfg = core::ProcessorConfig::dualCluster8();
+    else if (spec.machine == "single4")
+        cfg = core::ProcessorConfig::singleCluster4();
+    else if (spec.machine == "dual4")
+        cfg = core::ProcessorConfig::dualCluster4();
+    else if (spec.machine == "quad8")
+        cfg = core::ProcessorConfig::multiCluster8(4);
+    else
+        throw std::runtime_error("unknown machine '" + spec.machine + "'");
+
+    if (!spec.predictor.empty()) {
+        using Kind = core::ProcessorConfig::PredictorKind;
+        if (spec.predictor == "mcfarling")
+            cfg.predictor = Kind::McFarling;
+        else if (spec.predictor == "gshare")
+            cfg.predictor = Kind::Gshare;
+        else if (spec.predictor == "bimodal")
+            cfg.predictor = Kind::Bimodal;
+        else if (spec.predictor == "taken")
+            cfg.predictor = Kind::StaticTaken;
+        else if (spec.predictor == "nottaken")
+            cfg.predictor = Kind::StaticNotTaken;
+        else
+            throw std::runtime_error("unknown predictor '" +
+                                     spec.predictor + "'");
+    }
+    return cfg;
+}
+
+compiler::CompileOptions
+compileOptionsFor(const JobSpec &spec, unsigned machine_clusters)
+{
+    compiler::CompileOptions copt;
+    if (spec.scheduler == "native") {
+        copt.scheduler = compiler::SchedulerKind::Native;
+        copt.numClusters = 1;
+    } else if (spec.scheduler == "roundrobin") {
+        copt.scheduler = compiler::SchedulerKind::RoundRobin;
+        copt.numClusters = std::max(2u, machine_clusters);
+    } else if (spec.scheduler == "local") {
+        copt.scheduler = machine_clusters >= 2
+                             ? compiler::SchedulerKind::Local
+                             : compiler::SchedulerKind::Native;
+        copt.numClusters = machine_clusters;
+    } else {
+        throw std::runtime_error("unknown scheduler '" + spec.scheduler +
+                                 "'");
+    }
+    copt.imbalanceThreshold = spec.threshold;
+    copt.unrollFactor = spec.unroll;
+    copt.profileSeed = spec.profileSeed;
+    return copt;
+}
+
+std::string
+joinChoices(const std::vector<std::string> &choices)
+{
+    std::string out;
+    for (const auto &c : choices) {
+        if (!out.empty())
+            out += "|";
+        out += c;
+    }
+    return out;
+}
+
+void
+requireOneOf(const std::string &value, const std::vector<std::string> &valid,
+             const char *field)
+{
+    if (std::find(valid.begin(), valid.end(), value) == valid.end())
+        throw std::runtime_error(std::string("unknown ") + field + " '" +
+                                 value + "' (valid: " +
+                                 joinChoices(valid) + ")");
+}
+
+} // namespace
+
+std::string
+JobSpec::canonicalKey() const
+{
+    std::ostringstream oss;
+    oss << "benchmark=" << benchmark
+        << ";scale=" << canonicalDouble(scale)
+        << ";machine=" << machine
+        << ";scheduler=" << scheduler
+        << ";threshold=" << threshold
+        << ";unroll=" << unroll
+        << ";predictor=" << predictor
+        << ";traceSeed=" << traceSeed
+        << ";profileSeed=" << profileSeed
+        << ";maxInsts=" << maxInsts
+        << ";maxCycles=" << maxCycles;
+    return oss.str();
+}
+
+std::string
+JobSpec::contentHash() const
+{
+    // FNV-1a, 64-bit: stable across platforms and runs (unlike
+    // std::hash, which the standard leaves unspecified).
+    std::uint64_t h = 14695981039346656037ull;
+    for (unsigned char c : canonicalKey()) {
+        h ^= c;
+        h *= 1099511628211ull;
+    }
+    char buf[17];
+    std::snprintf(buf, sizeof buf, "%016llx",
+                  static_cast<unsigned long long>(h));
+    return buf;
+}
+
+void
+JobSpec::validate() const
+{
+    requireOneOf(benchmark, validBenchmarks(), "benchmark");
+    requireOneOf(machine, validMachines(), "machine");
+    requireOneOf(scheduler, validSchedulers(), "scheduler");
+    if (!predictor.empty())
+        requireOneOf(predictor, validPredictors(), "predictor");
+    if (maxInsts == 0)
+        throw std::runtime_error("maxInsts must be positive");
+    if (maxCycles == 0)
+        throw std::runtime_error("maxCycles must be positive");
+}
+
+const char *
+jobStatusName(JobStatus status)
+{
+    switch (status) {
+    case JobStatus::Ok: return "ok";
+    case JobStatus::TimedOut: return "timeout";
+    case JobStatus::Failed: return "failed";
+    }
+    return "unknown";
+}
+
+JobResult
+runJob(const JobSpec &spec)
+{
+    JobResult out;
+    out.spec = spec;
+    const auto start = std::chrono::steady_clock::now();
+    try {
+        spec.validate();
+
+        workloads::WorkloadParams wp;
+        wp.scale = spec.scale;
+        const prog::Program program =
+            workloads::benchmarkByName(spec.benchmark).make(wp);
+
+        const core::ProcessorConfig cfg = machineConfigFor(spec);
+        const compiler::CompileOptions copt =
+            compileOptionsFor(spec, cfg.numClusters);
+        const compiler::CompileOutput compiled =
+            compiler::compile(program, copt);
+        out.spillLoads = compiled.alloc.spillLoadsInserted;
+        out.spillStores = compiled.alloc.spillStoresInserted;
+        out.otherClusterSpills = compiled.alloc.otherClusterSpills;
+
+        const harness::RunStats stats = harness::simulate(
+            compiled.binary, compiled.hardwareMap(cfg.numClusters), cfg,
+            spec.traceSeed, spec.maxInsts, spec.maxCycles);
+
+        out.cycles = stats.cycles;
+        out.retired = stats.retired;
+        out.ipc = stats.ipc;
+        out.distSingle = stats.distSingle;
+        out.distDual = stats.distDual;
+        out.operandForwards = stats.operandForwards;
+        out.resultForwards = stats.resultForwards;
+        out.replays = stats.replays;
+        out.issueDisorder = stats.issueDisorder;
+        out.bpredAccuracy = stats.bpredAccuracy;
+        out.dcacheMissRate = stats.dcacheMissRate;
+        out.icacheMissRate = stats.icacheMissRate;
+        out.status = stats.completed ? JobStatus::Ok : JobStatus::TimedOut;
+        if (out.status == JobStatus::TimedOut)
+            out.error = "cycle budget exhausted (" +
+                        std::to_string(spec.maxCycles) + " cycles)";
+    } catch (const std::exception &e) {
+        out.status = JobStatus::Failed;
+        out.error = e.what();
+    }
+    out.wallMs = std::chrono::duration<double, std::milli>(
+                     std::chrono::steady_clock::now() - start)
+                     .count();
+    return out;
+}
+
+const std::vector<std::string> &
+validMachines()
+{
+    static const std::vector<std::string> kMachines = {
+        "single8", "dual8", "single4", "dual4", "quad8",
+    };
+    return kMachines;
+}
+
+const std::vector<std::string> &
+validSchedulers()
+{
+    static const std::vector<std::string> kSchedulers = {
+        "native", "local", "roundrobin",
+    };
+    return kSchedulers;
+}
+
+const std::vector<std::string> &
+validPredictors()
+{
+    static const std::vector<std::string> kPredictors = {
+        "mcfarling", "gshare", "bimodal", "taken", "nottaken",
+    };
+    return kPredictors;
+}
+
+const std::vector<std::string> &
+validBenchmarks()
+{
+    static const std::vector<std::string> kBenchmarks = [] {
+        std::vector<std::string> names;
+        for (const auto &bench : workloads::allBenchmarks())
+            names.push_back(bench.name);
+        return names;
+    }();
+    return kBenchmarks;
+}
+
+} // namespace mca::runner

@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Campaign job specification and result.
+ *
+ * A JobSpec names one compile-and-simulate point: workload, compile
+ * options, machine, and run-control bounds. Every field that can change
+ * the simulation outcome participates in the spec's canonical key, and
+ * the 64-bit content hash of that key is the identity the on-disk
+ * result cache is keyed by — re-running a sweep only simulates points
+ * whose spec changed.
+ *
+ * Jobs are validated before they run (unknown benchmark / machine /
+ * scheduler / predictor names throw std::runtime_error rather than
+ * taking down the process), and a job whose simulation exhausts its
+ * cycle budget is recorded as TimedOut. Both outcomes are campaign
+ * *results*, not campaign failures.
+ */
+
+#ifndef MCA_RUNNER_JOBSPEC_HH
+#define MCA_RUNNER_JOBSPEC_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "support/types.hh"
+
+namespace mca::runner
+{
+
+/** One compile-and-simulate point in a campaign. */
+struct JobSpec
+{
+    /** Benchmark name (workloads::allBenchmarks() registry). */
+    std::string benchmark = "compress";
+    /** Workload scale (loop trip counts). */
+    double scale = 0.2;
+
+    /** Machine name: single8|dual8|single4|dual4|quad8. */
+    std::string machine = "dual8";
+    /** Scheduler name: native|local|roundrobin. */
+    std::string scheduler = "local";
+    /** Local-scheduler imbalance threshold. */
+    unsigned threshold = 4;
+    /** Unroll factor for counted self-loops (1 = off). */
+    unsigned unroll = 1;
+    /** Branch predictor override (empty = machine default). */
+    std::string predictor;
+
+    std::uint64_t traceSeed = 42;
+    /** Seed for the profiling run (paper harness ties it to traceSeed). */
+    std::uint64_t profileSeed = 42;
+    std::uint64_t maxInsts = 300'000;
+    /**
+     * Simulation cycle budget. A run that hits this bound without
+     * retiring the full trace is recorded as JobStatus::TimedOut. The
+     * budget is deterministic (simulated cycles, not wall clock), so
+     * timeout behaviour is identical at any --jobs width.
+     */
+    Cycle maxCycles = 100'000'000;
+
+    /**
+     * Canonical key: every outcome-affecting field in a fixed order.
+     * Two specs with equal keys produce bit-identical results.
+     */
+    std::string canonicalKey() const;
+
+    /** FNV-1a 64-bit hash of canonicalKey(), as 16 lowercase hex digits. */
+    std::string contentHash() const;
+
+    /**
+     * Throw std::runtime_error naming the offending field and the valid
+     * choices if any enumerated field holds an unknown value.
+     */
+    void validate() const;
+};
+
+/** Terminal state of one job. */
+enum class JobStatus
+{
+    Ok,       ///< simulation retired the full trace
+    TimedOut, ///< cycle budget exhausted before completion
+    Failed,   ///< spec rejected or an exception escaped the pipeline
+};
+
+const char *jobStatusName(JobStatus status);
+
+/** Everything one job produced (flat, serializable). */
+struct JobResult
+{
+    JobSpec spec;
+    JobStatus status = JobStatus::Failed;
+    /** Populated when status == Failed. */
+    std::string error;
+
+    // Simulation statistics (valid for Ok; best-effort for TimedOut).
+    Cycle cycles = 0;
+    std::uint64_t retired = 0;
+    double ipc = 0.0;
+    std::uint64_t distSingle = 0;
+    std::uint64_t distDual = 0;
+    std::uint64_t operandForwards = 0;
+    std::uint64_t resultForwards = 0;
+    std::uint64_t replays = 0;
+    std::uint64_t issueDisorder = 0;
+    double bpredAccuracy = 0.0;
+    double dcacheMissRate = 0.0;
+    double icacheMissRate = 0.0;
+
+    // Compiler-side statistics.
+    std::uint64_t spillLoads = 0;
+    std::uint64_t spillStores = 0;
+    std::uint64_t otherClusterSpills = 0;
+
+    /** Wall-clock milliseconds spent (informational; not cached identity). */
+    double wallMs = 0.0;
+    /** True when this result was served from the on-disk cache. */
+    bool fromCache = false;
+};
+
+/**
+ * Validate, compile, and simulate one spec. Never throws for
+ * invalid-spec or pipeline errors — those come back as status Failed
+ * with the message in `error`.
+ */
+JobResult runJob(const JobSpec &spec);
+
+/** Valid choices for the enumerated spec fields (for CLI help/errors). */
+const std::vector<std::string> &validMachines();
+const std::vector<std::string> &validSchedulers();
+const std::vector<std::string> &validPredictors();
+const std::vector<std::string> &validBenchmarks();
+
+} // namespace mca::runner
+
+#endif // MCA_RUNNER_JOBSPEC_HH

@@ -1,0 +1,150 @@
+#include "runner/result_cache.hh"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <thread>
+
+#include "support/panic.hh"
+
+namespace mca::runner
+{
+
+namespace
+{
+
+constexpr int kFormatVersion = 1;
+
+std::string
+formatDouble(double value)
+{
+    char buf[40];
+    std::snprintf(buf, sizeof buf, "%.17g", value);
+    return buf;
+}
+
+} // namespace
+
+ResultCache::ResultCache(std::string dir) : dir_(std::move(dir)) {}
+
+std::string
+ResultCache::entryPath(const JobSpec &spec) const
+{
+    return dir_ + "/" + spec.contentHash() + ".result";
+}
+
+std::optional<JobResult>
+ResultCache::load(const JobSpec &spec) const
+{
+    if (!enabled())
+        return std::nullopt;
+    std::ifstream in(entryPath(spec));
+    if (!in)
+        return std::nullopt;
+
+    std::map<std::string, std::string> fields;
+    std::string line;
+    while (std::getline(in, line)) {
+        const auto tab = line.find('\t');
+        if (tab == std::string::npos)
+            continue;
+        fields[line.substr(0, tab)] = line.substr(tab + 1);
+    }
+
+    // Reject stale formats and (theoretical) hash collisions: the entry
+    // must carry the exact canonical key of the requesting spec.
+    if (fields["version"] != std::to_string(kFormatVersion) ||
+        fields["key"] != spec.canonicalKey())
+        return std::nullopt;
+
+    try {
+        JobResult out;
+        out.spec = spec;
+        const std::string &status = fields.at("status");
+        if (status == "ok")
+            out.status = JobStatus::Ok;
+        else if (status == "timeout")
+            out.status = JobStatus::TimedOut;
+        else
+            return std::nullopt;
+        out.error = fields["error"];
+        out.cycles = std::stoull(fields.at("cycles"));
+        out.retired = std::stoull(fields.at("retired"));
+        out.ipc = std::stod(fields.at("ipc"));
+        out.distSingle = std::stoull(fields.at("distSingle"));
+        out.distDual = std::stoull(fields.at("distDual"));
+        out.operandForwards = std::stoull(fields.at("operandForwards"));
+        out.resultForwards = std::stoull(fields.at("resultForwards"));
+        out.replays = std::stoull(fields.at("replays"));
+        out.issueDisorder = std::stoull(fields.at("issueDisorder"));
+        out.bpredAccuracy = std::stod(fields.at("bpredAccuracy"));
+        out.dcacheMissRate = std::stod(fields.at("dcacheMissRate"));
+        out.icacheMissRate = std::stod(fields.at("icacheMissRate"));
+        out.spillLoads = std::stoull(fields.at("spillLoads"));
+        out.spillStores = std::stoull(fields.at("spillStores"));
+        out.otherClusterSpills = std::stoull(fields.at("otherClusterSpills"));
+        out.wallMs = std::stod(fields.at("wallMs"));
+        out.fromCache = true;
+        return out;
+    } catch (const std::exception &) {
+        return std::nullopt; // malformed entry == miss; rerun overwrites it
+    }
+}
+
+void
+ResultCache::store(const JobResult &result) const
+{
+    if (!enabled() || result.status == JobStatus::Failed)
+        return;
+
+    std::error_code ec;
+    std::filesystem::create_directories(dir_, ec);
+    if (ec) {
+        MCA_WARN("result cache: cannot create '", dir_, "': ",
+                 ec.message());
+        return;
+    }
+
+    const std::string path = entryPath(result.spec);
+    const std::string tmp =
+        path + ".tmp." +
+        std::to_string(
+            std::hash<std::thread::id>{}(std::this_thread::get_id()));
+    {
+        std::ofstream out(tmp, std::ios::trunc);
+        if (!out) {
+            MCA_WARN("result cache: cannot write '", tmp, "'");
+            return;
+        }
+        out << "version\t" << kFormatVersion << "\n"
+            << "key\t" << result.spec.canonicalKey() << "\n"
+            << "status\t" << jobStatusName(result.status) << "\n"
+            << "error\t" << result.error << "\n"
+            << "cycles\t" << result.cycles << "\n"
+            << "retired\t" << result.retired << "\n"
+            << "ipc\t" << formatDouble(result.ipc) << "\n"
+            << "distSingle\t" << result.distSingle << "\n"
+            << "distDual\t" << result.distDual << "\n"
+            << "operandForwards\t" << result.operandForwards << "\n"
+            << "resultForwards\t" << result.resultForwards << "\n"
+            << "replays\t" << result.replays << "\n"
+            << "issueDisorder\t" << result.issueDisorder << "\n"
+            << "bpredAccuracy\t" << formatDouble(result.bpredAccuracy) << "\n"
+            << "dcacheMissRate\t" << formatDouble(result.dcacheMissRate)
+            << "\n"
+            << "icacheMissRate\t" << formatDouble(result.icacheMissRate)
+            << "\n"
+            << "spillLoads\t" << result.spillLoads << "\n"
+            << "spillStores\t" << result.spillStores << "\n"
+            << "otherClusterSpills\t" << result.otherClusterSpills << "\n"
+            << "wallMs\t" << formatDouble(result.wallMs) << "\n";
+    }
+    std::filesystem::rename(tmp, path, ec);
+    if (ec) {
+        MCA_WARN("result cache: cannot rename '", tmp, "': ", ec.message());
+        std::filesystem::remove(tmp, ec);
+    }
+}
+
+} // namespace mca::runner

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * On-disk result cache keyed by JobSpec content hash.
+ *
+ * Layout: one text file per cached job, `<dir>/<hash>.result`, holding
+ * `name<TAB>value` lines. The file stores the full canonical spec key
+ * and load() verifies it against the requesting spec, so a (vanishingly
+ * unlikely) 64-bit hash collision degrades to a cache miss instead of
+ * returning the wrong point's numbers. Files are written via a
+ * temporary + rename so a killed run never leaves a truncated entry.
+ *
+ * Because every outcome-affecting field participates in the hash
+ * (see JobSpec::canonicalKey), a cached result is exactly as good as
+ * re-running the simulation: re-running a sweep only simulates points
+ * whose spec changed. Failed jobs are never stored — a rerun retries
+ * them — but TimedOut results are cached (the cycle budget is part of
+ * the spec, so the timeout is deterministic).
+ */
+
+#ifndef MCA_RUNNER_RESULT_CACHE_HH
+#define MCA_RUNNER_RESULT_CACHE_HH
+
+#include <optional>
+#include <string>
+
+#include "runner/jobspec.hh"
+
+namespace mca::runner
+{
+
+class ResultCache
+{
+  public:
+    /**
+     * @param dir  Cache directory (created on first store). Empty
+     *             disables the cache: load() always misses, store()
+     *             is a no-op.
+     */
+    explicit ResultCache(std::string dir);
+
+    /** Fetch the cached result for `spec`, if present and key-valid. */
+    std::optional<JobResult> load(const JobSpec &spec) const;
+
+    /** Persist one result (Failed results are skipped). */
+    void store(const JobResult &result) const;
+
+    bool enabled() const { return !dir_.empty(); }
+    const std::string &dir() const { return dir_; }
+
+    /** Path the given spec's entry lives at (diagnostics/tests). */
+    std::string entryPath(const JobSpec &spec) const;
+
+  private:
+    std::string dir_;
+};
+
+} // namespace mca::runner
+
+#endif // MCA_RUNNER_RESULT_CACHE_HH

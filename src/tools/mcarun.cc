@@ -1,0 +1,368 @@
+/**
+ * @file
+ * mcarun — parallel experiment-campaign driver.
+ *
+ * Expands a parameter grid (benchmarks × machines × schedulers ×
+ * thresholds × trace seeds) into independent compile-and-simulate
+ * jobs, shards them across worker threads, serves repeated points from
+ * an on-disk result cache, and emits JSON-lines and/or CSV results.
+ *
+ * Results are bit-identical at any --jobs width: each job owns all of
+ * its state and results are emitted in grid order, never completion
+ * order. Failed or timed-out jobs are recorded in the output (status
+ * column) and never abort the campaign; the exit code is 0 as long as
+ * the campaign itself ran.
+ *
+ *   mcarun --benchmarks all --machines single8,dual8 \
+ *          --schedulers native,local --jobs 8 --out results.jsonl
+ *   mcarun --table2 --scale 1.0 --jobs $(nproc) --csv table2.csv
+ *   mcarun --benchmarks compress --thresholds 1,2,4,8,16,32 --csv -
+ */
+
+#include <algorithm>
+#include <cstdlib>
+#include <fstream>
+#include <functional>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "runner/campaign.hh"
+#include "runner/emit.hh"
+#include "runner/table2.hh"
+#include "support/table.hh"
+
+#ifndef MCA_VERSION_STRING
+#define MCA_VERSION_STRING "unknown"
+#endif
+
+namespace
+{
+
+using namespace mca;
+
+struct Options
+{
+    runner::CampaignGrid grid;
+    bool table2 = false;
+    unsigned jobs = 1;
+    std::string cacheDir = ".mcarun-cache";
+    bool noCache = false;
+    std::string jsonOut;
+    std::string csvOut;
+    bool quiet = false;
+    bool printTable = true;
+};
+
+void
+usage()
+{
+    auto joined = [](const std::vector<std::string> &v) {
+        std::string out;
+        for (const auto &s : v)
+            out += (out.empty() ? "" : "|") + s;
+        return out;
+    };
+    std::cout <<
+        "mcarun — parallel experiment-campaign driver\n\n"
+        "grid axes (comma-separated lists; 'all' = every benchmark):\n"
+        "  --benchmarks LIST    " + joined(runner::validBenchmarks()) +
+        " [compress]\n"
+        "  --machines LIST      " + joined(runner::validMachines()) +
+        " [dual8]\n"
+        "  --schedulers LIST    " + joined(runner::validSchedulers()) +
+        " [local]\n"
+        "  --thresholds LIST    local-scheduler imbalance thresholds [4]\n"
+        "  --trace-seeds LIST   trace interpreter seeds [42]\n\n"
+        "shared job parameters:\n"
+        "  --scale X            workload scale [0.2]\n"
+        "  --unroll N           unroll factor [1]\n"
+        "  --predictor KIND     " + joined(runner::validPredictors()) +
+        " [machine default]\n"
+        "  --max-insts N        trace length cap [300000]\n"
+        "  --max-cycles N       cycle budget; exceeding it = timeout "
+        "[100000000]\n\n"
+        "campaign presets:\n"
+        "  --table2             run the Table-2 experiment (3 jobs per\n"
+        "                       benchmark) and print the speedup table\n\n"
+        "execution:\n"
+        "  --jobs N             worker threads [1]; results identical "
+        "at any width\n"
+        "  --cache DIR          result-cache directory [.mcarun-cache]\n"
+        "  --no-cache           disable the result cache\n\n"
+        "output:\n"
+        "  --out FILE           JSON-lines results ('-' = stdout)\n"
+        "  --csv FILE           CSV results ('-' = stdout)\n"
+        "  --no-table           skip the human-readable table\n"
+        "  --quiet              no progress line\n\n"
+        "introspection:\n"
+        "  --version            print the version string and exit\n"
+        "  --list-benchmarks    print the benchmark names, one per line\n";
+}
+
+[[noreturn]] void
+die(const std::string &msg)
+{
+    std::cerr << "mcarun: " << msg << "\n";
+    std::exit(2);
+}
+
+std::vector<std::string>
+splitList(const std::string &arg)
+{
+    std::vector<std::string> out;
+    std::stringstream ss(arg);
+    std::string item;
+    while (std::getline(ss, item, ','))
+        if (!item.empty())
+            out.push_back(item);
+    return out;
+}
+
+std::string
+joinChoices(const std::vector<std::string> &choices)
+{
+    std::string out;
+    for (const auto &c : choices)
+        out += (out.empty() ? "" : ", ") + c;
+    return out;
+}
+
+/** Validate every element of a list axis against the known choices. */
+void
+checkChoices(const std::vector<std::string> &values,
+             const std::vector<std::string> &valid, const char *axis)
+{
+    for (const auto &v : values)
+        if (std::find(valid.begin(), valid.end(), v) == valid.end())
+            die(std::string("unknown ") + axis + " '" + v +
+                "' (valid: " + joinChoices(valid) + ")");
+}
+
+Options
+parse(int argc, char **argv)
+{
+    Options opt;
+    std::vector<std::string> args(argv + 1, argv + argc);
+    for (std::size_t i = 0; i < args.size(); ++i) {
+        const std::string &a = args[i];
+        auto need = [&](const char *what) -> std::string {
+            if (i + 1 >= args.size())
+                die(std::string("missing value for ") + what);
+            return args[++i];
+        };
+        auto needUnsignedList = [&](const char *what) {
+            std::vector<unsigned> out;
+            for (const auto &s : splitList(need(what)))
+                out.push_back(
+                    static_cast<unsigned>(std::strtoul(s.c_str(),
+                                                       nullptr, 10)));
+            return out;
+        };
+        if (a == "--help" || a == "-h") {
+            usage();
+            std::exit(0);
+        } else if (a == "--version") {
+            std::cout << "mcarun " << MCA_VERSION_STRING << "\n";
+            std::exit(0);
+        } else if (a == "--list-benchmarks") {
+            for (const auto &name : runner::validBenchmarks())
+                std::cout << name << "\n";
+            std::exit(0);
+        } else if (a == "--benchmarks") {
+            const std::string value = need("--benchmarks");
+            opt.grid.benchmarks = value == "all"
+                                      ? runner::validBenchmarks()
+                                      : splitList(value);
+        } else if (a == "--machines") {
+            opt.grid.machines = splitList(need("--machines"));
+        } else if (a == "--schedulers") {
+            opt.grid.schedulers = splitList(need("--schedulers"));
+        } else if (a == "--thresholds") {
+            opt.grid.thresholds = needUnsignedList("--thresholds");
+        } else if (a == "--trace-seeds") {
+            opt.grid.traceSeeds.clear();
+            for (const auto &s : splitList(need("--trace-seeds")))
+                opt.grid.traceSeeds.push_back(
+                    std::strtoull(s.c_str(), nullptr, 10));
+        } else if (a == "--scale") {
+            opt.grid.scale = std::atof(need("--scale").c_str());
+        } else if (a == "--unroll") {
+            opt.grid.unroll = static_cast<unsigned>(
+                std::atoi(need("--unroll").c_str()));
+        } else if (a == "--predictor") {
+            opt.grid.predictor = need("--predictor");
+        } else if (a == "--max-insts") {
+            opt.grid.maxInsts = std::strtoull(need("--max-insts").c_str(),
+                                              nullptr, 10);
+        } else if (a == "--max-cycles") {
+            opt.grid.maxCycles = std::strtoull(
+                need("--max-cycles").c_str(), nullptr, 10);
+        } else if (a == "--table2") {
+            opt.table2 = true;
+        } else if (a == "--jobs" || a == "-j") {
+            opt.jobs = static_cast<unsigned>(
+                std::atoi(need("--jobs").c_str()));
+            if (opt.jobs == 0)
+                die("--jobs must be at least 1");
+        } else if (a == "--cache") {
+            opt.cacheDir = need("--cache");
+        } else if (a == "--no-cache") {
+            opt.noCache = true;
+        } else if (a == "--out") {
+            opt.jsonOut = need("--out");
+        } else if (a == "--csv") {
+            opt.csvOut = need("--csv");
+        } else if (a == "--no-table") {
+            opt.printTable = false;
+        } else if (a == "--quiet") {
+            opt.quiet = true;
+        } else {
+            usage();
+            die("unknown argument: " + a);
+        }
+    }
+
+    checkChoices(opt.grid.benchmarks, runner::validBenchmarks(),
+                 "benchmark");
+    checkChoices(opt.grid.machines, runner::validMachines(), "machine");
+    checkChoices(opt.grid.schedulers, runner::validSchedulers(),
+                 "scheduler");
+    if (!opt.grid.predictor.empty())
+        checkChoices({opt.grid.predictor}, runner::validPredictors(),
+                     "predictor");
+    return opt;
+}
+
+/** Open FILE for writing, with '-' standing for stdout. */
+void
+writeResults(const std::string &path,
+             const std::vector<runner::JobResult> &results, bool csv)
+{
+    auto emit = [&](std::ostream &os) {
+        if (csv)
+            runner::emitCsv(os, results);
+        else
+            runner::emitJsonLines(os, results);
+    };
+    if (path == "-") {
+        emit(std::cout);
+        return;
+    }
+    std::ofstream out(path, std::ios::trunc);
+    if (!out)
+        die("cannot open '" + path + "' for writing");
+    emit(out);
+}
+
+void
+printGridTable(const std::vector<runner::JobResult> &results)
+{
+    TextTable table;
+    table.header({"benchmark", "machine", "scheduler", "thr", "seed",
+                  "status", "cycles", "retired", "ipc", "replays",
+                  "cache"});
+    for (const auto &r : results)
+        table.row({r.spec.benchmark, r.spec.machine, r.spec.scheduler,
+                   std::to_string(r.spec.threshold),
+                   std::to_string(r.spec.traceSeed),
+                   runner::jobStatusName(r.status),
+                   std::to_string(r.cycles), std::to_string(r.retired),
+                   TextTable::num(r.ipc), std::to_string(r.replays),
+                   r.fromCache ? "hit" : "miss"});
+    table.print(std::cout);
+}
+
+void
+printTable2(const std::vector<harness::Table2Row> &rows)
+{
+    std::cout << "Table 2: dual-cluster speedup ratios\n"
+              << "  100 - 100*(cycles_dual / cycles_single); "
+              << "positive = speedup\n\n";
+    TextTable table;
+    table.header({"benchmark", "none (paper)", "none (ours)",
+                  "local (paper)", "local (ours)", "single cycles",
+                  "dual-none cycles", "dual-local cycles", "replays(l)"});
+    const auto &paper = harness::paperTable2();
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        const auto &row = rows[i];
+        const bool havePaper = i < paper.size();
+        table.row({row.benchmark,
+                   havePaper ? TextTable::signedPercent(paper[i].pctNone)
+                             : "-",
+                   TextTable::signedPercent(row.pctNone),
+                   havePaper ? TextTable::signedPercent(paper[i].pctLocal)
+                             : "-",
+                   TextTable::signedPercent(row.pctLocal),
+                   std::to_string(row.single.cycles),
+                   std::to_string(row.dualNone.cycles),
+                   std::to_string(row.dualLocal.cycles),
+                   std::to_string(row.dualLocal.replays)});
+    }
+    table.print(std::cout);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const Options opt = parse(argc, argv);
+
+    runner::CampaignOptions campaign;
+    campaign.jobs = opt.jobs;
+    campaign.cacheDir = opt.noCache ? "" : opt.cacheDir;
+    // The progress line goes to stderr so piped/captured results stay
+    // clean; suppress it when stdout is the results sink anyway.
+    runner::ProgressPrinter progress(std::cerr, !opt.quiet);
+    campaign.onResult = std::ref(progress);
+
+    runner::CampaignSummary summary;
+    std::vector<runner::JobResult> results;
+    std::vector<harness::Table2Row> table2Rows;
+
+    if (opt.table2) {
+        harness::ExperimentOptions exp;
+        exp.workload.scale = opt.grid.scale;
+        exp.maxInsts = opt.grid.maxInsts;
+        if (!opt.grid.thresholds.empty())
+            exp.imbalanceThreshold = opt.grid.thresholds.front();
+        if (!opt.grid.traceSeeds.empty())
+            exp.traceSeed = opt.grid.traceSeeds.front();
+        auto result = runner::runTable2Campaign(exp, campaign);
+        results = std::move(result.jobs);
+        table2Rows = std::move(result.rows);
+        summary = result.summary;
+    } else {
+        std::vector<runner::JobSpec> specs;
+        try {
+            specs = runner::expandGrid(opt.grid);
+        } catch (const std::exception &e) {
+            die(e.what());
+        }
+        results = runner::runCampaign(specs, campaign, &summary);
+    }
+    progress.finish();
+
+    if (!opt.jsonOut.empty())
+        writeResults(opt.jsonOut, results, /*csv=*/false);
+    if (!opt.csvOut.empty())
+        writeResults(opt.csvOut, results, /*csv=*/true);
+
+    if (opt.printTable) {
+        if (opt.table2)
+            printTable2(table2Rows);
+        else
+            printGridTable(results);
+    }
+
+    for (const auto &r : results)
+        if (r.status != runner::JobStatus::Ok)
+            std::cerr << "mcarun: " << r.spec.benchmark << "/"
+                      << r.spec.machine << "/" << r.spec.scheduler << " "
+                      << runner::jobStatusName(r.status) << ": "
+                      << r.error << "\n";
+    runner::emitSummary(std::cerr, summary);
+    return 0;
+}

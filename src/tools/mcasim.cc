@@ -13,6 +13,7 @@
  *   mcasim --random-seed 7 --machine dual8 --timeline 40
  */
 
+#include <algorithm>
 #include <cstdint>
 #include <cstdlib>
 #include <iostream>
@@ -25,8 +26,13 @@
 #include "core/processor.hh"
 #include "exec/trace.hh"
 #include "exec/trace_io.hh"
+#include "runner/jobspec.hh"
 #include "support/panic.hh"
 #include "workloads/workloads.hh"
+
+#ifndef MCA_VERSION_STRING
+#define MCA_VERSION_STRING "unknown"
+#endif
 
 namespace
 {
@@ -93,7 +99,28 @@ usage()
         "  --json               dump statistics as JSON\n"
         "  --dump-binary        print the compiled binary's disassembly\n"
         "  --timeline N         print events for the first N instructions\n"
-        "  --quiet              only the one-line summary\n";
+        "  --quiet              only the one-line summary\n\n"
+        "introspection:\n"
+        "  --version            print the version string and exit\n"
+        "  --list-benchmarks    print the benchmark names, one per line\n";
+}
+
+/**
+ * Reject an unknown value for an enumerated flag at parse time, before
+ * any compilation or configuration work, with the valid choices spelled
+ * out (scripts should not have to parse --help to recover them).
+ */
+void
+checkChoice(const std::string &value,
+            const std::vector<std::string> &valid, const char *flag)
+{
+    if (std::find(valid.begin(), valid.end(), value) != valid.end())
+        return;
+    std::string choices;
+    for (const auto &c : valid)
+        choices += (choices.empty() ? "" : ", ") + c;
+    MCA_FATAL("unknown value '", value, "' for ", flag,
+              " (valid: ", choices, ")");
 }
 
 Options
@@ -111,15 +138,28 @@ parse(int argc, char **argv)
         if (a == "--help" || a == "-h") {
             usage();
             std::exit(0);
+        } else if (a == "--version") {
+            std::cout << "mcasim " << MCA_VERSION_STRING << "\n";
+            std::exit(0);
+        } else if (a == "--list-benchmarks") {
+            for (const auto &name : runner::validBenchmarks())
+                std::cout << name << "\n";
+            std::exit(0);
         } else if (a == "--benchmark") {
             opt.benchmark = need("--benchmark");
+            checkChoice(opt.benchmark, runner::validBenchmarks(),
+                        "--benchmark");
         } else if (a == "--random-seed") {
             opt.randomSeed = std::strtoull(
                 need("--random-seed").c_str(), nullptr, 10);
         } else if (a == "--machine") {
             opt.machine = need("--machine");
+            checkChoice(opt.machine, runner::validMachines(),
+                        "--machine");
         } else if (a == "--scheduler") {
             opt.scheduler = need("--scheduler");
+            checkChoice(opt.scheduler, runner::validSchedulers(),
+                        "--scheduler");
         } else if (a == "--scale") {
             opt.scale = std::atof(need("--scale").c_str());
         } else if (a == "--max-insts") {
@@ -145,11 +185,14 @@ parse(int argc, char **argv)
                 std::atoi(need("--rtb").c_str()));
         } else if (a == "--queue-mode") {
             opt.queueMode = need("--queue-mode");
+            checkChoice(opt.queueMode, {"window", "rs"}, "--queue-mode");
         } else if (a == "--mshr") {
             opt.mshrEntries = static_cast<unsigned>(
                 std::atoi(need("--mshr").c_str()));
         } else if (a == "--predictor") {
             opt.predictor = need("--predictor");
+            checkChoice(opt.predictor, runner::validPredictors(),
+                        "--predictor");
         } else if (a == "--spec-history") {
             opt.specHistory = true;
         } else if (a == "--reserve-oldest") {
