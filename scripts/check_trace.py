@@ -1,0 +1,29 @@
+#!/usr/bin/env python3
+"""Observability smoke check: validate an mcasim --trace-out file and
+cross-check the cycle-stack totals in an mcasim --json stats dump.
+
+    check_trace.py TRACE.json STATS.json
+"""
+import json
+import sys
+
+trace = json.load(open(sys.argv[1]))
+events = trace["traceEvents"]
+assert events, "trace has no events"
+last = {}
+for ev in (e for e in events if e["ph"] != "M"):
+    track = (ev.get("pid", 0), ev.get("tid", 0))
+    assert ev["ts"] >= last.get(track, 0), f"ts regressed on {track}"
+    last[track] = ev["ts"]
+assert any(e["ph"] == "X" for e in events), "no instruction slices"
+assert any(e["ph"] == "C" for e in events), "no counter samples"
+
+# The stats dump follows mcasim's one-line summary; skip to the object.
+text = open(sys.argv[2]).read()
+stats = json.loads(text[text.index("{"):])
+causes = sum(v for k, v in stats.items()
+             if k.startswith("cstack.") and k != "cstack.slots")
+expect = stats["cstack.slots"] * stats["sim.cycles"]
+assert causes == expect, f"cycle stack not conserved: {causes} != {expect}"
+print(f"ok: {len(events)} events, {len(last)} tracks, "
+      f"{causes} slot-cycles conserved")

@@ -14,3 +14,14 @@ cmake -B "$BUILD" -S .
 cmake --build "$BUILD" -j
 cd "$BUILD"
 ctest --output-on-failure -j
+
+# Observability smoke: cycle stacks conserve and the Perfetto trace is
+# loadable (scripts/check_trace.py validates both).
+cd "$ROOT"
+SIM="$BUILD/src/tools/mcasim"
+"$SIM" --benchmark ora --max-insts 5000 --cycle-stacks --quiet \
+    --trace-out /tmp/mca_ci_trace.json >/dev/null
+"$SIM" --benchmark ora --max-insts 5000 --cycle-stacks --quiet --json \
+    >/tmp/mca_ci_stats.json 2>/dev/null
+python3 scripts/check_trace.py /tmp/mca_ci_trace.json \
+    /tmp/mca_ci_stats.json

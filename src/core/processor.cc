@@ -7,6 +7,8 @@
 #include <optional>
 
 #include "isa/opcodes.hh"
+#include "obs/cycle_stack.hh"
+#include "obs/snapshot.hh"
 #include "support/panic.hh"
 
 namespace mca::core
@@ -72,6 +74,8 @@ struct InFlightInst
      * disambiguation; the load waits and forwards from it).
      */
     InstSeq memDepStoreSeq = kNoSeq;
+    /** Load whose effective latency exceeded the d-cache hit time. */
+    bool dcacheLoadMiss = false;
     bool condBranch = false;
     bool predTaken = false;
     bool mispredicted = false;
@@ -150,6 +154,7 @@ struct Processor::Impl
     mem::Cache dcache;
     std::unique_ptr<bpred::Predictor> predictor;
     TimelineRecorder *timeline = nullptr;
+    obs::CycleStack *cstack = nullptr;
 
     // --- machine state ------------------------------------------------
     Cycle now = 0;
@@ -170,6 +175,9 @@ struct Processor::Impl
 
     Cycle lastProgress = 0;
     unsigned consecutiveReplays = 0;
+    /** Per-cycle facts the cycle-stack attribution reads at cycle end. */
+    unsigned retiredThisCycle = 0;
+    bool dqStallThisCycle = false;
     /** Oldest buffer-blocked queue head requesting a replay. */
     InstSeq replayRequestSeq = kNoSeq;
     /**
@@ -226,6 +234,7 @@ struct Processor::Impl
     void doDispatch();
     void checkWatchdog();
     void checkInvariants();
+    obs::StallCause classifyStall() const;
 
     bool tryDispatch(const exec::DynInst &di);
     void applyRemap(std::uint32_t index);
@@ -423,6 +432,8 @@ Processor::Impl::beginCycle()
         queueOccupancy[c]->sample(clusters[c].queue.size());
     }
     robOccupancy->sample(rob.size());
+    retiredThisCycle = 0;
+    dqStallThisCycle = false;
 }
 
 void
@@ -450,6 +461,7 @@ Processor::Impl::doRetire()
                TimelineEvent::Retired);
         ++*retired;
         ++n;
+        ++retiredThisCycle;
         lastProgress = now;
         consecutiveReplays = 0;
         rob.pop_front();
@@ -553,6 +565,7 @@ Processor::Impl::issueMaster(InFlightInst &inst, CopyState &copy)
             lat = 2;
             ++*loadsForwarded;
         }
+        inst.dcacheLoadMiss = lat > 2;
     } else if (isa::isStore(op)) {
         dcache.access(inst.di.effAddr, true, now);
         lat = 1;
@@ -908,6 +921,7 @@ Processor::Impl::tryDispatch(const exec::DynInst &di)
         if (clusters[c].queue.size() + dq_need[c] >
             clusters[c].queueCapacity) {
             ++*stallDq;
+            dqStallThisCycle = true;
             return false;
         }
     // Physical destination registers.
@@ -1282,6 +1296,82 @@ Processor::Impl::checkInvariants()
                    "fetch buffer out of program order at cycle ", now);
 }
 
+/**
+ * Attribute this cycle's empty retire slots to a single cause by
+ * inspecting the oldest unretired instruction (the classic CPI-stack
+ * convention: the head is what retirement is waiting on). Runs at the
+ * end of the cycle, after every stage has acted. Evaluated only when a
+ * cycle stack is attached and the retire bandwidth was not saturated.
+ */
+obs::StallCause
+Processor::Impl::classifyStall() const
+{
+    using obs::StallCause;
+
+    if (rob.empty()) {
+        // Nothing in flight: the front end is the limiter.
+        if (mispredictBlockSeq != kNoSeq || now < fetchStallUntil)
+            return StallCause::Squash; // redirect / replay refill
+        if (icachePending || now < icacheReadyAt)
+            return StallCause::IcacheMiss;
+        if (dqStallThisCycle)
+            return StallCause::DispatchQueue;
+        // Trace exhausted (drain) or the pipeline is still filling
+        // after a squash-free start; both are charged as drain.
+        return StallCause::Drain;
+    }
+
+    const InFlightInst &head = *rob.front();
+    const CopyState &master = head.copies[0];
+
+    if (!master.issued) {
+        // Waiting to issue: find the binding constraint, most specific
+        // first. A full RTB in any receiving cluster gates issue
+        // outright (Table 1), so check it before operand arrival.
+        for (const auto &sl : head.copies)
+            if (!sl.isMaster && sl.role.receivesResult &&
+                !clusters[sl.cluster].rtb.canAlloc())
+                return StallCause::ResultBuffer;
+        for (const auto &sl : head.copies) {
+            if (sl.isMaster || !sl.role.forwardsOperand)
+                continue;
+            if (!sl.issued)
+                return clusters[master.cluster].otb.canAlloc()
+                           ? StallCause::RemoteReg
+                           : StallCause::OperandBuffer;
+            if (sl.issueCycle + 1 > now)
+                return StallCause::RemoteReg; // operand still in transit
+        }
+        // No cluster-specific cause: the head waits on local operands,
+        // dividers, or memory dependences. If dispatch also lost
+        // bandwidth to a full queue this cycle the machine is congested
+        // end to end; charge the capacity loss, else base.
+        return dqStallThisCycle ? StallCause::DispatchQueue
+                                : StallCause::Base;
+    } else if (master.completeCycle == kNoCycle ||
+               master.completeCycle > now) {
+        // Master executing; a long-latency load is a d-cache stall,
+        // anything else is plain execution latency (base).
+        return head.dcacheLoadMiss ? StallCause::DcacheMiss
+                                   : StallCause::Base;
+    } else {
+        // Master done; a slave copy is outstanding.
+        for (const auto &sl : head.copies)
+            if (!sl.isMaster && sl.suspended)
+                return StallCause::SlaveSuspend;
+        for (const auto &sl : head.copies) {
+            if (sl.isMaster)
+                continue;
+            if (sl.completeCycle == kNoCycle || sl.completeCycle > now)
+                return sl.role.receivesResult ? StallCause::RemoteReg
+                                              : StallCause::Base;
+        }
+        // Completed this cycle after retirement ran; commits next
+        // cycle. Charged as base (commit latency).
+    }
+    return StallCause::Base;
+}
+
 // ---------------------------------------------------------------------
 
 Processor::Processor(const ProcessorConfig &config,
@@ -1296,6 +1386,40 @@ void
 Processor::attachTimeline(TimelineRecorder *recorder)
 {
     impl_->timeline = recorder;
+}
+
+void
+Processor::attachCycleStack(obs::CycleStack *stack)
+{
+    impl_->cstack = stack;
+    if (stack)
+        stack->slots = impl_->cfg.retireWidth;
+}
+
+void
+Processor::observe(obs::CycleObs &out) const
+{
+    const Impl &im = *impl_;
+    out.cycle = cycle_;
+    out.retired = im.retired->value();
+    out.dispatched = im.dispatched->value();
+    out.icacheAccesses = im.icache.accesses();
+    out.icacheMisses = im.icache.misses();
+    out.dcacheAccesses = im.dcache.accesses();
+    out.dcacheMisses = im.dcache.misses();
+    out.robOcc = static_cast<unsigned>(im.rob.size());
+    out.robCap = im.cfg.retireWindow;
+    out.clusters.resize(im.clusters.size());
+    for (std::size_t c = 0; c < im.clusters.size(); ++c) {
+        const Cluster &cl = im.clusters[c];
+        obs::ClusterObs &o = out.clusters[c];
+        o.queueOcc = static_cast<unsigned>(cl.queue.size());
+        o.queueCap = cl.queueCapacity;
+        o.otbInUse = cl.otb.inUse();
+        o.otbCap = cl.otb.capacity();
+        o.rtbInUse = cl.rtb.inUse();
+        o.rtbCap = cl.rtb.capacity();
+    }
 }
 
 std::uint64_t
@@ -1320,6 +1444,14 @@ Processor::step()
     impl_->checkWatchdog();
     if (impl_->cfg.paranoid)
         impl_->checkInvariants();
+    if (impl_->cstack) {
+        obs::CycleStack &cs = *impl_->cstack;
+        cs.slots = impl_->cfg.retireWidth;
+        const auto cause = impl_->retiredThisCycle < cs.slots
+                               ? impl_->classifyStall()
+                               : obs::StallCause::Base;
+        cs.account(impl_->retiredThisCycle, cause);
+    }
     ++cycle_;
     ++*impl_->cycles;
     return true;

@@ -35,6 +35,12 @@
 #include "mem/cache.hh"
 #include "support/stats.hh"
 
+namespace mca::obs
+{
+struct CycleStack;
+struct CycleObs;
+} // namespace mca::obs
+
 namespace mca::core
 {
 
@@ -65,6 +71,21 @@ class Processor
 
     /** Attach a timeline recorder (scenario figures); may be null. */
     void attachTimeline(TimelineRecorder *recorder);
+
+    /**
+     * Attach a cycle stack (may be null to detach). While attached,
+     * every retire slot of every cycle is attributed to exactly one
+     * stall cause; obs::CycleStack::conserved() then holds by
+     * construction.
+     */
+    void attachCycleStack(obs::CycleStack *stack);
+
+    /**
+     * Fill `out` with this cycle's occupancies and cumulative counters
+     * (obs sampling / counter tracks). Reuses out's storage; intended
+     * to be called once per cycle, after step().
+     */
+    void observe(obs::CycleObs &out) const;
 
     /** Run to completion (or the cycle bound). */
     SimResult run(Cycle max_cycles = ~Cycle{0});

@@ -30,9 +30,14 @@ std::vector<TimelineRecord>
 TimelineRecorder::forInst(InstSeq seq) const
 {
     std::vector<TimelineRecord> out;
-    for (const auto &r : records_)
-        if (r.seq == seq)
-            out.push_back(r);
+    const auto it = bySeq_.find(seq);
+    if (it == bySeq_.end())
+        return out;
+    out.reserve(it->second.size());
+    for (const std::uint32_t idx : it->second)
+        out.push_back(records_[idx]);
+    // Records carry future cycles (e.g. a result write scheduled at
+    // issue time), so insertion order is not time order.
     std::stable_sort(out.begin(), out.end(),
                      [](const TimelineRecord &a, const TimelineRecord &b) {
                          return a.cycle < b.cycle;

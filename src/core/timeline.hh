@@ -10,7 +10,9 @@
 #ifndef MCA_CORE_TIMELINE_HH
 #define MCA_CORE_TIMELINE_HH
 
+#include <cstdint>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "support/types.hh"
@@ -50,17 +52,31 @@ class TimelineRecorder
     void
     record(Cycle cycle, InstSeq seq, unsigned cluster, TimelineEvent ev)
     {
+        bySeq_[seq].push_back(
+            static_cast<std::uint32_t>(records_.size()));
         records_.push_back({cycle, seq, cluster, ev});
     }
 
     const std::vector<TimelineRecord> &records() const { return records_; }
-    void clear() { records_.clear(); }
 
-    /** All records for one dynamic instruction, in time order. */
+    void
+    clear()
+    {
+        records_.clear();
+        bySeq_.clear();
+    }
+
+    /**
+     * All records for one dynamic instruction, in time order. Indexed:
+     * O(records-of-seq log records-of-seq), not a scan of the whole
+     * stream, so exporting a long run stays linear overall.
+     */
     std::vector<TimelineRecord> forInst(InstSeq seq) const;
 
   private:
     std::vector<TimelineRecord> records_;
+    /** Record indices per sequence number, in insertion order. */
+    std::unordered_map<InstSeq, std::vector<std::uint32_t>> bySeq_;
 };
 
 } // namespace mca::core

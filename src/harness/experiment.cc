@@ -18,7 +18,11 @@ simulate(const prog::MachProgram &binary, const isa::RegisterMap &map,
     StatGroup stats(binary.name);
     exec::ProgramTrace trace(binary, trace_seed, max_insts);
     core::Processor cpu(base, trace, stats);
+    obs::CycleStack cstack;
+    cpu.attachCycleStack(&cstack);
     const core::SimResult result = cpu.run(max_cycles);
+    MCA_ASSERT(cstack.conserved(),
+               "cycle-stack conservation violated for ", binary.name);
 
     RunStats out;
     out.cycles = result.cycles;
@@ -42,6 +46,7 @@ simulate(const prog::MachProgram &binary, const isa::RegisterMap &map,
         iacc ? static_cast<double>(imiss) / static_cast<double>(iacc)
              : 0.0;
     out.completed = result.completed;
+    out.cycleStack = cstack;
     return out;
 }
 

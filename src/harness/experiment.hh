@@ -21,6 +21,7 @@
 #include "compiler/pipeline.hh"
 #include "core/config.hh"
 #include "core/processor.hh"
+#include "obs/cycle_stack.hh"
 #include "workloads/workloads.hh"
 
 namespace mca::harness
@@ -42,6 +43,8 @@ struct RunStats
     double dcacheMissRate = 0.0;
     double icacheMissRate = 0.0;
     bool completed = false;
+    /** Retire-slot stall attribution (always collected; cheap). */
+    obs::CycleStack cycleStack;
 };
 
 /**

@@ -59,6 +59,8 @@ runOne(const ScenarioSpec &spec)
     core::Processor cpu(cfg, trace, stats);
     core::TimelineRecorder recorder;
     cpu.attachTimeline(&recorder);
+    obs::CycleStack cstack;
+    cpu.attachCycleStack(&cstack);
     const auto result = cpu.run(10'000);
     MCA_ASSERT(result.completed, "scenario did not drain");
 
@@ -73,6 +75,7 @@ runOne(const ScenarioSpec &spec)
         isa::makeRRR(Op::Add, spec.dest, spec.srcA, spec.srcB),
         cfg.regMap);
     out.dual = dist.isDual();
+    out.stack = cstack;
     return out;
 }
 

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "core/timeline.hh"
+#include "obs/cycle_stack.hh"
 
 namespace mca::harness
 {
@@ -36,6 +37,8 @@ struct ScenarioResult
     Cycle totalCycles = 0;
     /** The add was dual-distributed. */
     bool dual = false;
+    /** Retire-slot stall attribution of the whole scenario run. */
+    obs::CycleStack stack;
 };
 
 /** Run all five scenarios on the paper's dual-cluster configuration. */

@@ -1,0 +1,176 @@
+/**
+ * @file
+ * Cycle-stack (CPI-stack) accounting for the multicluster processor.
+ *
+ * Every retire slot of every simulated cycle is attributed to exactly
+ * one cause: slots that retire an instruction count as Base, and the
+ * empty slots of a cycle are charged to whatever is blocking the
+ * oldest in-flight instruction (or the front end, when the retire
+ * window is empty). The taxonomy mirrors the paper's §2.1 execution
+ * scenarios: the transfer-buffer and remote-register causes are the
+ * mechanisms scenarios 2-5 lose cycles to, so a dual-vs-single
+ * cycle-stack diff attributes the Table-2 slowdown to specific
+ * scenarios instead of a single end-of-run number.
+ *
+ * Hard conservation invariant: the per-cause slot-cycles of a run sum
+ * to exactly `slots × cycles`. `CycleStack::conserved()` checks it and
+ * the test suite asserts it on every scenario and campaign job.
+ *
+ * Header-only on purpose: core::Processor writes into an attached
+ * CycleStack without linking against the obs library (which itself
+ * depends on core for the Perfetto exporter).
+ */
+
+#ifndef MCA_OBS_CYCLE_STACK_HH
+#define MCA_OBS_CYCLE_STACK_HH
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+#include "support/types.hh"
+
+namespace mca::obs
+{
+
+/** Why a retire slot went unused this cycle (one cause per cycle). */
+enum class StallCause : unsigned
+{
+    /** Slot retired an instruction, or the head is executing normally
+     *  (plain data dependencies and execution latency). */
+    Base = 0,
+    /** Front end stalled: every needed dispatch-queue entry is taken. */
+    DispatchQueue,
+    /** Operand transfer buffer full: a forwarding slave cannot issue. */
+    OperandBuffer,
+    /** Result transfer buffer full: the master cannot issue. */
+    ResultBuffer,
+    /** Waiting on a cross-cluster operand or result transfer. */
+    RemoteReg,
+    /** A scenario-5 slave sits suspended waiting for its result. */
+    SlaveSuspend,
+    /** Fetch is waiting on an instruction-cache fill. */
+    IcacheMiss,
+    /** The head is a load waiting on a data-cache fill. */
+    DcacheMiss,
+    /** Squash recovery: branch-mispredict or replay-exception refill. */
+    Squash,
+    /** Pipeline draining after the trace ended (plus warm-up residue). */
+    Drain,
+};
+
+inline constexpr std::size_t kNumStallCauses = 10;
+
+/** Short machine-readable cause name ("base", "otb_wait", ...). */
+inline const char *
+stallCauseName(StallCause cause)
+{
+    switch (cause) {
+      case StallCause::Base: return "base";
+      case StallCause::DispatchQueue: return "dq_full";
+      case StallCause::OperandBuffer: return "otb_wait";
+      case StallCause::ResultBuffer: return "rtb_full";
+      case StallCause::RemoteReg: return "remote_reg";
+      case StallCause::SlaveSuspend: return "slave_susp";
+      case StallCause::IcacheMiss: return "icache_miss";
+      case StallCause::DcacheMiss: return "dcache_miss";
+      case StallCause::Squash: return "squash";
+      case StallCause::Drain: return "drain";
+    }
+    return "<bad-cause>";
+}
+
+/** One-line human description of a cause (docs, table headers). */
+inline const char *
+stallCauseDesc(StallCause cause)
+{
+    switch (cause) {
+      case StallCause::Base:
+        return "committing, or plain execution latency";
+      case StallCause::DispatchQueue:
+        return "dispatch queue full (front-end back-pressure)";
+      case StallCause::OperandBuffer:
+        return "operand transfer buffer full";
+      case StallCause::ResultBuffer:
+        return "result transfer buffer full";
+      case StallCause::RemoteReg:
+        return "cross-cluster operand/result transfer in flight";
+      case StallCause::SlaveSuspend:
+        return "slave suspended awaiting the forwarded result";
+      case StallCause::IcacheMiss: return "instruction-cache fill";
+      case StallCause::DcacheMiss: return "data-cache fill";
+      case StallCause::Squash:
+        return "mispredict or replay squash refill";
+      case StallCause::Drain: return "trace ended, pipeline draining";
+    }
+    return "<bad-cause>";
+}
+
+/**
+ * Accumulated per-cause slot-cycles of one run. The processor calls
+ * account() exactly once per simulated cycle; everything else is
+ * read-side.
+ */
+struct CycleStack
+{
+    std::array<std::uint64_t, kNumStallCauses> slotCycles{};
+    /** Retire slots per cycle (the machine's retire width). */
+    unsigned slots = 0;
+    /** Cycles attributed so far. */
+    Cycle cycles = 0;
+
+    /**
+     * Attribute one cycle: `retired` slots to Base, the remaining
+     * `slots - retired` to `cause`.
+     */
+    void
+    account(unsigned retired, StallCause cause)
+    {
+        slotCycles[static_cast<std::size_t>(StallCause::Base)] += retired;
+        slotCycles[static_cast<std::size_t>(cause)] += slots - retired;
+        ++cycles;
+    }
+
+    std::uint64_t
+    at(StallCause cause) const
+    {
+        return slotCycles[static_cast<std::size_t>(cause)];
+    }
+
+    std::uint64_t
+    totalSlotCycles() const
+    {
+        std::uint64_t total = 0;
+        for (auto v : slotCycles)
+            total += v;
+        return total;
+    }
+
+    /** Cause total expressed in whole-machine cycles. */
+    double
+    cyclesOf(StallCause cause) const
+    {
+        return slots == 0 ? 0.0
+                          : static_cast<double>(at(cause)) /
+                                static_cast<double>(slots);
+    }
+
+    /** The conservation invariant: causes sum to slots × cycles. */
+    bool
+    conserved() const
+    {
+        return totalSlotCycles() ==
+               static_cast<std::uint64_t>(slots) * cycles;
+    }
+
+    void
+    reset()
+    {
+        slotCycles.fill(0);
+        cycles = 0;
+    }
+};
+
+} // namespace mca::obs
+
+#endif // MCA_OBS_CYCLE_STACK_HH

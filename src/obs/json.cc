@@ -1,0 +1,265 @@
+#include "obs/json.hh"
+
+#include <cctype>
+#include <cstddef>
+
+namespace mca::obs
+{
+
+namespace
+{
+
+/** Recursive-descent validator over a string_view cursor. */
+class Validator
+{
+  public:
+    explicit Validator(std::string_view text) : text_(text) {}
+
+    bool
+    run(std::string *error)
+    {
+        skipWs();
+        if (!value()) {
+            fill(error);
+            return false;
+        }
+        skipWs();
+        if (pos_ != text_.size()) {
+            err_ = "trailing characters after the JSON value";
+            fill(error);
+            return false;
+        }
+        return true;
+    }
+
+  private:
+    bool
+    fail(const char *what)
+    {
+        if (err_.empty())
+            err_ = what;
+        return false;
+    }
+
+    void
+    fill(std::string *error) const
+    {
+        if (error)
+            *error = err_ + " at byte " + std::to_string(pos_);
+    }
+
+    char peek() const { return pos_ < text_.size() ? text_[pos_] : '\0'; }
+    bool eof() const { return pos_ >= text_.size(); }
+
+    void
+    skipWs()
+    {
+        while (!eof() && (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+                          text_[pos_] == '\n' || text_[pos_] == '\r'))
+            ++pos_;
+    }
+
+    bool
+    literal(std::string_view word)
+    {
+        if (text_.substr(pos_, word.size()) != word)
+            return fail("invalid literal");
+        pos_ += word.size();
+        return true;
+    }
+
+    bool
+    string()
+    {
+        if (peek() != '"')
+            return fail("expected '\"'");
+        ++pos_;
+        while (!eof()) {
+            const char c = text_[pos_];
+            if (c == '"') {
+                ++pos_;
+                return true;
+            }
+            if (static_cast<unsigned char>(c) < 0x20)
+                return fail("unescaped control character in string");
+            if (c == '\\') {
+                ++pos_;
+                if (eof())
+                    return fail("truncated escape");
+                const char e = text_[pos_];
+                if (e == 'u') {
+                    for (int i = 1; i <= 4; ++i)
+                        if (pos_ + i >= text_.size() ||
+                            !std::isxdigit(static_cast<unsigned char>(
+                                text_[pos_ + i])))
+                            return fail("bad \\u escape");
+                    pos_ += 4;
+                } else if (e != '"' && e != '\\' && e != '/' &&
+                           e != 'b' && e != 'f' && e != 'n' &&
+                           e != 'r' && e != 't') {
+                    return fail("bad escape character");
+                }
+                ++pos_;
+            } else {
+                ++pos_;
+            }
+        }
+        return fail("unterminated string");
+    }
+
+    bool
+    number()
+    {
+        const std::size_t start = pos_;
+        if (peek() == '-')
+            ++pos_;
+        if (!std::isdigit(static_cast<unsigned char>(peek())))
+            return fail("malformed number");
+        if (peek() == '0') {
+            ++pos_;
+        } else {
+            while (std::isdigit(static_cast<unsigned char>(peek())))
+                ++pos_;
+        }
+        if (peek() == '.') {
+            ++pos_;
+            if (!std::isdigit(static_cast<unsigned char>(peek())))
+                return fail("malformed fraction");
+            while (std::isdigit(static_cast<unsigned char>(peek())))
+                ++pos_;
+        }
+        if (peek() == 'e' || peek() == 'E') {
+            ++pos_;
+            if (peek() == '+' || peek() == '-')
+                ++pos_;
+            if (!std::isdigit(static_cast<unsigned char>(peek())))
+                return fail("malformed exponent");
+            while (std::isdigit(static_cast<unsigned char>(peek())))
+                ++pos_;
+        }
+        return pos_ > start;
+    }
+
+    bool
+    array()
+    {
+        ++pos_; // consume '['
+        skipWs();
+        if (peek() == ']') {
+            ++pos_;
+            return true;
+        }
+        while (true) {
+            if (!value())
+                return false;
+            skipWs();
+            if (peek() == ',') {
+                ++pos_;
+                skipWs();
+                continue;
+            }
+            if (peek() == ']') {
+                ++pos_;
+                return true;
+            }
+            return fail("expected ',' or ']' in array");
+        }
+    }
+
+    bool
+    object()
+    {
+        ++pos_; // consume '{'
+        skipWs();
+        if (peek() == '}') {
+            ++pos_;
+            return true;
+        }
+        while (true) {
+            skipWs();
+            if (!string())
+                return false;
+            skipWs();
+            if (peek() != ':')
+                return fail("expected ':' after object key");
+            ++pos_;
+            skipWs();
+            if (!value())
+                return false;
+            skipWs();
+            if (peek() == ',') {
+                ++pos_;
+                continue;
+            }
+            if (peek() == '}') {
+                ++pos_;
+                return true;
+            }
+            return fail("expected ',' or '}' in object");
+        }
+    }
+
+    bool
+    value()
+    {
+        if (++depth_ > 256)
+            return fail("nesting too deep");
+        bool ok = false;
+        skipWs();
+        switch (peek()) {
+        case '{': ok = object(); break;
+        case '[': ok = array(); break;
+        case '"': ok = string(); break;
+        case 't': ok = literal("true"); break;
+        case 'f': ok = literal("false"); break;
+        case 'n': ok = literal("null"); break;
+        case '\0': ok = fail("unexpected end of input"); break;
+        default: ok = number(); break;
+        }
+        --depth_;
+        return ok;
+    }
+
+    std::string_view text_;
+    std::size_t pos_ = 0;
+    int depth_ = 0;
+    std::string err_;
+};
+
+} // namespace
+
+bool
+isValidJson(std::string_view text, std::string *error)
+{
+    return Validator(text).run(error);
+}
+
+bool
+isValidJsonLines(std::string_view text, std::string *error)
+{
+    std::size_t lineno = 0;
+    std::size_t start = 0;
+    while (start <= text.size()) {
+        std::size_t end = text.find('\n', start);
+        if (end == std::string_view::npos)
+            end = text.size();
+        ++lineno;
+        const std::string_view line = text.substr(start, end - start);
+        if (!line.empty() && line.find_first_not_of(" \t\r") !=
+                                 std::string_view::npos) {
+            std::string inner;
+            if (!isValidJson(line, &inner)) {
+                if (error)
+                    *error = "line " + std::to_string(lineno) + ": " +
+                             inner;
+                return false;
+            }
+        }
+        if (end == text.size())
+            break;
+        start = end + 1;
+    }
+    return true;
+}
+
+} // namespace mca::obs

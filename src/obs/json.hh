@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Minimal validating JSON parser (RFC 8259 subset, no DOM).
+ *
+ * Used by the test suite and smoke checks to verify that the trace,
+ * interval, and statistics emitters produce well-formed JSON without
+ * pulling in an external JSON dependency. Validates structure only —
+ * numbers, strings (with escapes), literals, arrays, objects — and
+ * reports the byte offset of the first error.
+ */
+
+#ifndef MCA_OBS_JSON_HH
+#define MCA_OBS_JSON_HH
+
+#include <string>
+#include <string_view>
+
+namespace mca::obs
+{
+
+/**
+ * True if `text` is exactly one valid JSON value (plus surrounding
+ * whitespace). On failure, *error (if non-null) describes the problem
+ * and the byte offset where it was detected.
+ */
+bool isValidJson(std::string_view text, std::string *error = nullptr);
+
+/**
+ * True if every non-empty line of `text` is a valid JSON value
+ * (JSON-lines). On failure, *error names the offending line.
+ */
+bool isValidJsonLines(std::string_view text, std::string *error = nullptr);
+
+} // namespace mca::obs
+
+#endif // MCA_OBS_JSON_HH

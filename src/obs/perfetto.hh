@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Chrome trace-event (Perfetto-loadable) export of simulator activity.
+ *
+ * Renders a core::TimelineRecorder stream as trace-event JSON that
+ * ui.perfetto.dev and chrome://tracing open directly:
+ *
+ *  - each cluster is a "process" (pid = cluster index);
+ *  - each dynamic instruction copy is a complete slice ("X") from its
+ *    first to its last microarchitectural event, packed greedily into
+ *    non-overlapping lanes (tid = lane) per cluster;
+ *  - every recorded event is a thread-scoped instant ("i") on the
+ *    slice's lane;
+ *  - per-cluster occupancy counters ("C": dispatch queue, OTB, RTB)
+ *    come from per-cycle CycleObs snapshots.
+ *
+ * One simulated cycle maps to one microsecond of trace time. Events
+ * are emitted sorted by timestamp, so every track's timestamps are
+ * monotonically non-decreasing (asserted by tests/obs_test.cc).
+ */
+
+#ifndef MCA_OBS_PERFETTO_HH
+#define MCA_OBS_PERFETTO_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "core/timeline.hh"
+#include "obs/snapshot.hh"
+#include "support/types.hh"
+
+namespace mca::obs
+{
+
+class PerfettoExporter
+{
+  public:
+    /** One trace event, pre-serialization (exposed for tests). */
+    struct Event
+    {
+        std::string name;
+        char ph = 'i'; ///< 'X' slice, 'i' instant, 'C' counter, 'M' meta
+        Cycle ts = 0;
+        Cycle dur = 0;      ///< slices only
+        unsigned pid = 0;   ///< cluster index
+        unsigned tid = 0;   ///< lane within the cluster (0 = counters)
+        double value = 0.0; ///< counters only
+        std::string meta;   ///< metadata payload ('M' only)
+    };
+
+    /**
+     * Convert a recorded timeline into slices and instants.
+     * @param numClusters  Cluster count (names the process tracks).
+     */
+    void addTimeline(const core::TimelineRecorder &recorder,
+                     unsigned numClusters);
+
+    /** Append one cycle's occupancy counters (call once per cycle). */
+    void addCounters(const CycleObs &obs);
+
+    /** Events sorted by (ts, insertion order) — the emission order. */
+    std::vector<Event> sortedEvents() const;
+
+    /** Serialize as a Chrome trace-event JSON document. */
+    void write(std::ostream &os) const;
+
+  private:
+    void ensureProcessNames(unsigned numClusters);
+
+    std::vector<Event> events_;
+    unsigned namedClusters_ = 0;
+};
+
+} // namespace mca::obs
+
+#endif // MCA_OBS_PERFETTO_HH

@@ -1,0 +1,162 @@
+#include "obs/sampler.hh"
+
+#include <charconv>
+#include <cmath>
+
+#include "support/panic.hh"
+
+namespace mca::obs
+{
+
+namespace
+{
+
+std::string
+num(double value)
+{
+    if (!std::isfinite(value))
+        return "null";
+    char buf[40];
+    const auto r = std::to_chars(buf, buf + sizeof buf, value);
+    return r.ec == std::errc{} ? std::string(buf, r.ptr) : "null";
+}
+
+double
+rate(std::uint64_t part, std::uint64_t whole)
+{
+    return whole == 0 ? 0.0
+                      : static_cast<double>(part) /
+                            static_cast<double>(whole);
+}
+
+} // namespace
+
+PeriodicSampler::PeriodicSampler(Cycle period) : period_(period)
+{
+    MCA_ASSERT(period_ >= 1, "sampler period must be >= 1");
+}
+
+void
+PeriodicSampler::openInterval(const CycleObs &obs)
+{
+    // base_ already holds the previous interval's closing snapshot (or
+    // zeroes for the first interval); deltas start from there.
+    ticks_ = 0;
+    open_ = true;
+    queueOcc_.resize(obs.clusters.size());
+    otbSumPer_.assign(obs.clusters.size(), 0.0);
+    rtbSumPer_.assign(obs.clusters.size(), 0.0);
+    for (std::size_t c = 0; c < obs.clusters.size(); ++c)
+        queueOcc_[c].configure(1, obs.clusters[c].queueCap + 2);
+    otbSum_ = rtbSum_ = robSum_ = 0.0;
+}
+
+void
+PeriodicSampler::closeInterval(const CycleObs &obs)
+{
+    IntervalRow row;
+    row.cycleBegin = base_.cycle;
+    row.cycleEnd = obs.cycle;
+    row.retired = obs.retired - base_.retired;
+    row.dispatched = obs.dispatched - base_.dispatched;
+    const auto span = static_cast<double>(ticks_);
+    row.ipc = span == 0.0 ? 0.0 : static_cast<double>(row.retired) / span;
+    row.robMean = span == 0.0 ? 0.0 : robSum_ / span;
+    row.icacheMissRate = rate(obs.icacheMisses - base_.icacheMisses,
+                              obs.icacheAccesses - base_.icacheAccesses);
+    row.dcacheMissRate = rate(obs.dcacheMisses - base_.dcacheMisses,
+                              obs.dcacheAccesses - base_.dcacheAccesses);
+    row.clusters.resize(queueOcc_.size());
+    for (std::size_t c = 0; c < queueOcc_.size(); ++c) {
+        auto &cl = row.clusters[c];
+        cl.queueMean = queueOcc_[c].mean();
+        cl.queueP50 = queueOcc_[c].percentile(0.50);
+        cl.queueP99 = queueOcc_[c].percentile(0.99);
+        cl.queueCap = c < obs.clusters.size()
+                          ? obs.clusters[c].queueCap
+                          : 0;
+        cl.otbMean = span == 0.0 ? 0.0 : otbSumPer_[c] / span;
+        cl.rtbMean = span == 0.0 ? 0.0 : rtbSumPer_[c] / span;
+    }
+    rows_.push_back(std::move(row));
+    base_ = obs;
+    open_ = false;
+}
+
+void
+PeriodicSampler::tick(const CycleObs &obs)
+{
+    if (!open_)
+        openInterval(obs);
+    for (std::size_t c = 0;
+         c < obs.clusters.size() && c < queueOcc_.size(); ++c) {
+        queueOcc_[c].sample(obs.clusters[c].queueOcc);
+        otbSumPer_[c] += obs.clusters[c].otbInUse;
+        rtbSumPer_[c] += obs.clusters[c].rtbInUse;
+    }
+    robSum_ += obs.robOcc;
+    ++ticks_;
+    last_ = obs;
+    if (ticks_ >= period_)
+        closeInterval(obs);
+}
+
+void
+PeriodicSampler::finish()
+{
+    if (open_ && ticks_ > 0)
+        closeInterval(last_);
+}
+
+void
+PeriodicSampler::writeJsonl(std::ostream &os) const
+{
+    for (const auto &row : rows_) {
+        os << "{\"cycle_begin\":" << row.cycleBegin
+           << ",\"cycle_end\":" << row.cycleEnd
+           << ",\"retired\":" << row.retired
+           << ",\"dispatched\":" << row.dispatched
+           << ",\"ipc\":" << num(row.ipc)
+           << ",\"rob_mean\":" << num(row.robMean)
+           << ",\"icache_miss_rate\":" << num(row.icacheMissRate)
+           << ",\"dcache_miss_rate\":" << num(row.dcacheMissRate)
+           << ",\"clusters\":[";
+        for (std::size_t c = 0; c < row.clusters.size(); ++c) {
+            const auto &cl = row.clusters[c];
+            os << (c ? "," : "") << "{\"queue_mean\":" << num(cl.queueMean)
+               << ",\"queue_p50\":" << cl.queueP50
+               << ",\"queue_p99\":" << cl.queueP99
+               << ",\"queue_cap\":" << cl.queueCap
+               << ",\"otb_mean\":" << num(cl.otbMean)
+               << ",\"rtb_mean\":" << num(cl.rtbMean) << "}";
+        }
+        os << "]}\n";
+    }
+}
+
+void
+PeriodicSampler::writeCsv(std::ostream &os) const
+{
+    const std::size_t nclusters =
+        rows_.empty() ? 0 : rows_.front().clusters.size();
+    os << "cycle_begin,cycle_end,retired,dispatched,ipc,rob_mean,"
+          "icache_miss_rate,dcache_miss_rate";
+    for (std::size_t c = 0; c < nclusters; ++c)
+        os << ",queue_mean_c" << c << ",queue_p50_c" << c
+           << ",queue_p99_c" << c << ",otb_mean_c" << c << ",rtb_mean_c"
+           << c;
+    os << "\n";
+    for (const auto &row : rows_) {
+        os << row.cycleBegin << ',' << row.cycleEnd << ',' << row.retired
+           << ',' << row.dispatched << ',' << num(row.ipc) << ','
+           << num(row.robMean) << ',' << num(row.icacheMissRate) << ','
+           << num(row.dcacheMissRate);
+        for (const auto &cl : row.clusters)
+            os << ',' << num(cl.queueMean) << ',' << cl.queueP50 << ','
+               << cl.queueP99 << ',' << num(cl.otbMean) << ','
+               << num(cl.rtbMean);
+        os << "\n";
+    }
+}
+
+} // namespace mca::obs

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Interval time-series sampling.
+ *
+ * A PeriodicSampler consumes one CycleObs per simulated cycle and
+ * closes an interval every N cycles, producing a row with the
+ * interval's IPC, cache miss rates, and per-cluster occupancy
+ * statistics (mean / p50 / p99 of the dispatch queue, mean transfer-
+ * buffer occupancy). Rows serialize as JSONL (one object per line) or
+ * CSV; both formats are documented in docs/observability.md.
+ */
+
+#ifndef MCA_OBS_SAMPLER_HH
+#define MCA_OBS_SAMPLER_HH
+
+#include <ostream>
+#include <vector>
+
+#include "obs/snapshot.hh"
+#include "support/stats.hh"
+#include "support/types.hh"
+
+namespace mca::obs
+{
+
+/** Per-cluster occupancy statistics of one interval. */
+struct IntervalClusterRow
+{
+    double queueMean = 0.0;
+    std::uint64_t queueP50 = 0;
+    std::uint64_t queueP99 = 0;
+    unsigned queueCap = 0;
+    double otbMean = 0.0;
+    double rtbMean = 0.0;
+};
+
+/** One closed sampling interval. */
+struct IntervalRow
+{
+    /** First and one-past-last cycle of the interval. */
+    Cycle cycleBegin = 0;
+    Cycle cycleEnd = 0;
+    std::uint64_t retired = 0;
+    std::uint64_t dispatched = 0;
+    double ipc = 0.0;
+    double robMean = 0.0;
+    double icacheMissRate = 0.0;
+    double dcacheMissRate = 0.0;
+    std::vector<IntervalClusterRow> clusters;
+};
+
+class PeriodicSampler
+{
+  public:
+    /** @param period  Interval length in cycles (>= 1). */
+    explicit PeriodicSampler(Cycle period);
+
+    /** Feed one cycle's observation; call exactly once per cycle. */
+    void tick(const CycleObs &obs);
+
+    /** Close the trailing partial interval, if any. */
+    void finish();
+
+    Cycle period() const { return period_; }
+    const std::vector<IntervalRow> &rows() const { return rows_; }
+
+    /** One JSON object per row, one row per line. */
+    void writeJsonl(std::ostream &os) const;
+    /** Header plus one CSV row per interval. */
+    void writeCsv(std::ostream &os) const;
+
+  private:
+    void openInterval(const CycleObs &obs);
+    void closeInterval(const CycleObs &obs);
+
+    Cycle period_;
+    bool open_ = false;
+    Cycle ticks_ = 0;
+
+    // Cumulative totals at the interval's start (for deltas).
+    CycleObs base_;
+    // Intra-interval accumulators.
+    std::vector<Distribution> queueOcc_;
+    double otbSum_ = 0.0, rtbSum_ = 0.0, robSum_ = 0.0;
+    std::vector<double> otbSumPer_, rtbSumPer_;
+
+    std::vector<IntervalRow> rows_;
+    CycleObs last_;
+};
+
+} // namespace mca::obs
+
+#endif // MCA_OBS_SAMPLER_HH

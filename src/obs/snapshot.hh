@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Per-cycle observation snapshot of the processor's occupancies.
+ *
+ * `core::Processor::observe()` fills a CycleObs in place each cycle;
+ * the PeriodicSampler and the Perfetto counter tracks consume it. The
+ * struct is header-only (no obs-library symbols) so the core can fill
+ * it without a link dependency, and callers reuse one instance across
+ * cycles so the steady state allocates nothing.
+ */
+
+#ifndef MCA_OBS_SNAPSHOT_HH
+#define MCA_OBS_SNAPSHOT_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "support/types.hh"
+
+namespace mca::obs
+{
+
+/** Occupancies of one cluster at one cycle. */
+struct ClusterObs
+{
+    unsigned queueOcc = 0;
+    unsigned queueCap = 0;
+    unsigned otbInUse = 0;
+    unsigned otbCap = 0;
+    unsigned rtbInUse = 0;
+    unsigned rtbCap = 0;
+};
+
+/** Whole-machine occupancy and progress counters at one cycle. */
+struct CycleObs
+{
+    /** Number of completed cycles when the snapshot was taken. */
+    Cycle cycle = 0;
+    /** Cumulative (run-so-far) totals; consumers take deltas. */
+    std::uint64_t retired = 0;
+    std::uint64_t dispatched = 0;
+    std::uint64_t icacheAccesses = 0;
+    std::uint64_t icacheMisses = 0;
+    std::uint64_t dcacheAccesses = 0;
+    std::uint64_t dcacheMisses = 0;
+    unsigned robOcc = 0;
+    unsigned robCap = 0;
+    std::vector<ClusterObs> clusters;
+};
+
+} // namespace mca::obs
+
+#endif // MCA_OBS_SNAPSHOT_HH

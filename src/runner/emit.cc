@@ -97,7 +97,12 @@ emitJsonLine(std::ostream &os, const JobResult &r)
        << ",\"spill_loads\":" << r.spillLoads
        << ",\"spill_stores\":" << r.spillStores
        << ",\"other_cluster_spills\":" << r.otherClusterSpills
-       << ",\"wall_ms\":" << jsonDouble(r.wallMs)
+       << ",\"stack_slots\":" << r.stackSlots;
+    for (std::size_t i = 0; i < obs::kNumStallCauses; ++i)
+        os << ",\"stack_"
+           << obs::stallCauseName(static_cast<obs::StallCause>(i))
+           << "\":" << r.stackSlotCycles[i];
+    os << ",\"wall_ms\":" << jsonDouble(r.wallMs)
        << ",\"from_cache\":" << (r.fromCache ? "true" : "false")
        << "}";
 }
@@ -119,7 +124,11 @@ emitCsvHeader(std::ostream &os)
           "error,cycles,retired,ipc,dist_single,dist_dual,"
           "operand_forwards,result_forwards,replays,issue_disorder,"
           "bpred_accuracy,dcache_miss_rate,icache_miss_rate,spill_loads,"
-          "spill_stores,other_cluster_spills,wall_ms,from_cache\n";
+          "spill_stores,other_cluster_spills,stack_slots";
+    for (std::size_t i = 0; i < obs::kNumStallCauses; ++i)
+        os << ",stack_"
+           << obs::stallCauseName(static_cast<obs::StallCause>(i));
+    os << ",wall_ms,from_cache\n";
 }
 
 void
@@ -139,7 +148,10 @@ emitCsvRow(std::ostream &os, const JobResult &r)
        << jsonDouble(r.dcacheMissRate) << ','
        << jsonDouble(r.icacheMissRate) << ',' << r.spillLoads << ','
        << r.spillStores << ',' << r.otherClusterSpills << ','
-       << jsonDouble(r.wallMs) << ','
+       << r.stackSlots;
+    for (std::size_t i = 0; i < obs::kNumStallCauses; ++i)
+        os << ',' << r.stackSlotCycles[i];
+    os << ',' << jsonDouble(r.wallMs) << ','
        << (r.fromCache ? "true" : "false") << '\n';
 }
 

@@ -209,6 +209,8 @@ runJob(const JobSpec &spec)
         out.bpredAccuracy = stats.bpredAccuracy;
         out.dcacheMissRate = stats.dcacheMissRate;
         out.icacheMissRate = stats.icacheMissRate;
+        out.stackSlotCycles = stats.cycleStack.slotCycles;
+        out.stackSlots = stats.cycleStack.slots;
         out.status = stats.completed ? JobStatus::Ok : JobStatus::TimedOut;
         if (out.status == JobStatus::TimedOut)
             out.error = "cycle budget exhausted (" +

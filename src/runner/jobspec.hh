@@ -19,10 +19,12 @@
 #ifndef MCA_RUNNER_JOBSPEC_HH
 #define MCA_RUNNER_JOBSPEC_HH
 
+#include <array>
 #include <cstdint>
 #include <string>
 #include <vector>
 
+#include "obs/cycle_stack.hh"
 #include "support/types.hh"
 
 namespace mca::runner
@@ -111,6 +113,14 @@ struct JobResult
     std::uint64_t spillLoads = 0;
     std::uint64_t spillStores = 0;
     std::uint64_t otherClusterSpills = 0;
+
+    /**
+     * Cycle-stack stall attribution: slot-cycles per cause, in
+     * obs::StallCause order. stackSlots is the machine's retire width;
+     * the entries sum to stackSlots * cycles (conservation).
+     */
+    std::array<std::uint64_t, obs::kNumStallCauses> stackSlotCycles{};
+    unsigned stackSlots = 0;
 
     /** Wall-clock milliseconds spent (informational; not cached identity). */
     double wallMs = 0.0;

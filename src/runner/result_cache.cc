@@ -14,7 +14,9 @@ namespace mca::runner
 namespace
 {
 
-constexpr int kFormatVersion = 1;
+// v2: cycle-stack fields (stackSlots, stack_<cause>). Older entries
+// fail the version check and are treated as misses.
+constexpr int kFormatVersion = 2;
 
 std::string
 formatDouble(double value)
@@ -84,6 +86,12 @@ ResultCache::load(const JobSpec &spec) const
         out.spillLoads = std::stoull(fields.at("spillLoads"));
         out.spillStores = std::stoull(fields.at("spillStores"));
         out.otherClusterSpills = std::stoull(fields.at("otherClusterSpills"));
+        out.stackSlots =
+            static_cast<unsigned>(std::stoul(fields.at("stackSlots")));
+        for (std::size_t i = 0; i < obs::kNumStallCauses; ++i)
+            out.stackSlotCycles[i] = std::stoull(fields.at(
+                std::string("stack_") +
+                obs::stallCauseName(static_cast<obs::StallCause>(i))));
         out.wallMs = std::stod(fields.at("wallMs"));
         out.fromCache = true;
         return out;
@@ -138,7 +146,12 @@ ResultCache::store(const JobResult &result) const
             << "spillLoads\t" << result.spillLoads << "\n"
             << "spillStores\t" << result.spillStores << "\n"
             << "otherClusterSpills\t" << result.otherClusterSpills << "\n"
-            << "wallMs\t" << formatDouble(result.wallMs) << "\n";
+            << "stackSlots\t" << result.stackSlots << "\n";
+        for (std::size_t i = 0; i < obs::kNumStallCauses; ++i)
+            out << "stack_"
+                << obs::stallCauseName(static_cast<obs::StallCause>(i))
+                << "\t" << result.stackSlotCycles[i] << "\n";
+        out << "wallMs\t" << formatDouble(result.wallMs) << "\n";
     }
     std::filesystem::rename(tmp, path, ec);
     if (ec) {

@@ -26,6 +26,9 @@ toRunStats(const JobResult &result)
     stats.dcacheMissRate = result.dcacheMissRate;
     stats.icacheMissRate = result.icacheMissRate;
     stats.completed = result.status == JobStatus::Ok;
+    stats.cycleStack.slotCycles = result.stackSlotCycles;
+    stats.cycleStack.slots = result.stackSlots;
+    stats.cycleStack.cycles = result.cycles;
     return stats;
 }
 

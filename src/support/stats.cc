@@ -1,5 +1,8 @@
 #include "support/stats.hh"
 
+#include <charconv>
+#include <cmath>
+#include <cstdio>
 #include <iomanip>
 
 #include "support/panic.hh"
@@ -26,6 +29,8 @@ Distribution::sample(std::uint64_t value, std::uint64_t count)
         overflow_ += count;
     samples_ += count;
     sum_ += value * count;
+    sumSq_ += static_cast<double>(value) * static_cast<double>(value) *
+              static_cast<double>(count);
     if (value > max_)
         max_ = value;
 }
@@ -38,6 +43,7 @@ Distribution::reset()
     overflow_ = 0;
     samples_ = 0;
     sum_ = 0;
+    sumSq_ = 0.0;
     max_ = 0;
 }
 
@@ -47,6 +53,40 @@ Distribution::mean() const
     return samples_ == 0 ? 0.0
                          : static_cast<double>(sum_) /
                                static_cast<double>(samples_);
+}
+
+double
+Distribution::variance() const
+{
+    if (samples_ < 2)
+        return 0.0;
+    const double m = mean();
+    const double v = sumSq_ / static_cast<double>(samples_) - m * m;
+    return v > 0.0 ? v : 0.0; // clamp -0.0 / rounding residue
+}
+
+std::uint64_t
+Distribution::percentile(double p) const
+{
+    if (samples_ == 0)
+        return 0;
+    if (p <= 0.0)
+        p = 0.0;
+    if (p >= 1.0)
+        return max_;
+    const auto target = static_cast<std::uint64_t>(
+        std::ceil(p * static_cast<double>(samples_)));
+    const std::uint64_t want = target == 0 ? 1 : target;
+    std::uint64_t cum = 0;
+    for (std::size_t i = 0; i < buckets_.size(); ++i) {
+        cum += buckets_[i];
+        if (cum >= want) {
+            const std::uint64_t upper =
+                (static_cast<std::uint64_t>(i) + 1) * bucketWidth_ - 1;
+            return upper < max_ ? upper : max_;
+        }
+    }
+    return max_; // quantile falls in the overflow bucket
 }
 
 Counter &
@@ -140,21 +180,76 @@ StatGroup::dump(std::ostream &os) const
     }
 }
 
+namespace
+{
+
+/**
+ * Shortest round-trippable decimal form via std::to_chars: immune to
+ * the global locale and to stream precision state, and deterministic
+ * across platforms (unlike operator<<, which a stray
+ * std::setlocale(LC_NUMERIC, ...) turns into "0,3").
+ */
+std::string
+jsonNumber(double value)
+{
+    if (!std::isfinite(value))
+        return "null"; // JSON has no inf/nan literals
+    char buf[40];
+    const auto r = std::to_chars(buf, buf + sizeof buf, value);
+    if (r.ec != std::errc{})
+        return "null";
+    std::string out(buf, r.ptr);
+    // Keep integral doubles visually typed ("3.0", not "3").
+    if (out.find_first_of(".eE") == std::string::npos)
+        out += ".0";
+    return out;
+}
+
+/** Escape a string for use inside a JSON double-quoted literal. */
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\t': out += "\\t"; break;
+        case '\r': out += "\\r"; break;
+        default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace
+
 void
 StatGroup::dumpJson(std::ostream &os) const
 {
-    os << "{\n  \"group\": \"" << name_ << "\"";
+    os << "{\n  \"group\": \"" << jsonEscape(name_) << "\"";
     for (const auto &[name, entry] : counters_)
-        os << ",\n  \"" << name << "\": " << entry.counter.value();
+        os << ",\n  \"" << jsonEscape(name)
+           << "\": " << entry.counter.value();
     for (const auto &[name, entry] : formulas_)
-        os << ",\n  \"" << name << "\": " << std::fixed
-           << std::setprecision(6) << entry.fn();
+        os << ",\n  \"" << jsonEscape(name)
+           << "\": " << jsonNumber(entry.fn());
     for (const auto &[name, entry] : dists_) {
-        os << ",\n  \"" << name << ".samples\": "
+        const std::string key = jsonEscape(name);
+        os << ",\n  \"" << key << ".samples\": "
            << entry.dist.samples();
-        os << ",\n  \"" << name << ".mean\": " << std::fixed
-           << std::setprecision(4) << entry.dist.mean();
-        os << ",\n  \"" << name << ".max\": " << entry.dist.max();
+        os << ",\n  \"" << key
+           << ".mean\": " << jsonNumber(entry.dist.mean());
+        os << ",\n  \"" << key << ".max\": " << entry.dist.max();
     }
     os << "\n}\n";
 }

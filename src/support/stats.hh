@@ -51,6 +51,16 @@ class Distribution
 
     std::uint64_t samples() const { return samples_; }
     double mean() const;
+    /** Population variance (E[x^2] - E[x]^2); 0 with < 2 samples. */
+    double variance() const;
+    /**
+     * Bucket-resolution p-quantile, p in [0, 1]: the upper edge of the
+     * first bucket whose cumulative count reaches ceil(p * samples),
+     * clamped to the observed maximum (so a single-sample distribution
+     * reports that sample at every p). Samples that landed in the
+     * overflow bucket report max(). Returns 0 with no samples.
+     */
+    std::uint64_t percentile(double p) const;
     std::uint64_t max() const { return max_; }
     const std::vector<std::uint64_t> &buckets() const { return buckets_; }
     std::uint64_t overflow() const { return overflow_; }
@@ -62,6 +72,8 @@ class Distribution
     std::uint64_t overflow_ = 0;
     std::uint64_t samples_ = 0;
     std::uint64_t sum_ = 0;
+    /** Sum of squares, in floating point so huge samples cannot wrap. */
+    double sumSq_ = 0.0;
     std::uint64_t max_ = 0;
 };
 

@@ -28,6 +28,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/cycle_stack.hh"
 #include "runner/campaign.hh"
 #include "runner/emit.hh"
 #include "runner/table2.hh"
@@ -303,6 +304,52 @@ printTable2(const std::vector<harness::Table2Row> &rows)
     table.print(std::cout);
 }
 
+/**
+ * Where did the dual-cluster machine lose its cycles? For each
+ * benchmark, the per-cause cycle-stack delta between the dual-none run
+ * and the single-cluster baseline: positive = cycles the dual machine
+ * spends on that cause beyond the single machine. The cause columns sum
+ * to the total cycle delta (conservation), so the table decomposes
+ * Table 2's slowdown into the paper's §2.1 mechanisms.
+ */
+void
+printTable2Attribution(const std::vector<harness::Table2Row> &rows)
+{
+    bool have = false;
+    for (const auto &row : rows)
+        have |= row.single.cycleStack.slots > 0 &&
+                row.dualNone.cycleStack.slots > 0;
+    if (!have)
+        return; // stacks absent (e.g. stale cache entries)
+
+    std::cout << "\nSlowdown attribution (dual/none minus single), "
+                 "cycles by cause:\n";
+    TextTable table;
+    std::vector<std::string> header = {"benchmark", "dCycles"};
+    for (std::size_t i = 0; i < obs::kNumStallCauses; ++i)
+        header.push_back(
+            obs::stallCauseName(static_cast<obs::StallCause>(i)));
+    table.header(header);
+    for (const auto &row : rows) {
+        if (row.single.cycleStack.slots == 0 ||
+            row.dualNone.cycleStack.slots == 0)
+            continue;
+        std::vector<std::string> cells = {
+            row.benchmark,
+            std::to_string(static_cast<long long>(
+                row.dualNone.cycles - row.single.cycles))};
+        for (std::size_t i = 0; i < obs::kNumStallCauses; ++i) {
+            const auto cause = static_cast<obs::StallCause>(i);
+            const double delta =
+                row.dualNone.cycleStack.cyclesOf(cause) -
+                row.single.cycleStack.cyclesOf(cause);
+            cells.push_back(TextTable::num(delta, 0));
+        }
+        table.row(cells);
+    }
+    table.print(std::cout);
+}
+
 } // namespace
 
 int
@@ -351,10 +398,12 @@ main(int argc, char **argv)
         writeResults(opt.csvOut, results, /*csv=*/true);
 
     if (opt.printTable) {
-        if (opt.table2)
+        if (opt.table2) {
             printTable2(table2Rows);
-        else
+            printTable2Attribution(table2Rows);
+        } else {
             printGridTable(results);
+        }
     }
 
     for (const auto &r : results)

@@ -15,7 +15,9 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <map>
 #include <optional>
@@ -26,6 +28,10 @@
 #include "core/processor.hh"
 #include "exec/trace.hh"
 #include "exec/trace_io.hh"
+#include "obs/cycle_stack.hh"
+#include "obs/perfetto.hh"
+#include "obs/sampler.hh"
+#include "obs/snapshot.hh"
 #include "runner/jobspec.hh"
 #include "support/panic.hh"
 #include "workloads/workloads.hh"
@@ -66,6 +72,13 @@ struct Options
     bool dumpBinary = false;
     unsigned timeline = 0; // print the first N instructions' events
     bool quiet = false;
+
+    // Observability (all off by default: the plain path is untouched).
+    bool cycleStacks = false;
+    Cycle intervalStats = 0; // interval length; 0 = no sampling
+    std::string statsOut;    // interval rows (.csv => CSV, else JSONL)
+    std::string traceOut;    // Chrome trace-event JSON
+    unsigned traceInsts = 2000; // slice cap for --trace-out
 };
 
 void
@@ -100,6 +113,12 @@ usage()
         "  --dump-binary        print the compiled binary's disassembly\n"
         "  --timeline N         print events for the first N instructions\n"
         "  --quiet              only the one-line summary\n\n"
+        "observability (docs/observability.md):\n"
+        "  --cycle-stacks       per-cause retire-slot stall attribution\n"
+        "  --interval-stats N   close a time-series interval every N cycles\n"
+        "  --stats-out FILE     interval rows (JSONL; *.csv writes CSV)\n"
+        "  --trace-out FILE     Chrome trace-event JSON (Perfetto)\n"
+        "  --trace-insts N      instruction slices in the trace [2000]\n\n"
         "introspection:\n"
         "  --version            print the version string and exit\n"
         "  --list-benchmarks    print the benchmark names, one per line\n";
@@ -212,6 +231,20 @@ parse(int argc, char **argv)
                 std::atoi(need("--timeline").c_str()));
         } else if (a == "--quiet") {
             opt.quiet = true;
+        } else if (a == "--cycle-stacks") {
+            opt.cycleStacks = true;
+        } else if (a == "--interval-stats") {
+            opt.intervalStats = std::strtoull(
+                need("--interval-stats").c_str(), nullptr, 10);
+            if (opt.intervalStats == 0)
+                MCA_FATAL("--interval-stats must be >= 1");
+        } else if (a == "--stats-out") {
+            opt.statsOut = need("--stats-out");
+        } else if (a == "--trace-out") {
+            opt.traceOut = need("--trace-out");
+        } else if (a == "--trace-insts") {
+            opt.traceInsts = static_cast<unsigned>(
+                std::atoi(need("--trace-insts").c_str()));
         } else {
             usage();
             MCA_FATAL("unknown argument: ", a);
@@ -352,10 +385,60 @@ main(int argc, char **argv)
     StatGroup stats("mcasim");
     core::Processor cpu(cfg, *trace, stats);
     core::TimelineRecorder recorder;
-    if (opt.timeline > 0)
+    if (opt.timeline > 0 || !opt.traceOut.empty())
         cpu.attachTimeline(&recorder);
 
-    const auto result = cpu.run();
+    obs::CycleStack cstack;
+    if (opt.cycleStacks)
+        cpu.attachCycleStack(&cstack);
+
+    // Per-cycle observation is needed only for the sampler and the
+    // counter tracks; without them the run loop is exactly cpu.run()
+    // (zero overhead on the default path).
+    const bool per_cycle =
+        opt.intervalStats > 0 || !opt.traceOut.empty();
+    obs::PeriodicSampler sampler(
+        opt.intervalStats > 0 ? opt.intervalStats : 1);
+    obs::PerfettoExporter exporter;
+    core::SimResult result;
+    if (per_cycle) {
+        // Counter tracks sample at the interval period (or a small
+        // fixed stride) so long runs do not drown the trace.
+        const Cycle counter_stride =
+            opt.intervalStats > 0 ? opt.intervalStats : 16;
+        obs::CycleObs snap;
+        while (cpu.step()) {
+            cpu.observe(snap);
+            if (opt.intervalStats > 0)
+                sampler.tick(snap);
+            if (!opt.traceOut.empty() &&
+                snap.cycle % counter_stride == 0)
+                exporter.addCounters(snap);
+        }
+        sampler.finish();
+        result.cycles = cpu.now();
+        result.instructions = cpu.retiredInstructions();
+        result.completed = true;
+    } else {
+        result = cpu.run();
+    }
+
+    if (opt.cycleStacks) {
+        MCA_ASSERT(cstack.conserved(),
+                   "cycle-stack conservation violated: ",
+                   cstack.totalSlotCycles(), " slot-cycles != ",
+                   cstack.slots, " slots x ", cstack.cycles, " cycles");
+        // Expose the stack through the stats registry so --dump-stats
+        // and --json carry it.
+        stats.counter("cstack.slots", "retire slots per cycle") +=
+            cstack.slots;
+        for (std::size_t i = 0; i < obs::kNumStallCauses; ++i) {
+            const auto cause = static_cast<obs::StallCause>(i);
+            stats.counter(std::string("cstack.") +
+                              obs::stallCauseName(cause),
+                          obs::stallCauseDesc(cause)) += cstack.at(cause);
+        }
+    }
 
     std::cout << source_desc << " on " << opt.machine << ": "
               << result.instructions << " instructions, "
@@ -378,6 +461,66 @@ main(int argc, char **argv)
                           << core::timelineEventName(ev.event) << "\n";
         }
     }
+    if (opt.cycleStacks && !opt.quiet) {
+        std::cout << "cycle stack (" << cstack.slots << " retire slots x "
+                  << cstack.cycles << " cycles):\n";
+        const double total =
+            static_cast<double>(cstack.totalSlotCycles());
+        for (std::size_t i = 0; i < obs::kNumStallCauses; ++i) {
+            const auto cause = static_cast<obs::StallCause>(i);
+            if (cstack.at(cause) == 0)
+                continue;
+            char pct[16];
+            std::snprintf(pct, sizeof pct, "%5.1f%%",
+                          total == 0.0 ? 0.0
+                                       : 100.0 *
+                                             static_cast<double>(
+                                                 cstack.at(cause)) /
+                                             total);
+            std::printf("  %-12s %12llu slot-cycles %s  (%s)\n",
+                        obs::stallCauseName(cause),
+                        static_cast<unsigned long long>(cstack.at(cause)),
+                        pct, obs::stallCauseDesc(cause));
+        }
+    }
+
+    if (opt.intervalStats > 0) {
+        if (opt.statsOut.empty()) {
+            sampler.writeJsonl(std::cout);
+        } else {
+            std::ofstream out(opt.statsOut, std::ios::trunc);
+            if (!out)
+                MCA_FATAL("cannot write --stats-out file '", opt.statsOut,
+                          "'");
+            const bool csv =
+                opt.statsOut.size() >= 4 &&
+                opt.statsOut.compare(opt.statsOut.size() - 4, 4,
+                                     ".csv") == 0;
+            csv ? sampler.writeCsv(out) : sampler.writeJsonl(out);
+            if (!opt.quiet)
+                std::cout << "wrote " << sampler.rows().size()
+                          << " intervals to " << opt.statsOut << "\n";
+        }
+    }
+
+    if (!opt.traceOut.empty()) {
+        // Cap the instruction slices so long runs stay loadable; the
+        // counter tracks still cover the whole run.
+        core::TimelineRecorder capped;
+        for (const auto &rec : recorder.records())
+            if (rec.seq < opt.traceInsts)
+                capped.record(rec.cycle, rec.seq, rec.cluster, rec.event);
+        exporter.addTimeline(capped, clusters);
+        std::ofstream out(opt.traceOut, std::ios::trunc);
+        if (!out)
+            MCA_FATAL("cannot write --trace-out file '", opt.traceOut,
+                      "'");
+        exporter.write(out);
+        if (!opt.quiet)
+            std::cout << "wrote trace to " << opt.traceOut
+                      << " (open in ui.perfetto.dev)\n";
+    }
+
     if (opt.dumpStats && !opt.quiet)
         stats.dump(std::cout);
     if (opt.jsonStats)

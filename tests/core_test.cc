@@ -8,6 +8,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <tuple>
+
 #include "core/processor.hh"
 #include "exec/trace.hh"
 #include "support/stats.hh"
@@ -924,6 +927,79 @@ TEST(QueueDiscipline, BothModesRetireEverything)
         SimRun run(cfg, v);
         EXPECT_TRUE(run.result.completed) << "hold=" << hold;
         EXPECT_EQ(run.counter("sim.retired"), 40u) << "hold=" << hold;
+    }
+}
+
+TEST(Timeline, ForInstSeparatesInterleavedInstructions)
+{
+    // Records arrive interleaved across sequence numbers and clusters,
+    // the way a real dual-distributed run produces them; forInst must
+    // return exactly one instruction's records, in time order.
+    core::TimelineRecorder rec;
+    rec.record(1, 0, 0, TimelineEvent::Dispatched);
+    rec.record(1, 1, 1, TimelineEvent::Dispatched);
+    rec.record(2, 1, 1, TimelineEvent::MasterIssued);
+    rec.record(3, 0, 0, TimelineEvent::MasterIssued);
+    rec.record(3, 0, 1, TimelineEvent::SlaveIssued);
+    rec.record(5, 1, 1, TimelineEvent::Retired);
+    rec.record(6, 0, 0, TimelineEvent::Retired);
+
+    const auto inst0 = rec.forInst(0);
+    ASSERT_EQ(inst0.size(), 4u);
+    for (const auto &r : inst0)
+        EXPECT_EQ(r.seq, 0u);
+    for (std::size_t i = 1; i < inst0.size(); ++i)
+        EXPECT_GE(inst0[i].cycle, inst0[i - 1].cycle);
+    EXPECT_EQ(inst0.front().event, TimelineEvent::Dispatched);
+    EXPECT_EQ(inst0.back().event, TimelineEvent::Retired);
+    // Both copies' cycle-3 events survive, master and slave clusters.
+    EXPECT_EQ(inst0[1].cycle, 3u);
+    EXPECT_EQ(inst0[2].cycle, 3u);
+    EXPECT_NE(inst0[1].cluster, inst0[2].cluster);
+
+    const auto inst1 = rec.forInst(1);
+    ASSERT_EQ(inst1.size(), 3u);
+    for (const auto &r : inst1)
+        EXPECT_EQ(r.seq, 1u);
+
+    EXPECT_TRUE(rec.forInst(99).empty());
+    rec.clear();
+    EXPECT_TRUE(rec.forInst(0).empty());
+}
+
+TEST(Timeline, ForInstMatchesLinearScanOnARealRun)
+{
+    // Long dependent chain on the dual machine; the indexed forInst
+    // must agree with a brute-force scan of the raw record stream.
+    std::vector<exec::DynInst> v;
+    for (int i = 0; i < 30; ++i)
+        v.push_back(makeInst(
+            isa::makeRRR(Op::Add, intReg(2 + 2 * ((i + 1) % 12)),
+                         intReg(2 + 2 * (i % 12)), intReg(20))));
+    SimRun run(core::ProcessorConfig::dualCluster8(), v);
+    ASSERT_TRUE(run.result.completed);
+    for (InstSeq seq = 0; seq < 30; ++seq) {
+        const auto indexed = run.timeline.forInst(seq);
+        std::vector<core::TimelineRecord> scanned;
+        for (const auto &r : run.timeline.records())
+            if (r.seq == seq)
+                scanned.push_back(r);
+        ASSERT_EQ(indexed.size(), scanned.size()) << "seq " << seq;
+        EXPECT_FALSE(indexed.empty()) << "seq " << seq;
+        for (std::size_t i = 1; i < indexed.size(); ++i)
+            EXPECT_GE(indexed[i].cycle, indexed[i - 1].cycle);
+        // Same multiset of (cycle, cluster, event) triples.
+        auto key = [](const core::TimelineRecord &r) {
+            return std::tuple(r.cycle, r.cluster, r.event);
+        };
+        std::vector<std::tuple<Cycle, unsigned, TimelineEvent>> a, b;
+        for (const auto &r : indexed)
+            a.push_back(key(r));
+        for (const auto &r : scanned)
+            b.push_back(key(r));
+        std::sort(a.begin(), a.end());
+        std::sort(b.begin(), b.end());
+        EXPECT_EQ(a, b) << "seq " << seq;
     }
 }
 

@@ -9,6 +9,7 @@
 #include <set>
 #include <sstream>
 
+#include "obs/json.hh"
 #include "support/bitset.hh"
 #include "support/circular_queue.hh"
 #include "support/random.hh"
@@ -389,6 +390,96 @@ TEST(Stats, JsonDumpIsWellFormedFlatObject)
     EXPECT_NE(s.find("\"a.ratio\": 0.5"), std::string::npos);
     EXPECT_NE(s.find("\"a.dist.samples\": 1"), std::string::npos);
     EXPECT_NE(s.find("\"a.dist.mean\": 3.0"), std::string::npos);
+}
+
+TEST(Stats, JsonDumpRoundTripsShortestDoubles)
+{
+    // std::to_chars shortest round-trip form must survive verbatim —
+    // the classic 0.1 + 0.2 value, not a rounded approximation.
+    StatGroup g("json");
+    g.formula("sum", [] { return 0.1 + 0.2; });
+    std::ostringstream oss;
+    g.dumpJson(oss);
+    EXPECT_NE(oss.str().find("\"sum\": 0.30000000000000004"),
+              std::string::npos);
+}
+
+TEST(Stats, JsonDumpEscapesAwkwardNames)
+{
+    StatGroup g("a \"quoted\" group");
+    g.counter("weird\"name\\with\nescapes") += 1;
+    g.formula("inf", [] { return 1.0 / 0.0; });
+    std::ostringstream oss;
+    g.dumpJson(oss);
+    const std::string s = oss.str();
+    std::string error;
+    EXPECT_TRUE(obs::isValidJson(s, &error)) << error << "\n" << s;
+    EXPECT_NE(s.find("\\\"quoted\\\""), std::string::npos);
+    EXPECT_NE(s.find("weird\\\"name\\\\with\\nescapes"),
+              std::string::npos);
+    EXPECT_NE(s.find("\"inf\": null"), std::string::npos);
+}
+
+// --- Distribution percentile / variance --------------------------------
+
+TEST(Stats, DistributionEmptyHasZeroMoments)
+{
+    StatGroup g("test");
+    Distribution &d = g.distribution("lat", 4, 8);
+    EXPECT_EQ(d.samples(), 0u);
+    EXPECT_DOUBLE_EQ(d.variance(), 0.0);
+    EXPECT_EQ(d.percentile(0.0), 0u);
+    EXPECT_EQ(d.percentile(0.5), 0u);
+    EXPECT_EQ(d.percentile(1.0), 0u);
+}
+
+TEST(Stats, DistributionSingleSampleReportsItEverywhere)
+{
+    StatGroup g("test");
+    Distribution &d = g.distribution("lat", 4, 8);
+    d.sample(13);
+    EXPECT_DOUBLE_EQ(d.variance(), 0.0);
+    EXPECT_EQ(d.percentile(0.0), 13u);
+    EXPECT_EQ(d.percentile(0.5), 13u);
+    EXPECT_EQ(d.percentile(0.99), 13u);
+    EXPECT_EQ(d.percentile(1.0), 13u);
+}
+
+TEST(Stats, DistributionVarianceMatchesClosedForm)
+{
+    StatGroup g("test");
+    Distribution &d = g.distribution("lat", 1, 16);
+    for (std::uint64_t v : {2u, 4u, 4u, 4u, 5u, 5u, 7u, 9u})
+        d.sample(v);
+    // Textbook population set: mean 5, variance 4.
+    EXPECT_DOUBLE_EQ(d.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(d.variance(), 4.0);
+}
+
+TEST(Stats, DistributionPercentileWalksBucketEdges)
+{
+    StatGroup g("test");
+    // Buckets [0,1] [2,3] [4,5] [6,7]; inclusive upper edges 1,3,5,7.
+    Distribution &d = g.distribution("lat", 2, 4);
+    for (std::uint64_t v = 0; v < 8; ++v)
+        d.sample(v); // two samples per bucket
+    EXPECT_EQ(d.percentile(0.25), 1u);
+    EXPECT_EQ(d.percentile(0.50), 3u);
+    EXPECT_EQ(d.percentile(0.75), 5u);
+    EXPECT_EQ(d.percentile(1.00), 7u); // the observed max
+}
+
+TEST(Stats, DistributionPercentileOverflowBucketReportsMax)
+{
+    StatGroup g("test");
+    Distribution &d = g.distribution("lat", 1, 4);
+    d.sample(1);
+    d.sample(500); // overflow
+    d.sample(900); // overflow, new max
+    EXPECT_EQ(d.overflow(), 2u);
+    EXPECT_EQ(d.percentile(0.99), 900u);
+    EXPECT_EQ(d.percentile(1.0), 900u);
+    EXPECT_EQ(d.percentile(0.1), 1u);
 }
 
 } // namespace
