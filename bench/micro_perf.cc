@@ -5,11 +5,22 @@
  * wall-clock second), predictor and cache throughput, trace-generation
  * speed, and compilation cost. These guard against performance
  * regressions in the simulator itself.
+ *
+ * `--json-out FILE` switches to the issue-engine comparison: every
+ * workload is run under the reference Scan engine and the wakeup-driven
+ * Event engine (identical cycle counts, by the lockstep tests) and the
+ * simulated-cycles-per-second of each, plus the speedup, is written as
+ * JSON. scripts/ci.sh stores the result as BENCH_core.json.
  */
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <fstream>
+#include <iostream>
+
 #include "bpred/predictors.hh"
+#include "core/processor.hh"
 #include "compiler/pipeline.hh"
 #include "exec/trace.hh"
 #include "harness/experiment.hh"
@@ -158,6 +169,148 @@ BM_WorkloadGeneration(benchmark::State &state)
 }
 BENCHMARK(BM_WorkloadGeneration)->Unit(benchmark::kMicrosecond);
 
+// --- issue-engine throughput comparison (--json-out) -----------------
+
+struct EngineSample
+{
+    double cyclesPerSecond = 0.0;
+    Cycle cycles = 0;
+    std::uint64_t instructions = 0;
+};
+
+EngineSample
+measureEngine(const prog::MachProgram &binary,
+              const isa::RegisterMap &map,
+              core::ProcessorConfig::IssueEngine engine,
+              std::uint64_t max_insts)
+{
+    EngineSample best;
+    // Best-of-3: the simulator is deterministic, so the fastest
+    // repetition is the least-perturbed measurement.
+    for (int rep = 0; rep < 3; ++rep) {
+        auto cfg = core::ProcessorConfig::dualCluster8();
+        cfg.regMap = map;
+        cfg.issueEngine = engine;
+        StatGroup stats("perf");
+        exec::ProgramTrace trace(binary, 42, max_insts);
+        core::Processor cpu(cfg, trace, stats);
+        const auto t0 = std::chrono::steady_clock::now();
+        const auto r = cpu.run();
+        const auto t1 = std::chrono::steady_clock::now();
+        const double secs =
+            std::chrono::duration<double>(t1 - t0).count();
+        const double rate =
+            secs > 0.0 ? static_cast<double>(r.cycles) / secs : 0.0;
+        if (rate > best.cyclesPerSecond) {
+            best.cyclesPerSecond = rate;
+            best.cycles = r.cycles;
+            best.instructions = r.instructions;
+        }
+    }
+    return best;
+}
+
+int
+runEngineComparison(const std::string &json_out)
+{
+    constexpr std::uint64_t kMaxInsts = 50'000;
+    using IssueEngine = core::ProcessorConfig::IssueEngine;
+
+    struct Row
+    {
+        std::string workload;
+        EngineSample scan;
+        EngineSample event;
+    };
+    std::vector<Row> rows;
+
+    auto addWorkload = [&](const std::string &name,
+                           const prog::Program &program) {
+        compiler::CompileOptions copt;
+        copt.scheduler = compiler::SchedulerKind::Local;
+        copt.numClusters = 2;
+        const auto out = compiler::compile(program, copt);
+        const auto map = out.hardwareMap(2);
+        Row row;
+        row.workload = name;
+        row.scan = measureEngine(out.binary, map, IssueEngine::Scan,
+                                 kMaxInsts);
+        row.event = measureEngine(out.binary, map, IssueEngine::Event,
+                                  kMaxInsts);
+        std::cout << name << ": scan "
+                  << static_cast<std::uint64_t>(row.scan.cyclesPerSecond)
+                  << " cyc/s, event "
+                  << static_cast<std::uint64_t>(
+                         row.event.cyclesPerSecond)
+                  << " cyc/s ("
+                  << row.event.cyclesPerSecond / row.scan.cyclesPerSecond
+                  << "x, " << row.scan.cycles << " cycles)\n";
+        rows.push_back(std::move(row));
+    };
+
+    for (const auto *name : {"compress", "doduc", "gcc1", "ora",
+                             "su2cor", "tomcatv"})
+        addWorkload(name, workloads::benchmarkByName(name).make(
+                              workloads::WorkloadParams{0.2}));
+    // Non-registry stress workloads: the serial pointer chase (memory-
+    // latency-bound, the idle-skip best case alongside ora) and a
+    // random program (mixed, mostly-busy worst case).
+    addWorkload("chase", workloads::makePointerChase(
+                             workloads::WorkloadParams{0.2}));
+    workloads::RandomProgramParams rp;
+    rp.seed = 7;
+    rp.numFunctions = 4;
+    rp.segmentsPerFunction = 8;
+    rp.loopTrip = 20;
+    addWorkload("random7", workloads::makeRandomProgram(rp));
+
+    std::ofstream out(json_out, std::ios::trunc);
+    if (!out) {
+        std::cerr << "cannot write " << json_out << "\n";
+        return 1;
+    }
+    out << "{\n  \"benchmark\": \"issue_engine_throughput\",\n"
+        << "  \"machine\": \"dual8\",\n"
+        << "  \"max_insts\": " << kMaxInsts << ",\n"
+        << "  \"workloads\": [\n";
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        const Row &r = rows[i];
+        out << "    {\"workload\": \"" << r.workload << "\", "
+            << "\"cycles\": " << r.scan.cycles << ", "
+            << "\"instructions\": " << r.scan.instructions << ", "
+            << "\"scan_cycles_per_sec\": " << r.scan.cyclesPerSecond
+            << ", "
+            << "\"event_cycles_per_sec\": " << r.event.cyclesPerSecond
+            << ", "
+            << "\"speedup\": "
+            << r.event.cyclesPerSecond / r.scan.cyclesPerSecond << "}"
+            << (i + 1 < rows.size() ? "," : "") << "\n";
+    }
+    out << "  ]\n}\n";
+    std::cout << "wrote " << json_out << "\n";
+    return 0;
+}
+
 } // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    std::string json_out;
+    std::vector<char *> pass{argv[0]};
+    for (int i = 1; i < argc; ++i) {
+        if (std::string(argv[i]) == "--json-out" && i + 1 < argc)
+            json_out = argv[++i];
+        else
+            pass.push_back(argv[i]);
+    }
+    if (!json_out.empty())
+        return runEngineComparison(json_out);
+    int pargc = static_cast<int>(pass.size());
+    benchmark::Initialize(&pargc, pass.data());
+    if (benchmark::ReportUnrecognizedArguments(pargc, pass.data()))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

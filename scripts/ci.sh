@@ -25,3 +25,14 @@ SIM="$BUILD/src/tools/mcasim"
     >/tmp/mca_ci_stats.json 2>/dev/null
 python3 scripts/check_trace.py /tmp/mca_ci_trace.json \
     /tmp/mca_ci_stats.json
+
+# Paranoid smoke: replay ora with every-cycle invariant checking of the
+# rename maps, free lists, and transfer-buffer bookkeeping, on both
+# issue engines.
+"$SIM" --benchmark ora --max-insts 5000 --paranoid --quiet >/dev/null
+"$SIM" --benchmark ora --max-insts 5000 --paranoid --issue-engine scan \
+    --quiet >/dev/null
+
+# Simulator-throughput benchmark: Scan vs Event issue engine, recorded
+# at the repo root for regression tracking (see EXPERIMENTS.md).
+"$BUILD/bench/micro_perf" --json-out "$ROOT/BENCH_core.json"

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Hardware state of one cluster: the dispatch queue, the physical
+ * register files and rename maps, the operand/result transfer buffers,
+ * and the non-pipelined dividers. A cluster is pure state — the
+ * Scheduler owns the issue policy that operates on it
+ * (docs/architecture.md).
+ */
+
+#ifndef MCA_CORE_CLUSTER_HH
+#define MCA_CORE_CLUSTER_HH
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "core/inflight.hh"
+#include "core/structures.hh"
+#include "isa/registers.hh"
+
+namespace mca::core
+{
+
+/** Hardware state of one cluster. */
+struct Cluster
+{
+    std::vector<QueueSlot> queue;   // age-ordered
+    unsigned queueCapacity = 0;
+    PhysRegFile intRegs, fpRegs;
+    std::array<std::array<std::uint16_t, isa::kNumArchRegs>, 2> renameMap{};
+    std::array<std::array<bool, isa::kNumArchRegs>, 2> mapped{};
+    TransferBuffer otb, rtb;
+    std::vector<Cycle> dividerBusyUntil;
+
+    PhysRegFile &
+    regs(isa::RegClass cls)
+    {
+        return cls == isa::RegClass::Int ? intRegs : fpRegs;
+    }
+
+    const PhysRegFile &
+    regs(isa::RegClass cls) const
+    {
+        return cls == isa::RegClass::Int ? intRegs : fpRegs;
+    }
+
+    std::uint16_t &
+    mapOf(isa::RegClass cls, unsigned arch)
+    {
+        return renameMap[static_cast<unsigned>(cls)][arch];
+    }
+
+    bool &
+    mappedOf(isa::RegClass cls, unsigned arch)
+    {
+        return mapped[static_cast<unsigned>(cls)][arch];
+    }
+};
+
+} // namespace mca::core
+
+#endif // MCA_CORE_CLUSTER_HH

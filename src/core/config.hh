@@ -90,6 +90,27 @@ struct ProcessorConfig
     /** Check rename/free-list invariants every cycle (slow; tests). */
     bool paranoid = false;
 
+    /**
+     * Issue-scheduler engine. Both engines are cycle-exact with each
+     * other (tests/lockstep_test.cc); they differ only in simulation
+     * speed. Scan is the original reference (every cluster's queue
+     * scanned every cycle); Event skips clusters with no pending
+     * wakeup (src/core/scheduler.hh).
+     */
+    enum class IssueEngine
+    {
+        Scan,
+        Event,
+    };
+    IssueEngine issueEngine = IssueEngine::Event;
+    /**
+     * Let Processor::run() fast-forward across cycles in which no
+     * stage can make progress, accounting statistics for the skipped
+     * cycles in bulk. Only effective with the Event engine; step()
+     * always advances one exact cycle regardless.
+     */
+    bool idleSkip = true;
+
     /** Architectural-register-to-cluster assignment. */
     isa::RegisterMap regMap{2};
     /**

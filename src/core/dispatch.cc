@@ -1,0 +1,283 @@
+#include "core/dispatch.hh"
+
+#include <algorithm>
+
+#include "isa/opcodes.hh"
+#include "support/panic.hh"
+
+namespace mca::core
+{
+
+void
+DispatchUnit::tick()
+{
+    idle_ = IdleEffect::None;
+    auto &fetchBuffer = fetch_.buffer();
+    unsigned n = 0;
+    while (n < m_.cfg.fetchWidth && !fetchBuffer.empty()) {
+        exec::DynInst &di = fetchBuffer.front();
+        // Instructions younger than an unresolved mispredicted branch
+        // are architecturally wrong-path: hold them.
+        if (m_.mispredictBlockSeq != kNoSeq &&
+            di.seq > m_.mispredictBlockSeq)
+            break;
+        // Dynamic register reassignment (§6 extension): the machine
+        // drains, transfers the re-homed architectural state, and only
+        // then dispatches under the new map.
+        if (di.remapIndex != exec::DynInst::kNoRemap) {
+            if (!m_.rob.empty()) {
+                ++*m_.st.remapDrainCycles;
+                idle_ = IdleEffect::RemapDrain;
+                break;
+            }
+            applyRemap(di.remapIndex);
+            di.remapIndex = exec::DynInst::kNoRemap;
+        }
+        if (!tryDispatch(di))
+            break;
+        fetchBuffer.pop_front();
+        ++n;
+    }
+}
+
+bool
+DispatchUnit::tryDispatch(const exec::DynInst &di)
+{
+    if (m_.rob.size() >= m_.cfg.retireWindow) {
+        ++*m_.st.stallRob;
+        idle_ = IdleEffect::StallRob;
+        return false;
+    }
+
+    auto &clusters = m_.clusters;
+    // Distribution decision; instructions with no local-register
+    // constraint go to the currently least-loaded cluster.
+    unsigned least = 0;
+    for (unsigned c = 1; c < clusters.size(); ++c)
+        if (clusters[c].queue.size() < clusters[least].queue.size())
+            least = c;
+    const isa::Distribution dist =
+        isa::decideDistribution(di.mi, m_.cfg.regMap, least);
+
+    // --- resource checks ------------------------------------------
+    // Queue entries, one per copy.
+    std::vector<unsigned> dq_need(clusters.size(), 0);
+    ++dq_need[dist.masterCluster];
+    for (const auto &sl : dist.slaves)
+        ++dq_need[sl.cluster];
+    for (unsigned c = 0; c < clusters.size(); ++c)
+        if (clusters[c].queue.size() + dq_need[c] >
+            clusters[c].queueCapacity) {
+            ++*m_.st.stallDq;
+            m_.dqStallThisCycle = true;
+            idle_ = IdleEffect::StallDq;
+            return false;
+        }
+    // Physical destination registers.
+    const bool has_dest = di.mi.hasDest() && !di.mi.dest->isZero();
+    if (has_dest) {
+        std::vector<unsigned> phys_need(clusters.size(), 0);
+        if (dist.masterWritesDest)
+            ++phys_need[dist.masterCluster];
+        for (const auto &sl : dist.slaves)
+            if (sl.receivesResult)
+                ++phys_need[sl.cluster];
+        for (unsigned c = 0; c < clusters.size(); ++c)
+            if (phys_need[c] >
+                (clusters[c].regs(di.mi.dest->cls).freeList.size())) {
+                ++*m_.st.stallPhys;
+                idle_ = IdleEffect::StallPhys;
+                return false;
+            }
+    }
+
+    // --- commit the dispatch ----------------------------------------
+    auto inst = std::make_unique<InFlightInst>();
+    inst->di = di;
+    inst->dist = dist;
+    inst->dispatchCycle = m_.now;
+    inst->condBranch = isa::isCondBranch(di.mi.op);
+
+    // Perfect memory disambiguation (trace addresses are oracle): a
+    // store registers itself; a load records the youngest older store
+    // to its dword, if one is still in flight.
+    if (isa::isStore(di.mi.op)) {
+        m_.storeIssueCycle.emplace(di.seq, kNoCycle);
+    } else if (isa::isLoad(di.mi.op)) {
+        const Addr dword = di.effAddr >> 3;
+        for (std::size_t i = m_.rob.size(); i-- > 0;) {
+            const auto &older = *m_.rob[i];
+            if (isa::isStore(older.di.mi.op) &&
+                (older.di.effAddr >> 3) == dword) {
+                inst->memDepStoreSeq = older.di.seq;
+                break;
+            }
+        }
+    }
+
+    // Build copies: master first.
+    CopyState master;
+    master.cluster = static_cast<std::uint8_t>(dist.masterCluster);
+    master.isMaster = true;
+    inst->copies.push_back(master);
+    for (const auto &sl : dist.slaves) {
+        CopyState s;
+        s.cluster = static_cast<std::uint8_t>(sl.cluster);
+        s.role = sl;
+        inst->copies.push_back(s);
+    }
+
+    // Source reads: resolved against the current rename maps, before
+    // the destination is renamed.
+    for (unsigned i = 0; i < 2; ++i) {
+        if (!di.mi.srcs[i])
+            continue;
+        const isa::RegId reg = *di.mi.srcs[i];
+        if (reg.isZero())
+            continue;
+        if (m_.cfg.regMap.accessibleFrom(reg, dist.masterCluster)) {
+            Cluster &cl = clusters[dist.masterCluster];
+            MCA_ASSERT(cl.mappedOf(reg.cls, reg.index),
+                       "read of unmapped register ", isa::regName(reg));
+            inst->copies[0].reads.push_back(
+                {static_cast<std::uint8_t>(i),
+                 static_cast<std::uint8_t>(dist.masterCluster), reg.cls,
+                 cl.mapOf(reg.cls, reg.index)});
+        } else {
+            // A slave in the register's home cluster forwards it.
+            const unsigned home = m_.cfg.regMap.homeCluster(reg);
+            bool found = false;
+            for (auto &copy : inst->copies) {
+                if (copy.isMaster || copy.cluster != home ||
+                    !(copy.role.srcMask & (1u << i)))
+                    continue;
+                Cluster &cl = clusters[home];
+                MCA_ASSERT(cl.mappedOf(reg.cls, reg.index),
+                           "read of unmapped register ",
+                           isa::regName(reg));
+                copy.reads.push_back(
+                    {static_cast<std::uint8_t>(i),
+                     static_cast<std::uint8_t>(home), reg.cls,
+                     cl.mapOf(reg.cls, reg.index)});
+                found = true;
+            }
+            MCA_ASSERT(found, "no slave forwards operand ",
+                       isa::regName(reg));
+        }
+    }
+
+    // Destination renaming in every allocating cluster.
+    if (has_dest) {
+        const isa::RegId dest = *di.mi.dest;
+        auto renameIn = [&](unsigned c) {
+            Cluster &cl = clusters[c];
+            PhysRegFile &rf = cl.regs(dest.cls);
+            const std::uint16_t fresh = rf.alloc();
+            rf.readyAt[fresh] = kNoCycle;
+            RenameUpdate ru;
+            ru.cluster = static_cast<std::uint8_t>(c);
+            ru.cls = dest.cls;
+            ru.arch = dest.index;
+            ru.newPhys = fresh;
+            MCA_ASSERT(cl.mappedOf(dest.cls, dest.index),
+                       "rename of unmapped register ",
+                       isa::regName(dest));
+            ru.prevPhys = cl.mapOf(dest.cls, dest.index);
+            cl.mapOf(dest.cls, dest.index) = fresh;
+            inst->renames.push_back(ru);
+        };
+        if (dist.masterWritesDest)
+            renameIn(dist.masterCluster);
+        for (const auto &sl : dist.slaves)
+            if (sl.receivesResult)
+                renameIn(sl.cluster);
+    }
+
+    // Insert copies into their dispatch queues.
+    for (unsigned i = 0; i < inst->copies.size(); ++i) {
+        auto &copy = inst->copies[i];
+        copy.inQueue = true;
+        clusters[copy.cluster].queue.push_back({inst.get(), i});
+        m_.record(m_.now, di.seq, copy.cluster,
+                  TimelineEvent::Dispatched);
+    }
+
+    // Branch prediction at queue-insertion time (paper footnote 2).
+    if (inst->condBranch) {
+        ++*m_.st.bpredLookups;
+        inst->predTaken = m_.predictor->predict(di.pc);
+        inst->mispredicted = inst->predTaken != di.taken;
+        if (inst->mispredicted) {
+            ++*m_.st.bpredMispredicts;
+            m_.mispredictBlockSeq = di.seq;
+        }
+    }
+
+    ++*m_.st.dispatched;
+    *m_.st.distCopies += inst->copies.size();
+    if (dist.isDual())
+        ++*m_.st.distDual;
+    else
+        ++*m_.st.distSingle;
+
+    m_.rob.push_back(std::move(inst));
+    m_.activityThisCycle = true;
+    sched_.onDispatched(*m_.rob.back());
+    return true;
+}
+
+void
+DispatchUnit::applyRemap(std::uint32_t index)
+{
+    MCA_ASSERT(index < m_.cfg.mapSchedule.size(),
+               "remap index outside the map schedule");
+    const isa::RegisterMap &next = m_.cfg.mapSchedule[index];
+    MCA_ASSERT(next.numClusters() == m_.cfg.numClusters,
+               "remap cannot change the cluster count");
+
+    ++*m_.st.remapEvents;
+    const unsigned moved = m_.cfg.regMap.differingHomes(next);
+    *m_.st.remapRegsMoved += moved;
+    m_.activityThisCycle = true;
+
+    // The machine is drained: rebuild the architectural mappings under
+    // the new assignment. Values whose home moved must be physically
+    // transferred; remapTransferRate registers cross per cycle.
+    const Cycle ready =
+        m_.now + 1 + (moved + m_.cfg.remapTransferRate - 1) /
+                         std::max(1u, m_.cfg.remapTransferRate);
+    m_.cfg.regMap = next;
+    for (unsigned c = 0; c < m_.clusters.size(); ++c) {
+        Cluster &cl = m_.clusters[c];
+        for (unsigned ci = 0; ci < 2; ++ci) {
+            const auto cls = static_cast<isa::RegClass>(ci);
+            for (unsigned a = 0; a < isa::kNumArchRegs; ++a) {
+                const isa::RegId reg(cls, a);
+                if (reg.isZero())
+                    continue;
+                const bool want = m_.cfg.regMap.accessibleFrom(reg, c);
+                const bool have = cl.mappedOf(cls, a);
+                if (have && !want) {
+                    cl.regs(cls).free(cl.mapOf(cls, a));
+                    cl.mappedOf(cls, a) = false;
+                } else if (!have && want) {
+                    if (!cl.regs(cls).hasFree())
+                        MCA_FATAL("remap exhausts the physical "
+                                  "registers of cluster ", c);
+                    const auto fresh = cl.regs(cls).alloc();
+                    cl.mapOf(cls, a) = fresh;
+                    cl.mappedOf(cls, a) = true;
+                    cl.regs(cls).readyAt[fresh] = ready;
+                } else if (have) {
+                    // Still mapped here; the value may nevertheless
+                    // have moved homes (conservatively re-timed).
+                    cl.regs(cls).readyAt[cl.mapOf(cls, a)] =
+                        std::max(cl.regs(cls).readyAt[cl.mapOf(cls, a)],
+                                 m_.now);
+                }
+            }
+        }
+    }
+}
+
+} // namespace mca::core

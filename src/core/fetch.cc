@@ -1,0 +1,87 @@
+#include "core/fetch.hh"
+
+#include "isa/opcodes.hh"
+
+namespace mca::core
+{
+
+void
+FetchUnit::tick()
+{
+    blockReason_ = Block::None;
+    if (m_.mispredictBlockSeq != kNoSeq) {
+        ++*m_.st.stallBranchCycles;
+        blockReason_ = Block::Branch;
+        return;
+    }
+    if (m_.now < stallUntil_) {
+        blockReason_ = Block::StallWindow;
+        return;
+    }
+    if (m_.now < icacheReadyAt_) {
+        ++*m_.st.stallIcacheCycles;
+        blockReason_ = Block::Icache;
+        return;
+    }
+    if (icachePending_) {
+        lastFetchBlock_ = icachePendingBlock_;
+        icachePending_ = false;
+    }
+
+    unsigned n = 0;
+    while (n < m_.cfg.fetchWidth &&
+           buffer_.size() < m_.cfg.fetchBufferEntries) {
+        if (!pendingFetch_) {
+            if (traceEnded_) {
+                blockReason_ = Block::TraceEnd;
+                break;
+            }
+            auto next = trace_->next();
+            if (!next) {
+                traceEnded_ = true;
+                blockReason_ = Block::TraceEnd;
+                break;
+            }
+            pendingFetch_ = std::move(next);
+        }
+
+        // Instruction-cache access at block granularity.
+        const Addr block =
+            pendingFetch_->pc / m_.cfg.icache.blockBytes;
+        if (block != lastFetchBlock_) {
+            if (m_.icache.wouldReject(pendingFetch_->pc, m_.now)) {
+                // Explicit MSHR full: retry next cycle.
+                blockReason_ = Block::MshrPoll;
+                break;
+            }
+            const auto r =
+                m_.icache.access(pendingFetch_->pc, false, m_.now);
+            if (!r.hit) {
+                icacheReadyAt_ = r.readyAt;
+                icachePending_ = true;
+                icachePendingBlock_ = block;
+                ++*m_.st.stallIcacheCycles;
+                blockReason_ = Block::Icache;
+                break;
+            }
+            lastFetchBlock_ = block;
+        }
+
+        const exec::DynInst di = *pendingFetch_;
+        pendingFetch_.reset();
+        buffer_.push_back(di);
+        ++*m_.st.fetched;
+        ++n;
+        m_.activityThisCycle = true;
+
+        // The fetch group ends at a taken control-flow instruction.
+        if (isa::isCtrlFlow(di.mi.op) && di.taken) {
+            lastFetchBlock_ = ~Addr{0};
+            break;
+        }
+    }
+    if (n == 0 && blockReason_ == Block::None)
+        blockReason_ = Block::BufferFull;
+}
+
+} // namespace mca::core

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * In-flight instruction state of the multicluster core: the per-copy
+ * execution state (master/slave), the ROB entry, dispatch-queue slots,
+ * and pending branch write-backs. Shared by the pipeline components
+ * (FetchUnit, DispatchUnit, Scheduler, RetireUnit) through
+ * core::MachineState; see docs/architecture.md.
+ */
+
+#ifndef MCA_CORE_INFLIGHT_HH
+#define MCA_CORE_INFLIGHT_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "exec/trace.hh"
+#include "isa/distribution.hh"
+#include "support/types.hh"
+
+namespace mca::core
+{
+
+/** One register read a copy performs from its own cluster. */
+struct SrcRead
+{
+    std::uint8_t srcIndex;
+    std::uint8_t cluster;
+    isa::RegClass cls;
+    std::uint16_t phys;
+};
+
+/** Rename-table change made at dispatch (undone on squash). */
+struct RenameUpdate
+{
+    std::uint8_t cluster;
+    isa::RegClass cls;
+    std::uint8_t arch;
+    std::uint16_t newPhys;
+    std::uint16_t prevPhys;
+};
+
+/** Execution state of one copy (master or slave) of an instruction. */
+struct CopyState
+{
+    std::uint8_t cluster = 0;
+    bool isMaster = false;
+    isa::SlaveRole role;
+    std::vector<SrcRead> reads;
+    /** Clusters where this (master) copy allocated RTB entries. */
+    std::vector<std::uint8_t> rtbClusters;
+
+    bool inQueue = false;
+    bool issued = false;
+    /** Scenario-5 slave: operand sent, waiting for the result. */
+    bool suspended = false;
+    bool woke = false;
+    /** Operand slave holds an OTB entry until its master issues. */
+    bool holdsOtb = false;
+    Cycle issueCycle = kNoCycle;
+    Cycle completeCycle = kNoCycle;
+    /** First cycle this copy was blocked only by a full buffer. */
+    Cycle bufferBlockedSince = kNoCycle;
+};
+
+/** A dynamic instruction in flight (ROB entry). */
+struct InFlightInst
+{
+    exec::DynInst di;
+    isa::Distribution dist;
+    std::vector<CopyState> copies; // copies[0] is the master
+    std::vector<RenameUpdate> renames;
+    Cycle dispatchCycle = 0;
+    /** Master's effective latency (set at master issue; cache-aware). */
+    unsigned masterEffLat = 0;
+    /**
+     * Youngest older store to the same dword, if any (perfect memory
+     * disambiguation; the load waits and forwards from it).
+     */
+    InstSeq memDepStoreSeq = kNoSeq;
+    /** Load whose effective latency exceeded the d-cache hit time. */
+    bool dcacheLoadMiss = false;
+    bool condBranch = false;
+    bool predTaken = false;
+    bool mispredicted = false;
+
+    bool
+    allComplete(Cycle now) const
+    {
+        for (const auto &c : copies)
+            if (c.completeCycle == kNoCycle || c.completeCycle > now)
+                return false;
+        return true;
+    }
+
+    /**
+     * Every copy has issued (a suspended scenario-5 slave counts as
+     * issued: its operand went out; only its wake is outstanding). The
+     * oldest-unissued cursor advances past such instructions.
+     */
+    bool
+    allIssued() const
+    {
+        for (const auto &c : copies)
+            if (!c.issued)
+                return false;
+        return true;
+    }
+};
+
+/** Dispatch-queue slot: a copy waiting to issue. */
+struct QueueSlot
+{
+    InFlightInst *inst;
+    unsigned copyIdx;
+};
+
+/** A branch awaiting write-back (predictor update + fetch redirect). */
+struct PendingBranch
+{
+    InstSeq seq;
+    Addr pc;
+    bool taken;
+    bool mispredicted;
+    Cycle wbCycle;
+};
+
+} // namespace mca::core
+
+#endif // MCA_CORE_INFLIGHT_HH

@@ -1,11 +1,12 @@
 #include "core/processor.hh"
 
-#include "core/structures.hh"
-
 #include <algorithm>
-#include <array>
-#include <optional>
 
+#include "core/dispatch.hh"
+#include "core/fetch.hh"
+#include "core/machine.hh"
+#include "core/retire.hh"
+#include "core/scheduler.hh"
 #include "isa/opcodes.hh"
 #include "obs/cycle_stack.hh"
 #include "obs/snapshot.hh"
@@ -14,1177 +15,120 @@
 namespace mca::core
 {
 
-namespace
-{
-
-/** One register read a copy performs from its own cluster. */
-struct SrcRead
-{
-    std::uint8_t srcIndex;
-    std::uint8_t cluster;
-    isa::RegClass cls;
-    std::uint16_t phys;
-};
-
-/** Rename-table change made at dispatch (undone on squash). */
-struct RenameUpdate
-{
-    std::uint8_t cluster;
-    isa::RegClass cls;
-    std::uint8_t arch;
-    std::uint16_t newPhys;
-    std::uint16_t prevPhys;
-};
-
-/** Execution state of one copy (master or slave) of an instruction. */
-struct CopyState
-{
-    std::uint8_t cluster = 0;
-    bool isMaster = false;
-    isa::SlaveRole role;
-    std::vector<SrcRead> reads;
-    /** Clusters where this (master) copy allocated RTB entries. */
-    std::vector<std::uint8_t> rtbClusters;
-
-    bool inQueue = false;
-    bool issued = false;
-    /** Scenario-5 slave: operand sent, waiting for the result. */
-    bool suspended = false;
-    bool woke = false;
-    /** Operand slave holds an OTB entry until its master issues. */
-    bool holdsOtb = false;
-    Cycle issueCycle = kNoCycle;
-    Cycle completeCycle = kNoCycle;
-    /** First cycle this copy was blocked only by a full buffer. */
-    Cycle bufferBlockedSince = kNoCycle;
-};
-
-/** A dynamic instruction in flight (ROB entry). */
-struct InFlightInst
-{
-    exec::DynInst di;
-    isa::Distribution dist;
-    std::vector<CopyState> copies; // copies[0] is the master
-    std::vector<RenameUpdate> renames;
-    Cycle dispatchCycle = 0;
-    /** Master's effective latency (set at master issue; cache-aware). */
-    unsigned masterEffLat = 0;
-    /**
-     * Youngest older store to the same dword, if any (perfect memory
-     * disambiguation; the load waits and forwards from it).
-     */
-    InstSeq memDepStoreSeq = kNoSeq;
-    /** Load whose effective latency exceeded the d-cache hit time. */
-    bool dcacheLoadMiss = false;
-    bool condBranch = false;
-    bool predTaken = false;
-    bool mispredicted = false;
-
-    bool
-    allComplete(Cycle now) const
-    {
-        for (const auto &c : copies)
-            if (c.completeCycle == kNoCycle || c.completeCycle > now)
-                return false;
-        return true;
-    }
-};
-
-/** Dispatch-queue slot: a copy waiting to issue. */
-struct QueueSlot
-{
-    InFlightInst *inst;
-    unsigned copyIdx;
-};
-
-/** Hardware state of one cluster. */
-struct Cluster
-{
-    std::vector<QueueSlot> queue;   // age-ordered
-    unsigned queueCapacity = 0;
-    PhysRegFile intRegs, fpRegs;
-    std::array<std::array<std::uint16_t, isa::kNumArchRegs>, 2> renameMap{};
-    std::array<std::array<bool, isa::kNumArchRegs>, 2> mapped{};
-    TransferBuffer otb, rtb;
-    std::vector<Cycle> dividerBusyUntil;
-
-    PhysRegFile &
-    regs(isa::RegClass cls)
-    {
-        return cls == isa::RegClass::Int ? intRegs : fpRegs;
-    }
-
-    std::uint16_t &
-    mapOf(isa::RegClass cls, unsigned arch)
-    {
-        return renameMap[static_cast<unsigned>(cls)][arch];
-    }
-
-    bool &
-    mappedOf(isa::RegClass cls, unsigned arch)
-    {
-        return mapped[static_cast<unsigned>(cls)][arch];
-    }
-};
-
-/** A branch awaiting write-back (predictor update + fetch redirect). */
-struct PendingBranch
-{
-    InstSeq seq;
-    Addr pc;
-    bool taken;
-    bool mispredicted;
-    Cycle wbCycle;
-};
-
-} // namespace
-
-// ---------------------------------------------------------------------
-
+/**
+ * Composition root of the pipeline components. The stages share one
+ * MachineState; the Impl owns the cross-cutting concerns that span
+ * stages: replay exceptions (squash + re-feed), the stall watchdog,
+ * the paranoid invariant sweep, cycle-stack attribution, and the idle
+ * fast-forward used by run() (docs/architecture.md).
+ */
 struct Processor::Impl
 {
-    Impl(const ProcessorConfig &config, exec::TraceSource &trace,
-         StatGroup &stats);
+    Impl(const ProcessorConfig &config, exec::TraceSource &trace_src,
+         StatGroup &sg)
+        : m(config, sg), fetch(m, trace_src), sched(makeScheduler(m)),
+          retire(m, fetch), dispatch(m, fetch, *sched)
+    {
+    }
 
-    // --- configuration & substrate -----------------------------------
-    ProcessorConfig cfg;
-    exec::TraceSource *trace;
-    StatGroup *stats;
-    mem::Cache icache;
-    mem::Cache dcache;
-    std::unique_ptr<bpred::Predictor> predictor;
-    TimelineRecorder *timeline = nullptr;
+    MachineState m;
+    FetchUnit fetch;
+    std::unique_ptr<Scheduler> sched;
+    RetireUnit retire;
+    DispatchUnit dispatch;
     obs::CycleStack *cstack = nullptr;
 
-    // --- machine state ------------------------------------------------
-    Cycle now = 0;
-    std::vector<Cluster> clusters;
-    std::deque<std::unique_ptr<InFlightInst>> rob;
-    std::deque<exec::DynInst> fetchBuffer;
-    std::optional<exec::DynInst> pendingFetch; // peeked but not buffered
-    bool traceEnded = false;
+    /** Scratch for checkInvariants (avoids per-cycle allocation). */
+    std::vector<int> invRefs;
+    std::vector<unsigned> invOtbHolds;
+    std::vector<unsigned> invRtbHolds;
 
-    std::vector<PendingBranch> pendingBranches;
-    /** Dispatch/fetch blocked behind this unresolved mispredict. */
-    InstSeq mispredictBlockSeq = kNoSeq;
-    Cycle fetchStallUntil = 0;
-    Cycle icacheReadyAt = 0;
-    Addr lastFetchBlock = ~Addr{0};
-    bool icachePending = false;
-    Addr icachePendingBlock = 0;
-
-    Cycle lastProgress = 0;
-    unsigned consecutiveReplays = 0;
-    /** Per-cycle facts the cycle-stack attribution reads at cycle end. */
-    unsigned retiredThisCycle = 0;
-    bool dqStallThisCycle = false;
-    /** Oldest buffer-blocked queue head requesting a replay. */
-    InstSeq replayRequestSeq = kNoSeq;
-    /**
-     * In-flight stores by sequence number: kNoCycle until the store
-     * issues, then its issue cycle. Erased at retire/squash, so a
-     * missing entry means the store completed long ago.
-     */
-    std::map<InstSeq, Cycle> storeIssueCycle;
-
-    // --- statistics ----------------------------------------------------
-    Counter *cycles;
-    Counter *retired;
-    Counter *dispatched;
-    Counter *fetched;
-    Counter *distSingle;
-    Counter *distDual;
-    Counter *distCopies;
-    Counter *operandForwards;
-    Counter *resultForwards;
-    Counter *issueTotal;
-    Counter *issueSlave;
-    Counter *issueWakes;
-    Counter *issueDisorder;
-    Counter *stallDq;
-    Counter *stallPhys;
-    Counter *stallRob;
-    Counter *stallIcacheCycles;
-    Counter *stallBranchCycles;
-    Counter *replayExceptions;
-    Counter *replayBuffer;
-    Counter *replayWatchdog;
-    Counter *replaySquashed;
-    Counter *bpredLookups;
-    Counter *bpredMispredicts;
-    Counter *loadsForwarded;
-    Distribution *robOccupancy;
-    Distribution *issueWait;
-    std::vector<Distribution *> queueOccupancy;
-    Counter *remapEvents;
-    Counter *remapRegsMoved;
-    Counter *remapDrainCycles;
-
-    // --- helpers --------------------------------------------------------
-    void record(Cycle cycle, InstSeq seq, unsigned cluster,
-                TimelineEvent ev);
-    bool pipelineEmpty() const;
+    bool
+    pipelineEmpty() const
+    {
+        return fetch.drained() && m.rob.empty();
+    }
 
     void beginCycle();
-    void doRetire();
-    void resolveBranches();
-    void doIssue();
     void serviceReplayRequest();
-    void doFetch();
-    void doDispatch();
+    void replayFromIndex(std::size_t keep);
     void checkWatchdog();
     void checkInvariants();
     obs::StallCause classifyStall() const;
-
-    bool tryDispatch(const exec::DynInst &di);
-    void applyRemap(std::uint32_t index);
-
-    /** Entries of `buf` available to this instruction this cycle. */
-    bool
-    bufferAvailable(const TransferBuffer &buf, const InFlightInst &inst,
-                    InstSeq oldest_unissued) const
-    {
-        if (!buf.canAlloc())
-            return false;
-        if (!cfg.reserveOldestEntry)
-            return true;
-        // The last free entry is reserved for the oldest instruction.
-        if (buf.capacity() - buf.inUse() > 1)
-            return true;
-        return inst.di.seq == oldest_unissued;
-    }
-    bool masterReady(const InFlightInst &inst, const CopyState &copy,
-                     InstSeq oldest_unissued,
-                     bool *buffer_blocked = nullptr);
-    void issueMaster(InFlightInst &inst, CopyState &copy);
-    void issueOperandSlave(InFlightInst &inst, CopyState &copy);
-    void issueResultSlave(InFlightInst &inst, CopyState &copy,
-                          bool is_wake);
-    void replayFromIndex(std::size_t keep);
+    Cycle fastForward(Cycle next, Cycle limit);
 };
-
-Processor::Impl::Impl(const ProcessorConfig &config,
-                      exec::TraceSource &trace_src, StatGroup &sg)
-    : cfg(config), trace(&trace_src), stats(&sg),
-      icache("icache", config.icache, sg),
-      dcache("dcache", config.dcache, sg)
-{
-    switch (cfg.predictor) {
-      case ProcessorConfig::PredictorKind::McFarling:
-        predictor = std::make_unique<bpred::McFarlingPredictor>(
-            cfg.bimodalIndexBits, cfg.historyBits, cfg.gshareIndexBits,
-            cfg.chooserIndexBits, cfg.speculativeHistory);
-        break;
-      case ProcessorConfig::PredictorKind::Gshare:
-        predictor = std::make_unique<bpred::GsharePredictor>(
-            cfg.historyBits, cfg.gshareIndexBits,
-            cfg.speculativeHistory);
-        break;
-      case ProcessorConfig::PredictorKind::Bimodal:
-        predictor = std::make_unique<bpred::BimodalPredictor>(
-            cfg.bimodalIndexBits);
-        break;
-      case ProcessorConfig::PredictorKind::StaticTaken:
-        predictor = std::make_unique<bpred::StaticPredictor>(true);
-        break;
-      case ProcessorConfig::PredictorKind::StaticNotTaken:
-        predictor = std::make_unique<bpred::StaticPredictor>(false);
-        break;
-    }
-
-    MCA_ASSERT(cfg.numClusters >= 1, "need at least one cluster");
-    MCA_ASSERT(cfg.regMap.numClusters() == cfg.numClusters,
-               "register map cluster count mismatch");
-
-    clusters.resize(cfg.numClusters);
-    for (unsigned c = 0; c < cfg.numClusters; ++c) {
-        Cluster &cl = clusters[c];
-        cl.queueCapacity = cfg.dispatchQueueEntries;
-        cl.intRegs.init(cfg.physIntRegs);
-        cl.fpRegs.init(cfg.physFpRegs);
-        cl.otb.init(cfg.operandBufferEntries);
-        cl.rtb.init(cfg.resultBufferEntries);
-        cl.dividerBusyUntil.assign(
-            std::max(1u, cfg.issueRules.fpDiv), 0);
-
-        // Initial rename state: every architectural register accessible
-        // from this cluster is mapped to a ready physical register.
-        for (unsigned ci = 0; ci < 2; ++ci) {
-            const auto cls = static_cast<isa::RegClass>(ci);
-            for (unsigned a = 0; a < isa::kNumArchRegs; ++a) {
-                const isa::RegId reg(cls, a);
-                if (reg.isZero() || !cfg.regMap.accessibleFrom(reg, c))
-                    continue;
-                if (!cl.regs(cls).hasFree())
-                    MCA_FATAL("too few physical registers to map the "
-                              "architectural state");
-                cl.mapOf(cls, a) = cl.regs(cls).alloc();
-                cl.mappedOf(cls, a) = true;
-            }
-        }
-    }
-
-    cycles = &sg.counter("sim.cycles", "simulated clock cycles");
-    retired = &sg.counter("sim.retired", "instructions retired");
-    dispatched = &sg.counter("sim.dispatched", "instructions dispatched");
-    fetched = &sg.counter("fetch.fetched", "instructions fetched");
-    distSingle = &sg.counter("dist.single",
-                             "instructions distributed to one cluster");
-    distDual = &sg.counter("dist.dual",
-                           "instructions distributed to 2+ clusters");
-    distCopies = &sg.counter("dist.copies", "total copies dispatched");
-    operandForwards = &sg.counter("dist.operand_forwards",
-                                  "operand transfer-buffer writes");
-    resultForwards = &sg.counter("dist.result_forwards",
-                                 "result transfer-buffer writes");
-    issueTotal = &sg.counter("issue.total", "copies issued");
-    issueSlave = &sg.counter("issue.slave", "slave copies issued");
-    issueWakes = &sg.counter("issue.wakes", "suspended slaves awakened");
-    issueDisorder = &sg.counter(
-        "issue.disorder",
-        "older same-cluster copies skipped at issue (disorder metric)");
-    stallDq = &sg.counter("dispatch.stall_dq",
-                          "dispatch stalls: queue entry unavailable");
-    stallPhys = &sg.counter("dispatch.stall_phys",
-                            "dispatch stalls: physical register");
-    stallRob = &sg.counter("dispatch.stall_rob",
-                           "dispatch stalls: retire window full");
-    stallIcacheCycles = &sg.counter("fetch.stall_icache_cycles",
-                                    "cycles fetch waited on the icache");
-    stallBranchCycles = &sg.counter(
-        "fetch.stall_branch_cycles",
-        "cycles fetch/dispatch waited on a mispredicted branch");
-    replayExceptions = &sg.counter("replay.exceptions",
-                                   "instruction-replay exceptions");
-    replayBuffer = &sg.counter(
-        "replay.buffer_blocked",
-        "replays raised by a buffer-blocked queue head");
-    replayWatchdog = &sg.counter("replay.watchdog",
-                                 "replays raised by the stall watchdog");
-    replaySquashed = &sg.counter("replay.squashed",
-                                 "instructions squashed by replays");
-    bpredLookups = &sg.counter("bpred.lookups",
-                               "conditional-branch predictions");
-    bpredMispredicts = &sg.counter("bpred.mispredicts",
-                                   "conditional-branch mispredictions");
-
-    sg.formula("sim.ipc",
-               [this] {
-                   return cycles->value() == 0
-                              ? 0.0
-                              : static_cast<double>(retired->value()) /
-                                    static_cast<double>(cycles->value());
-               },
-               "retired instructions per cycle");
-    sg.formula("bpred.accuracy",
-               [this] {
-                   return bpredLookups->value() == 0
-                              ? 0.0
-                              : 1.0 - static_cast<double>(
-                                          bpredMispredicts->value()) /
-                                          static_cast<double>(
-                                              bpredLookups->value());
-               },
-               "conditional-branch prediction accuracy");
-
-    loadsForwarded = &sg.counter(
-        "mem.loads_forwarded",
-        "loads ordered after (and forwarded from) an older store");
-    remapEvents = &sg.counter("remap.events",
-                              "dynamic register-map switches");
-    remapRegsMoved = &sg.counter("remap.regs_moved",
-                                 "architectural registers transferred "
-                                 "by remaps");
-    remapDrainCycles = &sg.counter("remap.drain_cycles",
-                                   "cycles dispatch stalled draining "
-                                   "for a remap");
-    robOccupancy = &sg.distribution("rob.occupancy", 16, 32,
-                                    "retire-window entries in use");
-    issueWait = &sg.distribution("issue.wait_cycles", 4, 32,
-                                 "cycles from dispatch to issue");
-    for (unsigned c = 0; c < cfg.numClusters; ++c)
-        queueOccupancy.push_back(&sg.distribution(
-            "queue.occupancy.c" + std::to_string(c), 8, 32,
-            "dispatch-queue entries in use"));
-}
-
-void
-Processor::Impl::record(Cycle cycle, InstSeq seq, unsigned cluster,
-                        TimelineEvent ev)
-{
-    if (timeline)
-        timeline->record(cycle, seq, cluster, ev);
-}
-
-bool
-Processor::Impl::pipelineEmpty() const
-{
-    return traceEnded && !pendingFetch && fetchBuffer.empty() &&
-           rob.empty();
-}
 
 void
 Processor::Impl::beginCycle()
 {
-    for (unsigned c = 0; c < clusters.size(); ++c) {
-        clusters[c].otb.beginCycle(now);
-        clusters[c].rtb.beginCycle(now);
-        queueOccupancy[c]->sample(clusters[c].queue.size());
+    for (unsigned c = 0; c < m.clusters.size(); ++c) {
+        m.clusters[c].otb.beginCycle(m.now);
+        m.clusters[c].rtb.beginCycle(m.now);
+        m.st.queueOccupancy[c]->sample(m.clusters[c].queue.size());
     }
-    robOccupancy->sample(rob.size());
-    retiredThisCycle = 0;
-    dqStallThisCycle = false;
-}
-
-void
-Processor::Impl::doRetire()
-{
-    unsigned n = 0;
-    while (n < cfg.retireWidth && !rob.empty() &&
-           rob.front()->allComplete(now)) {
-        InFlightInst &inst = *rob.front();
-        // Free the previous mappings of every renamed destination.
-        for (const auto &ru : inst.renames)
-            clusters[ru.cluster].regs(ru.cls).free(ru.prevPhys);
-        if (isa::isStore(inst.di.mi.op))
-            storeIssueCycle.erase(inst.di.seq);
-        if (cfg.holdQueueUntilRetire) {
-            for (auto &cl : clusters)
-                cl.queue.erase(
-                    std::remove_if(cl.queue.begin(), cl.queue.end(),
-                                   [&](const QueueSlot &s) {
-                                       return s.inst == &inst;
-                                   }),
-                    cl.queue.end());
-        }
-        record(now, inst.di.seq, inst.copies[0].cluster,
-               TimelineEvent::Retired);
-        ++*retired;
-        ++n;
-        ++retiredThisCycle;
-        lastProgress = now;
-        consecutiveReplays = 0;
-        rob.pop_front();
-    }
-}
-
-void
-Processor::Impl::resolveBranches()
-{
-    auto it = pendingBranches.begin();
-    while (it != pendingBranches.end()) {
-        if (it->wbCycle > now) {
-            ++it;
-            continue;
-        }
-        predictor->update(it->pc, it->taken);
-        if (it->mispredicted)
-            predictor->squashRepair(it->taken);
-        if (it->seq == mispredictBlockSeq) {
-            mispredictBlockSeq = kNoSeq;
-            fetchStallUntil = now + 1;
-        }
-        it = pendingBranches.erase(it);
-    }
-}
-
-bool
-Processor::Impl::masterReady(const InFlightInst &inst,
-                             const CopyState &copy,
-                             InstSeq oldest_unissued,
-                             bool *buffer_blocked)
-{
-    if (buffer_blocked)
-        *buffer_blocked = false;
-    // Local register reads.
-    for (const auto &rd : copy.reads)
-        if (clusters[rd.cluster].regs(rd.cls).readyAt[rd.phys] > now)
-            return false;
-    // Forwarded operands: the slave must have issued in a prior cycle.
-    for (const auto &sl : inst.copies) {
-        if (sl.isMaster || !sl.role.forwardsOperand)
-            continue;
-        if (!sl.issued || sl.issueCycle + 1 > now)
-            return false;
-    }
-    // A free divider for non-pipelined floating-point divides.
-    if (isa::opClass(inst.di.mi.op) == isa::OpClass::FpDiv) {
-        bool free_div = false;
-        for (Cycle busy : clusters[copy.cluster].dividerBusyUntil)
-            if (busy <= now)
-                free_div = true;
-        if (!free_div)
-            return false;
-    }
-    // With an explicit MSHR file (ablation of the paper's inverted
-    // MSHR), a miss that cannot get an entry must retry.
-    if (isa::isMemOp(inst.di.mi.op) &&
-        dcache.wouldReject(inst.di.effAddr, now))
-        return false;
-    // Memory dependence: a load waits until the older same-address
-    // store has issued (its data then forwards).
-    if (inst.memDepStoreSeq != kNoSeq) {
-        const auto it = storeIssueCycle.find(inst.memDepStoreSeq);
-        if (it != storeIssueCycle.end() &&
-            (it->second == kNoCycle || it->second >= now))
-            return false;
-    }
-    // Result transfer buffers in every receiving cluster. Checked last
-    // so a failure here means the copy is blocked *only* by a buffer.
-    for (const auto &sl : inst.copies)
-        if (!sl.isMaster && sl.role.receivesResult &&
-            !bufferAvailable(clusters[sl.cluster].rtb, inst,
-                             oldest_unissued)) {
-            if (buffer_blocked)
-                *buffer_blocked = true;
-            return false;
-        }
-    return true;
-}
-
-void
-Processor::Impl::issueMaster(InFlightInst &inst, CopyState &copy)
-{
-    const isa::Op op = inst.di.mi.op;
-    copy.issued = true;
-    copy.issueCycle = now;
-    ++*issueTotal;
-    issueWait->sample(now - inst.dispatchCycle);
-    lastProgress = now;
-    record(now, inst.di.seq, copy.cluster, TimelineEvent::MasterIssued);
-
-    // Effective latency (cache-aware for loads).
-    unsigned lat = isa::opLatency(op);
-    if (isa::isLoad(op)) {
-        const auto r = dcache.access(inst.di.effAddr, false, now);
-        const Cycle data_ready = std::max(now + 2, r.readyAt + 2);
-        lat = static_cast<unsigned>(data_ready - now);
-        if (inst.memDepStoreSeq != kNoSeq) {
-            // Store-to-load forwarding: the waited-for store supplies
-            // the data at hit latency regardless of the fill.
-            lat = 2;
-            ++*loadsForwarded;
-        }
-        inst.dcacheLoadMiss = lat > 2;
-    } else if (isa::isStore(op)) {
-        dcache.access(inst.di.effAddr, true, now);
-        lat = 1;
-        storeIssueCycle[inst.di.seq] = now;
-    }
-    inst.masterEffLat = lat;
-
-    // Claim a divider for the whole operation.
-    if (isa::opClass(op) == isa::OpClass::FpDiv) {
-        for (Cycle &busy : clusters[copy.cluster].dividerBusyUntil)
-            if (busy <= now) {
-                busy = now + lat;
-                break;
-            }
-    }
-
-    // Free operand transfer buffer entries the slaves were holding, and
-    // allocate result transfer buffer entries in receiving clusters.
-    for (auto &sl : inst.copies) {
-        if (sl.isMaster)
-            continue;
-        if (sl.role.forwardsOperand && sl.holdsOtb) {
-            clusters[copy.cluster].otb.scheduleFree(now);
-            sl.holdsOtb = false;
-        }
-        if (sl.role.receivesResult) {
-            clusters[sl.cluster].rtb.alloc();
-            copy.rtbClusters.push_back(sl.cluster);
-            record(now + lat + 1, inst.di.seq, sl.cluster,
-                   TimelineEvent::ResultWrittenToBuffer);
-            ++*resultForwards;
-        }
-    }
-
-    // Destination write in the master's cluster.
-    if (inst.dist.masterWritesDest) {
-        for (const auto &ru : inst.renames) {
-            if (ru.cluster != copy.cluster)
-                continue;
-            clusters[ru.cluster].regs(ru.cls).readyAt[ru.newPhys] =
-                now + lat;
-            record(now + lat + 2, inst.di.seq, copy.cluster,
-                   TimelineEvent::RegWritten);
-        }
-    }
-
-    record(now + lat + 1, inst.di.seq, copy.cluster,
-           TimelineEvent::ExecutionDone);
-    copy.completeCycle = now + lat + 2;
-
-    // Conditional branches schedule a predictor update at write-back.
-    if (inst.condBranch)
-        pendingBranches.push_back({inst.di.seq, inst.di.pc, inst.di.taken,
-                                   inst.mispredicted, now + lat + 2});
-}
-
-void
-Processor::Impl::issueOperandSlave(InFlightInst &inst, CopyState &copy)
-{
-    copy.issued = true;
-    copy.issueCycle = now;
-    ++*issueTotal;
-    ++*issueSlave;
-    ++*operandForwards;
-    lastProgress = now;
-    record(now, inst.di.seq, copy.cluster, TimelineEvent::SlaveIssued);
-    record(now + 1, inst.di.seq, inst.copies[0].cluster,
-           TimelineEvent::OperandWrittenToBuffer);
-
-    clusters[inst.copies[0].cluster].otb.alloc();
-    copy.holdsOtb = true;
-
-    if (copy.role.receivesResult) {
-        // Scenario 5: stay in the queue, suspended, until the result
-        // arrives from the master.
-        copy.suspended = true;
-        record(now, inst.di.seq, copy.cluster,
-               TimelineEvent::SlaveSuspended);
-    } else {
-        copy.completeCycle = now + 3;
-    }
-}
-
-void
-Processor::Impl::issueResultSlave(InFlightInst &inst, CopyState &copy,
-                                  bool is_wake)
-{
-    ++*issueTotal;
-    lastProgress = now;
-    if (is_wake) {
-        copy.woke = true;
-        copy.suspended = false;
-        ++*issueWakes;
-        record(now, inst.di.seq, copy.cluster, TimelineEvent::SlaveWoke);
-    } else {
-        copy.issued = true;
-        copy.issueCycle = now;
-        ++*issueSlave;
-        record(now, inst.di.seq, copy.cluster, TimelineEvent::SlaveIssued);
-    }
-
-    // Read (and free) the result transfer buffer entry, then write the
-    // local physical copy of the destination. The master's allocation
-    // record is cleared so a later squash cannot double-free the entry.
-    clusters[copy.cluster].rtb.scheduleFree(now);
-    auto &rtbs = inst.copies[0].rtbClusters;
-    const auto it = std::find(rtbs.begin(), rtbs.end(), copy.cluster);
-    MCA_ASSERT(it != rtbs.end(), "slave frees unallocated RTB entry");
-    rtbs.erase(it);
-    for (const auto &ru : inst.renames) {
-        if (ru.cluster != copy.cluster)
-            continue;
-        clusters[ru.cluster].regs(ru.cls).readyAt[ru.newPhys] = now + 1;
-    }
-    record(now + 3, inst.di.seq, copy.cluster, TimelineEvent::RegWritten);
-    copy.completeCycle = now + 3;
-}
-
-void
-Processor::Impl::doIssue()
-{
-    // The oldest instruction with unissued work: if a full transfer
-    // buffer blocks *it*, no older instruction exists to drain the
-    // buffer, so the block is a deadlock.
-    InstSeq oldest_unissued = kNoSeq;
-    for (const auto &inst : rob) {
-        bool pending = false;
-        for (const auto &copy : inst->copies)
-            pending |= !copy.issued;
-        if (pending) {
-            oldest_unissued = inst->di.seq;
-            break;
-        }
-    }
-
-    for (unsigned c = 0; c < clusters.size(); ++c) {
-        Cluster &cl = clusters[c];
-        isa::IssueSlots slots(cfg.issueRules);
-        slots.newCycle();
-
-        std::vector<QueueSlot> survivors;
-        survivors.reserve(cl.queue.size());
-        unsigned older_unissued = 0;
-
-        bool head_checked = false;
-        for (auto &slot : cl.queue) {
-            InFlightInst &inst = *slot.inst;
-            CopyState &copy = inst.copies[slot.copyIdx];
-            const CopyState &master = inst.copies[0];
-            bool remove = false;
-            bool buffer_blocked = false;
-
-            if (copy.issued && !copy.suspended) {
-                // Window mode: already issued, waiting for retirement.
-                survivors.push_back(slot);
-                continue;
-            }
-            if (inst.dispatchCycle >= now) {
-                // Dispatched this cycle; eligible from the next one.
-            } else if (copy.isMaster) {
-                if (masterReady(inst, copy, oldest_unissued,
-                                &buffer_blocked) &&
-                    slots.tryConsume(isa::opClass(inst.di.mi.op))) {
-                    issueMaster(inst, copy);
-                    *issueDisorder += older_unissued;
-                    remove = true;
-                }
-            } else if (copy.suspended) {
-                // Scenario-5 slave waiting for the forwarded result.
-                const isa::RegClass dcls = inst.di.mi.dest->cls;
-                if (master.issued &&
-                    now >= master.issueCycle + inst.masterEffLat &&
-                    slots.tryConsumeSlave(dcls)) {
-                    issueResultSlave(inst, copy, /*is_wake=*/true);
-                    remove = true;
-                }
-            } else if (copy.role.forwardsOperand) {
-                // Operand-forwarding slave (scenarios 2 and 5).
-                bool ready = true;
-                for (const auto &rd : copy.reads)
-                    if (clusters[rd.cluster].regs(rd.cls)
-                            .readyAt[rd.phys] > now)
-                        ready = false;
-                const unsigned src_i = copy.role.srcMask & 1 ? 0 : 1;
-                const isa::RegClass scls = inst.di.mi.srcs[src_i]->cls;
-                const bool otb_ok = bufferAvailable(
-                    clusters[master.cluster].otb, inst, oldest_unissued);
-                buffer_blocked = ready && !otb_ok;
-                if (ready && otb_ok && slots.tryConsumeSlave(scls)) {
-                    issueOperandSlave(inst, copy);
-                    // Scenario-5 slaves stay queued while suspended.
-                    remove = !copy.suspended;
-                }
-            } else if (copy.role.receivesResult) {
-                // Result-receiving slave (scenarios 3 and 4).
-                const isa::RegClass dcls = inst.di.mi.dest->cls;
-                if (master.issued &&
-                    now >= master.issueCycle + inst.masterEffLat &&
-                    slots.tryConsumeSlave(dcls)) {
-                    issueResultSlave(inst, copy, /*is_wake=*/false);
-                    remove = true;
-                }
-            }
-
-            if (remove) {
-                if (cfg.holdQueueUntilRetire) {
-                    // The entry stays occupied until retirement.
-                    survivors.push_back(slot);
-                } else {
-                    copy.inQueue = false;
-                }
-            } else {
-                if (!copy.issued) {
-                    ++older_unissued;
-                    // Precise deadlock avoidance (paper §2.1): if this
-                    // is the globally oldest unissued instruction and a
-                    // full buffer blocks it, the holders are younger and
-                    // cannot drain — replay.
-                    if (!head_checked && cfg.bufferBlockThreshold > 0) {
-                        head_checked = true;
-                        if (buffer_blocked &&
-                            inst.di.seq == oldest_unissued) {
-                            if (copy.bufferBlockedSince == kNoCycle)
-                                copy.bufferBlockedSince = now;
-                            if (now - copy.bufferBlockedSince >=
-                                    cfg.bufferBlockThreshold &&
-                                (replayRequestSeq == kNoSeq ||
-                                 inst.di.seq < replayRequestSeq))
-                                replayRequestSeq = inst.di.seq;
-                        } else {
-                            copy.bufferBlockedSince = kNoCycle;
-                        }
-                    }
-                }
-                survivors.push_back(slot);
-            }
-        }
-        cl.queue = std::move(survivors);
-    }
+    m.st.robOccupancy->sample(m.rob.size());
+    m.retiredThisCycle = 0;
+    m.dqStallThisCycle = false;
+    m.activityThisCycle = false;
 }
 
 void
 Processor::Impl::serviceReplayRequest()
 {
-    if (replayRequestSeq == kNoSeq)
+    if (m.replayRequestSeq == kNoSeq)
         return;
-    const InstSeq seq = replayRequestSeq;
-    replayRequestSeq = kNoSeq;
+    const InstSeq seq = m.replayRequestSeq;
+    m.replayRequestSeq = kNoSeq;
     // Locate the blocked instruction; squash everything younger so the
     // buffer entries it is waiting for drain.
-    for (std::size_t i = 0; i < rob.size(); ++i) {
-        if (rob[i]->di.seq != seq)
+    for (std::size_t i = 0; i < m.rob.size(); ++i) {
+        if (m.rob[i]->di.seq != seq)
             continue;
-        if (i + 1 >= rob.size())
+        if (i + 1 >= m.rob.size())
             return; // nothing younger to squash; watchdog will decide
-        ++*replayBuffer;
+        ++*m.st.replayBuffer;
         replayFromIndex(i + 1);
         // Restart the block timer so the head waits a full threshold
         // before requesting another replay.
-        for (auto &copy : rob[i]->copies)
+        for (auto &copy : m.rob[i]->copies)
             copy.bufferBlockedSince = kNoCycle;
         return;
     }
 }
 
 void
-Processor::Impl::doFetch()
-{
-    if (mispredictBlockSeq != kNoSeq) {
-        ++*stallBranchCycles;
-        return;
-    }
-    if (now < fetchStallUntil)
-        return;
-    if (now < icacheReadyAt) {
-        ++*stallIcacheCycles;
-        return;
-    }
-    if (icachePending) {
-        lastFetchBlock = icachePendingBlock;
-        icachePending = false;
-    }
-
-    unsigned n = 0;
-    while (n < cfg.fetchWidth &&
-           fetchBuffer.size() < cfg.fetchBufferEntries) {
-        if (!pendingFetch) {
-            if (traceEnded)
-                break;
-            auto next = trace->next();
-            if (!next) {
-                traceEnded = true;
-                break;
-            }
-            pendingFetch = std::move(next);
-        }
-
-        // Instruction-cache access at block granularity.
-        const Addr block =
-            pendingFetch->pc / cfg.icache.blockBytes;
-        if (block != lastFetchBlock) {
-            if (icache.wouldReject(pendingFetch->pc, now))
-                break; // explicit MSHR full: retry next cycle
-            const auto r = icache.access(pendingFetch->pc, false, now);
-            if (!r.hit) {
-                icacheReadyAt = r.readyAt;
-                icachePending = true;
-                icachePendingBlock = block;
-                ++*stallIcacheCycles;
-                break;
-            }
-            lastFetchBlock = block;
-        }
-
-        const exec::DynInst di = *pendingFetch;
-        pendingFetch.reset();
-        fetchBuffer.push_back(di);
-        ++*fetched;
-        ++n;
-
-        // The fetch group ends at a taken control-flow instruction.
-        if (isa::isCtrlFlow(di.mi.op) && di.taken) {
-            lastFetchBlock = ~Addr{0};
-            break;
-        }
-    }
-}
-
-bool
-Processor::Impl::tryDispatch(const exec::DynInst &di)
-{
-    if (rob.size() >= cfg.retireWindow) {
-        ++*stallRob;
-        return false;
-    }
-
-    // Distribution decision; instructions with no local-register
-    // constraint go to the currently least-loaded cluster.
-    unsigned least = 0;
-    for (unsigned c = 1; c < clusters.size(); ++c)
-        if (clusters[c].queue.size() < clusters[least].queue.size())
-            least = c;
-    const isa::Distribution dist =
-        isa::decideDistribution(di.mi, cfg.regMap, least);
-
-    // --- resource checks ------------------------------------------
-    // Queue entries, one per copy.
-    std::vector<unsigned> dq_need(clusters.size(), 0);
-    ++dq_need[dist.masterCluster];
-    for (const auto &sl : dist.slaves)
-        ++dq_need[sl.cluster];
-    for (unsigned c = 0; c < clusters.size(); ++c)
-        if (clusters[c].queue.size() + dq_need[c] >
-            clusters[c].queueCapacity) {
-            ++*stallDq;
-            dqStallThisCycle = true;
-            return false;
-        }
-    // Physical destination registers.
-    const bool has_dest = di.mi.hasDest() && !di.mi.dest->isZero();
-    if (has_dest) {
-        std::vector<unsigned> phys_need(clusters.size(), 0);
-        if (dist.masterWritesDest)
-            ++phys_need[dist.masterCluster];
-        for (const auto &sl : dist.slaves)
-            if (sl.receivesResult)
-                ++phys_need[sl.cluster];
-        for (unsigned c = 0; c < clusters.size(); ++c)
-            if (phys_need[c] >
-                (clusters[c].regs(di.mi.dest->cls).freeList.size())) {
-                ++*stallPhys;
-                return false;
-            }
-    }
-
-    // --- commit the dispatch ----------------------------------------
-    auto inst = std::make_unique<InFlightInst>();
-    inst->di = di;
-    inst->dist = dist;
-    inst->dispatchCycle = now;
-    inst->condBranch = isa::isCondBranch(di.mi.op);
-
-    // Perfect memory disambiguation (trace addresses are oracle): a
-    // store registers itself; a load records the youngest older store
-    // to its dword, if one is still in flight.
-    if (isa::isStore(di.mi.op)) {
-        storeIssueCycle.emplace(di.seq, kNoCycle);
-    } else if (isa::isLoad(di.mi.op)) {
-        const Addr dword = di.effAddr >> 3;
-        for (std::size_t i = rob.size(); i-- > 0;) {
-            const auto &older = *rob[i];
-            if (isa::isStore(older.di.mi.op) &&
-                (older.di.effAddr >> 3) == dword) {
-                inst->memDepStoreSeq = older.di.seq;
-                break;
-            }
-        }
-    }
-
-    // Build copies: master first.
-    CopyState master;
-    master.cluster = static_cast<std::uint8_t>(dist.masterCluster);
-    master.isMaster = true;
-    inst->copies.push_back(master);
-    for (const auto &sl : dist.slaves) {
-        CopyState s;
-        s.cluster = static_cast<std::uint8_t>(sl.cluster);
-        s.role = sl;
-        inst->copies.push_back(s);
-    }
-
-    // Source reads: resolved against the current rename maps, before
-    // the destination is renamed.
-    for (unsigned i = 0; i < 2; ++i) {
-        if (!di.mi.srcs[i])
-            continue;
-        const isa::RegId reg = *di.mi.srcs[i];
-        if (reg.isZero())
-            continue;
-        if (cfg.regMap.accessibleFrom(reg, dist.masterCluster)) {
-            Cluster &cl = clusters[dist.masterCluster];
-            MCA_ASSERT(cl.mappedOf(reg.cls, reg.index),
-                       "read of unmapped register ", isa::regName(reg));
-            inst->copies[0].reads.push_back(
-                {static_cast<std::uint8_t>(i),
-                 static_cast<std::uint8_t>(dist.masterCluster), reg.cls,
-                 cl.mapOf(reg.cls, reg.index)});
-        } else {
-            // A slave in the register's home cluster forwards it.
-            const unsigned home = cfg.regMap.homeCluster(reg);
-            bool found = false;
-            for (auto &copy : inst->copies) {
-                if (copy.isMaster || copy.cluster != home ||
-                    !(copy.role.srcMask & (1u << i)))
-                    continue;
-                Cluster &cl = clusters[home];
-                MCA_ASSERT(cl.mappedOf(reg.cls, reg.index),
-                           "read of unmapped register ",
-                           isa::regName(reg));
-                copy.reads.push_back(
-                    {static_cast<std::uint8_t>(i),
-                     static_cast<std::uint8_t>(home), reg.cls,
-                     cl.mapOf(reg.cls, reg.index)});
-                found = true;
-            }
-            MCA_ASSERT(found, "no slave forwards operand ",
-                       isa::regName(reg));
-        }
-    }
-
-    // Destination renaming in every allocating cluster.
-    if (has_dest) {
-        const isa::RegId dest = *di.mi.dest;
-        auto renameIn = [&](unsigned c) {
-            Cluster &cl = clusters[c];
-            PhysRegFile &rf = cl.regs(dest.cls);
-            const std::uint16_t fresh = rf.alloc();
-            rf.readyAt[fresh] = kNoCycle;
-            RenameUpdate ru;
-            ru.cluster = static_cast<std::uint8_t>(c);
-            ru.cls = dest.cls;
-            ru.arch = dest.index;
-            ru.newPhys = fresh;
-            MCA_ASSERT(cl.mappedOf(dest.cls, dest.index),
-                       "rename of unmapped register ",
-                       isa::regName(dest));
-            ru.prevPhys = cl.mapOf(dest.cls, dest.index);
-            cl.mapOf(dest.cls, dest.index) = fresh;
-            inst->renames.push_back(ru);
-        };
-        if (dist.masterWritesDest)
-            renameIn(dist.masterCluster);
-        for (const auto &sl : dist.slaves)
-            if (sl.receivesResult)
-                renameIn(sl.cluster);
-    }
-
-    // Insert copies into their dispatch queues.
-    for (unsigned i = 0; i < inst->copies.size(); ++i) {
-        auto &copy = inst->copies[i];
-        copy.inQueue = true;
-        clusters[copy.cluster].queue.push_back({inst.get(), i});
-        record(now, di.seq, copy.cluster, TimelineEvent::Dispatched);
-    }
-
-    // Branch prediction at queue-insertion time (paper footnote 2).
-    if (inst->condBranch) {
-        ++*bpredLookups;
-        inst->predTaken = predictor->predict(di.pc);
-        inst->mispredicted = inst->predTaken != di.taken;
-        if (inst->mispredicted) {
-            ++*bpredMispredicts;
-            mispredictBlockSeq = di.seq;
-        }
-    }
-
-    ++*dispatched;
-    *distCopies += inst->copies.size();
-    if (dist.isDual())
-        ++*distDual;
-    else
-        ++*distSingle;
-
-    rob.push_back(std::move(inst));
-    return true;
-}
-
-void
-Processor::Impl::doDispatch()
-{
-    unsigned n = 0;
-    while (n < cfg.fetchWidth && !fetchBuffer.empty()) {
-        exec::DynInst &di = fetchBuffer.front();
-        // Instructions younger than an unresolved mispredicted branch
-        // are architecturally wrong-path: hold them.
-        if (mispredictBlockSeq != kNoSeq && di.seq > mispredictBlockSeq)
-            break;
-        // Dynamic register reassignment (§6 extension): the machine
-        // drains, transfers the re-homed architectural state, and only
-        // then dispatches under the new map.
-        if (di.remapIndex != exec::DynInst::kNoRemap) {
-            if (!rob.empty()) {
-                ++*remapDrainCycles;
-                break;
-            }
-            applyRemap(di.remapIndex);
-            di.remapIndex = exec::DynInst::kNoRemap;
-        }
-        if (!tryDispatch(di))
-            break;
-        fetchBuffer.pop_front();
-        ++n;
-    }
-}
-
-void
-Processor::Impl::applyRemap(std::uint32_t index)
-{
-    MCA_ASSERT(index < cfg.mapSchedule.size(),
-               "remap index outside the map schedule");
-    const isa::RegisterMap &next = cfg.mapSchedule[index];
-    MCA_ASSERT(next.numClusters() == cfg.numClusters,
-               "remap cannot change the cluster count");
-
-    ++*remapEvents;
-    const unsigned moved = cfg.regMap.differingHomes(next);
-    *remapRegsMoved += moved;
-
-    // The machine is drained: rebuild the architectural mappings under
-    // the new assignment. Values whose home moved must be physically
-    // transferred; remapTransferRate registers cross per cycle.
-    const Cycle ready =
-        now + 1 + (moved + cfg.remapTransferRate - 1) /
-                      std::max(1u, cfg.remapTransferRate);
-    cfg.regMap = next;
-    for (unsigned c = 0; c < clusters.size(); ++c) {
-        Cluster &cl = clusters[c];
-        for (unsigned ci = 0; ci < 2; ++ci) {
-            const auto cls = static_cast<isa::RegClass>(ci);
-            for (unsigned a = 0; a < isa::kNumArchRegs; ++a) {
-                const isa::RegId reg(cls, a);
-                if (reg.isZero())
-                    continue;
-                const bool want = cfg.regMap.accessibleFrom(reg, c);
-                const bool have = cl.mappedOf(cls, a);
-                if (have && !want) {
-                    cl.regs(cls).free(cl.mapOf(cls, a));
-                    cl.mappedOf(cls, a) = false;
-                } else if (!have && want) {
-                    if (!cl.regs(cls).hasFree())
-                        MCA_FATAL("remap exhausts the physical "
-                                  "registers of cluster ", c);
-                    const auto fresh = cl.regs(cls).alloc();
-                    cl.mapOf(cls, a) = fresh;
-                    cl.mappedOf(cls, a) = true;
-                    cl.regs(cls).readyAt[fresh] = ready;
-                } else if (have) {
-                    // Still mapped here; the value may nevertheless
-                    // have moved homes (conservatively re-timed).
-                    cl.regs(cls).readyAt[cl.mapOf(cls, a)] =
-                        std::max(cl.regs(cls).readyAt[cl.mapOf(cls, a)],
-                                 now);
-                }
-            }
-        }
-    }
-}
-
-void
 Processor::Impl::replayFromIndex(std::size_t keep)
 {
-    MCA_ASSERT(keep >= 1 && keep <= rob.size(), "bad replay index");
-    ++*replayExceptions;
-    record(now, rob[keep - 1]->di.seq, rob[keep - 1]->copies[0].cluster,
-           TimelineEvent::ReplayException);
+    MCA_ASSERT(keep >= 1 && keep <= m.rob.size(), "bad replay index");
+    ++*m.st.replayExceptions;
+    m.record(m.now, m.rob[keep - 1]->di.seq,
+             m.rob[keep - 1]->copies[0].cluster,
+             TimelineEvent::ReplayException);
 
     // Squash from the youngest back to (and excluding) index keep-1.
     std::vector<exec::DynInst> replayed;
-    while (rob.size() > keep) {
-        InFlightInst &inst = *rob.back();
-        ++*replaySquashed;
+    while (m.rob.size() > keep) {
+        InFlightInst &inst = *m.rob.back();
+        ++*m.st.replaySquashed;
         replayed.push_back(inst.di);
         // Undo renames in reverse order.
         for (std::size_t i = inst.renames.size(); i-- > 0;) {
             const auto &ru = inst.renames[i];
-            Cluster &cl = clusters[ru.cluster];
+            Cluster &cl = m.clusters[ru.cluster];
             cl.mapOf(ru.cls, ru.arch) = ru.prevPhys;
             cl.regs(ru.cls).free(ru.newPhys);
         }
         // Release transfer-buffer entries.
         for (auto &copy : inst.copies) {
             if (copy.holdsOtb)
-                clusters[inst.copies[0].cluster].otb.scheduleFree(now);
+                m.clusters[inst.copies[0].cluster].otb.scheduleFree(
+                    m.now);
             if (copy.isMaster)
                 for (std::uint8_t c : copy.rtbClusters)
-                    clusters[c].rtb.scheduleFree(now);
+                    m.clusters[c].rtb.scheduleFree(m.now);
         }
         // Remove copies from the queues.
-        for (auto &cl : clusters)
+        for (auto &cl : m.clusters)
             cl.queue.erase(
                 std::remove_if(cl.queue.begin(), cl.queue.end(),
                                [&](const QueueSlot &s) {
@@ -1192,108 +136,113 @@ Processor::Impl::replayFromIndex(std::size_t keep)
                                }),
                 cl.queue.end());
         // Drop any pending predictor update.
-        pendingBranches.erase(
-            std::remove_if(pendingBranches.begin(), pendingBranches.end(),
+        m.pendingBranches.erase(
+            std::remove_if(m.pendingBranches.begin(),
+                           m.pendingBranches.end(),
                            [&](const PendingBranch &b) {
                                return b.seq == inst.di.seq;
                            }),
-            pendingBranches.end());
-        if (mispredictBlockSeq == inst.di.seq)
-            mispredictBlockSeq = kNoSeq;
-        if (replayRequestSeq == inst.di.seq)
-            replayRequestSeq = kNoSeq;
+            m.pendingBranches.end());
+        if (m.mispredictBlockSeq == inst.di.seq)
+            m.mispredictBlockSeq = kNoSeq;
+        if (m.replayRequestSeq == inst.di.seq)
+            m.replayRequestSeq = kNoSeq;
         if (isa::isStore(inst.di.mi.op))
-            storeIssueCycle.erase(inst.di.seq);
-        rob.pop_back();
+            m.storeIssueCycle.erase(inst.di.seq);
+        m.rob.pop_back();
     }
 
     // Re-feed the squashed instructions, oldest first. `replayed` is
     // youngest-first (popped from the ROB tail), so pushing each entry
     // to the buffer front in that order leaves the oldest at the front.
     for (const auto &di : replayed)
-        fetchBuffer.push_front(di);
+        fetch.buffer().push_front(di);
 
-    fetchStallUntil = now + cfg.replayPenalty;
-    lastProgress = now;
-    ++consecutiveReplays;
-    if (consecutiveReplays > 16)
+    fetch.setStallUntil(m.now + m.cfg.replayPenalty);
+    m.lastProgress = m.now;
+    m.activityThisCycle = true;
+    ++m.consecutiveReplays;
+    if (m.consecutiveReplays > 16)
         MCA_PANIC("replay exceptions are not making progress (seq ",
-                  rob.empty() ? 0 : rob.front()->di.seq, ")");
+                  m.rob.empty() ? 0 : m.rob.front()->di.seq, ")");
+    sched->onSquash();
 }
 
 void
 Processor::Impl::checkWatchdog()
 {
-    if (rob.empty() || now - lastProgress <= cfg.replayWatchdog)
+    if (m.rob.empty() || m.now - m.lastProgress <= m.cfg.replayWatchdog)
         return;
     // The machine is wedged: the oldest instruction cannot finish while
     // younger instructions hold transfer-buffer entries (paper §2.1's
     // issue deadlock). Squash everything younger than the oldest
     // in-flight instruction and replay it.
-    ++*replayWatchdog;
+    ++*m.st.replayWatchdog;
     replayFromIndex(1);
 }
 
 void
 Processor::Impl::checkInvariants()
 {
-    for (unsigned c = 0; c < clusters.size(); ++c) {
-        Cluster &cl = clusters[c];
+    for (unsigned c = 0; c < m.clusters.size(); ++c) {
+        Cluster &cl = m.clusters[c];
         for (unsigned ci = 0; ci < 2; ++ci) {
             const auto cls = static_cast<isa::RegClass>(ci);
             PhysRegFile &rf = cl.regs(cls);
-            std::vector<int> refs(rf.readyAt.size(), 0);
+            invRefs.assign(rf.readyAt.size(), 0);
             for (auto p : rf.freeList) {
                 MCA_ASSERT(p < rf.readyAt.size(), "free-list range");
-                ++refs[p];
+                ++invRefs[p];
             }
             for (unsigned a = 0; a < isa::kNumArchRegs; ++a)
                 if (cl.mappedOf(cls, a))
-                    ++refs[cl.mapOf(cls, a)];
-            for (const auto &inst : rob)
+                    ++invRefs[cl.mapOf(cls, a)];
+            for (const auto &inst : m.rob)
                 for (const auto &ru : inst->renames)
                     if (ru.cluster == c && ru.cls == cls)
-                        ++refs[ru.prevPhys];
-            for (std::size_t p = 0; p < refs.size(); ++p)
-                MCA_ASSERT(refs[p] == 1, "phys reg ", p, " cluster ", c,
-                           " class ", ci, " referenced ", refs[p],
-                           " times at cycle ", now);
+                        ++invRefs[ru.prevPhys];
+            for (std::size_t p = 0; p < invRefs.size(); ++p)
+                MCA_ASSERT(invRefs[p] == 1, "phys reg ", p, " cluster ",
+                           c, " class ", ci, " referenced ", invRefs[p],
+                           " times at cycle ", m.now);
         }
     }
     // Transfer-buffer occupancy must equal the live holds plus the
     // frees that have not matured yet.
-    std::vector<unsigned> otb_holds(clusters.size(), 0);
-    std::vector<unsigned> rtb_holds(clusters.size(), 0);
-    for (const auto &inst : rob)
+    invOtbHolds.assign(m.clusters.size(), 0);
+    invRtbHolds.assign(m.clusters.size(), 0);
+    for (const auto &inst : m.rob)
         for (const auto &copy : inst->copies) {
             if (copy.holdsOtb)
-                ++otb_holds[inst->copies[0].cluster];
+                ++invOtbHolds[inst->copies[0].cluster];
             if (copy.isMaster)
                 for (auto c : copy.rtbClusters)
-                    ++rtb_holds[c];
+                    ++invRtbHolds[c];
         }
-    for (unsigned c = 0; c < clusters.size(); ++c) {
-        MCA_ASSERT(clusters[c].otb.inUse() ==
-                       otb_holds[c] + clusters[c].otb.pendingFrees(),
+    for (unsigned c = 0; c < m.clusters.size(); ++c) {
+        MCA_ASSERT(m.clusters[c].otb.inUse() ==
+                       invOtbHolds[c] + m.clusters[c].otb.pendingFrees(),
                    "OTB accounting leak in cluster ", c, " at cycle ",
-                   now, ": inUse ", clusters[c].otb.inUse(), " holds ",
-                   otb_holds[c], " pending ",
-                   clusters[c].otb.pendingFrees());
-        MCA_ASSERT(clusters[c].rtb.inUse() ==
-                       rtb_holds[c] + clusters[c].rtb.pendingFrees(),
+                   m.now, ": inUse ", m.clusters[c].otb.inUse(),
+                   " holds ", invOtbHolds[c], " pending ",
+                   m.clusters[c].otb.pendingFrees());
+        MCA_ASSERT(m.clusters[c].rtb.inUse() ==
+                       invRtbHolds[c] + m.clusters[c].rtb.pendingFrees(),
                    "RTB accounting leak in cluster ", c, " at cycle ",
-                   now, ": inUse ", clusters[c].rtb.inUse(), " holds ",
-                   rtb_holds[c], " pending ",
-                   clusters[c].rtb.pendingFrees());
+                   m.now, ": inUse ", m.clusters[c].rtb.inUse(),
+                   " holds ", invRtbHolds[c], " pending ",
+                   m.clusters[c].rtb.pendingFrees());
     }
     // The retire window must hold program order.
-    for (std::size_t i = 1; i < rob.size(); ++i)
-        MCA_ASSERT(rob[i - 1]->di.seq < rob[i]->di.seq,
-                   "retire window out of program order at cycle ", now);
+    for (std::size_t i = 1; i < m.rob.size(); ++i)
+        MCA_ASSERT(m.rob[i - 1]->di.seq < m.rob[i]->di.seq,
+                   "retire window out of program order at cycle ",
+                   m.now);
     // The fetch buffer must as well.
-    for (std::size_t i = 1; i < fetchBuffer.size(); ++i)
-        MCA_ASSERT(fetchBuffer[i - 1].seq < fetchBuffer[i].seq,
-                   "fetch buffer out of program order at cycle ", now);
+    const auto &fb = fetch.buffer();
+    for (std::size_t i = 1; i < fb.size(); ++i)
+        MCA_ASSERT(fb[i - 1].seq < fb[i].seq,
+                   "fetch buffer out of program order at cycle ", m.now);
 }
 
 /**
@@ -1308,20 +257,20 @@ Processor::Impl::classifyStall() const
 {
     using obs::StallCause;
 
-    if (rob.empty()) {
+    if (m.rob.empty()) {
         // Nothing in flight: the front end is the limiter.
-        if (mispredictBlockSeq != kNoSeq || now < fetchStallUntil)
+        if (m.mispredictBlockSeq != kNoSeq || m.now < fetch.stallUntil())
             return StallCause::Squash; // redirect / replay refill
-        if (icachePending || now < icacheReadyAt)
+        if (fetch.icachePending() || m.now < fetch.icacheReadyAt())
             return StallCause::IcacheMiss;
-        if (dqStallThisCycle)
+        if (m.dqStallThisCycle)
             return StallCause::DispatchQueue;
         // Trace exhausted (drain) or the pipeline is still filling
         // after a squash-free start; both are charged as drain.
         return StallCause::Drain;
     }
 
-    const InFlightInst &head = *rob.front();
+    const InFlightInst &head = *m.rob.front();
     const CopyState &master = head.copies[0];
 
     if (!master.issued) {
@@ -1330,26 +279,26 @@ Processor::Impl::classifyStall() const
         // outright (Table 1), so check it before operand arrival.
         for (const auto &sl : head.copies)
             if (!sl.isMaster && sl.role.receivesResult &&
-                !clusters[sl.cluster].rtb.canAlloc())
+                !m.clusters[sl.cluster].rtb.canAlloc())
                 return StallCause::ResultBuffer;
         for (const auto &sl : head.copies) {
             if (sl.isMaster || !sl.role.forwardsOperand)
                 continue;
             if (!sl.issued)
-                return clusters[master.cluster].otb.canAlloc()
+                return m.clusters[master.cluster].otb.canAlloc()
                            ? StallCause::RemoteReg
                            : StallCause::OperandBuffer;
-            if (sl.issueCycle + 1 > now)
+            if (sl.issueCycle + 1 > m.now)
                 return StallCause::RemoteReg; // operand still in transit
         }
         // No cluster-specific cause: the head waits on local operands,
         // dividers, or memory dependences. If dispatch also lost
         // bandwidth to a full queue this cycle the machine is congested
         // end to end; charge the capacity loss, else base.
-        return dqStallThisCycle ? StallCause::DispatchQueue
-                                : StallCause::Base;
+        return m.dqStallThisCycle ? StallCause::DispatchQueue
+                                  : StallCause::Base;
     } else if (master.completeCycle == kNoCycle ||
-               master.completeCycle > now) {
+               master.completeCycle > m.now) {
         // Master executing; a long-latency load is a d-cache stall,
         // anything else is plain execution latency (base).
         return head.dcacheLoadMiss ? StallCause::DcacheMiss
@@ -1362,7 +311,7 @@ Processor::Impl::classifyStall() const
         for (const auto &sl : head.copies) {
             if (sl.isMaster)
                 continue;
-            if (sl.completeCycle == kNoCycle || sl.completeCycle > now)
+            if (sl.completeCycle == kNoCycle || sl.completeCycle > m.now)
                 return sl.role.receivesResult ? StallCause::RemoteReg
                                               : StallCause::Base;
         }
@@ -1370,6 +319,86 @@ Processor::Impl::classifyStall() const
         // cycle. Charged as base (commit latency).
     }
     return StallCause::Base;
+}
+
+/**
+ * Idle fast-forward: called after a stepped cycle with no activity
+ * (nothing retired, resolved, issued, fetched, dispatched, remapped,
+ * or replayed). Such a cycle's blocked decisions repeat unchanged
+ * until the earliest future event, so the simulator jumps straight to
+ * it, replicating the per-cycle bookkeeping (occupancy samples, stall
+ * counters, cycle-stack attribution) in bulk. Returns the cycle to
+ * resume stepping at (`next` when no skip applies).
+ */
+Cycle
+Processor::Impl::fastForward(Cycle next, Cycle limit)
+{
+    if (!m.cfg.idleSkip ||
+        m.cfg.issueEngine != ProcessorConfig::IssueEngine::Event)
+        return next;
+    if (m.activityThisCycle || pipelineEmpty())
+        return next;
+
+    // Earliest future cycle any stage can act: a scheduler wakeup, a
+    // head-copy completion or branch write-back, a fetch stall window
+    // or icache fill maturing, or the stall watchdog tripping.
+    Cycle e = kNoCycle;
+    auto fold = [&](Cycle at) {
+        if (at != kNoCycle && at < e)
+            e = at;
+    };
+    fold(sched->nextWakeCycle());
+    fold(retire.nextEventCycle());
+    fold(fetch.nextEventCycle());
+    if (!m.rob.empty())
+        fold(m.lastProgress + m.cfg.replayWatchdog + 1);
+    if (e == kNoCycle)
+        return next; // purely event-gated; resolved by other stages
+    e = std::min(e, limit);
+    if (e <= next)
+        return next;
+    const Cycle k = e - next;
+
+    // Replicate k identical idle cycles in bulk. No transfer-buffer
+    // frees are pending (frees are only scheduled by issue and squash,
+    // both activity), so beginCycle would be a pure re-sample.
+    for (unsigned c = 0; c < m.clusters.size(); ++c)
+        m.st.queueOccupancy[c]->sample(m.clusters[c].queue.size(), k);
+    m.st.robOccupancy->sample(m.rob.size(), k);
+    switch (fetch.idleEffect()) {
+      case FetchUnit::IdleEffect::BranchStall:
+        *m.st.stallBranchCycles += k;
+        break;
+      case FetchUnit::IdleEffect::IcacheStall:
+        *m.st.stallIcacheCycles += k;
+        break;
+      case FetchUnit::IdleEffect::None:
+        break;
+    }
+    switch (dispatch.idleEffect()) {
+      case DispatchUnit::IdleEffect::RemapDrain:
+        *m.st.remapDrainCycles += k;
+        break;
+      case DispatchUnit::IdleEffect::StallRob:
+        *m.st.stallRob += k;
+        break;
+      case DispatchUnit::IdleEffect::StallDq:
+        *m.st.stallDq += k;
+        break;
+      case DispatchUnit::IdleEffect::StallPhys:
+        *m.st.stallPhys += k;
+        break;
+      case DispatchUnit::IdleEffect::None:
+        break;
+    }
+    if (cstack) {
+        // The stall cause is constant across the window: every
+        // now-comparison it makes has its flip cycle folded into e.
+        cstack->accountIdle(classifyStall(), k);
+    }
+    *m.st.cycles += k;
+    m.now = e;
+    return e;
 }
 
 // ---------------------------------------------------------------------
@@ -1385,7 +414,7 @@ Processor::~Processor() = default;
 void
 Processor::attachTimeline(TimelineRecorder *recorder)
 {
-    impl_->timeline = recorder;
+    impl_->m.timeline = recorder;
 }
 
 void
@@ -1393,7 +422,7 @@ Processor::attachCycleStack(obs::CycleStack *stack)
 {
     impl_->cstack = stack;
     if (stack)
-        stack->slots = impl_->cfg.retireWidth;
+        stack->slots = impl_->m.cfg.retireWidth;
 }
 
 void
@@ -1401,17 +430,17 @@ Processor::observe(obs::CycleObs &out) const
 {
     const Impl &im = *impl_;
     out.cycle = cycle_;
-    out.retired = im.retired->value();
-    out.dispatched = im.dispatched->value();
-    out.icacheAccesses = im.icache.accesses();
-    out.icacheMisses = im.icache.misses();
-    out.dcacheAccesses = im.dcache.accesses();
-    out.dcacheMisses = im.dcache.misses();
-    out.robOcc = static_cast<unsigned>(im.rob.size());
-    out.robCap = im.cfg.retireWindow;
-    out.clusters.resize(im.clusters.size());
-    for (std::size_t c = 0; c < im.clusters.size(); ++c) {
-        const Cluster &cl = im.clusters[c];
+    out.retired = im.m.st.retired->value();
+    out.dispatched = im.m.st.dispatched->value();
+    out.icacheAccesses = im.m.icache.accesses();
+    out.icacheMisses = im.m.icache.misses();
+    out.dcacheAccesses = im.m.dcache.accesses();
+    out.dcacheMisses = im.m.dcache.misses();
+    out.robOcc = static_cast<unsigned>(im.m.rob.size());
+    out.robCap = im.m.cfg.retireWindow;
+    out.clusters.resize(im.m.clusters.size());
+    for (std::size_t c = 0; c < im.m.clusters.size(); ++c) {
+        const Cluster &cl = im.m.clusters[c];
         obs::ClusterObs &o = out.clusters[c];
         o.queueOcc = static_cast<unsigned>(cl.queue.size());
         o.queueCap = cl.queueCapacity;
@@ -1425,35 +454,39 @@ Processor::observe(obs::CycleObs &out) const
 std::uint64_t
 Processor::retiredInstructions() const
 {
-    return impl_->retired->value();
+    return impl_->m.st.retired->value();
 }
 
 bool
 Processor::step()
 {
-    if (impl_->pipelineEmpty())
+    Impl &im = *impl_;
+    if (im.pipelineEmpty())
         return false;
-    impl_->now = cycle_;
-    impl_->beginCycle();
-    impl_->doRetire();
-    impl_->resolveBranches();
-    impl_->doIssue();
-    impl_->serviceReplayRequest();
-    impl_->doFetch();
-    impl_->doDispatch();
-    impl_->checkWatchdog();
-    if (impl_->cfg.paranoid)
-        impl_->checkInvariants();
-    if (impl_->cstack) {
-        obs::CycleStack &cs = *impl_->cstack;
-        cs.slots = impl_->cfg.retireWidth;
-        const auto cause = impl_->retiredThisCycle < cs.slots
-                               ? impl_->classifyStall()
+    im.m.now = cycle_;
+    im.beginCycle();
+    const unsigned n_retired = im.retire.tick();
+    if (n_retired > 0)
+        im.sched->onRetired(n_retired);
+    im.retire.resolveBranches();
+    im.sched->tick();
+    im.serviceReplayRequest();
+    im.fetch.tick();
+    im.dispatch.tick();
+    im.checkWatchdog();
+    if (im.m.cfg.paranoid)
+        im.checkInvariants();
+    if (im.cstack) {
+        obs::CycleStack &cs = *im.cstack;
+        cs.slots = im.m.cfg.retireWidth;
+        const auto cause = im.m.retiredThisCycle < cs.slots
+                               ? im.classifyStall()
                                : obs::StallCause::Base;
-        cs.account(impl_->retiredThisCycle, cause);
+        cs.account(im.m.retiredThisCycle, cause);
     }
     ++cycle_;
-    ++*impl_->cycles;
+    ++stepped_;
+    ++*im.m.st.cycles;
     return true;
 }
 
@@ -1464,9 +497,10 @@ Processor::run(Cycle max_cycles)
     while (cycle_ < max_cycles) {
         if (!step())
             break;
+        cycle_ = impl_->fastForward(cycle_, max_cycles);
     }
     result.cycles = cycle_;
-    result.instructions = impl_->retired->value();
+    result.instructions = impl_->m.st.retired->value();
     result.completed = impl_->pipelineEmpty();
     return result;
 }

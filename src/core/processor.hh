@@ -17,6 +17,12 @@
  * back at t+2+lat; same-cluster consumers may issue at t+lat. A slave
  * copy forwarding an operand lets its master issue from t_slave+1; a
  * slave receiving a result may issue from t_master+lat.
+ *
+ * Processor is a thin façade over the pipeline components
+ * (docs/architecture.md): FetchUnit, DispatchUnit, Scheduler (issue),
+ * and RetireUnit share one MachineState; processor.cc composes them
+ * and owns the cross-stage concerns (replay exceptions, watchdog,
+ * paranoid invariants, cycle-stack attribution, idle fast-forward).
  */
 
 #ifndef MCA_CORE_PROCESSOR_HH
@@ -87,16 +93,28 @@ class Processor
      */
     void observe(obs::CycleObs &out) const;
 
-    /** Run to completion (or the cycle bound). */
+    /**
+     * Run to completion (or the cycle bound). With config.idleSkip and
+     * the Event issue engine, cycles in which no stage can make
+     * progress are fast-forwarded in bulk (statistics included); the
+     * result is cycle-exact either way (tests/lockstep_test.cc).
+     */
     SimResult run(Cycle max_cycles = ~Cycle{0});
 
     /**
-     * Advance one cycle. Returns false once the trace is exhausted and
-     * the pipeline has drained.
+     * Advance exactly one cycle (never fast-forwards, so per-cycle
+     * observation via observe() sees every cycle). Returns false once
+     * the trace is exhausted and the pipeline has drained.
      */
     bool step();
 
     Cycle now() const { return cycle_; }
+    /**
+     * Cycles actually stepped, excluding fast-forwarded ones;
+     * `now() - steppedCycles()` is the number of idle cycles run()
+     * skipped.
+     */
+    Cycle steppedCycles() const { return stepped_; }
     std::uint64_t retiredInstructions() const;
 
     const ProcessorConfig &config() const { return config_; }
@@ -105,6 +123,7 @@ class Processor
     struct Impl;
     ProcessorConfig config_;
     Cycle cycle_ = 0;
+    Cycle stepped_ = 0;
     std::unique_ptr<Impl> impl_;
 };
 

@@ -1,0 +1,81 @@
+#include "core/retire.hh"
+
+#include <algorithm>
+
+#include "isa/opcodes.hh"
+
+namespace mca::core
+{
+
+unsigned
+RetireUnit::tick()
+{
+    unsigned n = 0;
+    while (n < m_.cfg.retireWidth && !m_.rob.empty() &&
+           m_.rob.front()->allComplete(m_.now)) {
+        InFlightInst &inst = *m_.rob.front();
+        // Free the previous mappings of every renamed destination.
+        for (const auto &ru : inst.renames)
+            m_.clusters[ru.cluster].regs(ru.cls).free(ru.prevPhys);
+        if (isa::isStore(inst.di.mi.op))
+            m_.storeIssueCycle.erase(inst.di.seq);
+        if (m_.cfg.holdQueueUntilRetire) {
+            for (auto &cl : m_.clusters)
+                cl.queue.erase(
+                    std::remove_if(cl.queue.begin(), cl.queue.end(),
+                                   [&](const QueueSlot &s) {
+                                       return s.inst == &inst;
+                                   }),
+                    cl.queue.end());
+        }
+        m_.record(m_.now, inst.di.seq, inst.copies[0].cluster,
+                  TimelineEvent::Retired);
+        ++*m_.st.retired;
+        ++n;
+        ++m_.retiredThisCycle;
+        m_.lastProgress = m_.now;
+        m_.consecutiveReplays = 0;
+        m_.activityThisCycle = true;
+        m_.rob.pop_front();
+    }
+    return n;
+}
+
+void
+RetireUnit::resolveBranches()
+{
+    auto it = m_.pendingBranches.begin();
+    while (it != m_.pendingBranches.end()) {
+        if (it->wbCycle > m_.now) {
+            ++it;
+            continue;
+        }
+        m_.predictor->update(it->pc, it->taken);
+        if (it->mispredicted)
+            m_.predictor->squashRepair(it->taken);
+        if (it->seq == m_.mispredictBlockSeq) {
+            m_.mispredictBlockSeq = kNoSeq;
+            fetch_.setStallUntil(m_.now + 1);
+        }
+        it = m_.pendingBranches.erase(it);
+        m_.activityThisCycle = true;
+    }
+}
+
+Cycle
+RetireUnit::nextEventCycle() const
+{
+    Cycle e = kNoCycle;
+    auto fold = [&](Cycle at) {
+        if (at != kNoCycle && at > m_.now && at < e)
+            e = at;
+    };
+    if (!m_.rob.empty())
+        for (const auto &copy : m_.rob.front()->copies)
+            fold(copy.completeCycle);
+    for (const auto &b : m_.pendingBranches)
+        fold(b.wbCycle);
+    return e;
+}
+
+} // namespace mca::core

@@ -1,0 +1,197 @@
+/**
+ * @file
+ * Issue schedulers of the multicluster core.
+ *
+ * The Scheduler base class owns the issue mechanics shared by both
+ * engines — the age-ordered per-cluster queue scan under the Table-1
+ * slot rules, master-readiness evaluation, and the master/slave issue
+ * actions — so the two engines cannot drift apart semantically. They
+ * differ only in *when* a cluster's queue is scanned:
+ *
+ *  - ScanScheduler (reference): scans every cluster every cycle and
+ *    walks the ROB for the oldest-unissued instruction, exactly like
+ *    the original monolithic Processor::Impl::doIssue.
+ *
+ *  - EventScheduler: keeps a per-cluster wakeup cycle and skips the
+ *    scan of any cluster with no matured wakeup. Wakeups are posted by
+ *    a narrow event interface (dispatch, any issue, squash) and by
+ *    time bounds computed during a scan from the first failing
+ *    constraint of each blocked copy (register readyAt maturity,
+ *    operand transit, divider release, buffer-block timers). The
+ *    oldest-unissued ROB walk is replaced by a monotone cursor.
+ *
+ * The engines are cycle-exact with each other: tests/lockstep_test.cc
+ * runs them in lockstep on all workloads and paper scenarios and
+ * asserts identical per-cycle decisions, timelines, and statistics.
+ */
+
+#ifndef MCA_CORE_SCHEDULER_HH
+#define MCA_CORE_SCHEDULER_HH
+
+#include <memory>
+#include <vector>
+
+#include "core/machine.hh"
+
+namespace mca::core
+{
+
+class Scheduler
+{
+  public:
+    explicit Scheduler(MachineState &m) : m_(m) {}
+    virtual ~Scheduler() = default;
+
+    /** Run one issue cycle over all clusters. */
+    virtual void tick() = 0;
+
+    /**
+     * Earliest future cycle any cluster has a pending wakeup; used by
+     * the idle fast-forward. The scan engine re-evaluates every cycle,
+     * so its next event is always the next cycle.
+     */
+    virtual Cycle nextWakeCycle() const { return m_.now + 1; }
+
+    // --- event interface (posted by the other pipeline stages) -------
+    /** An instruction entered the dispatch queues this cycle. */
+    virtual void onDispatched(const InFlightInst &inst)
+    {
+        static_cast<void>(inst);
+    }
+    /** `count` instructions left the head of the retire window. */
+    virtual void onRetired(unsigned count) { static_cast<void>(count); }
+    /** A replay squashed the tail of the retire window. */
+    virtual void onSquash() {}
+
+  protected:
+    /**
+     * Scan one cluster's queue in age order, issuing every eligible
+     * copy (the shared mechanics of both engines). When `wake_out` is
+     * non-null, it is folded down to the earliest future cycle any
+     * blocked copy in this cluster could become issuable on its own
+     * (time-bound constraints only; event-gated copies contribute
+     * nothing because the triggering event posts a wakeup itself).
+     */
+    void scanCluster(unsigned c, InstSeq oldest_unissued,
+                     Cycle *wake_out);
+
+    /** Entries of `buf` available to this instruction this cycle. */
+    bool
+    bufferAvailable(const TransferBuffer &buf, const InFlightInst &inst,
+                    InstSeq oldest_unissued) const
+    {
+        if (!buf.canAlloc())
+            return false;
+        if (!m_.cfg.reserveOldestEntry)
+            return true;
+        // The last free entry is reserved for the oldest instruction.
+        if (buf.capacity() - buf.inUse() > 1)
+            return true;
+        return inst.di.seq == oldest_unissued;
+    }
+
+    /**
+     * Whether the master copy can issue this cycle, evaluating the
+     * constraints in the fixed order of the original scan (the d-cache
+     * MSHR poll is a counted cache event, so the call pattern is part
+     * of the architectural contract). On failure, `*earliest` (when
+     * non-null) receives the first failing constraint's maturity
+     * cycle, or kNoCycle if it resolves through an event.
+     */
+    bool masterReady(const InFlightInst &inst, const CopyState &copy,
+                     InstSeq oldest_unissued, bool *buffer_blocked,
+                     Cycle *earliest);
+
+    void issueMaster(InFlightInst &inst, CopyState &copy);
+    void issueOperandSlave(InFlightInst &inst, CopyState &copy);
+    void issueResultSlave(InFlightInst &inst, CopyState &copy,
+                          bool is_wake);
+
+    /**
+     * Set by scanCluster: the scan left at least one copy blocked on
+     * an *event* rather than a time bound (a full transfer buffer, an
+     * unissued operand writer, slave, or store). Only such clusters
+     * need the issue-path wakeAll — a copy blocked on a time bound has
+     * that bound folded into the cluster's wakeup, and no issue can
+     * make a finite maturity arrive sooner.
+     */
+    bool scanLeftEventGated_ = false;
+
+    // Wakeup posting, no-ops in the scan engine. Every issue action
+    // posts wakeAll(now+1) — nothing an issue enables matures sooner —
+    // plus targeted later wakeups for result maturities.
+    virtual void wakeAll(Cycle at) { static_cast<void>(at); }
+    virtual void
+    wakeCluster(unsigned c, Cycle at)
+    {
+        static_cast<void>(c);
+        static_cast<void>(at);
+    }
+
+    MachineState &m_;
+};
+
+/** Reference engine: full scan of every cluster, every cycle. */
+class ScanScheduler final : public Scheduler
+{
+  public:
+    using Scheduler::Scheduler;
+    void tick() override;
+};
+
+/** Wakeup-driven engine: scans only clusters with matured wakeups. */
+class EventScheduler final : public Scheduler
+{
+  public:
+    explicit EventScheduler(MachineState &m)
+        : Scheduler(m), wake_(m.clusters.size(), 0),
+          matured_(m.clusters.size(), 0),
+          eventGated_(m.clusters.size(), 1)
+    {
+    }
+
+    void tick() override;
+    Cycle nextWakeCycle() const override;
+    void onDispatched(const InFlightInst &inst) override;
+    void onRetired(unsigned count) override;
+    void onSquash() override;
+
+  protected:
+    void wakeAll(Cycle at) override;
+    void wakeCluster(unsigned c, Cycle at) override;
+
+  private:
+    /**
+     * Index of the first retire-window entry with an unissued copy.
+     * Monotone within a cycle (issued flags only ever set); adjusted
+     * when the window shrinks at retire or squash.
+     */
+    std::size_t cursor_ = 0;
+    /** Per-cluster earliest pending wakeup; <= now means scan. */
+    std::vector<Cycle> wake_;
+    /** Scratch: cluster had a matured wakeup at this tick's start. */
+    std::vector<char> matured_;
+    /**
+     * Per-cluster scanLeftEventGated_ as of the cluster's last scan;
+     * starts conservative (true) until a first scan refines it. The
+     * copy population of a cluster only changes at dispatch (which
+     * posts a targeted wakeup, forcing a rescan) and squash (which
+     * wakes every cluster), so the flag stays valid between scans.
+     */
+    std::vector<char> eventGated_;
+    /**
+     * Earliest pending broadcast (issue-path wakeAll). Broadcasts are
+     * matched against eventGated_ when they MATURE (at the start of
+     * tick), not when posted: a cluster can become event-gated in the
+     * same tick an earlier cluster's issue posts the broadcast, and
+     * its flag is only fresh once its own scan has run.
+     */
+    Cycle broadcastAt_ = kNoCycle;
+};
+
+/** Build the engine selected by cfg.issueEngine. */
+std::unique_ptr<Scheduler> makeScheduler(MachineState &m);
+
+} // namespace mca::core
+
+#endif // MCA_CORE_SCHEDULER_HH

@@ -34,9 +34,11 @@ struct ScenarioSpec
 };
 
 ScenarioResult
-runOne(const ScenarioSpec &spec)
+runOne(const ScenarioSpec &spec,
+       core::ProcessorConfig::IssueEngine engine)
 {
     core::ProcessorConfig cfg = core::ProcessorConfig::dualCluster8();
+    cfg.issueEngine = engine;
     if (spec.destGlobal)
         cfg.regMap.setGlobal(spec.dest);
 
@@ -84,6 +86,12 @@ runOne(const ScenarioSpec &spec)
 std::vector<ScenarioResult>
 runScenarios()
 {
+    return runScenarios(core::ProcessorConfig{}.issueEngine);
+}
+
+std::vector<ScenarioResult>
+runScenarios(core::ProcessorConfig::IssueEngine engine)
+{
     // Even register -> cluster 0 ("C1" in the paper's figures), odd ->
     // cluster 1 ("C2").
     std::vector<ScenarioSpec> specs = {
@@ -110,7 +118,7 @@ runScenarios()
 
     std::vector<ScenarioResult> results;
     for (const auto &spec : specs)
-        results.push_back(runOne(spec));
+        results.push_back(runOne(spec, engine));
     return results;
 }
 

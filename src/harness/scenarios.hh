@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "core/config.hh"
 #include "core/timeline.hh"
 #include "obs/cycle_stack.hh"
 
@@ -43,6 +44,13 @@ struct ScenarioResult
 
 /** Run all five scenarios on the paper's dual-cluster configuration. */
 std::vector<ScenarioResult> runScenarios();
+
+/**
+ * Same, forcing a specific issue engine (default config otherwise).
+ * The lockstep tests run both engines and require identical timelines.
+ */
+std::vector<ScenarioResult>
+runScenarios(core::ProcessorConfig::IssueEngine engine);
 
 /** Render one scenario as the text block the bench prints. */
 std::string formatScenario(const ScenarioResult &scenario);

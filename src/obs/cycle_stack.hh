@@ -108,8 +108,9 @@ stallCauseDesc(StallCause cause)
 
 /**
  * Accumulated per-cause slot-cycles of one run. The processor calls
- * account() exactly once per simulated cycle; everything else is
- * read-side.
+ * account() once per stepped cycle — or accountIdle() for a block of
+ * fast-forwarded idle cycles — so every simulated cycle is attributed
+ * exactly once; everything else is read-side.
  */
 struct CycleStack
 {
@@ -129,6 +130,20 @@ struct CycleStack
         slotCycles[static_cast<std::size_t>(StallCause::Base)] += retired;
         slotCycles[static_cast<std::size_t>(cause)] += slots - retired;
         ++cycles;
+    }
+
+    /**
+     * Attribute `count` consecutive idle cycles (zero retire slots
+     * used) to `cause` in bulk. Used by the idle fast-forward; keeps
+     * the conservation invariant exact: count × slots slot-cycles are
+     * added along with count cycles.
+     */
+    void
+    accountIdle(StallCause cause, Cycle count)
+    {
+        slotCycles[static_cast<std::size_t>(cause)] +=
+            static_cast<std::uint64_t>(slots) * count;
+        cycles += count;
     }
 
     std::uint64_t

@@ -65,6 +65,9 @@ struct Options
     std::string predictor;
     bool specHistory = false;
     bool reserveOldest = false;
+    bool paranoid = false;
+    std::string issueEngine;
+    bool noIdleSkip = false;
     std::string saveTrace;
     std::string loadTrace;
     bool dumpStats = false;
@@ -103,7 +106,10 @@ usage()
         "  --queue-mode KIND    window|rs (hold entries to retire/issue)\n"
         "  --predictor KIND     mcfarling|gshare|bimodal|taken|nottaken\n"
         "  --spec-history       speculative global history\n"
-        "  --reserve-oldest     reserve a buffer entry for the oldest\n\n"
+        "  --reserve-oldest     reserve a buffer entry for the oldest\n"
+        "  --issue-engine KIND  scan|event issue scheduler [event]\n"
+        "  --no-idle-skip       disable the idle-cycle fast-forward\n"
+        "  --paranoid           check core invariants every cycle (slow)\n\n"
         "run control:\n"
         "  --max-insts N        trace length cap [300000]\n"
         "  --trace-seed N       trace interpreter seed [42]\n"
@@ -216,6 +222,14 @@ parse(int argc, char **argv)
             opt.specHistory = true;
         } else if (a == "--reserve-oldest") {
             opt.reserveOldest = true;
+        } else if (a == "--paranoid") {
+            opt.paranoid = true;
+        } else if (a == "--issue-engine") {
+            opt.issueEngine = need("--issue-engine");
+            checkChoice(opt.issueEngine, {"scan", "event"},
+                        "--issue-engine");
+        } else if (a == "--no-idle-skip") {
+            opt.noIdleSkip = true;
         } else if (a == "--save-trace") {
             opt.saveTrace = need("--save-trace");
         } else if (a == "--load-trace") {
@@ -284,6 +298,13 @@ machineConfig(const Options &opt, unsigned *clusters)
         cfg.dcache.mshrEntries = *opt.mshrEntries;
     cfg.speculativeHistory = opt.specHistory;
     cfg.reserveOldestEntry = opt.reserveOldest;
+    cfg.paranoid = opt.paranoid;
+    if (opt.issueEngine == "scan")
+        cfg.issueEngine = core::ProcessorConfig::IssueEngine::Scan;
+    else if (opt.issueEngine == "event")
+        cfg.issueEngine = core::ProcessorConfig::IssueEngine::Event;
+    if (opt.noIdleSkip)
+        cfg.idleSkip = false;
     if (opt.queueMode == "window")
         cfg.holdQueueUntilRetire = true;
     else if (opt.queueMode == "rs")

@@ -44,6 +44,13 @@ prog::Program makeOra(const WorkloadParams &params = {});
 prog::Program makeSu2cor(const WorkloadParams &params = {});
 prog::Program makeTomcatv(const WorkloadParams &params = {});
 
+/**
+ * Memory-latency-bound pointer-chase stress workload (serial dependent
+ * load misses). Not in allBenchmarks(): the paper experiments iterate
+ * that registry and must keep reproducing the paper's six benchmarks.
+ */
+prog::Program makePointerChase(const WorkloadParams &params = {});
+
 /** One registered benchmark. */
 struct BenchmarkInfo
 {

@@ -1003,4 +1003,85 @@ TEST(Timeline, ForInstMatchesLinearScanOnARealRun)
     }
 }
 
+// --- applyRemap edge cases ----------------------------------------------
+
+/** One instruction carrying a remap to `schedule[0]`, reading r3+r5. */
+std::vector<exec::DynInst>
+remapCarrier()
+{
+    exec::DynInst di;
+    di.mi = isa::makeRRR(Op::Add, intReg(2), intReg(3), intReg(5));
+    di.remapIndex = 0;
+    return {di};
+}
+
+/** Map with r3 and r5 re-homed into cluster 0 (2 moved registers). */
+isa::RegisterMap
+remapTargetMap()
+{
+    isa::RegisterMap map(2);
+    map.setHome(intReg(3), 0);
+    map.setHome(intReg(5), 0);
+    return map;
+}
+
+TEST(RemapEdge, PhysicalRegisterExhaustionIsFatal)
+{
+    // Every integer register made global: each cluster must map all 31
+    // non-zero arch regs, which cannot fit in 20 physical registers.
+    isa::RegisterMap all_global(2);
+    for (unsigned a = 1; a < isa::kNumArchRegs; ++a)
+        all_global.setGlobal(intReg(a));
+    auto cfg = core::ProcessorConfig::dualCluster8();
+    cfg.physIntRegs = 20; // holds the even/odd locals, not 31 globals
+    cfg.mapSchedule = {all_global};
+    EXPECT_EXIT(SimRun(cfg, remapCarrier()),
+                testing::ExitedWithCode(1),
+                "remap exhausts the physical registers");
+}
+
+TEST(RemapEdge, StillMappedRegistersSkipTheTransferLatency)
+{
+    // After the remap, r2 never changed homes (cluster 0 under both
+    // maps): it is conservatively re-timed to `now`, NOT to the end of
+    // the transfer window, so its reader must issue strictly earlier
+    // than a reader of the moved r3/r5.
+    auto cfg = core::ProcessorConfig::dualCluster8();
+    cfg.mapSchedule = {remapTargetMap()};
+    cfg.remapTransferRate = 1; // 2 moved regs => 2-cycle transfer
+    std::vector<exec::DynInst> still;
+    still.push_back(makeInst(
+        isa::makeRRR(Op::Add, intReg(4), intReg(2), intReg(2))));
+    still.front().remapIndex = 0;
+    SimRun still_run(cfg, still);
+    SimRun moved_run(cfg, remapCarrier());
+    const auto still_issue =
+        still_run.eventCycle(0, TimelineEvent::MasterIssued);
+    const auto moved_issue =
+        moved_run.eventCycle(0, TimelineEvent::MasterIssued);
+    ASSERT_NE(still_issue, kNoCycle);
+    ASSERT_NE(moved_issue, kNoCycle);
+    EXPECT_LT(still_issue, moved_issue);
+}
+
+TEST(RemapEdge, TransferRateRoundsUp)
+{
+    // 2 moved registers: rates 2 and 3 both take ceil(2/rate) = 1
+    // cycle (a floor would give 1 vs 0), and rate 1 takes exactly one
+    // cycle more.
+    auto issueAtRate = [](unsigned rate) {
+        auto cfg = core::ProcessorConfig::dualCluster8();
+        cfg.mapSchedule = {remapTargetMap()};
+        cfg.remapTransferRate = rate;
+        SimRun run(cfg, remapCarrier());
+        return run.eventCycle(0, TimelineEvent::MasterIssued);
+    };
+    const auto at1 = issueAtRate(1);
+    const auto at2 = issueAtRate(2);
+    const auto at3 = issueAtRate(3);
+    ASSERT_NE(at1, kNoCycle);
+    EXPECT_EQ(at2, at3);
+    EXPECT_EQ(at1, at2 + 1);
+}
+
 } // namespace
