@@ -1,0 +1,195 @@
+/**
+ * @file
+ * Compile-cache benchmark: the Table-2 campaign with and without
+ * compile sharing.
+ *
+ * The 18 Table-2 jobs (6 benchmarks x {single/native, dual/native,
+ * dual/local}) only contain 12 distinct (workload, compile-config)
+ * pairs, because each benchmark's native compile is cluster-blind and
+ * shared by its single- and dual-machine legs. This harness runs the
+ * campaign both ways, asserts the cache does exactly one compile per
+ * distinct pair (and that results are bit-identical to the uncached
+ * run), and reports the wall-clock difference. scripts/ci.sh stores
+ * the result as BENCH_compile.json.
+ *
+ * Usage: campaign_compile [--scale S] [--max-insts N] [--jobs N]
+ *                         [--trials N] [--json-out FILE]
+ */
+
+#include <chrono>
+#include <cstdint>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "runner/table2.hh"
+
+namespace
+{
+
+using namespace mca;
+
+struct Sample
+{
+    double wallS = 0.0;
+    runner::CampaignSummary summary;
+    std::vector<runner::JobResult> results;
+};
+
+Sample
+runOnce(const std::vector<runner::JobSpec> &specs, unsigned jobs,
+        bool compile_cache)
+{
+    runner::CampaignOptions options;
+    options.jobs = jobs;
+    options.compileCache = compile_cache;
+    Sample s;
+    const auto t0 = std::chrono::steady_clock::now();
+    s.results = runner::runCampaign(specs, options, &s.summary);
+    s.wallS = std::chrono::duration<double>(
+                  std::chrono::steady_clock::now() - t0)
+                  .count();
+    return s;
+}
+
+bool
+sameResults(const std::vector<runner::JobResult> &a,
+            const std::vector<runner::JobResult> &b)
+{
+    if (a.size() != b.size())
+        return false;
+    for (std::size_t i = 0; i < a.size(); ++i)
+        if (a[i].status != b[i].status || a[i].cycles != b[i].cycles ||
+            a[i].retired != b[i].retired ||
+            a[i].spillLoads != b[i].spillLoads ||
+            a[i].spillStores != b[i].spillStores)
+            return false;
+    return true;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    double scale = 0.2;
+    std::uint64_t max_insts = 100'000;
+    unsigned jobs = 4;
+    unsigned trials = 3;
+    std::string json_out;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> const char * {
+            if (i + 1 >= argc) {
+                std::cerr << arg << " needs a value\n";
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--scale")
+            scale = std::atof(next());
+        else if (arg == "--max-insts")
+            max_insts = std::strtoull(next(), nullptr, 10);
+        else if (arg == "--jobs")
+            jobs = static_cast<unsigned>(std::atoi(next()));
+        else if (arg == "--trials")
+            trials = static_cast<unsigned>(std::atoi(next()));
+        else if (arg == "--json-out")
+            json_out = next();
+        else {
+            std::cerr << "unknown argument: " << arg << "\n";
+            return 2;
+        }
+    }
+    if (trials == 0)
+        trials = 1;
+
+    harness::ExperimentOptions eopt;
+    eopt.workload.scale = scale;
+    eopt.maxInsts = max_insts;
+    const auto specs = runner::table2Jobs(eopt);
+
+    // Distinct (workload, compile-config) pairs expected for Table 2:
+    // per benchmark, one native compile (shared by both machine legs)
+    // and one local compile.
+    const std::size_t expect_jobs = specs.size();
+    const std::size_t expect_compiles = (specs.size() / 3) * 2;
+
+    Sample off, on;
+    for (unsigned t = 0; t < trials; ++t) {
+        Sample a = runOnce(specs, jobs, /*compile_cache=*/false);
+        Sample b = runOnce(specs, jobs, /*compile_cache=*/true);
+        if (t == 0 || a.wallS < off.wallS)
+            off = std::move(a);
+        if (t == 0 || b.wallS < on.wallS)
+            on = std::move(b);
+    }
+
+    int rc = 0;
+    if (off.summary.ok != expect_jobs || on.summary.ok != expect_jobs) {
+        std::cerr << "FAIL: not every job succeeded (" << off.summary.ok
+                  << "/" << on.summary.ok << " of " << expect_jobs
+                  << ")\n";
+        rc = 1;
+    }
+    if (off.summary.compiles != 0) {
+        std::cerr << "FAIL: uncached run reported "
+                  << off.summary.compiles << " shared compiles\n";
+        rc = 1;
+    }
+    if (on.summary.compiles != expect_compiles) {
+        std::cerr << "FAIL: cached run did " << on.summary.compiles
+                  << " compiles, expected one per distinct config ("
+                  << expect_compiles << ")\n";
+        rc = 1;
+    }
+    if (on.summary.compiles + on.summary.compileHits != expect_jobs) {
+        std::cerr << "FAIL: compiles + hits ("
+                  << on.summary.compiles + on.summary.compileHits
+                  << ") != jobs (" << expect_jobs << ")\n";
+        rc = 1;
+    }
+    if (!sameResults(off.results, on.results)) {
+        std::cerr << "FAIL: compile sharing changed job results\n";
+        rc = 1;
+    }
+
+    const double speedup = on.wallS > 0.0 ? off.wallS / on.wallS : 0.0;
+    std::cout << "table2 campaign: " << expect_jobs << " jobs, "
+              << expect_compiles << " distinct compile configs\n"
+              << "  no compile cache: " << off.wallS << " s ("
+              << expect_jobs << " compiles)\n"
+              << "  compile cache:    " << on.wallS << " s ("
+              << on.summary.compiles << " compiles, "
+              << on.summary.compileHits << " shared)\n"
+              << "  wall-clock ratio: " << speedup << "x\n";
+
+    if (!json_out.empty()) {
+        std::ofstream out(json_out, std::ios::trunc);
+        if (!out) {
+            std::cerr << "cannot write " << json_out << "\n";
+            return 1;
+        }
+        out << "{\n  \"benchmark\": \"compile_cache\",\n"
+            << "  \"scale\": " << scale << ",\n"
+            << "  \"max_insts\": " << max_insts << ",\n"
+            << "  \"jobs\": " << jobs << ",\n"
+            << "  \"trials\": " << trials << ",\n"
+            << "  \"table2_jobs\": " << expect_jobs << ",\n"
+            << "  \"distinct_compile_configs\": " << expect_compiles
+            << ",\n"
+            << "  \"compiles_with_cache\": " << on.summary.compiles
+            << ",\n"
+            << "  \"compile_hits\": " << on.summary.compileHits << ",\n"
+            << "  \"wall_s_no_cache\": " << off.wallS << ",\n"
+            << "  \"wall_s_cache\": " << on.wallS << ",\n"
+            << "  \"speedup\": " << speedup << ",\n"
+            << "  \"results_identical\": "
+            << (sameResults(off.results, on.results) ? "true" : "false")
+            << "\n}\n";
+        std::cout << "wrote " << json_out << "\n";
+    }
+    return rc;
+}

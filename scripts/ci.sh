@@ -33,6 +33,34 @@ python3 scripts/check_trace.py /tmp/mca_ci_trace.json \
 "$SIM" --benchmark ora --max-insts 5000 --paranoid --issue-engine scan \
     --quiet >/dev/null
 
+# Verified-compile smoke: every pass's output passes prog::verifyIR on
+# all three schedulers, with dumps and per-pass stats exercised.
+"$SIM" --benchmark ora --max-insts 5000 --verify-ir --pass-stats \
+    --quiet >/dev/null
+"$SIM" --benchmark ora --max-insts 5000 --scheduler native \
+    --machine single8 --verify-ir --quiet >/dev/null
+"$SIM" --benchmark ora --max-insts 5000 --scheduler roundrobin \
+    --verify-ir --quiet >/dev/null
+"$SIM" --list-passes >/dev/null
+"$SIM" --benchmark ora --max-insts 5000 --dump-after regalloc --quiet \
+    >/dev/null
+
+# Compile-cache invariant: the Table-2 campaign compiles each distinct
+# (workload, compile-config) pair exactly once — 12 compiles for 18
+# jobs, 6 shared.
+SUMMARY="$("$BUILD/src/tools/mcarun" --table2 --scale 0.05 \
+    --max-insts 20000 --jobs 4 --no-cache --quiet 2>&1 >/dev/null)"
+echo "$SUMMARY" | grep -q "compiles: 12 (6 shared)" || {
+    echo "ci.sh: compile-cache expected 'compiles: 12 (6 shared)', got:"
+    echo "$SUMMARY"
+    exit 1
+}
+
 # Simulator-throughput benchmark: Scan vs Event issue engine, recorded
 # at the repo root for regression tracking (see EXPERIMENTS.md).
 "$BUILD/bench/micro_perf" --json-out "$ROOT/BENCH_core.json"
+
+# Compile-cache benchmark: Table-2 campaign wall clock with vs without
+# compile sharing; fails if the cache does more than one compile per
+# distinct config or perturbs any job result (see EXPERIMENTS.md).
+"$BUILD/bench/campaign_compile" --json-out "$ROOT/BENCH_compile.json"

@@ -1,10 +1,67 @@
 #include "compiler/pipeline.hh"
 
-#include "exec/trace.hh"
-#include "support/panic.hh"
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+#include "compiler/pass.hh"
 
 namespace mca::compiler
 {
+
+namespace
+{
+
+const char *
+schedulerName(SchedulerKind kind)
+{
+    switch (kind) {
+    case SchedulerKind::Native: return "native";
+    case SchedulerKind::Local: return "local";
+    case SchedulerKind::RoundRobin: return "roundrobin";
+    }
+    return "unknown";
+}
+
+} // namespace
+
+std::string
+CompileOptions::canonicalKey() const
+{
+    std::ostringstream oss;
+    oss << "scheduler=" << schedulerName(scheduler)
+        << ";clusters=" << numClusters
+        << ";threshold=" << imbalanceThreshold
+        << ";optimize=" << optimize
+        << ";unroll=" << unrollFactor
+        << ";superblocks=" << superblocks
+        << ";list=" << listSchedule
+        << ";width=" << listScheduleWidth
+        << ";profile=" << profileFirst
+        << ";profileSeed=" << profileSeed
+        << ";profileMaxInsts=" << profileMaxInsts;
+    return oss.str();
+}
+
+CompileOptions
+compileOptionsFor(const std::string &scheduler, unsigned machine_clusters)
+{
+    CompileOptions copt;
+    if (scheduler == "native") {
+        copt.scheduler = SchedulerKind::Native;
+        copt.numClusters = 1;
+    } else if (scheduler == "roundrobin") {
+        copt.scheduler = SchedulerKind::RoundRobin;
+        copt.numClusters = std::max(2u, machine_clusters);
+    } else if (scheduler == "local") {
+        copt.scheduler = machine_clusters >= 2 ? SchedulerKind::Local
+                                               : SchedulerKind::Native;
+        copt.numClusters = machine_clusters;
+    } else {
+        throw std::runtime_error("unknown scheduler '" + scheduler + "'");
+    }
+    return copt;
+}
 
 isa::RegisterMap
 CompileOutput::hardwareMap(unsigned num_clusters) const
@@ -15,69 +72,24 @@ CompileOutput::hardwareMap(unsigned num_clusters) const
     return map;
 }
 
+const std::string *
+CompileOutput::dumpFor(std::string_view pass) const
+{
+    for (const auto &[name, text] : dumps)
+        if (name == pass)
+            return &text;
+    return nullptr;
+}
+
 CompileOutput
 compile(const prog::Program &prog, const CompileOptions &options)
 {
     CompileOutput out;
-    prog::Program work = prog;
-
-    // Step 1: conventional optimizations.
-    if (options.optimize)
-        out.optStats = optimizeProgram(work);
-
-    // Optional loop unrolling (paper §6 future work).
-    if (options.unrollFactor >= 2)
-        out.unrollStats = unrollLoops(work, options.unrollFactor);
-
-    // Optional superblock formation (paper §6 future work).
-    if (options.superblocks)
-        out.superblockStats = formSuperblocks(work);
-
-    // Step 2: prepass code scheduling.
-    if (options.listSchedule) {
-        ScheduleOptions sopt;
-        sopt.width = options.listScheduleWidth;
-        out.scheduleStats = listSchedule(work, sopt);
-    }
-
-    // Profiling: measured execution estimates for the partitioner.
-    if (options.profileFirst &&
-        options.scheduler != SchedulerKind::Native) {
-        const auto profile = exec::profileProgram(
-            work, options.profileSeed, options.profileMaxInsts);
-        exec::applyProfile(work, profile);
-    }
-
-    // Step 4: live-range partitioning.
-    PartitionOptions popt;
-    popt.numClusters = options.numClusters;
-    popt.imbalanceThreshold = options.imbalanceThreshold;
-    switch (options.scheduler) {
-      case SchedulerKind::Native:
-        // No partitioning: cluster-unaware allocation.
-        break;
-      case SchedulerKind::Local:
-        MCA_ASSERT(options.numClusters >= 2,
-                   "local scheduler needs a clustered target");
-        out.partition = localSchedule(work, popt, &out.partitionTrace);
-        break;
-      case SchedulerKind::RoundRobin:
-        MCA_ASSERT(options.numClusters >= 2,
-                   "round-robin needs a clustered target");
-        out.partition = roundRobinSchedule(work, popt);
-        break;
-    }
-
-    // Step 5: register allocation.
-    AllocOptions aopt;
-    aopt.regMap = isa::RegisterMap(
-        options.scheduler == SchedulerKind::Native ? 1
-                                                   : options.numClusters);
-    aopt.assignment = out.partition;
-    out.alloc = allocateRegisters(work, aopt);
-
-    // Step 6: machine-code emission.
-    out.binary = emitMachine(out.alloc);
+    PassContext ctx(prog, options, out);
+    PassManager manager(options.verifyIr);
+    for (auto &pass : buildPipeline(options))
+        manager.add(std::move(pass));
+    manager.run(ctx);
     return out;
 }
 

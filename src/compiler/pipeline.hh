@@ -18,6 +18,11 @@
 #ifndef MCA_COMPILER_PIPELINE_HH
 #define MCA_COMPILER_PIPELINE_HH
 
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
 #include "compiler/optimize.hh"
 #include "compiler/partition.hh"
 #include "compiler/regalloc.hh"
@@ -61,6 +66,58 @@ struct CompileOptions
     bool profileFirst = true;
     std::uint64_t profileSeed = 1;
     std::uint64_t profileMaxInsts = 200'000;
+
+    /**
+     * Run prog::verifyIR() between passes; a violation aborts the
+     * compile with std::runtime_error. Defaults on in debug builds.
+     * Diagnostic only — never changes the produced binary.
+     */
+#ifdef NDEBUG
+    bool verifyIr = false;
+#else
+    bool verifyIr = true;
+#endif
+    /**
+     * Pass names whose output to snapshot into CompileOutput::dumps
+     * ("all" captures every pass). Diagnostic only.
+     */
+    std::vector<std::string> dumpAfter;
+
+    /**
+     * Canonical text form of every field that affects the produced
+     * binary, in a fixed order (diagnostic fields excluded). Two
+     * options with equal keys compile any program identically — this
+     * is the compile-cache identity.
+     */
+    std::string canonicalKey() const;
+};
+
+/**
+ * The canonical CompileOptions for a named scheduler ("native",
+ * "local", "roundrobin") targeting a machine with `machine_clusters`
+ * clusters — the one place the name-to-options mapping lives, shared
+ * by mcasim, the runner, and the Table-2 harness. A "local" request on
+ * a single-cluster machine degrades to Native (nothing to partition).
+ * Throws std::runtime_error on an unknown scheduler name.
+ */
+CompileOptions compileOptionsFor(const std::string &scheduler,
+                                 unsigned machine_clusters);
+
+/** Wall-clock and IR-delta record for one executed pass. */
+struct PassStat
+{
+    std::string pass;
+    double wallMs = 0.0;
+    std::uint64_t blocksBefore = 0;
+    std::uint64_t blocksAfter = 0;
+    std::uint64_t instsBefore = 0;
+    std::uint64_t instsAfter = 0;
+    /** Live ranges (program value-table size). */
+    std::uint64_t valuesBefore = 0;
+    std::uint64_t valuesAfter = 0;
+    /** Spill loads+stores inserted so far (regalloc onward). */
+    std::uint64_t spillOpsBefore = 0;
+    std::uint64_t spillOpsAfter = 0;
 };
 
 struct CompileOutput
@@ -77,6 +134,14 @@ struct CompileOutput
     UnrollStats unrollStats;
     SuperblockStats superblockStats;
     ScheduleStats scheduleStats;
+
+    /** Per-pass timing and IR deltas, in execution order. */
+    std::vector<PassStat> passStats;
+    /** (pass name, snapshot) pairs captured for dumpAfter. */
+    std::vector<std::pair<std::string, std::string>> dumps;
+
+    /** The captured snapshot for `pass`, or nullptr. */
+    const std::string *dumpFor(std::string_view pass) const;
 
     /**
      * Register map a machine with `num_clusters` clusters must use to run

@@ -60,16 +60,12 @@ runTable2Row(const workloads::BenchmarkInfo &bench,
     const prog::Program program = bench.make(options.workload);
 
     // Native binary (cluster-unaware compilation).
-    compiler::CompileOptions nopt;
-    nopt.scheduler = compiler::SchedulerKind::Native;
-    nopt.numClusters = 1;
+    compiler::CompileOptions nopt = compiler::compileOptionsFor("native", 1);
     nopt.profileSeed = options.traceSeed;
     const auto native = compiler::compile(program, nopt);
 
     // Rescheduled binary (local scheduler, dual-cluster target).
-    compiler::CompileOptions lopt;
-    lopt.scheduler = compiler::SchedulerKind::Local;
-    lopt.numClusters = 2;
+    compiler::CompileOptions lopt = compiler::compileOptionsFor("local", 2);
     lopt.imbalanceThreshold = options.imbalanceThreshold;
     lopt.profileSeed = options.traceSeed;
     const auto local = compiler::compile(program, lopt);

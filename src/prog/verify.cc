@@ -1,0 +1,436 @@
+#include "prog/verify.hh"
+
+#include <sstream>
+
+#include "isa/opcodes.hh"
+#include "support/bitset.hh"
+
+namespace mca::prog
+{
+
+namespace
+{
+
+class Checker
+{
+  public:
+    Checker(const Program &prog, const VerifyOptions &options,
+            VerifyResult &result)
+        : prog_(prog), opt_(options), out_(result)
+    {}
+
+    void
+    run()
+    {
+        checkStructure();
+        // Dataflow over a structurally broken CFG would index out of
+        // range; stop at the structural findings instead.
+        if (!out_.errors.empty())
+            return;
+        kind_ = VerifyErrorKind::Locality;
+        checkLocality();
+        if (opt_.checkDefBeforeUse) {
+            kind_ = VerifyErrorKind::DefBeforeUse;
+            checkDefBeforeUse();
+        }
+        if (opt_.clusterOf) {
+            kind_ = VerifyErrorKind::Partition;
+            checkPartition();
+        }
+        if (opt_.regOf) {
+            kind_ = VerifyErrorKind::Allocation;
+            checkAllocation();
+        }
+    }
+
+  private:
+    void
+    error(std::string where, std::string message)
+    {
+        out_.errors.push_back(
+            {kind_, std::move(where), std::move(message)});
+    }
+
+    std::string
+    valueName(ValueId v) const
+    {
+        if (v < prog_.values.size() && !prog_.values[v].name.empty())
+            return "'" + prog_.values[v].name + "'";
+        return "v" + std::to_string(v);
+    }
+
+    std::string
+    blockWhere(const Function &fn, const BasicBlock &blk) const
+    {
+        return "fn '" + fn.name + "' bb" + std::to_string(blk.id);
+    }
+
+    std::string
+    instWhere(const Function &fn, const BasicBlock &blk,
+              std::size_t i) const
+    {
+        return blockWhere(fn, blk) + " inst " + std::to_string(i) + " (" +
+               std::string(isa::opName(blk.instrs[i].op)) + ")";
+    }
+
+    void
+    checkStructure()
+    {
+        if (prog_.functions.empty()) {
+            error("program '" + prog_.name + "'", "has no functions");
+            return;
+        }
+        for (std::size_t f = 0; f < prog_.functions.size(); ++f) {
+            const Function &fn = prog_.functions[f];
+            if (fn.id != static_cast<FunctionId>(f))
+                error("fn '" + fn.name + "'",
+                      "function id " + std::to_string(fn.id) +
+                          " does not match its table index " +
+                          std::to_string(f));
+            if (fn.blocks.empty()) {
+                error("fn '" + fn.name + "'", "has no blocks");
+                continue;
+            }
+            for (std::size_t b = 0; b < fn.blocks.size(); ++b)
+                checkBlock(fn, fn.blocks[b], b);
+        }
+    }
+
+    void
+    checkBlock(const Function &fn, const BasicBlock &blk, std::size_t b)
+    {
+        const std::string where = blockWhere(fn, blk);
+        if (blk.id != static_cast<BlockId>(b))
+            error(where, "block id " + std::to_string(blk.id) +
+                             " does not match its table index " +
+                             std::to_string(b));
+
+        for (BlockId s : blk.succs)
+            if (s >= fn.blocks.size())
+                error(where, "dangling CFG edge: successor bb" +
+                                 std::to_string(s) +
+                                 " does not exist (function has " +
+                                 std::to_string(fn.blocks.size()) +
+                                 " blocks)");
+
+        checkTerminatorShape(fn, blk);
+
+        for (std::size_t i = 0; i < blk.instrs.size(); ++i) {
+            const Instr &in = blk.instrs[i];
+            const std::string iw = instWhere(fn, blk, i);
+
+            if (isa::isCtrlFlow(in.op) && i + 1 != blk.instrs.size())
+                error(iw, "control flow in the middle of a basic block");
+
+            if (in.dest != kNoValue && in.dest >= prog_.values.size())
+                error(iw, "dangling dest value v" +
+                              std::to_string(in.dest));
+            for (ValueId s : in.srcs)
+                if (s != kNoValue && s >= prog_.values.size())
+                    error(iw,
+                          "dangling source value v" + std::to_string(s));
+
+            if (isa::isMemOp(in.op) && in.stream == kNoAddrStream)
+                error(iw, "memory op without an address stream");
+            if (in.stream != kNoAddrStream &&
+                in.stream >= prog_.streams.size())
+                error(iw, "dangling address-stream id " +
+                              std::to_string(in.stream));
+
+            if (isa::isCondBranch(in.op) &&
+                in.branchModel == kNoBranchModel)
+                error(iw, "conditional branch without a branch model");
+            if (in.branchModel != kNoBranchModel &&
+                in.branchModel >= prog_.branchModels.size())
+                error(iw, "dangling branch-model id " +
+                              std::to_string(in.branchModel));
+
+            if (in.op == isa::Op::Jsr &&
+                (in.callee == kNoFunction ||
+                 in.callee >= prog_.functions.size()))
+                error(iw, "call without a valid callee");
+        }
+    }
+
+    /** Successor-count conventions (same shapes finalize() asserts). */
+    void
+    checkTerminatorShape(const Function &fn, const BasicBlock &blk)
+    {
+        const std::string where = blockWhere(fn, blk);
+        const isa::Op term = blk.terminatorOp();
+        const std::size_t nsucc = blk.succs.size();
+
+        if (isa::isCondBranch(term)) {
+            if (nsucc != 2)
+                error(where, "conditional branch needs exactly 2 "
+                             "successors, has " +
+                                 std::to_string(nsucc));
+        } else if (term == isa::Op::Br) {
+            if (nsucc != 1)
+                error(where, "unconditional branch needs exactly 1 "
+                             "successor, has " +
+                                 std::to_string(nsucc));
+        } else if (term == isa::Op::Jmp) {
+            if (nsucc < 1)
+                error(where, "indirect jump needs at least 1 successor");
+        } else if (term == isa::Op::Jsr) {
+            if (nsucc != 1)
+                error(where, "call needs exactly 1 continuation "
+                             "successor, has " +
+                                 std::to_string(nsucc));
+        } else if (term == isa::Op::Ret) {
+            if (nsucc != 0)
+                error(where, "return must have no successors, has " +
+                                 std::to_string(nsucc));
+        } else {
+            if (nsucc != 1)
+                error(where, "fall-through block needs exactly 1 "
+                             "successor, has " +
+                                 std::to_string(nsucc));
+        }
+        if (!blk.succWeights.empty() &&
+            blk.succWeights.size() != nsucc)
+            error(where, "succWeights size " +
+                             std::to_string(blk.succWeights.size()) +
+                             " does not match successor count " +
+                             std::to_string(nsucc));
+    }
+
+    /** Each non-global live range belongs to exactly one function. */
+    void
+    checkLocality()
+    {
+        constexpr FunctionId kUnseen = kNoFunction;
+        std::vector<FunctionId> home(prog_.values.size(), kUnseen);
+        auto touch = [&](const Function &fn, const BasicBlock &blk,
+                         std::size_t i, ValueId v) {
+            if (v == kNoValue || v >= prog_.values.size())
+                return;
+            if (prog_.values[v].globalCandidate)
+                return;
+            if (home[v] == kUnseen) {
+                home[v] = fn.id;
+            } else if (home[v] != fn.id) {
+                error(instWhere(fn, blk, i),
+                      "local value " + valueName(v) +
+                          " crosses functions (also used by fn '" +
+                          prog_.functions[home[v]].name + "')");
+            }
+        };
+        for (const auto &fn : prog_.functions)
+            for (const auto &blk : fn.blocks)
+                for (std::size_t i = 0; i < blk.instrs.size(); ++i) {
+                    const Instr &in = blk.instrs[i];
+                    touch(fn, blk, i, in.dest);
+                    for (ValueId s : in.srcs)
+                        touch(fn, blk, i, s);
+                }
+    }
+
+    /**
+     * Forward must-define dataflow: a use is legal only if a definition
+     * reaches it along every path from the function entry. Live-in and
+     * global-candidate values are externally defined. Unreachable
+     * blocks keep the full set and so never report (nothing executes
+     * there).
+     */
+    void
+    checkDefBeforeUse()
+    {
+        const std::size_t nvals = prog_.values.size();
+        BitSet external(nvals);
+        for (std::size_t v = 0; v < nvals; ++v)
+            if (prog_.values[v].liveIn || prog_.values[v].globalCandidate)
+                external.set(v);
+
+        for (const auto &fn : prog_.functions)
+            checkDefBeforeUseIn(fn, external);
+    }
+
+    void
+    checkDefBeforeUseIn(const Function &fn, const BitSet &external)
+    {
+        const std::size_t nvals = prog_.values.size();
+        const std::size_t nblocks = fn.blocks.size();
+
+        // defIn[b]: values definitely assigned on entry to b. Non-entry
+        // blocks start at the full set so the intersection over
+        // predecessors can only shrink (standard must-analysis top).
+        BitSet full(nvals);
+        for (std::size_t v = 0; v < nvals; ++v)
+            full.set(v);
+        std::vector<BitSet> defIn(nblocks, full);
+        defIn[Function::kEntry] = external;
+
+        std::vector<std::vector<BlockId>> preds(nblocks);
+        for (const auto &blk : fn.blocks)
+            for (BlockId s : blk.succs)
+                preds[s].push_back(blk.id);
+
+        auto defOut = [&](BlockId b) {
+            BitSet set = defIn[b];
+            for (const auto &in : fn.blocks[b].instrs)
+                if (in.dest != kNoValue)
+                    set.set(in.dest);
+            return set;
+        };
+
+        bool changed = true;
+        while (changed) {
+            changed = false;
+            for (std::size_t b = 0; b < nblocks; ++b) {
+                if (b == Function::kEntry || preds[b].empty())
+                    continue;
+                BitSet in = defOut(preds[b][0]);
+                for (std::size_t p = 1; p < preds[b].size(); ++p) {
+                    BitSet inv = defOut(preds[b][p]);
+                    // in &= inv  (BitSet only has subtract; A&B ==
+                    // A - (A - B)).
+                    BitSet diff = in;
+                    diff.subtract(inv);
+                    in.subtract(diff);
+                }
+                if (!(in == defIn[b])) {
+                    defIn[b] = std::move(in);
+                    changed = true;
+                }
+            }
+        }
+
+        for (const auto &blk : fn.blocks) {
+            BitSet defined = defIn[blk.id];
+            for (std::size_t i = 0; i < blk.instrs.size(); ++i) {
+                const Instr &in = blk.instrs[i];
+                for (ValueId s : in.srcs)
+                    if (s != kNoValue && !defined.test(s))
+                        error(instWhere(fn, blk, i),
+                              "use of value " + valueName(s) +
+                                  " before any definition reaches it");
+                if (in.dest != kNoValue)
+                    defined.set(in.dest);
+            }
+        }
+    }
+
+    void
+    checkPartition()
+    {
+        const auto &cluster = *opt_.clusterOf;
+        if (cluster.size() != prog_.values.size()) {
+            error("partition", "cluster assignment covers " +
+                                   std::to_string(cluster.size()) +
+                                   " values but the program has " +
+                                   std::to_string(prog_.values.size()));
+            return;
+        }
+        for (std::size_t v = 0; v < cluster.size(); ++v) {
+            const int c = cluster[v];
+            if (c < -1 || c >= static_cast<int>(opt_.numClusters))
+                error("value " + valueName(static_cast<ValueId>(v)),
+                      "assigned to cluster " + std::to_string(c) +
+                          " outside [-1, " +
+                          std::to_string(opt_.numClusters) + ")");
+            else if (c >= 0 && prog_.values[v].globalCandidate)
+                error("value " + valueName(static_cast<ValueId>(v)),
+                      "global-register candidate assigned to cluster " +
+                          std::to_string(c));
+        }
+    }
+
+    void
+    checkAllocation()
+    {
+        const auto &regOf = *opt_.regOf;
+        if (regOf.size() != prog_.values.size()) {
+            error("regalloc", "register assignment covers " +
+                                  std::to_string(regOf.size()) +
+                                  " values but the program has " +
+                                  std::to_string(prog_.values.size()));
+            return;
+        }
+        const bool clustered =
+            opt_.regMap && opt_.clusterOf &&
+            opt_.clusterOf->size() == prog_.values.size();
+
+        std::vector<bool> checked(prog_.values.size(), false);
+        auto checkValue = [&](const Function &fn, const BasicBlock &blk,
+                              std::size_t i, ValueId v) {
+            if (v == kNoValue || v >= regOf.size() || checked[v])
+                return;
+            checked[v] = true;
+            const isa::RegId reg = regOf[v];
+            const std::string where = instWhere(fn, blk, i);
+            if (reg.isZero()) {
+                error(where, "value " + valueName(v) +
+                                 " is referenced but was never colored "
+                                 "onto a register");
+                return;
+            }
+            if (reg.cls != prog_.values[v].cls) {
+                error(where,
+                      "value " + valueName(v) + " of class " +
+                          std::string(prog_.values[v].cls ==
+                                              isa::RegClass::Int
+                                          ? "int"
+                                          : "float") +
+                          " colored onto " + isa::regName(reg));
+                return;
+            }
+            if (!clustered)
+                return;
+            if (prog_.values[v].globalCandidate) {
+                if (!opt_.regMap->isGlobal(reg))
+                    error(where, "global-register candidate " +
+                                     valueName(v) +
+                                     " colored onto local register " +
+                                     isa::regName(reg));
+                return;
+            }
+            const int cluster = (*opt_.clusterOf)[v];
+            if (cluster >= 0 && !opt_.regMap->isGlobal(reg) &&
+                opt_.regMap->homeCluster(reg) !=
+                    static_cast<unsigned>(cluster))
+                error(where,
+                      "cross-cluster local register: value " +
+                          valueName(v) + " lives on cluster " +
+                          std::to_string(cluster) + " but " + isa::regName(reg) +
+                          " is homed on cluster " +
+                          std::to_string(opt_.regMap->homeCluster(reg)));
+        };
+
+        for (const auto &fn : prog_.functions)
+            for (const auto &blk : fn.blocks)
+                for (std::size_t i = 0; i < blk.instrs.size(); ++i) {
+                    const Instr &in = blk.instrs[i];
+                    checkValue(fn, blk, i, in.dest);
+                    for (ValueId s : in.srcs)
+                        checkValue(fn, blk, i, s);
+                }
+    }
+
+    const Program &prog_;
+    const VerifyOptions &opt_;
+    VerifyResult &out_;
+    VerifyErrorKind kind_ = VerifyErrorKind::Structure;
+};
+
+} // namespace
+
+std::string
+VerifyResult::str() const
+{
+    std::ostringstream oss;
+    for (const auto &e : errors)
+        oss << e.where << ": " << e.message << "\n";
+    return oss.str();
+}
+
+VerifyResult
+verifyIR(const Program &prog, const VerifyOptions &options)
+{
+    VerifyResult result;
+    Checker(prog, options, result).run();
+    return result;
+}
+
+} // namespace mca::prog

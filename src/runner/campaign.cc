@@ -4,6 +4,7 @@
 #include <mutex>
 #include <stdexcept>
 
+#include "runner/compile_cache.hh"
 #include "runner/thread_pool.hh"
 
 namespace mca::runner
@@ -76,6 +77,9 @@ runCampaign(const std::vector<JobSpec> &specs,
 {
     const auto start = std::chrono::steady_clock::now();
     const ResultCache cache(options.cacheDir);
+    CompileCache compileCache;
+    CompileCache *const ccache =
+        options.compileCache ? &compileCache : nullptr;
 
     std::vector<JobResult> results(specs.size());
     std::mutex progressMutex;
@@ -99,7 +103,7 @@ runCampaign(const std::vector<JobSpec> &specs,
                 continue;
             }
             pool.submit([&, i] {
-                JobResult result = runJob(specs[i]);
+                JobResult result = runJob(specs[i], ccache);
                 cache.store(result);
                 settle(i, std::move(result));
             });
@@ -110,8 +114,12 @@ runCampaign(const std::vector<JobSpec> &specs,
     const double wallMs = std::chrono::duration<double, std::milli>(
                               std::chrono::steady_clock::now() - start)
                               .count();
-    if (summary)
+    if (summary) {
         *summary = summarize(results, wallMs);
+        const CompileCache::Stats cstats = compileCache.stats();
+        summary->compiles = cstats.compiles;
+        summary->compileHits = cstats.hits;
+    }
     return results;
 }
 

@@ -62,6 +62,13 @@ struct CampaignSummary
     std::size_t failed = 0;
     std::size_t fromCache = 0;
     double wallMs = 0.0; ///< whole-campaign wall clock
+
+    // Compile-cache outcome (zero when the cache is disabled).
+    /** Compiler invocations == distinct (workload, compile-config)
+     *  pairs among the jobs that actually ran. */
+    std::uint64_t compiles = 0;
+    /** Jobs that shared a compile instead of running their own. */
+    std::uint64_t compileHits = 0;
 };
 
 struct CampaignOptions
@@ -70,6 +77,9 @@ struct CampaignOptions
     unsigned jobs = 1;
     /** Cache directory; empty disables caching. */
     std::string cacheDir;
+    /** Share compiles across jobs with equal (workload, compile-config)
+     *  keys (see compile_cache.hh). Results are identical either way. */
+    bool compileCache = true;
     /**
      * Called after each job settles, under a lock (safe to write to a
      * stream), with (finished-count, total, just-finished result).

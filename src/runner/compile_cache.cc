@@ -1,0 +1,74 @@
+#include "runner/compile_cache.hh"
+
+#include <cstdio>
+
+#include "runner/jobspec.hh"
+
+namespace mca::runner
+{
+
+namespace
+{
+
+/** Same shortest-round-trip form JobSpec::canonicalKey uses. */
+std::string
+canonicalDouble(double value)
+{
+    char buf[40];
+    std::snprintf(buf, sizeof buf, "%.17g", value);
+    return buf;
+}
+
+} // namespace
+
+CompileCache::Compiled
+CompileCache::getOrCompile(const std::string &key, const Builder &build,
+                           bool *hit)
+{
+    std::promise<Compiled> promise;
+    std::shared_future<Compiled> future;
+    bool building = false;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++stats_.lookups;
+        auto it = entries_.find(key);
+        if (it == entries_.end()) {
+            building = true;
+            ++stats_.compiles;
+            future = promise.get_future().share();
+            entries_.emplace(key, future);
+        } else {
+            ++stats_.hits;
+            future = it->second;
+        }
+    }
+    if (hit)
+        *hit = !building;
+    if (building) {
+        try {
+            promise.set_value(
+                std::make_shared<const compiler::CompileOutput>(build()));
+        } catch (...) {
+            promise.set_exception(std::current_exception());
+        }
+    }
+    return future.get();
+}
+
+CompileCache::Stats
+CompileCache::stats() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return stats_;
+}
+
+std::string
+CompileCache::keyFor(const JobSpec &spec,
+                     const compiler::CompileOptions &options)
+{
+    return "benchmark=" + spec.benchmark +
+           ";scale=" + canonicalDouble(spec.scale) + ";" +
+           options.canonicalKey();
+}
+
+} // namespace mca::runner

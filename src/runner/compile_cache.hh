@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Campaign-wide compile memoization.
+ *
+ * Grid points that vary only machine parameters (cluster buffers,
+ * predictor, trace seed, ...) share one compiled binary: the cache key
+ * is the (workload, CompileOptions) pair — benchmark name, workload
+ * scale, and CompileOptions::canonicalKey() — so a Table-2 campaign
+ * compiles each benchmark once per distinct compile config instead of
+ * once per job.
+ *
+ * Thread-safety: getOrCompile() publishes a shared_future under the
+ * map lock before running the builder outside it, so concurrent
+ * requests for the same key run exactly one compile and the rest block
+ * on the future. A builder that throws poisons its entry (every waiter
+ * rethrows), which keeps outcomes deterministic across --jobs widths.
+ */
+
+#ifndef MCA_RUNNER_COMPILE_CACHE_HH
+#define MCA_RUNNER_COMPILE_CACHE_HH
+
+#include <cstdint>
+#include <functional>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "compiler/pipeline.hh"
+
+namespace mca::runner
+{
+
+struct JobSpec;
+
+class CompileCache
+{
+  public:
+    using Compiled = std::shared_ptr<const compiler::CompileOutput>;
+    using Builder = std::function<compiler::CompileOutput()>;
+
+    /**
+     * Return the cached output for `key`, or run `build` (exactly once
+     * across all threads asking for this key) and cache it. Sets
+     * `*hit` (when non-null) to true iff the compile was shared —
+     * i.e. this call did not run the builder itself. Rethrows the
+     * builder's exception, on the building call and on every waiter.
+     */
+    Compiled getOrCompile(const std::string &key, const Builder &build,
+                          bool *hit = nullptr);
+
+    struct Stats
+    {
+        std::uint64_t lookups = 0;
+        /** Lookups served by someone else's compile. */
+        std::uint64_t hits = 0;
+        /** Builder invocations == distinct keys seen. */
+        std::uint64_t compiles = 0;
+    };
+
+    Stats stats() const;
+
+    /**
+     * The cache key for one job: workload identity (benchmark, scale)
+     * plus the compile-options canonical key. Machine and run-control
+     * fields deliberately do not participate.
+     */
+    static std::string keyFor(const JobSpec &spec,
+                              const compiler::CompileOptions &options);
+
+  private:
+    mutable std::mutex mutex_;
+    std::map<std::string, std::shared_future<Compiled>> entries_;
+    Stats stats_;
+};
+
+} // namespace mca::runner
+
+#endif // MCA_RUNNER_COMPILE_CACHE_HH

@@ -173,8 +173,11 @@ emitSummary(std::ostream &os, const CampaignSummary &summary)
         std::snprintf(wall, sizeof wall, "%.1f ms", summary.wallMs);
     os << summary.total << " jobs: " << summary.ok << " ok, "
        << summary.timedOut << " timeout, " << summary.failed
-       << " failed (" << summary.fromCache << " from cache) in " << wall
-       << "\n";
+       << " failed (" << summary.fromCache << " from cache) in " << wall;
+    if (summary.compiles > 0)
+        os << " | compiles: " << summary.compiles << " ("
+           << summary.compileHits << " shared)";
+    os << "\n";
 }
 
 ProgressPrinter::ProgressPrinter(std::ostream &os, bool enabled)

@@ -3,10 +3,12 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <memory>
 #include <sstream>
 #include <stdexcept>
 
 #include "compiler/pipeline.hh"
+#include "runner/compile_cache.hh"
 #include "core/config.hh"
 #include "harness/experiment.hh"
 #include "workloads/workloads.hh"
@@ -65,22 +67,8 @@ machineConfigFor(const JobSpec &spec)
 compiler::CompileOptions
 compileOptionsFor(const JobSpec &spec, unsigned machine_clusters)
 {
-    compiler::CompileOptions copt;
-    if (spec.scheduler == "native") {
-        copt.scheduler = compiler::SchedulerKind::Native;
-        copt.numClusters = 1;
-    } else if (spec.scheduler == "roundrobin") {
-        copt.scheduler = compiler::SchedulerKind::RoundRobin;
-        copt.numClusters = std::max(2u, machine_clusters);
-    } else if (spec.scheduler == "local") {
-        copt.scheduler = machine_clusters >= 2
-                             ? compiler::SchedulerKind::Local
-                             : compiler::SchedulerKind::Native;
-        copt.numClusters = machine_clusters;
-    } else {
-        throw std::runtime_error("unknown scheduler '" + spec.scheduler +
-                                 "'");
-    }
+    compiler::CompileOptions copt =
+        compiler::compileOptionsFor(spec.scheduler, machine_clusters);
     copt.imbalanceThreshold = spec.threshold;
     copt.unrollFactor = spec.unroll;
     copt.profileSeed = spec.profileSeed;
@@ -171,7 +159,7 @@ jobStatusName(JobStatus status)
 }
 
 JobResult
-runJob(const JobSpec &spec)
+runJob(const JobSpec &spec, CompileCache *compile_cache)
 {
     JobResult out;
     out.spec = spec;
@@ -179,23 +167,31 @@ runJob(const JobSpec &spec)
     try {
         spec.validate();
 
-        workloads::WorkloadParams wp;
-        wp.scale = spec.scale;
-        const prog::Program program =
-            workloads::benchmarkByName(spec.benchmark).make(wp);
-
         const core::ProcessorConfig cfg = machineConfigFor(spec);
         const compiler::CompileOptions copt =
             compileOptionsFor(spec, cfg.numClusters);
-        const compiler::CompileOutput compiled =
-            compiler::compile(program, copt);
-        out.spillLoads = compiled.alloc.spillLoadsInserted;
-        out.spillStores = compiled.alloc.spillStoresInserted;
-        out.otherClusterSpills = compiled.alloc.otherClusterSpills;
+        // Workload construction lives inside the builder so cache hits
+        // skip it along with the compile.
+        const auto build = [&] {
+            workloads::WorkloadParams wp;
+            wp.scale = spec.scale;
+            const prog::Program program =
+                workloads::benchmarkByName(spec.benchmark).make(wp);
+            return compiler::compile(program, copt);
+        };
+        const std::shared_ptr<const compiler::CompileOutput> compiled =
+            compile_cache
+                ? compile_cache->getOrCompile(
+                      CompileCache::keyFor(spec, copt), build)
+                : std::make_shared<const compiler::CompileOutput>(
+                      build());
+        out.spillLoads = compiled->alloc.spillLoadsInserted;
+        out.spillStores = compiled->alloc.spillStoresInserted;
+        out.otherClusterSpills = compiled->alloc.otherClusterSpills;
 
         const harness::RunStats stats = harness::simulate(
-            compiled.binary, compiled.hardwareMap(cfg.numClusters), cfg,
-            spec.traceSeed, spec.maxInsts, spec.maxCycles);
+            compiled->binary, compiled->hardwareMap(cfg.numClusters),
+            cfg, spec.traceSeed, spec.maxInsts, spec.maxCycles);
 
         out.cycles = stats.cycles;
         out.retired = stats.retired;

@@ -128,12 +128,19 @@ struct JobResult
     bool fromCache = false;
 };
 
+class CompileCache;
+
 /**
  * Validate, compile, and simulate one spec. Never throws for
  * invalid-spec or pipeline errors — those come back as status Failed
  * with the message in `error`.
+ *
+ * With a CompileCache, the compile step is memoized on the
+ * (workload, compile-config) pair: jobs differing only in machine or
+ * run-control fields share one compiled binary (see compile_cache.hh).
  */
-JobResult runJob(const JobSpec &spec);
+JobResult runJob(const JobSpec &spec,
+                 CompileCache *compile_cache = nullptr);
 
 /** Valid choices for the enumerated spec fields (for CLI help/errors). */
 const std::vector<std::string> &validMachines();

@@ -50,6 +50,7 @@ struct Options
     unsigned jobs = 1;
     std::string cacheDir = ".mcarun-cache";
     bool noCache = false;
+    bool noCompileCache = false;
     std::string jsonOut;
     std::string csvOut;
     bool quiet = false;
@@ -91,7 +92,10 @@ usage()
         "  --jobs N             worker threads [1]; results identical "
         "at any width\n"
         "  --cache DIR          result-cache directory [.mcarun-cache]\n"
-        "  --no-cache           disable the result cache\n\n"
+        "  --no-cache           disable the result cache\n"
+        "  --no-compile-cache   compile every job separately (default:\n"
+        "                       jobs with equal workload + compile\n"
+        "                       config share one compile)\n\n"
         "output:\n"
         "  --out FILE           JSON-lines results ('-' = stdout)\n"
         "  --csv FILE           CSV results ('-' = stdout)\n"
@@ -211,6 +215,8 @@ parse(int argc, char **argv)
             opt.cacheDir = need("--cache");
         } else if (a == "--no-cache") {
             opt.noCache = true;
+        } else if (a == "--no-compile-cache") {
+            opt.noCompileCache = true;
         } else if (a == "--out") {
             opt.jsonOut = need("--out");
         } else if (a == "--csv") {
@@ -360,6 +366,7 @@ main(int argc, char **argv)
     runner::CampaignOptions campaign;
     campaign.jobs = opt.jobs;
     campaign.cacheDir = opt.noCache ? "" : opt.cacheDir;
+    campaign.compileCache = !opt.noCompileCache;
     // The progress line goes to stderr so piped/captured results stay
     // clean; suppress it when stdout is the results sink anyway.
     runner::ProgressPrinter progress(std::cerr, !opt.quiet);

@@ -24,6 +24,7 @@
 #include <string>
 #include <vector>
 
+#include "compiler/pass.hh"
 #include "compiler/pipeline.hh"
 #include "core/processor.hh"
 #include "exec/trace.hh"
@@ -73,6 +74,9 @@ struct Options
     bool dumpStats = false;
     bool jsonStats = false;
     bool dumpBinary = false;
+    bool verifyIr = false;
+    bool passStats = false;
+    std::vector<std::string> dumpAfter;
     unsigned timeline = 0; // print the first N instructions' events
     bool quiet = false;
 
@@ -97,7 +101,12 @@ usage()
         "  --scheduler KIND     native|local|roundrobin  [local]\n"
         "  --threshold N        local-scheduler imbalance threshold [4]\n"
         "  --unroll N           unroll counted self-loops [1]\n"
-        "  --scale X            workload scale [0.2]\n\n"
+        "  --scale X            workload scale [0.2]\n"
+        "  --verify-ir          check IR invariants between passes\n"
+        "  --dump-after LIST    print the IR after these passes\n"
+        "                       (comma-separated names or 'all')\n"
+        "  --pass-stats         per-pass wall clock + IR deltas\n"
+        "  --list-passes        print the pass registry and exit\n\n"
         "machine:\n"
         "  --machine NAME       single8|dual8|single4|dual4|quad8 [dual8]\n"
         "  --dq N               dispatch-queue entries per cluster\n"
@@ -234,6 +243,32 @@ parse(int argc, char **argv)
             opt.saveTrace = need("--save-trace");
         } else if (a == "--load-trace") {
             opt.loadTrace = need("--load-trace");
+        } else if (a == "--verify-ir") {
+            opt.verifyIr = true;
+        } else if (a == "--pass-stats") {
+            opt.passStats = true;
+        } else if (a == "--list-passes") {
+            for (const auto &info : compiler::allPasses())
+                std::printf("%-11s %s\n",
+                            std::string(info.name).c_str(),
+                            std::string(info.description).c_str());
+            std::exit(0);
+        } else if (a == "--dump-after") {
+            std::string list = need("--dump-after");
+            std::size_t pos = 0;
+            while (pos <= list.size()) {
+                const std::size_t comma = list.find(',', pos);
+                const std::string name = list.substr(
+                    pos, comma == std::string::npos ? std::string::npos
+                                                    : comma - pos);
+                if (name != "all" && !compiler::isPassName(name))
+                    MCA_FATAL("--dump-after: unknown pass '", name,
+                              "' (see --list-passes)");
+                opt.dumpAfter.push_back(name);
+                if (comma == std::string::npos)
+                    break;
+                pos = comma + 1;
+            }
         } else if (a == "--dump-stats") {
             opt.dumpStats = true;
         } else if (a == "--json") {
@@ -367,23 +402,24 @@ main(int argc, char **argv)
         }();
 
         compiler::CompileOptions copt;
-        if (opt.scheduler == "native") {
-            copt.scheduler = compiler::SchedulerKind::Native;
-            copt.numClusters = 1;
-        } else if (opt.scheduler == "roundrobin") {
-            copt.scheduler = compiler::SchedulerKind::RoundRobin;
-            copt.numClusters = std::max(2u, clusters);
-        } else if (opt.scheduler == "local") {
-            copt.scheduler = clusters >= 2
-                                 ? compiler::SchedulerKind::Local
-                                 : compiler::SchedulerKind::Native;
-            copt.numClusters = clusters;
-        } else {
-            MCA_FATAL("unknown scheduler '", opt.scheduler, "'");
+        try {
+            copt = compiler::compileOptionsFor(opt.scheduler, clusters);
+        } catch (const std::exception &e) {
+            MCA_FATAL(e.what());
         }
         copt.imbalanceThreshold = opt.threshold;
         copt.unrollFactor = opt.unroll;
-        compiled = compiler::compile(program, copt);
+        if (opt.verifyIr)
+            copt.verifyIr = true;
+        copt.dumpAfter = opt.dumpAfter;
+        try {
+            compiled = compiler::compile(program, copt);
+        } catch (const std::exception &e) {
+            MCA_FATAL(e.what());
+        }
+        for (const auto &[pass, text] : compiled->dumps)
+            std::cout << "=== after pass '" << pass << "' ===\n"
+                      << text;
         cfg.regMap = compiled->hardwareMap(clusters);
         source_desc = program.name + " / " + opt.scheduler;
 
@@ -469,6 +505,27 @@ main(int argc, char **argv)
                                       static_cast<double>(result.cycles)
                                 : 0.0)
               << ")\n";
+
+    if (opt.passStats && compiled) {
+        // Expose the per-pass record through the stats registry so
+        // --dump-stats and --json carry it alongside the run stats.
+        compiler::exportPassStats(compiled->passStats, stats,
+                                  "compile.pass");
+        if (!opt.quiet) {
+            std::cout << "compiler passes:\n";
+            std::printf("  %-10s %10s %8s %8s %8s %10s\n", "pass",
+                        "wall(ms)", "blocks", "insts", "values",
+                        "spill-ops");
+            for (const auto &ps : compiled->passStats)
+                std::printf(
+                    "  %-10s %10.3f %8llu %8llu %8llu %10llu\n",
+                    ps.pass.c_str(), ps.wallMs,
+                    static_cast<unsigned long long>(ps.blocksAfter),
+                    static_cast<unsigned long long>(ps.instsAfter),
+                    static_cast<unsigned long long>(ps.valuesAfter),
+                    static_cast<unsigned long long>(ps.spillOpsAfter));
+        }
+    }
 
     if (opt.timeline > 0) {
         for (InstSeq seq = 0; seq < opt.timeline; ++seq) {

@@ -19,6 +19,7 @@
 #include "compiler/schedule.hh"
 #include "harness/figure6.hh"
 #include "prog/builder.hh"
+#include "prog/verify.hh"
 #include "workloads/workloads.hh"
 
 namespace
@@ -845,3 +846,172 @@ TEST(CopyPropagate, ChainsOfSingleDefCopiesResolve)
 }
 
 } // namespace copyprop
+
+// --- verifyIR ------------------------------------------------------------
+
+namespace verify_ir
+{
+
+TEST(VerifyIR, CleanProgramsPass)
+{
+    EXPECT_TRUE(prog::verifyIR(diamondProgram()).ok());
+    for (const auto &bench : workloads::allBenchmarks()) {
+        const auto p = bench.make(workloads::WorkloadParams{0.02});
+        const auto res = prog::verifyIR(p);
+        EXPECT_TRUE(res.ok()) << bench.name << ":\n" << res.str();
+    }
+}
+
+TEST(VerifyIR, UseBeforeDefReported)
+{
+    prog::Builder b("udef");
+    const auto fn = b.function("main");
+    const auto b0 = b.block(fn, 1, "entry");
+    b.setInsertPoint(fn, b0);
+    const auto ghost = b.value(RegClass::Int, "ghost");
+    b.emitRRI(Op::Add, ghost, 1, "y");
+    b.emitRet();
+    const auto res = prog::verifyIR(b.build());
+    ASSERT_FALSE(res.ok());
+    EXPECT_EQ(res.errors[0].kind, prog::VerifyErrorKind::DefBeforeUse);
+    EXPECT_NE(res.str().find("'ghost'"), std::string::npos) << res.str();
+    EXPECT_NE(res.str().find("before any definition"),
+              std::string::npos);
+    EXPECT_NE(res.str().find("bb0 inst 0"), std::string::npos)
+        << "message should locate the offending use: " << res.str();
+}
+
+TEST(VerifyIR, DefOnOnePathOnlyReported)
+{
+    // Diamond where the def happens only in the 'then' arm: the join's
+    // use is not reached by a definition on the 'else' path.
+    prog::Builder b("halfdef");
+    const auto fn = b.function("main");
+    const auto b0 = b.block(fn, 1, "entry");
+    const auto bt = b.block(fn, 1, "then");
+    const auto be = b.block(fn, 1, "else");
+    const auto bj = b.block(fn, 1, "join");
+    const auto part = b.value(RegClass::Int, "part");
+
+    b.setInsertPoint(fn, b0);
+    const auto c = b.emitConst(RegClass::Int, 0, "c");
+    b.emitBranch(Op::Bne, c,
+                 b.branch(prog::BranchModel::bernoulli(0.5)));
+    b.edge(fn, b0, be);
+    b.edge(fn, b0, bt);
+
+    b.setInsertPoint(fn, bt);
+    b.emitRRITo(part, Op::Mov, c, 1);
+    b.emitBr();
+    b.edge(fn, bt, bj);
+
+    b.setInsertPoint(fn, be);
+    b.emitRRI(Op::Add, c, 1, "e");
+    b.edge(fn, be, bj);
+
+    b.setInsertPoint(fn, bj);
+    b.emitRRI(Op::Add, part, 5, "j");
+    b.emitRet();
+
+    const auto res = prog::verifyIR(b.build());
+    ASSERT_FALSE(res.ok());
+    EXPECT_EQ(res.errors[0].kind, prog::VerifyErrorKind::DefBeforeUse);
+    EXPECT_NE(res.str().find("'part'"), std::string::npos) << res.str();
+}
+
+TEST(VerifyIR, DanglingEdgeReported)
+{
+    auto p = diamondProgram();
+    p.functions[0].blocks[1].succs[0] = 99;
+    const auto res = prog::verifyIR(p);
+    ASSERT_FALSE(res.ok());
+    EXPECT_EQ(res.errors[0].kind, prog::VerifyErrorKind::Structure);
+    EXPECT_NE(res.str().find("dangling CFG edge"), std::string::npos)
+        << res.str();
+    EXPECT_NE(res.str().find("bb99"), std::string::npos) << res.str();
+}
+
+TEST(VerifyIR, PartitionIllegalClusterReported)
+{
+    const auto p =
+        workloads::makeCompress(workloads::WorkloadParams{0.02});
+    compiler::PartitionOptions popt;
+    auto assignment = compiler::localSchedule(p, popt);
+    prog::VerifyOptions vo;
+    vo.clusterOf = &assignment.cluster;
+    vo.numClusters = 2;
+    ASSERT_TRUE(prog::verifyIR(p, vo).ok());
+
+    for (auto &c : assignment.cluster)
+        if (c >= 0) {
+            c = 5;
+            break;
+        }
+    const auto res = prog::verifyIR(p, vo);
+    ASSERT_FALSE(res.ok());
+    EXPECT_EQ(res.errors[0].kind, prog::VerifyErrorKind::Partition);
+    EXPECT_NE(res.str().find("outside [-1, 2)"), std::string::npos)
+        << res.str();
+}
+
+TEST(VerifyIR, CrossClusterLocalRegisterReported)
+{
+    const auto p =
+        workloads::makeCompress(workloads::WorkloadParams{0.02});
+    compiler::PartitionOptions popt;
+    const auto assignment = compiler::localSchedule(p, popt);
+    compiler::AllocOptions aopt;
+    aopt.regMap = isa::RegisterMap(2);
+    aopt.assignment = assignment;
+    auto result = compiler::allocateRegisters(p, aopt);
+
+    prog::VerifyOptions vo;
+    vo.clusterOf = &result.finalAssignment.cluster;
+    vo.numClusters = 2;
+    vo.regOf = &result.regOf;
+    vo.regMap = &result.finalMap;
+    const auto clean = prog::verifyIR(result.rewritten, vo);
+    ASSERT_TRUE(clean.ok()) << clean.str();
+
+    // Move every assigned local value to the other cluster: its
+    // register parity no longer matches its home, which is exactly the
+    // cross-cluster read the partitioning exists to prevent.
+    for (std::size_t v = 0; v < result.finalAssignment.cluster.size();
+         ++v) {
+        auto &c = result.finalAssignment.cluster[v];
+        if (c >= 0 && !result.regOf[v].isZero() &&
+            !result.finalMap.isGlobal(result.regOf[v]))
+            c = static_cast<std::int8_t>(c ^ 1);
+    }
+    const auto res = prog::verifyIR(result.rewritten, vo);
+    ASSERT_FALSE(res.ok());
+    EXPECT_EQ(res.errors[0].kind, prog::VerifyErrorKind::Allocation);
+    EXPECT_NE(res.str().find("cross-cluster local register"),
+              std::string::npos)
+        << res.str();
+}
+
+TEST(VerifyIR, UncoloredReferencedValueReported)
+{
+    const auto p = diamondProgram();
+    compiler::AllocOptions aopt;
+    aopt.regMap = isa::RegisterMap(1);
+    auto result = compiler::allocateRegisters(p, aopt);
+
+    prog::VerifyOptions vo;
+    vo.regOf = &result.regOf;
+    vo.regMap = &result.finalMap;
+    ASSERT_TRUE(prog::verifyIR(result.rewritten, vo).ok());
+
+    // Uncolor the first referenced value.
+    const auto victim =
+        result.rewritten.functions[0].blocks[0].instrs[0].dest;
+    ASSERT_NE(victim, prog::kNoValue);
+    result.regOf[victim] = isa::RegId();
+    const auto res = prog::verifyIR(result.rewritten, vo);
+    ASSERT_FALSE(res.ok());
+    EXPECT_NE(res.str().find("never colored"), std::string::npos)
+        << res.str();
+}
+
+} // namespace verify_ir

@@ -34,9 +34,7 @@ lockstepBenchmark(const std::string &name, bool dual)
 {
     const auto &bench = workloads::benchmarkByName(name);
     const prog::Program program = bench.make({});
-    compiler::CompileOptions copt;
-    copt.scheduler = compiler::SchedulerKind::Native;
-    copt.numClusters = 1;
+    compiler::CompileOptions copt = compiler::compileOptionsFor("native", 1);
     copt.profileSeed = kTraceSeed;
     const auto out = compiler::compile(program, copt);
     const auto cfg = dual ? core::ProcessorConfig::dualCluster8()
@@ -77,9 +75,7 @@ TEST(Lockstep, RandomProgramIsCycleExact)
     rp.segmentsPerFunction = 8;
     rp.loopTrip = 20;
     const prog::Program program = workloads::makeRandomProgram(rp);
-    compiler::CompileOptions copt;
-    copt.scheduler = compiler::SchedulerKind::Local;
-    copt.numClusters = 2;
+    compiler::CompileOptions copt = compiler::compileOptionsFor("local", 2);
     copt.profileSeed = kTraceSeed;
     const auto out = compiler::compile(program, copt);
     const auto r = harness::runLockstep(
@@ -95,9 +91,7 @@ TEST(Lockstep, PointerChaseIsCycleExact)
     // user after ora (see bench/micro_perf.cc), so pin its exactness.
     const prog::Program program =
         workloads::makePointerChase(workloads::WorkloadParams{0.1});
-    compiler::CompileOptions copt;
-    copt.scheduler = compiler::SchedulerKind::Local;
-    copt.numClusters = 2;
+    compiler::CompileOptions copt = compiler::compileOptionsFor("local", 2);
     copt.profileSeed = kTraceSeed;
     const auto out = compiler::compile(program, copt);
     const auto r = harness::runLockstep(

@@ -11,15 +11,19 @@
 #include <fstream>
 #include <set>
 #include <sstream>
+#include <stdexcept>
 
 #include <unistd.h>
 
 #include <gtest/gtest.h>
 
+#include "compiler/pipeline.hh"
 #include "runner/campaign.hh"
+#include "runner/compile_cache.hh"
 #include "runner/emit.hh"
 #include "runner/table2.hh"
 #include "runner/thread_pool.hh"
+#include "workloads/workloads.hh"
 
 namespace
 {
@@ -423,6 +427,122 @@ TEST(Emit, JsonAndCsvShapes)
     const std::string row = text.substr(nl + 1);
     EXPECT_EQ(countCommas(header), countCommas(row));
     EXPECT_NE(header.find("cycles"), std::string::npos);
+}
+
+TEST(CompileCacheTest, OneBuildPerKey)
+{
+    runner::CompileCache cache;
+    int builds = 0;
+    auto build = [&builds] {
+        ++builds;
+        const auto p = workloads::makeCompress(
+            workloads::WorkloadParams{0.05});
+        return compiler::compile(
+            p, compiler::compileOptionsFor("native", 1));
+    };
+
+    bool hit = true;
+    const auto first = cache.getOrCompile("k1", build, &hit);
+    EXPECT_FALSE(hit);
+    const auto again = cache.getOrCompile("k1", build, &hit);
+    EXPECT_TRUE(hit);
+    EXPECT_EQ(builds, 1);
+    EXPECT_EQ(first.get(), again.get()); // literally the same output
+    cache.getOrCompile("k2", build, &hit);
+    EXPECT_FALSE(hit);
+    EXPECT_EQ(builds, 2);
+
+    const auto stats = cache.stats();
+    EXPECT_EQ(stats.lookups, 3u);
+    EXPECT_EQ(stats.hits, 1u);
+    EXPECT_EQ(stats.compiles, 2u);
+}
+
+TEST(CompileCacheTest, BuilderExceptionReachesEveryWaiter)
+{
+    runner::CompileCache cache;
+    const auto boom = []() -> compiler::CompileOutput {
+        throw std::runtime_error("boom");
+    };
+    EXPECT_THROW(cache.getOrCompile("bad", boom), std::runtime_error);
+    // The poisoned entry rethrows instead of re-running the builder.
+    int builds = 0;
+    EXPECT_THROW(cache.getOrCompile(
+                     "bad",
+                     [&builds]() -> compiler::CompileOutput {
+                         ++builds;
+                         throw std::runtime_error("unreachable");
+                     }),
+                 std::runtime_error);
+    EXPECT_EQ(builds, 0);
+}
+
+TEST(CompileCacheTest, KeyIgnoresMachineAndRunControlFields)
+{
+    JobSpec a = tinySpec();
+    a.machine = "single8";
+    JobSpec b = tinySpec();
+    b.machine = "dual8";
+    b.traceSeed = 99;
+    b.maxInsts = 77;
+    // Native compiles are cluster-blind, so both land on numClusters=1
+    // and the key collapses across machines, seeds, and budgets.
+    const auto copt = compiler::compileOptionsFor("native", 1);
+    EXPECT_EQ(runner::CompileCache::keyFor(a, copt),
+              runner::CompileCache::keyFor(b, copt));
+
+    JobSpec scaled = tinySpec();
+    scaled.scale = 0.1;
+    EXPECT_NE(runner::CompileCache::keyFor(a, copt),
+              runner::CompileCache::keyFor(scaled, copt));
+    JobSpec other = tinySpec();
+    other.benchmark = "ora";
+    EXPECT_NE(runner::CompileCache::keyFor(a, copt),
+              runner::CompileCache::keyFor(other, copt));
+    EXPECT_NE(
+        runner::CompileCache::keyFor(
+            a, compiler::compileOptionsFor("local", 2)),
+        runner::CompileCache::keyFor(a, copt));
+}
+
+TEST(Campaign, CompileCacheSharesCompilesAcrossTheGrid)
+{
+    // 2 benchmarks x {single8, dual8} x {native, local} = 8 jobs but
+    // only 4 distinct compiles: native is cluster-blind, and `local`
+    // on a single-cluster machine degrades to the native compile.
+    runner::CampaignGrid grid;
+    grid.benchmarks = {"compress", "ora"};
+    grid.machines = {"single8", "dual8"};
+    grid.schedulers = {"native", "local"};
+    grid.scale = 0.05;
+    grid.maxInsts = 10'000;
+    const auto specs = runner::expandGrid(grid);
+    ASSERT_EQ(specs.size(), 8u);
+
+    runner::CampaignOptions options;
+    options.jobs = 4;
+    runner::CampaignSummary summary;
+    const auto cached = runner::runCampaign(specs, options, &summary);
+    EXPECT_EQ(summary.compiles, 4u);
+    EXPECT_EQ(summary.compileHits, 4u);
+
+    // Shared compiles change nothing observable: results match an
+    // uncached serial run field for field.
+    runner::CampaignOptions uncached;
+    uncached.jobs = 1;
+    uncached.compileCache = false;
+    runner::CampaignSummary usummary;
+    const auto plain = runner::runCampaign(specs, uncached, &usummary);
+    EXPECT_EQ(usummary.compiles, 0u);
+    ASSERT_EQ(plain.size(), cached.size());
+    for (std::size_t i = 0; i < plain.size(); ++i) {
+        EXPECT_EQ(plain[i].status, cached[i].status) << i;
+        EXPECT_EQ(plain[i].cycles, cached[i].cycles) << i;
+        EXPECT_EQ(plain[i].retired, cached[i].retired) << i;
+        EXPECT_EQ(plain[i].spillLoads, cached[i].spillLoads) << i;
+        EXPECT_EQ(plain[i].spillStores, cached[i].spillStores) << i;
+        EXPECT_DOUBLE_EQ(plain[i].ipc, cached[i].ipc) << i;
+    }
 }
 
 TEST(ThreadPoolTest, RunsEverythingAndWaits)
