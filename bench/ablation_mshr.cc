@@ -48,7 +48,7 @@ main(int argc, char **argv)
 
         auto run = [&](unsigned mshr) {
             auto cfg = core::ProcessorConfig::singleCluster8();
-            cfg.dcache.mshrEntries = mshr;
+            cfg.memory.dcache.mshrEntries = mshr;
             cfg.regMap = out.hardwareMap(1);
             StatGroup stats(bench.name);
             exec::ProgramTrace trace(out.binary, 42, max_insts);

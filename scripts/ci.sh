@@ -64,3 +64,14 @@ echo "$SUMMARY" | grep -q "compiles: 12 (6 shared)" || {
 # compile sharing; fails if the cache does more than one compile per
 # distinct config or perturbs any job result (see EXPERIMENTS.md).
 "$BUILD/bench/campaign_compile" --json-out "$ROOT/BENCH_compile.json"
+
+# Memory-hierarchy sensitivity smoke: the L2 x memory-latency grid over
+# compress + su2cor; fails on a cycle-stack conservation violation, a
+# dcache_l2 attribution without an L2, or a non-deterministic
+# paper-mode corner (see docs/memory.md and EXPERIMENTS.md).
+"$BUILD/bench/sensitivity_memory" --json-out "$ROOT/BENCH_mem.json"
+
+# Hierarchy-flag smoke: an L2-equipped machine with finite fill ports
+# runs end to end with conserved cycle stacks.
+"$SIM" --benchmark compress --max-insts 5000 --l2-kb 256 --mem-lat 32 \
+    --fill-ports 1 --cycle-stacks --quiet >/dev/null

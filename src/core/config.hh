@@ -12,11 +12,13 @@
 #define MCA_CORE_CONFIG_HH
 
 #include <cstdint>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "isa/issue_rules.hh"
 #include "isa/registers.hh"
-#include "mem/cache.hh"
+#include "mem/memory.hh"
 
 namespace mca::core
 {
@@ -122,8 +124,12 @@ struct ProcessorConfig
     /** Architectural registers transferable per cycle during a remap. */
     unsigned remapTransferRate = 4;
 
-    mem::CacheParams icache{64 * 1024, 2, 32, 16, true};
-    mem::CacheParams dcache{64 * 1024, 2, 32, 16, true};
+    /**
+     * Memory hierarchy: L1I/L1D -> optional shared L2 -> fixed-latency
+     * backside. The default is paper mode (no L2, 16-cycle backside,
+     * unlimited bandwidth), cycle-identical to the old flat caches.
+     */
+    mem::MemoryParams memory;
 
     /** Branch predictor organization (the paper uses McFarling). */
     enum class PredictorKind
@@ -202,10 +208,23 @@ struct ProcessorConfig
         return c;
     }
 
+    /**
+     * Check the configuration for inconsistencies that would otherwise
+     * surface as asserts deep in construction (or worse, as silently
+     * wrong machines). Throws std::runtime_error with a message naming
+     * the offending field. Called by mcasim/mcarun at parse time.
+     */
+    void validate() const;
+
     /** N-cluster generalization of the 8-way machine (extension §6). */
     static ProcessorConfig
     multiCluster8(unsigned n)
     {
+        if (n == 0 || 128 % n != 0)
+            throw std::runtime_error(
+                "multiCluster8(" + std::to_string(n) + "): cluster count " +
+                "must be a divisor of the 8-way machine's 128-entry "
+                "window/register budget (1, 2, 4, 8, ...)");
         ProcessorConfig c;
         c.numClusters = n;
         c.dispatchQueueEntries = 128 / n;

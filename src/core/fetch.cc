@@ -47,7 +47,7 @@ FetchUnit::tick()
 
         // Instruction-cache access at block granularity.
         const Addr block =
-            pendingFetch_->pc / m_.cfg.icache.blockBytes;
+            pendingFetch_->pc / m_.cfg.memory.icache.blockBytes;
         if (block != lastFetchBlock_) {
             if (m_.icache.wouldReject(pendingFetch_->pc, m_.now)) {
                 // Explicit MSHR full: retry next cycle.

@@ -79,6 +79,8 @@ struct InFlightInst
     InstSeq memDepStoreSeq = kNoSeq;
     /** Load whose effective latency exceeded the d-cache hit time. */
     bool dcacheLoadMiss = false;
+    /** Missing load was serviced by the memory backside (vs the L2). */
+    bool dcacheMemBound = false;
     bool condBranch = false;
     bool predTaken = false;
     bool mispredicted = false;

@@ -96,8 +96,8 @@ CoreStats::init(StatGroup &sg, unsigned num_clusters)
 }
 
 MachineState::MachineState(const ProcessorConfig &config, StatGroup &sg)
-    : cfg(config), icache("icache", config.icache, sg),
-      dcache("dcache", config.dcache, sg)
+    : cfg(config), memsys(config.memory, sg), icache(memsys.icache()),
+      dcache(memsys.dcache())
 {
     switch (cfg.predictor) {
       case ProcessorConfig::PredictorKind::McFarling:

@@ -21,7 +21,7 @@
 #include "core/config.hh"
 #include "core/inflight.hh"
 #include "core/timeline.hh"
-#include "mem/cache.hh"
+#include "mem/memory.hh"
 #include "support/stats.hh"
 
 namespace mca::core
@@ -76,8 +76,11 @@ struct MachineState
 
     // --- configuration & substrate -----------------------------------
     ProcessorConfig cfg;
-    mem::Cache icache;
-    mem::Cache dcache;
+    /** The full hierarchy: L1s -> optional shared L2 -> backside. */
+    mem::MemorySystem memsys;
+    /** The front-side levels the pipeline talks to (owned by memsys). */
+    mem::Cache &icache;
+    mem::Cache &dcache;
     std::unique_ptr<bpred::Predictor> predictor;
     TimelineRecorder *timeline = nullptr;
 

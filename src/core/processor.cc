@@ -300,9 +300,12 @@ Processor::Impl::classifyStall() const
     } else if (master.completeCycle == kNoCycle ||
                master.completeCycle > m.now) {
         // Master executing; a long-latency load is a d-cache stall,
-        // anything else is plain execution latency (base).
-        return head.dcacheLoadMiss ? StallCause::DcacheMiss
-                                   : StallCause::Base;
+        // attributed to the level that serviced the miss; anything else
+        // is plain execution latency (base).
+        if (head.dcacheLoadMiss)
+            return head.dcacheMemBound ? StallCause::DcacheMem
+                                       : StallCause::DcacheL2;
+        return StallCause::Base;
     } else {
         // Master done; a slave copy is outstanding.
         for (const auto &sl : head.copies)
@@ -436,6 +439,19 @@ Processor::observe(obs::CycleObs &out) const
     out.icacheMisses = im.m.icache.misses();
     out.dcacheAccesses = im.m.dcache.accesses();
     out.dcacheMisses = im.m.dcache.misses();
+    out.hasL2 = im.m.memsys.hasL2();
+    if (const mem::Cache *l2 = im.m.memsys.l2()) {
+        out.l2Accesses = l2->accesses();
+        out.l2Misses = l2->misses();
+        out.l2InFlight = l2->inFlight(cycle_);
+    } else {
+        out.l2Accesses = 0;
+        out.l2Misses = 0;
+        out.l2InFlight = 0;
+    }
+    out.l1iInFlight = im.m.icache.inFlight(cycle_);
+    out.l1dInFlight = im.m.dcache.inFlight(cycle_);
+    out.memInFlight = im.m.memsys.memory().inFlight(cycle_);
     out.robOcc = static_cast<unsigned>(im.m.rob.size());
     out.robCap = im.m.cfg.retireWindow;
     out.clusters.resize(im.m.clusters.size());

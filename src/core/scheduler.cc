@@ -116,6 +116,8 @@ Scheduler::issueMaster(InFlightInst &inst, CopyState &copy)
             ++*m_.st.loadsForwarded;
         }
         inst.dcacheLoadMiss = lat > 2;
+        inst.dcacheMemBound =
+            inst.dcacheLoadMiss && r.servedBy == mem::ServiceLevel::Memory;
     } else if (isa::isStore(op)) {
         m_.dcache.access(inst.di.effAddr, true, now);
         lat = 1;

@@ -45,6 +45,13 @@ simulate(const prog::MachProgram &binary, const isa::RegisterMap &map,
     out.icacheMissRate =
         iacc ? static_cast<double>(imiss) / static_cast<double>(iacc)
              : 0.0;
+    if (stats.hasCounter("l2.accesses")) {
+        const auto l2acc = stats.counterAt("l2.accesses").value();
+        const auto l2miss = stats.counterAt("l2.misses").value();
+        out.l2MissRate = l2acc ? static_cast<double>(l2miss) /
+                                     static_cast<double>(l2acc)
+                               : 0.0;
+    }
     out.completed = result.completed;
     out.cycleStack = cstack;
     return out;

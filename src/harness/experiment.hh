@@ -42,6 +42,8 @@ struct RunStats
     double bpredAccuracy = 0.0;
     double dcacheMissRate = 0.0;
     double icacheMissRate = 0.0;
+    /** Shared-L2 local miss rate; 0 when the machine has no L2. */
+    double l2MissRate = 0.0;
     bool completed = false;
     /** Retire-slot stall attribution (always collected; cheap). */
     obs::CycleStack cycleStack;

@@ -18,8 +18,10 @@ isPowerOfTwo(std::uint64_t x)
 
 } // namespace
 
-Cache::Cache(std::string name, const CacheParams &params, StatGroup &stats)
-    : params_(params)
+Cache::Cache(std::string name, const CacheParams &params, StatGroup &stats,
+             MemoryLevel *next, ServiceLevel level)
+    : name_(std::move(name)), params_(params), next_(next), level_(level),
+      fillPorts_(params.fillPorts)
 {
     MCA_ASSERT(isPowerOfTwo(params.blockBytes), "block size not 2^n");
     MCA_ASSERT(params.assoc >= 1, "associativity must be >= 1");
@@ -29,20 +31,20 @@ Cache::Cache(std::string name, const CacheParams &params, StatGroup &stats)
     MCA_ASSERT(isPowerOfTwo(numSets_), "set count not 2^n");
     lines_.resize(numSets_ * params.assoc);
 
-    accesses_ = &stats.counter(name + ".accesses", "cache accesses");
-    hits_ = &stats.counter(name + ".hits", "cache hits");
-    misses_ = &stats.counter(name + ".misses", "cache misses");
-    merged_ = &stats.counter(name + ".merged_misses",
+    accesses_ = &stats.counter(name_ + ".accesses", "cache accesses");
+    hits_ = &stats.counter(name_ + ".hits", "cache hits");
+    misses_ = &stats.counter(name_ + ".misses", "cache misses");
+    merged_ = &stats.counter(name_ + ".merged_misses",
                              "misses merged with in-flight fills");
-    writebacks_ = &stats.counter(name + ".writebacks",
+    writebacks_ = &stats.counter(name_ + ".writebacks",
                                  "dirty blocks written back");
     rejections_ = &stats.counter(
-        name + ".mshr_reject_polls",
+        name_ + ".mshr_reject_polls",
         "retry polls rejected by a full MSHR (per blocked cycle)");
 }
 
 void
-Cache::pruneOutstanding(Cycle now)
+Cache::pruneOutstanding(Cycle now) const
 {
     auto it = std::remove_if(outstanding_.begin(), outstanding_.end(),
                              [&](Cycle c) { return c <= now; });
@@ -50,7 +52,7 @@ Cache::pruneOutstanding(Cycle now)
 }
 
 unsigned
-Cache::outstandingFills(Cycle now)
+Cache::outstandingFills(Cycle now) const
 {
     pruneOutstanding(now);
     return static_cast<unsigned>(outstanding_.size());
@@ -88,6 +90,12 @@ Cache::tagOf(Addr addr) const
     return (addr / params_.blockBytes) / numSets_;
 }
 
+Addr
+Cache::lineAddr(std::uint64_t set, Addr tag) const
+{
+    return (tag * numSets_ + set) * params_.blockBytes;
+}
+
 bool
 Cache::probe(Addr addr) const
 {
@@ -120,10 +128,12 @@ Cache::access(Addr addr, bool is_write, Cycle now)
                 // (the inverted MSHR tracks any number of these).
                 ++*misses_;
                 ++*merged_;
-                return AccessResult{false, true, false, line.fillReadyAt};
+                return AccessResult{false, true, false, line.fillReadyAt,
+                                    line.fillFrom};
             }
             ++*hits_;
-            return AccessResult{true, false, false, now};
+            return AccessResult{true, false, false,
+                                now + params_.hitLatency, level_};
         }
         if (!victim || !line.valid ||
             (victim->valid && line.lastUse < victim->lastUse)) {
@@ -137,20 +147,54 @@ Cache::access(Addr addr, bool is_write, Cycle now)
                    outstandingFills(now) < params_.mshrEntries,
                "access during MSHR-full; callers must poll wouldReject");
     ++*misses_;
-    const Cycle ready = now + params_.missLatency;
-    if (params_.mshrEntries != 0)
-        outstanding_.push_back(ready);
-    if (!is_write || params_.writeAllocate) {
-        MCA_ASSERT(victim != nullptr, "no victim line found");
-        if (victim->valid && victim->dirty)
-            ++*writebacks_;
-        victim->valid = true;
-        victim->dirty = is_write;
-        victim->tag = tag;
-        victim->lastUse = ++useClock_;
-        victim->fillReadyAt = ready;
+    // Keep the in-flight list compact even when nobody polls it
+    // (inverted MSHR with observability off).
+    if (outstanding_.size() >= 64)
+        pruneOutstanding(now);
+    const bool allocating = !is_write || params_.writeAllocate;
+
+    if (!allocating) {
+        // Write-around: the store itself flows to the next level.
+        Cycle ready = now + params_.missLatency;
+        ServiceLevel from = ServiceLevel::Memory;
+        if (next_) {
+            const AccessResult down = next_->access(addr, true, now);
+            ready = down.readyAt + params_.hitLatency;
+            from = down.servedBy;
+        }
+        if (params_.mshrEntries != 0)
+            outstanding_.push_back(ready);
+        return AccessResult{false, false, false, ready, from};
     }
-    return AccessResult{false, false, false, ready};
+
+    MCA_ASSERT(victim != nullptr, "no victim line found");
+    if (victim->valid && victim->dirty) {
+        ++*writebacks_;
+        // Write-back traffic: the dirty victim is sent down the chain
+        // before the demand fetch (deterministic request order).
+        if (next_)
+            next_->access(lineAddr(set, victim->tag), true, now);
+    }
+
+    Cycle fillWants = now + params_.missLatency;
+    ServiceLevel from = ServiceLevel::Memory;
+    if (next_) {
+        const AccessResult down = next_->access(addr, false, now);
+        // This level's own lookup (hitLatency) is paid on the miss path
+        // too; zero for the L1s, so paper mode is unchanged.
+        fillWants = down.readyAt + params_.hitLatency;
+        from = down.servedBy;
+    }
+    const Cycle ready = fillPorts_.schedule(fillWants);
+    outstanding_.push_back(ready);
+
+    victim->valid = true;
+    victim->dirty = is_write;
+    victim->tag = tag;
+    victim->lastUse = ++useClock_;
+    victim->fillReadyAt = ready;
+    victim->fillFrom = from;
+    return AccessResult{false, false, false, ready, from};
 }
 
 void
@@ -159,6 +203,7 @@ Cache::flush()
     for (auto &line : lines_)
         line = Line{};
     useClock_ = 0;
+    outstanding_.clear();
 }
 
 } // namespace mca::mem

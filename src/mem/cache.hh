@@ -1,21 +1,33 @@
 /**
  * @file
- * Set-associative cache with inverted-MSHR miss handling.
+ * Memory-level interface and the set-associative cache level.
  *
- * Models the paper's memory system: 64-KB two-way set-associative
- * instruction and data caches, a 16-cycle fetch latency to the next level,
- * unlimited bandwidth, and an inverted MSHR that places no restriction on
- * the number of in-flight misses (Farkas & Jouppi, ISCA'94). Misses to a
- * block that is already being fetched merge with the outstanding fill.
+ * The memory system is a chain of MemoryLevel objects (docs/memory.md):
+ * each level answers `access()` with the cycle the data reaches its
+ * requester, forwarding misses to the next level down. `Cache` is the
+ * set-associative level with inverted-MSHR miss handling; standalone
+ * (no next level) it reproduces the paper's flat model exactly: 64-KB
+ * two-way set-associative instruction and data caches, a 16-cycle
+ * fetch latency to a perfect next level, unlimited bandwidth, and an
+ * inverted MSHR that places no restriction on the number of in-flight
+ * misses (Farkas & Jouppi, ISCA'94). Misses to a block that is already
+ * being fetched merge with the outstanding fill.
  *
- * The cache is a timing model only: it tracks tags and fill-completion
- * cycles, not data.
+ * Wired to a next level, a miss becomes a real request: the fill's
+ * ready cycle comes from the level below, finite fill ports push it
+ * back deterministically under contention (FillPorts), and evicting a
+ * dirty victim sends write-back traffic down the chain.
+ *
+ * Every level is a timing model only: it tracks tags and
+ * fill-completion cycles, not data.
  */
 
 #ifndef MCA_MEM_CACHE_HH
 #define MCA_MEM_CACHE_HH
 
+#include <algorithm>
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "support/stats.hh"
@@ -24,13 +36,36 @@
 namespace mca::mem
 {
 
-/** Configuration of one cache. */
+/** Which level of the hierarchy serviced an access (attribution). */
+enum class ServiceLevel : unsigned
+{
+    L1 = 0,
+    L2,
+    Memory,
+};
+
+inline const char *
+serviceLevelName(ServiceLevel level)
+{
+    switch (level) {
+      case ServiceLevel::L1: return "l1";
+      case ServiceLevel::L2: return "l2";
+      case ServiceLevel::Memory: return "mem";
+    }
+    return "<bad-level>";
+}
+
+/** Configuration of one cache level. */
 struct CacheParams
 {
     std::uint64_t sizeBytes = 64 * 1024;
     unsigned assoc = 2;
     unsigned blockBytes = 32;
-    /** Latency of a fetch from the next memory level. */
+    /**
+     * Latency of a fetch from the next memory level, used only when the
+     * cache is standalone (no next level wired). In a MemorySystem the
+     * level below supplies the fill timing instead.
+     */
     unsigned missLatency = 16;
     /** True for write-allocate write-back data caches. */
     bool writeAllocate = true;
@@ -42,9 +77,21 @@ struct CacheParams
      * (Farkas & Jouppi, ISCA'94 complexity/performance tradeoff).
      */
     unsigned mshrEntries = 0;
+    /**
+     * Extra cycles a hit at this level costs the requester. 0 for the
+     * L1s (the core's load-use latency covers the hit path); nonzero
+     * for a lower shared level (the L1-miss-to-L2-hit latency).
+     */
+    unsigned hitLatency = 0;
+    /**
+     * Fill ports: completed fills this level can accept per cycle.
+     * 0 = unlimited (the paper's model). With N ports, the N+1-th fill
+     * landing on the same cycle is pushed back deterministically.
+     */
+    unsigned fillPorts = 0;
 };
 
-/** Outcome of one cache access. */
+/** Outcome of one access, at any level. */
 struct AccessResult
 {
     bool hit = false;
@@ -54,25 +101,96 @@ struct AccessResult
     bool rejected = false;
     /** Cycle at which the data is available to the requester. */
     Cycle readyAt = 0;
+    /** Deepest level that serviced the request (stall attribution). */
+    ServiceLevel servedBy = ServiceLevel::L1;
 };
 
-class Cache
+/**
+ * Finite fill bandwidth: each port accepts one completed fill per
+ * cycle. schedule() books the desired completion cycle onto the
+ * least-busy port (first port on ties — deterministic), pushing the
+ * fill back only when every port is taken that cycle; with no
+ * contention the result equals the request, so finite-but-uncontended
+ * ports are timing-identical to unlimited ones.
+ */
+class FillPorts
 {
   public:
-    Cache(std::string name, const CacheParams &params, StatGroup &stats);
+    explicit FillPorts(unsigned ports = 0) { init(ports); }
+
+    void init(unsigned ports) { busyUntil_.assign(ports, 0); }
+
+    /** Book a fill that wants to complete at `ready`; returns the
+     *  (possibly later) cycle it actually completes. */
+    Cycle
+    schedule(Cycle ready)
+    {
+        if (busyUntil_.empty())
+            return ready; // unlimited
+        auto port = std::min_element(busyUntil_.begin(), busyUntil_.end());
+        const Cycle start = std::max(ready, *port);
+        *port = start + 1;
+        return start;
+    }
+
+    unsigned ports() const
+    {
+        return static_cast<unsigned>(busyUntil_.size());
+    }
+
+  private:
+    /** Cycle each port is next free (empty = unlimited). */
+    std::vector<Cycle> busyUntil_;
+};
+
+/**
+ * One level of the memory hierarchy. Levels form a chain (L1 -> L2 ->
+ * memory); `access` returns the cycle the data reaches the requester,
+ * recursing down the chain on a miss.
+ */
+class MemoryLevel
+{
+  public:
+    virtual ~MemoryLevel() = default;
 
     /**
      * Perform one access.
      *
      * @param addr  Effective byte address.
-     * @param is_write  True for stores.
-     * @param now  Current cycle.
-     * @return hit/miss status and data-ready cycle.
+     * @param is_write  True for stores / write-backs from above.
+     * @param now  Cycle the request arrives at this level.
+     * @return hit/miss status, data-ready cycle, and servicing level.
      */
-    AccessResult access(Addr addr, bool is_write, Cycle now);
+    virtual AccessResult access(Addr addr, bool is_write, Cycle now) = 0;
 
     /** True if the block containing addr is resident (no state change). */
-    bool probe(Addr addr) const;
+    virtual bool probe(Addr addr) const = 0;
+
+    /** Invalidate all blocks (testing support). */
+    virtual void flush() = 0;
+
+    /** Fills in flight at this level at `now` (observability). */
+    virtual unsigned inFlight(Cycle now) const = 0;
+
+    virtual const std::string &name() const = 0;
+};
+
+class Cache : public MemoryLevel
+{
+  public:
+    /**
+     * @param next  Level the cache misses to; nullptr = standalone
+     *              (the flat paper model: fills take missLatency).
+     * @param level Hierarchy position reported in AccessResult::servedBy
+     *              for hits at this level.
+     */
+    Cache(std::string name, const CacheParams &params, StatGroup &stats,
+          MemoryLevel *next = nullptr,
+          ServiceLevel level = ServiceLevel::L1);
+
+    AccessResult access(Addr addr, bool is_write, Cycle now) override;
+
+    bool probe(Addr addr) const override;
 
     /**
      * True if an access to addr at `now` would be rejected by a full
@@ -81,10 +199,10 @@ class Cache
      */
     bool wouldReject(Addr addr, Cycle now);
 
-    /** Invalidate all blocks (testing support). */
-    void flush();
+    void flush() override;
 
     const CacheParams &params() const { return params_; }
+    const std::string &name() const override { return name_; }
 
     std::uint64_t accesses() const { return accesses_->value(); }
     std::uint64_t hits() const { return hits_->value(); }
@@ -93,8 +211,14 @@ class Cache
     std::uint64_t writebacks() const { return writebacks_->value(); }
     std::uint64_t mshrRejections() const { return rejections_->value(); }
 
-    /** Outstanding fills at `now` (diagnostics). */
-    unsigned outstandingFills(Cycle now);
+    /** Outstanding fills at `now` (diagnostics, MSHR accounting). */
+    unsigned outstandingFills(Cycle now) const;
+
+    unsigned
+    inFlight(Cycle now) const override
+    {
+        return outstandingFills(now);
+    }
 
     double
     missRate() const
@@ -113,20 +237,29 @@ class Cache
         std::uint64_t lastUse = 0;
         /** Fill completion cycle; <= access time once the fill lands. */
         Cycle fillReadyAt = 0;
+        /** Level the in-flight (or last) fill was served from. */
+        ServiceLevel fillFrom = ServiceLevel::Memory;
     };
 
     std::uint64_t setIndex(Addr addr) const;
     Addr tagOf(Addr addr) const;
+    /** Reconstruct the base address of a resident line (write-backs). */
+    Addr lineAddr(std::uint64_t set, Addr tag) const;
 
     /** Drop completed fills from the outstanding list. */
-    void pruneOutstanding(Cycle now);
+    void pruneOutstanding(Cycle now) const;
 
+    std::string name_;
     CacheParams params_;
+    MemoryLevel *next_;
+    ServiceLevel level_;
+    FillPorts fillPorts_;
     std::uint64_t numSets_;
     std::vector<Line> lines_;   // numSets_ * assoc, row-major by set
     std::uint64_t useClock_ = 0;
-    /** Fill-completion times of in-flight misses (explicit MSHR). */
-    std::vector<Cycle> outstanding_;
+    /** Fill-completion times of in-flight misses (mutable: pruning is
+     *  bookkeeping, observable through const diagnostics). */
+    mutable std::vector<Cycle> outstanding_;
 
     Counter *accesses_;
     Counter *hits_;

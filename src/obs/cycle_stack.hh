@@ -51,15 +51,19 @@ enum class StallCause : unsigned
     SlaveSuspend,
     /** Fetch is waiting on an instruction-cache fill. */
     IcacheMiss,
-    /** The head is a load waiting on a data-cache fill. */
-    DcacheMiss,
+    /** The head is a load whose L1 miss was served by the shared L2
+     *  (zero in paper mode, which has no L2). */
+    DcacheL2,
+    /** The head is a load whose miss went all the way to memory. The
+     *  pre-refactor DcacheMiss cause equals DcacheL2 + DcacheMem. */
+    DcacheMem,
     /** Squash recovery: branch-mispredict or replay-exception refill. */
     Squash,
     /** Pipeline draining after the trace ended (plus warm-up residue). */
     Drain,
 };
 
-inline constexpr std::size_t kNumStallCauses = 10;
+inline constexpr std::size_t kNumStallCauses = 11;
 
 /** Short machine-readable cause name ("base", "otb_wait", ...). */
 inline const char *
@@ -73,7 +77,8 @@ stallCauseName(StallCause cause)
       case StallCause::RemoteReg: return "remote_reg";
       case StallCause::SlaveSuspend: return "slave_susp";
       case StallCause::IcacheMiss: return "icache_miss";
-      case StallCause::DcacheMiss: return "dcache_miss";
+      case StallCause::DcacheL2: return "dcache_l2";
+      case StallCause::DcacheMem: return "dcache_mem";
       case StallCause::Squash: return "squash";
       case StallCause::Drain: return "drain";
     }
@@ -98,7 +103,10 @@ stallCauseDesc(StallCause cause)
       case StallCause::SlaveSuspend:
         return "slave suspended awaiting the forwarded result";
       case StallCause::IcacheMiss: return "instruction-cache fill";
-      case StallCause::DcacheMiss: return "data-cache fill";
+      case StallCause::DcacheL2:
+        return "data-cache miss served by the shared L2";
+      case StallCause::DcacheMem:
+        return "data-cache miss served by memory";
       case StallCause::Squash:
         return "mispredict or replay squash refill";
       case StallCause::Drain: return "trace ended, pipeline draining";

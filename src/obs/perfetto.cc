@@ -173,6 +173,42 @@ PerfettoExporter::addCounters(const CycleObs &obs)
             events_.push_back(std::move(ev));
         }
     }
+
+    // Memory hierarchy: in-flight fills per level, on a dedicated
+    // process track after the clusters.
+    const unsigned mem_pid = static_cast<unsigned>(obs.clusters.size());
+    if (!namedMemory_) {
+        Event ev;
+        ev.ph = 'M';
+        ev.pid = mem_pid;
+        ev.name = "process_name";
+        ev.meta = "memory system";
+        events_.push_back(std::move(ev));
+        namedMemory_ = true;
+    }
+    const struct
+    {
+        const char *name;
+        unsigned value;
+        bool enabled;
+    } levels[] = {
+        {"L1I in-flight fills", obs.l1iInFlight, true},
+        {"L1D in-flight fills", obs.l1dInFlight, true},
+        {"L2 in-flight fills", obs.l2InFlight, obs.hasL2},
+        {"memory in-flight reads", obs.memInFlight, true},
+    };
+    for (const auto &lvl : levels) {
+        if (!lvl.enabled)
+            continue;
+        Event ev;
+        ev.name = lvl.name;
+        ev.ph = 'C';
+        ev.ts = obs.cycle;
+        ev.pid = mem_pid;
+        ev.tid = 0;
+        ev.value = lvl.value;
+        events_.push_back(std::move(ev));
+    }
 }
 
 std::vector<PerfettoExporter::Event>

@@ -12,7 +12,10 @@
  *  - every recorded event is a thread-scoped instant ("i") on the
  *    slice's lane;
  *  - per-cluster occupancy counters ("C": dispatch queue, OTB, RTB)
- *    come from per-cycle CycleObs snapshots.
+ *    come from per-cycle CycleObs snapshots;
+ *  - a "memory system" process (pid = cluster count) carries one
+ *    in-flight-fill counter track per memory level (L1I/L1D, L2 when
+ *    present, the backside).
  *
  * One simulated cycle maps to one microsecond of trace time. Events
  * are emitted sorted by timestamp, so every track's timestamps are
@@ -70,6 +73,8 @@ class PerfettoExporter
 
     std::vector<Event> events_;
     unsigned namedClusters_ = 0;
+    /** Whether the memory-system process track has been named. */
+    bool namedMemory_ = false;
 };
 
 } // namespace mca::obs

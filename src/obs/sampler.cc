@@ -66,6 +66,8 @@ PeriodicSampler::closeInterval(const CycleObs &obs)
                               obs.icacheAccesses - base_.icacheAccesses);
     row.dcacheMissRate = rate(obs.dcacheMisses - base_.dcacheMisses,
                               obs.dcacheAccesses - base_.dcacheAccesses);
+    row.l2MissRate = rate(obs.l2Misses - base_.l2Misses,
+                          obs.l2Accesses - base_.l2Accesses);
     row.clusters.resize(queueOcc_.size());
     for (std::size_t c = 0; c < queueOcc_.size(); ++c) {
         auto &cl = row.clusters[c];
@@ -120,6 +122,7 @@ PeriodicSampler::writeJsonl(std::ostream &os) const
            << ",\"rob_mean\":" << num(row.robMean)
            << ",\"icache_miss_rate\":" << num(row.icacheMissRate)
            << ",\"dcache_miss_rate\":" << num(row.dcacheMissRate)
+           << ",\"l2_miss_rate\":" << num(row.l2MissRate)
            << ",\"clusters\":[";
         for (std::size_t c = 0; c < row.clusters.size(); ++c) {
             const auto &cl = row.clusters[c];
@@ -140,7 +143,7 @@ PeriodicSampler::writeCsv(std::ostream &os) const
     const std::size_t nclusters =
         rows_.empty() ? 0 : rows_.front().clusters.size();
     os << "cycle_begin,cycle_end,retired,dispatched,ipc,rob_mean,"
-          "icache_miss_rate,dcache_miss_rate";
+          "icache_miss_rate,dcache_miss_rate,l2_miss_rate";
     for (std::size_t c = 0; c < nclusters; ++c)
         os << ",queue_mean_c" << c << ",queue_p50_c" << c
            << ",queue_p99_c" << c << ",otb_mean_c" << c << ",rtb_mean_c"
@@ -150,7 +153,7 @@ PeriodicSampler::writeCsv(std::ostream &os) const
         os << row.cycleBegin << ',' << row.cycleEnd << ',' << row.retired
            << ',' << row.dispatched << ',' << num(row.ipc) << ','
            << num(row.robMean) << ',' << num(row.icacheMissRate) << ','
-           << num(row.dcacheMissRate);
+           << num(row.dcacheMissRate) << ',' << num(row.l2MissRate);
         for (const auto &cl : row.clusters)
             os << ',' << num(cl.queueMean) << ',' << cl.queueP50 << ','
                << cl.queueP99 << ',' << num(cl.otbMean) << ','

@@ -46,6 +46,8 @@ struct IntervalRow
     double robMean = 0.0;
     double icacheMissRate = 0.0;
     double dcacheMissRate = 0.0;
+    /** Shared-L2 local miss rate; 0 when the machine has no L2. */
+    double l2MissRate = 0.0;
     std::vector<IntervalClusterRow> clusters;
 };
 

@@ -43,6 +43,15 @@ struct CycleObs
     std::uint64_t icacheMisses = 0;
     std::uint64_t dcacheAccesses = 0;
     std::uint64_t dcacheMisses = 0;
+    /** Shared-L2 totals; all zero when the machine has no L2. */
+    bool hasL2 = false;
+    std::uint64_t l2Accesses = 0;
+    std::uint64_t l2Misses = 0;
+    /** Fills in flight per memory level at this cycle (not deltas). */
+    unsigned l1iInFlight = 0;
+    unsigned l1dInFlight = 0;
+    unsigned l2InFlight = 0;
+    unsigned memInFlight = 0;
     unsigned robOcc = 0;
     unsigned robCap = 0;
     std::vector<ClusterObs> clusters;

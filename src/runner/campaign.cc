@@ -23,33 +23,43 @@ expandGrid(const CampaignGrid &grid)
     requireAxis(!grid.schedulers.empty(), "schedulers");
     requireAxis(!grid.thresholds.empty(), "thresholds");
     requireAxis(!grid.traceSeeds.empty(), "traceSeeds");
+    requireAxis(!grid.l2Kbs.empty(), "l2Kbs");
+    requireAxis(!grid.l2Lats.empty(), "l2Lats");
+    requireAxis(!grid.memLats.empty(), "memLats");
 
     std::vector<JobSpec> specs;
     specs.reserve(grid.benchmarks.size() * grid.machines.size() *
                   grid.schedulers.size() * grid.thresholds.size() *
-                  grid.traceSeeds.size());
+                  grid.traceSeeds.size() * grid.l2Kbs.size() *
+                  grid.l2Lats.size() * grid.memLats.size());
     for (const auto &benchmark : grid.benchmarks)
-        for (const auto &machine : grid.machines)
-            for (const auto &scheduler : grid.schedulers)
-                for (unsigned threshold : grid.thresholds)
-                    for (std::uint64_t seed : grid.traceSeeds) {
-                        JobSpec spec;
-                        spec.benchmark = benchmark;
-                        spec.machine = machine;
-                        spec.scheduler = scheduler;
-                        spec.threshold = threshold;
-                        spec.traceSeed = seed;
-                        spec.scale = grid.scale;
-                        spec.unroll = grid.unroll;
-                        spec.predictor = grid.predictor;
-                        spec.maxInsts = grid.maxInsts;
-                        spec.maxCycles = grid.maxCycles;
-                        spec.profileSeed =
-                            grid.profileSeedFollowsTraceSeed
-                                ? seed
-                                : spec.profileSeed;
-                        specs.push_back(std::move(spec));
-                    }
+      for (const auto &machine : grid.machines)
+        for (const auto &scheduler : grid.schedulers)
+          for (unsigned threshold : grid.thresholds)
+            for (std::uint64_t seed : grid.traceSeeds)
+              for (unsigned l2kb : grid.l2Kbs)
+                for (unsigned l2lat : grid.l2Lats)
+                  for (unsigned memlat : grid.memLats) {
+                      JobSpec spec;
+                      spec.benchmark = benchmark;
+                      spec.machine = machine;
+                      spec.scheduler = scheduler;
+                      spec.threshold = threshold;
+                      spec.traceSeed = seed;
+                      spec.l2Kb = l2kb;
+                      spec.l2Lat = l2lat;
+                      spec.memLat = memlat;
+                      spec.fillPorts = grid.fillPorts;
+                      spec.scale = grid.scale;
+                      spec.unroll = grid.unroll;
+                      spec.predictor = grid.predictor;
+                      spec.maxInsts = grid.maxInsts;
+                      spec.maxCycles = grid.maxCycles;
+                      spec.profileSeed = grid.profileSeedFollowsTraceSeed
+                                             ? seed
+                                             : spec.profileSeed;
+                      specs.push_back(std::move(spec));
+                  }
     return specs;
 }
 

@@ -30,7 +30,7 @@ namespace mca::runner
 {
 
 /** Parameter grid; expansion nests benchmark(outer) → machine →
- *  scheduler → threshold → traceSeed(inner). */
+ *  scheduler → threshold → traceSeed → l2Kb → l2Lat → memLat(inner). */
 struct CampaignGrid
 {
     std::vector<std::string> benchmarks = {"compress"};
@@ -38,11 +38,17 @@ struct CampaignGrid
     std::vector<std::string> schedulers = {"local"};
     std::vector<unsigned> thresholds = {4};
     std::vector<std::uint64_t> traceSeeds = {42};
+    // Memory-hierarchy axes (defaults = paper mode; docs/memory.md).
+    std::vector<unsigned> l2Kbs = {0};
+    std::vector<unsigned> l2Lats = {6};
+    std::vector<unsigned> memLats = {16};
 
     // Shared run-control bounds (copied into every spec).
     double scale = 0.2;
     unsigned unroll = 1;
     std::string predictor;
+    /** Fill ports per memory level; 0 = unlimited (paper mode). */
+    unsigned fillPorts = 0;
     std::uint64_t maxInsts = 300'000;
     Cycle maxCycles = 100'000'000;
     /** Tie each spec's profileSeed to its traceSeed (Table-2 harness

@@ -80,6 +80,10 @@ emitJsonLine(std::ostream &os, const JobResult &r)
        << ",\"profile_seed\":" << r.spec.profileSeed
        << ",\"max_insts\":" << r.spec.maxInsts
        << ",\"max_cycles\":" << r.spec.maxCycles
+       << ",\"l2_kb\":" << r.spec.l2Kb
+       << ",\"l2_lat\":" << r.spec.l2Lat
+       << ",\"mem_lat\":" << r.spec.memLat
+       << ",\"fill_ports\":" << r.spec.fillPorts
        << ",\"status\":\"" << jobStatusName(r.status) << "\""
        << ",\"error\":\"" << jsonEscape(r.error) << "\""
        << ",\"cycles\":" << r.cycles
@@ -94,6 +98,7 @@ emitJsonLine(std::ostream &os, const JobResult &r)
        << ",\"bpred_accuracy\":" << jsonDouble(r.bpredAccuracy)
        << ",\"dcache_miss_rate\":" << jsonDouble(r.dcacheMissRate)
        << ",\"icache_miss_rate\":" << jsonDouble(r.icacheMissRate)
+       << ",\"l2_miss_rate\":" << jsonDouble(r.l2MissRate)
        << ",\"spill_loads\":" << r.spillLoads
        << ",\"spill_stores\":" << r.spillStores
        << ",\"other_cluster_spills\":" << r.otherClusterSpills
@@ -120,11 +125,12 @@ void
 emitCsvHeader(std::ostream &os)
 {
     os << "hash,benchmark,machine,scheduler,threshold,unroll,predictor,"
-          "scale,trace_seed,profile_seed,max_insts,max_cycles,status,"
-          "error,cycles,retired,ipc,dist_single,dist_dual,"
-          "operand_forwards,result_forwards,replays,issue_disorder,"
-          "bpred_accuracy,dcache_miss_rate,icache_miss_rate,spill_loads,"
-          "spill_stores,other_cluster_spills,stack_slots";
+          "scale,trace_seed,profile_seed,max_insts,max_cycles,l2_kb,"
+          "l2_lat,mem_lat,fill_ports,status,error,cycles,retired,ipc,"
+          "dist_single,dist_dual,operand_forwards,result_forwards,"
+          "replays,issue_disorder,bpred_accuracy,dcache_miss_rate,"
+          "icache_miss_rate,l2_miss_rate,spill_loads,spill_stores,"
+          "other_cluster_spills,stack_slots";
     for (std::size_t i = 0; i < obs::kNumStallCauses; ++i)
         os << ",stack_"
            << obs::stallCauseName(static_cast<obs::StallCause>(i));
@@ -140,13 +146,16 @@ emitCsvRow(std::ostream &os, const JobResult &r)
        << csvEscape(r.spec.predictor) << ',' << jsonDouble(r.spec.scale)
        << ',' << r.spec.traceSeed << ',' << r.spec.profileSeed << ','
        << r.spec.maxInsts << ',' << r.spec.maxCycles << ','
+       << r.spec.l2Kb << ',' << r.spec.l2Lat << ',' << r.spec.memLat
+       << ',' << r.spec.fillPorts << ','
        << jobStatusName(r.status) << ',' << csvEscape(r.error) << ','
        << r.cycles << ',' << r.retired << ',' << jsonDouble(r.ipc) << ','
        << r.distSingle << ',' << r.distDual << ',' << r.operandForwards
        << ',' << r.resultForwards << ',' << r.replays << ','
        << r.issueDisorder << ',' << jsonDouble(r.bpredAccuracy) << ','
        << jsonDouble(r.dcacheMissRate) << ','
-       << jsonDouble(r.icacheMissRate) << ',' << r.spillLoads << ','
+       << jsonDouble(r.icacheMissRate) << ','
+       << jsonDouble(r.l2MissRate) << ',' << r.spillLoads << ','
        << r.spillStores << ',' << r.otherClusterSpills << ','
        << r.stackSlots;
     for (std::size_t i = 0; i < obs::kNumStallCauses; ++i)

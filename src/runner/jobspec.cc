@@ -28,42 +28,6 @@ canonicalDouble(double value)
     return buf;
 }
 
-core::ProcessorConfig
-machineConfigFor(const JobSpec &spec)
-{
-    core::ProcessorConfig cfg;
-    if (spec.machine == "single8")
-        cfg = core::ProcessorConfig::singleCluster8();
-    else if (spec.machine == "dual8")
-        cfg = core::ProcessorConfig::dualCluster8();
-    else if (spec.machine == "single4")
-        cfg = core::ProcessorConfig::singleCluster4();
-    else if (spec.machine == "dual4")
-        cfg = core::ProcessorConfig::dualCluster4();
-    else if (spec.machine == "quad8")
-        cfg = core::ProcessorConfig::multiCluster8(4);
-    else
-        throw std::runtime_error("unknown machine '" + spec.machine + "'");
-
-    if (!spec.predictor.empty()) {
-        using Kind = core::ProcessorConfig::PredictorKind;
-        if (spec.predictor == "mcfarling")
-            cfg.predictor = Kind::McFarling;
-        else if (spec.predictor == "gshare")
-            cfg.predictor = Kind::Gshare;
-        else if (spec.predictor == "bimodal")
-            cfg.predictor = Kind::Bimodal;
-        else if (spec.predictor == "taken")
-            cfg.predictor = Kind::StaticTaken;
-        else if (spec.predictor == "nottaken")
-            cfg.predictor = Kind::StaticNotTaken;
-        else
-            throw std::runtime_error("unknown predictor '" +
-                                     spec.predictor + "'");
-    }
-    return cfg;
-}
-
 compiler::CompileOptions
 compileOptionsFor(const JobSpec &spec, unsigned machine_clusters)
 {
@@ -99,6 +63,51 @@ requireOneOf(const std::string &value, const std::vector<std::string> &valid,
 
 } // namespace
 
+core::ProcessorConfig
+machineConfigFor(const JobSpec &spec)
+{
+    core::ProcessorConfig cfg;
+    if (spec.machine == "single8")
+        cfg = core::ProcessorConfig::singleCluster8();
+    else if (spec.machine == "dual8")
+        cfg = core::ProcessorConfig::dualCluster8();
+    else if (spec.machine == "single4")
+        cfg = core::ProcessorConfig::singleCluster4();
+    else if (spec.machine == "dual4")
+        cfg = core::ProcessorConfig::dualCluster4();
+    else if (spec.machine == "quad8")
+        cfg = core::ProcessorConfig::multiCluster8(4);
+    else
+        throw std::runtime_error("unknown machine '" + spec.machine + "'");
+
+    if (!spec.predictor.empty()) {
+        using Kind = core::ProcessorConfig::PredictorKind;
+        if (spec.predictor == "mcfarling")
+            cfg.predictor = Kind::McFarling;
+        else if (spec.predictor == "gshare")
+            cfg.predictor = Kind::Gshare;
+        else if (spec.predictor == "bimodal")
+            cfg.predictor = Kind::Bimodal;
+        else if (spec.predictor == "taken")
+            cfg.predictor = Kind::StaticTaken;
+        else if (spec.predictor == "nottaken")
+            cfg.predictor = Kind::StaticNotTaken;
+        else
+            throw std::runtime_error("unknown predictor '" +
+                                     spec.predictor + "'");
+    }
+
+    cfg.memory.l2SizeBytes = static_cast<std::uint64_t>(spec.l2Kb) * 1024;
+    cfg.memory.l2HitLatency = spec.l2Lat;
+    cfg.memory.memLatency = spec.memLat;
+    cfg.memory.icache.fillPorts = spec.fillPorts;
+    cfg.memory.dcache.fillPorts = spec.fillPorts;
+    cfg.memory.l2FillPorts = spec.fillPorts;
+    cfg.memory.memPorts = spec.fillPorts;
+    cfg.validate();
+    return cfg;
+}
+
 std::string
 JobSpec::canonicalKey() const
 {
@@ -113,7 +122,11 @@ JobSpec::canonicalKey() const
         << ";traceSeed=" << traceSeed
         << ";profileSeed=" << profileSeed
         << ";maxInsts=" << maxInsts
-        << ";maxCycles=" << maxCycles;
+        << ";maxCycles=" << maxCycles
+        << ";l2Kb=" << l2Kb
+        << ";l2Lat=" << l2Lat
+        << ";memLat=" << memLat
+        << ";fillPorts=" << fillPorts;
     return oss.str();
 }
 
@@ -205,6 +218,7 @@ runJob(const JobSpec &spec, CompileCache *compile_cache)
         out.bpredAccuracy = stats.bpredAccuracy;
         out.dcacheMissRate = stats.dcacheMissRate;
         out.icacheMissRate = stats.icacheMissRate;
+        out.l2MissRate = stats.l2MissRate;
         out.stackSlotCycles = stats.cycleStack.slotCycles;
         out.stackSlots = stats.cycleStack.slots;
         out.status = stats.completed ? JobStatus::Ok : JobStatus::TimedOut;

@@ -24,6 +24,7 @@
 #include <string>
 #include <vector>
 
+#include "core/config.hh"
 #include "obs/cycle_stack.hh"
 #include "support/types.hh"
 
@@ -48,6 +49,16 @@ struct JobSpec
     unsigned unroll = 1;
     /** Branch predictor override (empty = machine default). */
     std::string predictor;
+
+    // Memory-hierarchy axes (defaults = paper mode; docs/memory.md).
+    /** Shared-L2 size in KB; 0 = no L2 (paper mode). */
+    unsigned l2Kb = 0;
+    /** L1-miss-to-L2-hit latency in cycles. */
+    unsigned l2Lat = 6;
+    /** Memory backside latency in cycles. */
+    unsigned memLat = 16;
+    /** Fill ports per memory level; 0 = unlimited (paper mode). */
+    unsigned fillPorts = 0;
 
     std::uint64_t traceSeed = 42;
     /** Seed for the profiling run (paper harness ties it to traceSeed). */
@@ -108,6 +119,8 @@ struct JobResult
     double bpredAccuracy = 0.0;
     double dcacheMissRate = 0.0;
     double icacheMissRate = 0.0;
+    /** Shared-L2 local miss rate; 0 when the machine has no L2. */
+    double l2MissRate = 0.0;
 
     // Compiler-side statistics.
     std::uint64_t spillLoads = 0;
@@ -141,6 +154,14 @@ class CompileCache;
  */
 JobResult runJob(const JobSpec &spec,
                  CompileCache *compile_cache = nullptr);
+
+/**
+ * Build the ProcessorConfig a spec names (machine factory + predictor
+ * override + memory-hierarchy axes), validated. Throws
+ * std::runtime_error on unknown names or inconsistent geometry; mcarun
+ * uses this at parse time to fail fast before any job runs.
+ */
+core::ProcessorConfig machineConfigFor(const JobSpec &spec);
 
 /** Valid choices for the enumerated spec fields (for CLI help/errors). */
 const std::vector<std::string> &validMachines();

@@ -14,9 +14,10 @@ namespace mca::runner
 namespace
 {
 
-// v2: cycle-stack fields (stackSlots, stack_<cause>). Older entries
-// fail the version check and are treated as misses.
-constexpr int kFormatVersion = 2;
+// v3: memory-hierarchy taxonomy (dcache_l2/dcache_mem stack causes,
+// l2MissRate). v2: cycle-stack fields. Older entries fail the version
+// check and are treated as misses.
+constexpr int kFormatVersion = 3;
 
 std::string
 formatDouble(double value)
@@ -83,6 +84,7 @@ ResultCache::load(const JobSpec &spec) const
         out.bpredAccuracy = std::stod(fields.at("bpredAccuracy"));
         out.dcacheMissRate = std::stod(fields.at("dcacheMissRate"));
         out.icacheMissRate = std::stod(fields.at("icacheMissRate"));
+        out.l2MissRate = std::stod(fields.at("l2MissRate"));
         out.spillLoads = std::stoull(fields.at("spillLoads"));
         out.spillStores = std::stoull(fields.at("spillStores"));
         out.otherClusterSpills = std::stoull(fields.at("otherClusterSpills"));
@@ -143,6 +145,7 @@ ResultCache::store(const JobResult &result) const
             << "\n"
             << "icacheMissRate\t" << formatDouble(result.icacheMissRate)
             << "\n"
+            << "l2MissRate\t" << formatDouble(result.l2MissRate) << "\n"
             << "spillLoads\t" << result.spillLoads << "\n"
             << "spillStores\t" << result.spillStores << "\n"
             << "otherClusterSpills\t" << result.otherClusterSpills << "\n"

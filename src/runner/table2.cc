@@ -25,6 +25,7 @@ toRunStats(const JobResult &result)
     stats.bpredAccuracy = result.bpredAccuracy;
     stats.dcacheMissRate = result.dcacheMissRate;
     stats.icacheMissRate = result.icacheMissRate;
+    stats.l2MissRate = result.l2MissRate;
     stats.completed = result.status == JobStatus::Ok;
     stats.cycleStack.slotCycles = result.stackSlotCycles;
     stats.cycleStack.slots = result.stackSlots;

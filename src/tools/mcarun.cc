@@ -76,8 +76,12 @@ usage()
         "  --schedulers LIST    " + joined(runner::validSchedulers()) +
         " [local]\n"
         "  --thresholds LIST    local-scheduler imbalance thresholds [4]\n"
-        "  --trace-seeds LIST   trace interpreter seeds [42]\n\n"
+        "  --trace-seeds LIST   trace interpreter seeds [42]\n"
+        "  --l2-kb LIST         shared-L2 sizes in KB (0 = no L2) [0]\n"
+        "  --l2-lat LIST        L2 hit latencies in cycles [6]\n"
+        "  --mem-lat LIST       memory backside latencies in cycles [16]\n\n"
         "shared job parameters:\n"
+        "  --fill-ports N       fills/cycle per level (0 = unlimited) [0]\n"
         "  --scale X            workload scale [0.2]\n"
         "  --unroll N           unroll factor [1]\n"
         "  --predictor KIND     " + joined(runner::validPredictors()) +
@@ -191,6 +195,15 @@ parse(int argc, char **argv)
             for (const auto &s : splitList(need("--trace-seeds")))
                 opt.grid.traceSeeds.push_back(
                     std::strtoull(s.c_str(), nullptr, 10));
+        } else if (a == "--l2-kb") {
+            opt.grid.l2Kbs = needUnsignedList("--l2-kb");
+        } else if (a == "--l2-lat") {
+            opt.grid.l2Lats = needUnsignedList("--l2-lat");
+        } else if (a == "--mem-lat") {
+            opt.grid.memLats = needUnsignedList("--mem-lat");
+        } else if (a == "--fill-ports") {
+            opt.grid.fillPorts = static_cast<unsigned>(
+                std::atoi(need("--fill-ports").c_str()));
         } else if (a == "--scale") {
             opt.grid.scale = std::atof(need("--scale").c_str());
         } else if (a == "--unroll") {
@@ -239,6 +252,25 @@ parse(int argc, char **argv)
     if (!opt.grid.predictor.empty())
         checkChoices({opt.grid.predictor}, runner::validPredictors(),
                      "predictor");
+    // Memory-axis geometry errors (an L2 size with a non-power-of-two
+    // set count, a zero memory latency) surface here as one parse-time
+    // error instead of a column of Failed jobs after the run.
+    for (unsigned l2kb : opt.grid.l2Kbs)
+        for (unsigned l2lat : opt.grid.l2Lats)
+            for (unsigned memlat : opt.grid.memLats) {
+                runner::JobSpec probe;
+                if (!opt.grid.machines.empty())
+                    probe.machine = opt.grid.machines.front();
+                probe.l2Kb = l2kb;
+                probe.l2Lat = l2lat;
+                probe.memLat = memlat;
+                probe.fillPorts = opt.grid.fillPorts;
+                try {
+                    runner::machineConfigFor(probe);
+                } catch (const std::exception &e) {
+                    die(e.what());
+                }
+            }
     return opt;
 }
 

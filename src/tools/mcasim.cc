@@ -62,6 +62,13 @@ struct Options
     std::optional<unsigned> otbEntries;
     std::optional<unsigned> rtbEntries;
     std::optional<unsigned> mshrEntries;
+    // Memory hierarchy (defaults = paper mode; docs/memory.md).
+    std::optional<unsigned> icacheKb;
+    std::optional<unsigned> dcacheKb;
+    std::optional<unsigned> l2Kb;
+    std::optional<unsigned> l2Lat;
+    std::optional<unsigned> memLat;
+    std::optional<unsigned> fillPorts;
     std::string queueMode;
     std::string predictor;
     bool specHistory = false;
@@ -119,6 +126,13 @@ usage()
         "  --issue-engine KIND  scan|event issue scheduler [event]\n"
         "  --no-idle-skip       disable the idle-cycle fast-forward\n"
         "  --paranoid           check core invariants every cycle (slow)\n\n"
+        "memory hierarchy (docs/memory.md; defaults = paper mode):\n"
+        "  --icache-kb N        L1 instruction-cache size in KB [64]\n"
+        "  --dcache-kb N        L1 data-cache size in KB [64]\n"
+        "  --l2-kb N            shared L2 size in KB (0 = no L2) [0]\n"
+        "  --l2-lat N           L2 hit latency in cycles [6]\n"
+        "  --mem-lat N          memory backside latency in cycles [16]\n"
+        "  --fill-ports N       fills/cycle per level (0 = unlimited) [0]\n\n"
         "run control:\n"
         "  --max-insts N        trace length cap [300000]\n"
         "  --trace-seed N       trace interpreter seed [42]\n"
@@ -223,6 +237,24 @@ parse(int argc, char **argv)
         } else if (a == "--mshr") {
             opt.mshrEntries = static_cast<unsigned>(
                 std::atoi(need("--mshr").c_str()));
+        } else if (a == "--icache-kb") {
+            opt.icacheKb = static_cast<unsigned>(
+                std::atoi(need("--icache-kb").c_str()));
+        } else if (a == "--dcache-kb") {
+            opt.dcacheKb = static_cast<unsigned>(
+                std::atoi(need("--dcache-kb").c_str()));
+        } else if (a == "--l2-kb") {
+            opt.l2Kb = static_cast<unsigned>(
+                std::atoi(need("--l2-kb").c_str()));
+        } else if (a == "--l2-lat") {
+            opt.l2Lat = static_cast<unsigned>(
+                std::atoi(need("--l2-lat").c_str()));
+        } else if (a == "--mem-lat") {
+            opt.memLat = static_cast<unsigned>(
+                std::atoi(need("--mem-lat").c_str()));
+        } else if (a == "--fill-ports") {
+            opt.fillPorts = static_cast<unsigned>(
+                std::atoi(need("--fill-ports").c_str()));
         } else if (a == "--predictor") {
             opt.predictor = need("--predictor");
             checkChoice(opt.predictor, runner::validPredictors(),
@@ -330,7 +362,23 @@ machineConfig(const Options &opt, unsigned *clusters)
     if (opt.rtbEntries)
         cfg.resultBufferEntries = *opt.rtbEntries;
     if (opt.mshrEntries)
-        cfg.dcache.mshrEntries = *opt.mshrEntries;
+        cfg.memory.dcache.mshrEntries = *opt.mshrEntries;
+    if (opt.icacheKb)
+        cfg.memory.icache.sizeBytes = *opt.icacheKb * 1024ull;
+    if (opt.dcacheKb)
+        cfg.memory.dcache.sizeBytes = *opt.dcacheKb * 1024ull;
+    if (opt.l2Kb)
+        cfg.memory.l2SizeBytes = *opt.l2Kb * 1024ull;
+    if (opt.l2Lat)
+        cfg.memory.l2HitLatency = *opt.l2Lat;
+    if (opt.memLat)
+        cfg.memory.memLatency = *opt.memLat;
+    if (opt.fillPorts) {
+        cfg.memory.icache.fillPorts = *opt.fillPorts;
+        cfg.memory.dcache.fillPorts = *opt.fillPorts;
+        cfg.memory.l2FillPorts = *opt.fillPorts;
+        cfg.memory.memPorts = *opt.fillPorts;
+    }
     cfg.speculativeHistory = opt.specHistory;
     cfg.reserveOldestEntry = opt.reserveOldest;
     cfg.paranoid = opt.paranoid;
@@ -360,6 +408,13 @@ machineConfig(const Options &opt, unsigned *clusters)
             cfg.predictor = Kind::StaticNotTaken;
         else
             MCA_FATAL("unknown predictor '", opt.predictor, "'");
+    }
+    // Surface bad knob combinations (cache geometry, zero widths) as a
+    // one-line parse-time error instead of a mid-run assertion.
+    try {
+        cfg.validate();
+    } catch (const std::exception &e) {
+        MCA_FATAL(e.what());
     }
     return cfg;
 }

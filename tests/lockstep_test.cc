@@ -15,10 +15,15 @@
 
 #include <gtest/gtest.h>
 
+#include <tuple>
+
 #include "compiler/pipeline.hh"
 #include "harness/lockstep.hh"
 #include "harness/scenarios.hh"
+#include "runner/jobspec.hh"
 #include "workloads/workloads.hh"
+
+#include "table2_reference.hh"
 
 namespace
 {
@@ -110,6 +115,42 @@ TEST(Lockstep, FastForwardActuallySkipsCycles)
     ASSERT_TRUE(r.identical) << r.divergence;
     EXPECT_GT(r.cyclesSkipped, 0u)
         << "idle fast-forward never skipped a cycle";
+}
+
+TEST(Lockstep, PaperModeMatchesPreRefactorTable2Reference)
+{
+    // Checked-in pre-MemorySystem-refactor results: default (paper
+    // mode) MemoryParams must keep every Table-2 job bit-identical —
+    // cycle count, retired count, and the full cycle stack. The old
+    // dcache_miss cause maps to dcache_mem; dcache_l2 must stay zero
+    // without an L2 (tests/table2_reference.hh).
+    static_assert(obs::kNumStallCauses ==
+                      std::tuple_size_v<decltype(
+                          tests::Table2Reference{}.stackSlotCycles)>,
+                  "taxonomy changed: regenerate tests/table2_reference.hh "
+                  "with a mapping from the checked-in causes");
+    for (const auto &ref : tests::kTable2Reference) {
+        SCOPED_TRACE(std::string(ref.benchmark) + "/" + ref.machine +
+                     "/" + ref.scheduler);
+        runner::JobSpec spec;
+        spec.benchmark = ref.benchmark;
+        spec.machine = ref.machine;
+        spec.scheduler = ref.scheduler;
+        spec.scale = 0.05;
+        spec.maxInsts = 20'000;
+        spec.threshold = 4;
+        spec.traceSeed = 42;
+        spec.profileSeed = 42;
+        const runner::JobResult r = runner::runJob(spec);
+        ASSERT_EQ(r.status, runner::JobStatus::Ok) << r.error;
+        EXPECT_EQ(r.cycles, ref.cycles);
+        EXPECT_EQ(r.retired, ref.retired);
+        EXPECT_EQ(r.stackSlots, ref.stackSlots);
+        for (std::size_t i = 0; i < obs::kNumStallCauses; ++i)
+            EXPECT_EQ(r.stackSlotCycles[i], ref.stackSlotCycles[i])
+                << "stack cause "
+                << obs::stallCauseName(static_cast<obs::StallCause>(i));
+    }
 }
 
 TEST(Lockstep, ScenariosBitIdenticalAcrossEngines)

@@ -9,6 +9,7 @@
 #include "core/processor.hh"
 #include "exec/trace.hh"
 #include "mem/cache.hh"
+#include "mem/memory.hh"
 #include "support/stats.hh"
 
 namespace
@@ -230,6 +231,75 @@ TEST(ExplicitMshr, HitsNeedNoEntry)
     EXPECT_TRUE(cache.access(0x1008, false, 20).hit);
 }
 
+TEST(ExplicitMshr, RetryAfterDrainTakesAnEntry)
+{
+    StatGroup stats("c");
+    auto params = smallCache();
+    params.mshrEntries = 1;
+    mem::Cache cache("d", params, stats);
+    cache.access(0x1000, false, 0);
+    // The single entry stays occupied until the fill lands at 16; a
+    // caller polling a different block is rejected until then.
+    EXPECT_TRUE(cache.wouldReject(0x2000, 1));
+    EXPECT_TRUE(cache.wouldReject(0x2000, 15));
+    EXPECT_FALSE(cache.wouldReject(0x2000, 16));
+    const auto retry = cache.access(0x2000, false, 16);
+    EXPECT_FALSE(retry.hit);
+    EXPECT_EQ(retry.readyAt, 32u);
+    // The retried miss re-occupies the drained entry.
+    EXPECT_EQ(cache.outstandingFills(16), 1u);
+    EXPECT_TRUE(cache.wouldReject(0x3000, 17));
+}
+
+// --- hierarchy edge cases (a Cache with a real next level) ---------------
+
+TEST(CacheChain, DirtyEvictionSendsWritebackTraffic)
+{
+    StatGroup stats("c");
+    mem::FixedLatencyMemory memory("mem", 16, 0, stats);
+    mem::Cache cache("d", smallCache(), stats, &memory);
+    const Addr a = 0x0000, b = 512, c = 1024; // one 2-way set
+    cache.access(a, true, 0); // dirty
+    cache.access(b, false, 20);
+    cache.access(c, false, 40); // evicts dirty a
+    EXPECT_EQ(cache.writebacks(), 1u);
+    // The victim's data actually travels: one write reaches the
+    // backside, alongside the three demand fills.
+    EXPECT_EQ(memory.writes(), 1u);
+    EXPECT_EQ(memory.reads(), 3u);
+}
+
+TEST(CacheChain, CleanEvictionSendsNoWritebackTraffic)
+{
+    StatGroup stats("c");
+    mem::FixedLatencyMemory memory("mem", 16, 0, stats);
+    mem::Cache cache("d", smallCache(), stats, &memory);
+    cache.access(0, false, 0);
+    cache.access(512, false, 20);
+    cache.access(1024, false, 40); // evicts clean line
+    EXPECT_EQ(memory.writes(), 0u);
+}
+
+TEST(CacheChain, MergeReadyAtEqualsPortDelayedFill)
+{
+    StatGroup stats("c");
+    mem::FixedLatencyMemory memory("mem", 16, 0, stats);
+    auto params = smallCache();
+    params.fillPorts = 1;
+    mem::Cache cache("d", params, stats, &memory);
+    const auto first = cache.access(0x1000, false, 0);
+    EXPECT_EQ(first.readyAt, 16u);
+    // Same-cycle second miss contends for the single fill port and is
+    // pushed back one cycle.
+    const auto second = cache.access(0x2000, false, 0);
+    EXPECT_EQ(second.readyAt, 17u);
+    // A merge with the delayed fill observes the *delayed* ready cycle,
+    // not the nominal latency.
+    const auto merged = cache.access(0x2008, false, 5);
+    EXPECT_TRUE(merged.merged);
+    EXPECT_EQ(merged.readyAt, second.readyAt);
+}
+
 TEST(ExplicitMshr, CoreStallsLoadsOnFullMshr)
 {
     // Two independent far-apart loads with a 1-entry MSHR: the second
@@ -246,7 +316,7 @@ TEST(ExplicitMshr, CoreStallsLoadsOnFullMshr)
 
     auto run = [&](unsigned mshr) {
         auto cfg = core::ProcessorConfig::singleCluster8();
-        cfg.dcache.mshrEntries = mshr;
+        cfg.memory.dcache.mshrEntries = mshr;
         StatGroup stats("t");
         exec::VectorTrace trace(exec::VectorTrace::normalize(v));
         core::Processor cpu(cfg, trace, stats);

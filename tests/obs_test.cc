@@ -49,16 +49,16 @@ TEST(CycleStack, AccountPartitionsEverySlot)
     obs::CycleStack cs;
     cs.slots = 8;
     cs.account(8, StallCause::Base);        // full retire cycle
-    cs.account(3, StallCause::DcacheMiss);  // 3 base + 5 miss
+    cs.account(3, StallCause::DcacheMem);  // 3 base + 5 miss
     cs.account(0, StallCause::RemoteReg);   // fully stalled
     EXPECT_EQ(cs.cycles, 3u);
     EXPECT_EQ(cs.at(StallCause::Base), 11u);
-    EXPECT_EQ(cs.at(StallCause::DcacheMiss), 5u);
+    EXPECT_EQ(cs.at(StallCause::DcacheMem), 5u);
     EXPECT_EQ(cs.at(StallCause::RemoteReg), 8u);
     EXPECT_EQ(cs.totalSlotCycles(), 24u);
     EXPECT_TRUE(cs.conserved());
     EXPECT_DOUBLE_EQ(cs.cyclesOf(StallCause::RemoteReg), 1.0);
-    EXPECT_DOUBLE_EQ(cs.cyclesOf(StallCause::DcacheMiss), 0.625);
+    EXPECT_DOUBLE_EQ(cs.cyclesOf(StallCause::DcacheMem), 0.625);
 }
 
 TEST(CycleStack, ResetClearsCountsButKeepsSlots)
@@ -316,7 +316,8 @@ TEST(Perfetto, RealRunExportsValidMonotonicTrace)
         counters += ev.ph == 'C';
         metas += ev.ph == 'M';
     }
-    EXPECT_EQ(metas, 2u);  // one process_name per cluster
+    // One process_name per cluster plus the memory-system track.
+    EXPECT_EQ(metas, 3u);
     EXPECT_GT(slices, 0u);
     EXPECT_GT(counters, 0u);
 }

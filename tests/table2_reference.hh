@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Checked-in pre-refactor Table-2 reference results (paper mode).
+ *
+ * Captured from the flat-cache simulator immediately before the
+ * MemorySystem refactor: the Table-2 campaign at scale 0.05,
+ * maxInsts 20000, seeds 42, threshold 4. A paper-mode (default
+ * MemoryParams) run must reproduce every row bit-for-bit — cycles,
+ * retired count, and the full cycle stack (tests/lockstep_test.cc).
+ *
+ * The stack is stored in the current 11-cause taxonomy: the old
+ * dcache_miss cause maps to dcache_mem (all paper-mode misses go to
+ * memory; dcache_l2 is identically zero without an L2).
+ */
+
+#ifndef MCA_TESTS_TABLE2_REFERENCE_HH
+#define MCA_TESTS_TABLE2_REFERENCE_HH
+
+#include <array>
+#include <cstdint>
+
+namespace mca::tests
+{
+
+struct Table2Reference
+{
+    const char *benchmark;
+    const char *machine;
+    const char *scheduler;
+    std::uint64_t cycles;
+    std::uint64_t retired;
+    unsigned stackSlots;
+    std::array<std::uint64_t, 11> stackSlotCycles;
+};
+
+inline constexpr Table2Reference kTable2Reference[] = {
+    {"compress", "single8", "native", 14847, 14809, 8,
+     {54516, 0, 0, 0, 0, 0, 343, 0, 62314, 1596, 7}},
+    {"compress", "dual8", "native", 16787, 14809, 8,
+     {57939, 0, 0, 0, 11159, 0, 335, 0, 63239, 1617, 7}},
+    {"compress", "dual8", "local", 15826, 14809, 8,
+     {60490, 0, 0, 0, 2552, 0, 335, 0, 61598, 1626, 7}},
+    {"doduc", "single8", "native", 16490, 15563, 8,
+     {128116, 138, 0, 0, 0, 0, 398, 0, 2929, 336, 3}},
+    {"doduc", "dual8", "native", 19600, 15563, 8,
+     {152130, 650, 0, 0, 803, 0, 390, 0, 2509, 315, 3}},
+    {"doduc", "dual8", "local", 17599, 15563, 8,
+     {133850, 60, 0, 0, 3427, 0, 390, 0, 2737, 325, 3}},
+    {"gcc1", "single8", "native", 9877, 11983, 8,
+     {34005, 0, 0, 0, 0, 0, 8943, 0, 35333, 728, 7}},
+    {"gcc1", "dual8", "native", 10732, 11983, 8,
+     {36316, 0, 0, 0, 7393, 0, 7478, 0, 34073, 589, 7}},
+    {"gcc1", "dual8", "local", 10044, 11983, 8,
+     {34834, 0, 0, 0, 2271, 0, 8473, 0, 34124, 643, 7}},
+    {"ora", "single8", "native", 19470, 4578, 8,
+     {155533, 0, 0, 0, 0, 0, 175, 0, 0, 49, 3}},
+    {"ora", "dual8", "native", 20153, 4578, 8,
+     {156916, 0, 0, 0, 4096, 0, 167, 0, 0, 42, 3}},
+    {"ora", "dual8", "local", 20132, 4578, 8,
+     {158989, 0, 0, 0, 1848, 0, 167, 0, 0, 49, 3}},
+    {"su2cor", "single8", "native", 1697, 6275, 8,
+     {12097, 0, 0, 0, 0, 0, 128, 0, 1345, 0, 6}},
+    {"su2cor", "dual8", "native", 2621, 6275, 8,
+     {15298, 0, 0, 0, 465, 0, 128, 0, 5071, 0, 6}},
+    {"su2cor", "dual8", "local", 1882, 6275, 8,
+     {12331, 0, 0, 0, 889, 0, 128, 0, 1702, 0, 6}},
+    {"tomcatv", "single8", "native", 4026, 13518, 8,
+     {29943, 0, 0, 0, 0, 0, 128, 0, 2130, 0, 7}},
+    {"tomcatv", "dual8", "native", 5792, 13518, 8,
+     {41647, 0, 0, 0, 4312, 0, 128, 0, 242, 0, 7}},
+    {"tomcatv", "dual8", "local", 5310, 13518, 8,
+     {38230, 0, 0, 0, 3873, 0, 128, 0, 242, 0, 7}},
+};
+
+} // namespace mca::tests
+
+#endif // MCA_TESTS_TABLE2_REFERENCE_HH
