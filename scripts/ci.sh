@@ -10,6 +10,14 @@ BUILD="${1:-build}"
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 cd "$ROOT"
 
+# Keep the committed benches aside before regenerating them below; the
+# perf gate at the end compares fresh vs previous throughput.
+PREV_BENCH="$(mktemp -d /tmp/mca_prev_bench.XXXXXX)"
+for f in BENCH_core.json BENCH_compile.json BENCH_mem.json \
+         BENCH_sample.json; do
+    [ -f "$f" ] && cp "$f" "$PREV_BENCH/$f"
+done
+
 cmake -B "$BUILD" -S .
 cmake --build "$BUILD" -j
 cd "$BUILD"
@@ -75,3 +83,27 @@ echo "$SUMMARY" | grep -q "compiles: 12 (6 shared)" || {
 # runs end to end with conserved cycle stacks.
 "$SIM" --benchmark compress --max-insts 5000 --l2-kb 256 --mem-lat 32 \
     --fill-ports 1 --cycle-stacks --quiet >/dev/null
+
+# Checkpoint/restore smoke: a run resumed from a mid-run snapshot
+# (--ckpt-out/--ckpt-at and --ckpt-every alike) must finish with stats
+# bit-identical to an uninterrupted run (docs/sampling.md).
+python3 scripts/check_ckpt.py "$SIM"
+
+# Sampled-simulation smoke: the mcasim --sample path and the mcarun
+# samplePeriods axis both run end to end.
+"$SIM" --benchmark gcc1 --scale 1 \
+    --sample "systematic:period=20000,detail=4000,warmup=1000" \
+    --quiet >/dev/null
+"$BUILD/src/tools/mcarun" --benchmarks compress \
+    --sample-periods 0,20000 --scale 0.5 --max-insts 60000 \
+    --no-cache --quiet >/dev/null
+
+# Sampled-simulation benchmark: full detailed run vs SMARTS-style
+# sampled estimate; fails unless one benchmark reaches a 10x effective
+# speedup with <= 2% CPI error (see EXPERIMENTS.md).
+"$BUILD/bench/sampled_speedup" --json-out "$ROOT/BENCH_sample.json"
+
+# Throughput-regression gate: the fresh benches above vs the copies
+# saved before regeneration.
+python3 scripts/perf_gate.py "$PREV_BENCH" "$ROOT"
+rm -rf "$PREV_BENCH"

@@ -219,4 +219,89 @@ McFarlingPredictor::update(Addr pc, bool taken)
     bimodal_.train(pc, taken);
 }
 
+// --- checkpointing ----------------------------------------------------
+
+namespace
+{
+
+void
+saveTable(ckpt::Writer &w, const std::vector<SatCounter> &table)
+{
+    w.u64(table.size());
+    for (const SatCounter &c : table)
+        w.u8(c.value());
+}
+
+void
+loadTable(ckpt::Reader &r, std::vector<SatCounter> &table)
+{
+    const std::uint64_t n = r.u64();
+    MCA_ASSERT(n == table.size(),
+               "predictor table size mismatch on restore");
+    for (SatCounter &c : table)
+        c.setValue(r.u8());
+}
+
+} // namespace
+
+void
+BimodalPredictor::saveState(ckpt::Writer &w) const
+{
+    Predictor::saveState(w);
+    saveTable(w, table_);
+}
+
+void
+BimodalPredictor::loadState(ckpt::Reader &r)
+{
+    Predictor::loadState(r);
+    loadTable(r, table_);
+}
+
+void
+GsharePredictor::saveState(ckpt::Writer &w) const
+{
+    Predictor::saveState(w);
+    saveTable(w, table_);
+    w.u64(history_);
+    w.u64(inflight_.size());
+    for (const auto &[pc, hist] : inflight_) {
+        w.u64(pc);
+        w.u64(hist);
+    }
+}
+
+void
+GsharePredictor::loadState(ckpt::Reader &r)
+{
+    Predictor::loadState(r);
+    loadTable(r, table_);
+    history_ = r.u64();
+    inflight_.clear();
+    const std::uint64_t n = r.u64();
+    for (std::uint64_t i = 0; i < n; ++i) {
+        const Addr pc = r.u64();
+        const std::uint64_t hist = r.u64();
+        inflight_.emplace_back(pc, hist);
+    }
+}
+
+void
+McFarlingPredictor::saveState(ckpt::Writer &w) const
+{
+    Predictor::saveState(w);
+    bimodal_.saveState(w);
+    gshare_.saveState(w);
+    saveTable(w, chooser_);
+}
+
+void
+McFarlingPredictor::loadState(ckpt::Reader &r)
+{
+    Predictor::loadState(r);
+    bimodal_.loadState(r);
+    gshare_.loadState(r);
+    loadTable(r, chooser_);
+}
+
 } // namespace mca::bpred

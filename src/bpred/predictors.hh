@@ -20,6 +20,7 @@
 #include <utility>
 #include <vector>
 
+#include "ckpt/io.hh"
 #include "support/sat_counter.hh"
 #include "support/types.hh"
 
@@ -27,10 +28,10 @@ namespace mca::bpred
 {
 
 /** Common interface so the processor can swap predictors. */
-class Predictor
+class Predictor : public ckpt::Checkpointable
 {
   public:
-    virtual ~Predictor() = default;
+    ~Predictor() override = default;
 
     /** Predict the direction of the conditional branch at `pc`. */
     virtual bool predict(Addr pc) = 0;
@@ -49,6 +50,22 @@ class Predictor
 
     std::uint64_t predictions() const { return predictions_; }
     std::uint64_t correct() const { return correct_; }
+
+    /** Base implementation covers the accuracy accumulators; concrete
+     *  predictors chain it and add their tables. */
+    void
+    saveState(ckpt::Writer &w) const override
+    {
+        w.u64(predictions_);
+        w.u64(correct_);
+    }
+
+    void
+    loadState(ckpt::Reader &r) override
+    {
+        predictions_ = r.u64();
+        correct_ = r.u64();
+    }
 
     double
     accuracy() const
@@ -85,6 +102,9 @@ class BimodalPredictor : public Predictor
     bool lookup(Addr pc) const;
     /** Train only (used as a component of the combining predictor). */
     void train(Addr pc, bool taken);
+
+    void saveState(ckpt::Writer &w) const override;
+    void loadState(ckpt::Reader &r) override;
 
   private:
     std::uint64_t index(Addr pc) const;
@@ -127,6 +147,9 @@ class GsharePredictor : public Predictor
     std::uint64_t history() const { return history_; }
     bool speculativeHistory() const { return speculativeHistory_; }
 
+    void saveState(ckpt::Writer &w) const override;
+    void loadState(ckpt::Reader &r) override;
+
   private:
     std::uint64_t index(Addr pc) const;
     std::uint64_t indexWith(Addr pc, std::uint64_t history) const;
@@ -166,6 +189,9 @@ class McFarlingPredictor : public Predictor
 
     const BimodalPredictor &bimodal() const { return bimodal_; }
     const GsharePredictor &gshare() const { return gshare_; }
+
+    void saveState(ckpt::Writer &w) const override;
+    void loadState(ckpt::Reader &r) override;
 
   private:
     std::uint64_t chooserIndex(Addr pc) const;

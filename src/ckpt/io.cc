@@ -1,0 +1,73 @@
+#include "ckpt/io.hh"
+
+#include <stdexcept>
+
+namespace mca::ckpt
+{
+
+std::uint64_t
+fnv1a(const void *data, std::size_t len, std::uint64_t seed)
+{
+    constexpr std::uint64_t kPrime = 1099511628211ull;
+    std::uint64_t h = seed;
+    const auto *p = static_cast<const unsigned char *>(data);
+    for (std::size_t i = 0; i < len; ++i) {
+        h ^= p[i];
+        h *= kPrime;
+    }
+    return h;
+}
+
+namespace
+{
+
+[[noreturn]] void
+corrupt(const std::string &what)
+{
+    throw std::runtime_error("checkpoint: " + what);
+}
+
+} // namespace
+
+std::uint64_t
+Reader::le(unsigned n)
+{
+    if (pos_ + n > data_->size())
+        corrupt("truncated payload (wanted " + std::to_string(n) +
+                " bytes at offset " + std::to_string(pos_) + ", have " +
+                std::to_string(data_->size() - pos_) + ")");
+    std::uint64_t v = 0;
+    for (unsigned i = 0; i < n; ++i)
+        v |= static_cast<std::uint64_t>(
+                 static_cast<unsigned char>((*data_)[pos_ + i]))
+             << (8 * i);
+    pos_ += n;
+    return v;
+}
+
+std::string
+Reader::str()
+{
+    const std::uint64_t n = u64();
+    if (pos_ + n > data_->size())
+        corrupt("truncated string (length " + std::to_string(n) +
+                " at offset " + std::to_string(pos_) + ")");
+    std::string s(data_->data() + pos_, n);
+    pos_ += n;
+    return s;
+}
+
+void
+Reader::tag(const char (&fourcc)[5])
+{
+    if (pos_ + 4 > data_->size())
+        corrupt(std::string("truncated before section '") + fourcc + "'");
+    const std::string got(data_->data() + pos_, 4);
+    if (got != std::string(fourcc, 4))
+        corrupt(std::string("section sync lost: expected '") + fourcc +
+                "' at offset " + std::to_string(pos_) + ", found '" + got +
+                "'");
+    pos_ += 4;
+}
+
+} // namespace mca::ckpt

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Primitive binary serialization for checkpoints.
+ *
+ * Writer/Reader encode scalars as fixed-width little-endian byte
+ * sequences regardless of host endianness, so a snapshot taken on one
+ * machine restores bit-identically on another. Four-byte section tags
+ * ("CORE", "MEMS", ...) are interleaved with the data as sync markers:
+ * a reader that drifts out of phase with the writer fails loudly at
+ * the next tag instead of silently misinterpreting bytes.
+ *
+ * All decode failures throw std::runtime_error (never MCA_PANIC): a
+ * truncated or corrupt checkpoint file is an input error the caller —
+ * a CLI or a test — must be able to catch and report.
+ */
+
+#ifndef MCA_CKPT_IO_HH
+#define MCA_CKPT_IO_HH
+
+#include <bit>
+#include <cstdint>
+#include <string>
+
+namespace mca::ckpt
+{
+
+/** FNV-1a 64-bit hash of a byte range, chainable through `seed`. */
+std::uint64_t fnv1a(const void *data, std::size_t len,
+                    std::uint64_t seed = 14695981039346656037ull);
+
+/** Appends little-endian scalars to an in-memory byte buffer. */
+class Writer
+{
+  public:
+    Writer() = default;
+
+    void u8(std::uint8_t v) { out_.push_back(static_cast<char>(v)); }
+    void u16(std::uint16_t v) { le(v, 2); }
+    void u32(std::uint32_t v) { le(v, 4); }
+    void u64(std::uint64_t v) { le(v, 8); }
+    void i64(std::int64_t v) { le(static_cast<std::uint64_t>(v), 8); }
+    void f64(double v) { le(std::bit_cast<std::uint64_t>(v), 8); }
+    void b(bool v) { u8(v ? 1 : 0); }
+
+    void
+    str(const std::string &s)
+    {
+        u64(s.size());
+        out_.append(s);
+    }
+
+    /** Emit a four-byte section sync marker. */
+    void tag(const char (&fourcc)[5]) { out_.append(fourcc, 4); }
+
+    const std::string &data() const { return out_; }
+    std::string take() { return std::move(out_); }
+
+  private:
+    void
+    le(std::uint64_t v, unsigned n)
+    {
+        for (unsigned i = 0; i < n; ++i)
+            out_.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+    }
+
+    std::string out_;
+};
+
+/** Decodes a Writer-produced byte buffer; throws on any mismatch. */
+class Reader
+{
+  public:
+    /** The buffer must outlive the reader. */
+    explicit Reader(const std::string &data) : data_(&data) {}
+
+    std::uint8_t u8() { return static_cast<std::uint8_t>(le(1)); }
+    std::uint16_t u16() { return static_cast<std::uint16_t>(le(2)); }
+    std::uint32_t u32() { return static_cast<std::uint32_t>(le(4)); }
+    std::uint64_t u64() { return le(8); }
+    std::int64_t i64() { return static_cast<std::int64_t>(le(8)); }
+    double f64() { return std::bit_cast<double>(le(8)); }
+    bool b() { return u8() != 0; }
+
+    std::string str();
+
+    /** Consume a section marker; throws naming both tags on mismatch. */
+    void tag(const char (&fourcc)[5]);
+
+    bool atEnd() const { return pos_ == data_->size(); }
+    std::size_t pos() const { return pos_; }
+
+  private:
+    std::uint64_t le(unsigned n);
+
+    const std::string *data_;
+    std::size_t pos_ = 0;
+};
+
+/**
+ * A component whose dynamic state can round-trip through a snapshot.
+ *
+ * The contract: loadState() on an identically configured component
+ * must reproduce the saved component exactly — a subsequent resume is
+ * bit-identical to never having snapshotted (tests/ckpt_test.cc holds
+ * every implementation to it via the lockstep machinery).
+ */
+struct Checkpointable
+{
+    virtual ~Checkpointable() = default;
+
+    /** Append this component's dynamic state. */
+    virtual void saveState(Writer &w) const = 0;
+
+    /** Restore state saved by an identically configured component. */
+    virtual void loadState(Reader &r) = 0;
+};
+
+} // namespace mca::ckpt
+
+#endif // MCA_CKPT_IO_HH

@@ -1,0 +1,128 @@
+#include "ckpt/snapshot.hh"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace mca::ckpt
+{
+
+namespace
+{
+
+constexpr char kMagic[8] = {'M', 'C', 'A', 'C', 'K', 'P', 'T', '1'};
+
+[[noreturn]] void
+bad(const std::string &what)
+{
+    throw std::runtime_error("checkpoint: " + what);
+}
+
+/** Header encoding shared by writeTo and contentHash. */
+std::string
+encodeHeader(const Snapshot &snap)
+{
+    Writer w;
+    for (char c : kMagic)
+        w.u8(static_cast<std::uint8_t>(c));
+    w.u32(kFormatVersion);
+    w.u64(snap.configHash);
+    w.u64(snap.payload.size());
+    return w.take();
+}
+
+} // namespace
+
+std::uint64_t
+Snapshot::contentHash() const
+{
+    const std::string header = encodeHeader(*this);
+    std::uint64_t h = fnv1a(header.data(), header.size());
+    return fnv1a(payload.data(), payload.size(), h);
+}
+
+void
+Snapshot::writeTo(std::ostream &os) const
+{
+    const std::string header = encodeHeader(*this);
+    os.write(header.data(),
+             static_cast<std::streamsize>(header.size()));
+    os.write(payload.data(),
+             static_cast<std::streamsize>(payload.size()));
+    Writer trailer;
+    trailer.u64(contentHash());
+    os.write(trailer.data().data(),
+             static_cast<std::streamsize>(trailer.data().size()));
+}
+
+void
+Snapshot::saveFile(const std::string &path) const
+{
+    std::ofstream os(path, std::ios::binary | std::ios::trunc);
+    if (!os)
+        bad("cannot open '" + path + "' for writing");
+    writeTo(os);
+    os.flush();
+    if (!os)
+        bad("write to '" + path + "' failed");
+}
+
+Snapshot
+Snapshot::readFrom(std::istream &is)
+{
+    std::ostringstream buf;
+    buf << is.rdbuf();
+    const std::string file = buf.str();
+
+    Reader r(file);
+    for (char c : kMagic)
+        if (r.pos() + 1 > file.size() || r.u8() != static_cast<std::uint8_t>(c))
+            bad("bad magic (not a checkpoint file)");
+    const std::uint32_t version = r.u32();
+    if (version != kFormatVersion)
+        bad("format version " + std::to_string(version) +
+            " unsupported (expected " + std::to_string(kFormatVersion) +
+            ")");
+    Snapshot snap;
+    snap.configHash = r.u64();
+    const std::uint64_t len = r.u64();
+    if (r.pos() + len + 8 != file.size())
+        bad("payload length " + std::to_string(len) +
+            " inconsistent with file size " + std::to_string(file.size()));
+    snap.payload.assign(file.data() + r.pos(), len);
+    const std::string tail(file.data() + r.pos() + len, 8);
+    Reader tr(tail);
+    const std::uint64_t stored = tr.u64();
+    const std::uint64_t computed = snap.contentHash();
+    if (stored != computed)
+        bad("content hash mismatch (file corrupt)");
+    return snap;
+}
+
+Snapshot
+Snapshot::loadFile(const std::string &path)
+{
+    std::ifstream is(path, std::ios::binary);
+    if (!is)
+        bad("cannot open '" + path + "'");
+    return readFrom(is);
+}
+
+SnapshotParser::SnapshotParser(const Snapshot &snap,
+                               std::uint64_t expect_config_hash)
+    : r_(snap.payload)
+{
+    if (snap.configHash != expect_config_hash)
+        bad("configuration hash mismatch: snapshot was taken on a "
+            "differently configured machine");
+}
+
+void
+SnapshotParser::finish()
+{
+    if (!r_.atEnd())
+        bad("trailing bytes after last section (offset " +
+            std::to_string(r_.pos()) + ")");
+}
+
+} // namespace mca::ckpt

@@ -1,5 +1,6 @@
 #include "core/fetch.hh"
 
+#include "exec/dyninst_io.hh"
 #include "isa/opcodes.hh"
 
 namespace mca::core
@@ -82,6 +83,43 @@ FetchUnit::tick()
     }
     if (n == 0 && blockReason_ == Block::None)
         blockReason_ = Block::BufferFull;
+}
+
+void
+FetchUnit::saveState(ckpt::Writer &w) const
+{
+    w.u64(buffer_.size());
+    for (const auto &di : buffer_)
+        exec::writeDynInst(w, di);
+    w.b(pendingFetch_.has_value());
+    if (pendingFetch_)
+        exec::writeDynInst(w, *pendingFetch_);
+    w.b(traceEnded_);
+    w.u64(stallUntil_);
+    w.u64(icacheReadyAt_);
+    w.u64(lastFetchBlock_);
+    w.b(icachePending_);
+    w.u64(icachePendingBlock_);
+    w.u8(static_cast<std::uint8_t>(blockReason_));
+}
+
+void
+FetchUnit::loadState(ckpt::Reader &r)
+{
+    buffer_.clear();
+    const std::uint64_t n = r.u64();
+    for (std::uint64_t i = 0; i < n; ++i)
+        buffer_.push_back(exec::readDynInst(r));
+    pendingFetch_.reset();
+    if (r.b())
+        pendingFetch_ = exec::readDynInst(r);
+    traceEnded_ = r.b();
+    stallUntil_ = r.u64();
+    icacheReadyAt_ = r.u64();
+    lastFetchBlock_ = r.u64();
+    icachePending_ = r.b();
+    icachePendingBlock_ = r.u64();
+    blockReason_ = static_cast<Block>(r.u8());
 }
 
 } // namespace mca::core

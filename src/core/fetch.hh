@@ -15,13 +15,14 @@
 #include <deque>
 #include <optional>
 
+#include "ckpt/io.hh"
 #include "core/machine.hh"
 #include "exec/trace.hh"
 
 namespace mca::core
 {
 
-class FetchUnit
+class FetchUnit : public ckpt::Checkpointable
 {
   public:
     FetchUnit(MachineState &m, exec::TraceSource &trace)
@@ -46,6 +47,14 @@ class FetchUnit
     /** Fetch suppressed until this cycle (replay penalty / redirect). */
     Cycle stallUntil() const { return stallUntil_; }
     void setStallUntil(Cycle c) { stallUntil_ = c; }
+
+    /** The trace feeding this fetch unit (checkpointed with it). */
+    exec::TraceSource &trace() { return *trace_; }
+    const exec::TraceSource &trace() const { return *trace_; }
+
+    /** Stage-local fetch state (the trace is saved separately). */
+    void saveState(ckpt::Writer &w) const override;
+    void loadState(ckpt::Reader &r) override;
 
     Cycle icacheReadyAt() const { return icacheReadyAt_; }
     bool icachePending() const { return icachePending_; }

@@ -1,8 +1,11 @@
 #include "core/processor.hh"
 
 #include <algorithm>
+#include <array>
+#include <stdexcept>
 
 #include "core/dispatch.hh"
+#include "exec/dyninst_io.hh"
 #include "core/fetch.hh"
 #include "core/machine.hh"
 #include "core/retire.hh"
@@ -27,7 +30,7 @@ struct Processor::Impl
     Impl(const ProcessorConfig &config, exec::TraceSource &trace_src,
          StatGroup &sg)
         : m(config, sg), fetch(m, trace_src), sched(makeScheduler(m)),
-          retire(m, fetch), dispatch(m, fetch, *sched)
+          retire(m, fetch), dispatch(m, fetch, *sched), stats(&sg)
     {
     }
 
@@ -36,6 +39,7 @@ struct Processor::Impl
     std::unique_ptr<Scheduler> sched;
     RetireUnit retire;
     DispatchUnit dispatch;
+    StatGroup *stats;
     obs::CycleStack *cstack = nullptr;
 
     /** Scratch for checkInvariants (avoids per-cycle allocation). */
@@ -408,7 +412,12 @@ Processor::Impl::fastForward(Cycle next, Cycle limit)
 
 Processor::Processor(const ProcessorConfig &config,
                      exec::TraceSource &trace, StatGroup &stats)
-    : config_(config), impl_(std::make_unique<Impl>(config, trace, stats))
+    // Reject inconsistent configurations at the constructor, not just
+    // in the CLIs: a library user gets the named-field diagnostic of
+    // ProcessorConfig::validate instead of an assert deep inside
+    // machine construction.
+    : config_((config.validate(), config)),
+      impl_(std::make_unique<Impl>(config, trace, stats))
 {
 }
 
@@ -519,6 +528,549 @@ Processor::run(Cycle max_cycles)
     result.instructions = impl_->m.st.retired->value();
     result.completed = impl_->pipelineEmpty();
     return result;
+}
+
+SimResult
+Processor::runUntilRetired(std::uint64_t target_retired, Cycle max_cycles)
+{
+    SimResult result;
+    while (cycle_ < max_cycles &&
+           impl_->m.st.retired->value() < target_retired) {
+        if (!step())
+            break;
+        cycle_ = impl_->fastForward(cycle_, max_cycles);
+    }
+    result.cycles = cycle_;
+    result.instructions = impl_->m.st.retired->value();
+    result.completed = impl_->pipelineEmpty();
+    return result;
+}
+
+mem::MemorySystem &
+Processor::memorySystem()
+{
+    return impl_->m.memsys;
+}
+
+bpred::Predictor &
+Processor::predictor()
+{
+    return *impl_->m.predictor;
+}
+
+exec::TraceSource &
+Processor::trace()
+{
+    return impl_->fetch.trace();
+}
+
+// --- checkpoint/restore ----------------------------------------------
+
+namespace
+{
+
+/** Canonical encoding of a RegisterMap (configHash + live-map state). */
+void
+encodeRegMap(ckpt::Writer &w, const isa::RegisterMap &map)
+{
+    w.u32(map.numClusters());
+    w.u32(map.globalMask(isa::RegClass::Int));
+    w.u32(map.globalMask(isa::RegClass::Fp));
+    for (unsigned ci = 0; ci < 2; ++ci)
+        for (unsigned i = 0; i < isa::kNumArchRegs; ++i)
+            w.u8(static_cast<std::uint8_t>(map.homeOverride(
+                isa::RegId(static_cast<isa::RegClass>(ci), i))));
+}
+
+/** Mirror of encodeRegMap, applied through the public mutators. */
+void
+decodeRegMap(ckpt::Reader &r, isa::RegisterMap &map)
+{
+    const std::uint32_t clusters = r.u32();
+    if (clusters != map.numClusters())
+        throw std::runtime_error(
+            "checkpoint: register-map cluster count mismatch");
+    const std::uint32_t masks[2] = {r.u32(), r.u32()};
+    for (unsigned ci = 0; ci < 2; ++ci) {
+        const auto cls = static_cast<isa::RegClass>(ci);
+        for (unsigned i = 0; i < isa::kNumArchRegs; ++i) {
+            const isa::RegId reg(cls, i);
+            if (masks[ci] & (1u << i))
+                map.setGlobal(reg);
+            else
+                map.setLocal(reg);
+        }
+    }
+    for (unsigned ci = 0; ci < 2; ++ci) {
+        const auto cls = static_cast<isa::RegClass>(ci);
+        for (unsigned i = 0; i < isa::kNumArchRegs; ++i) {
+            const isa::RegId reg(cls, i);
+            const auto over = static_cast<std::int8_t>(r.u8());
+            if (over >= 0)
+                map.setHome(reg, static_cast<unsigned>(over));
+            else
+                map.clearHome(reg);
+        }
+    }
+}
+
+void
+writeSlaveRole(ckpt::Writer &w, const isa::SlaveRole &role)
+{
+    w.u8(static_cast<std::uint8_t>(role.cluster));
+    w.b(role.forwardsOperand);
+    w.b(role.receivesResult);
+    w.u32(role.srcMask);
+}
+
+isa::SlaveRole
+readSlaveRole(ckpt::Reader &r)
+{
+    isa::SlaveRole role;
+    role.cluster = r.u8();
+    role.forwardsOperand = r.b();
+    role.receivesResult = r.b();
+    role.srcMask = r.u32();
+    return role;
+}
+
+void
+writeInFlightInst(ckpt::Writer &w, const InFlightInst &inst)
+{
+    exec::writeDynInst(w, inst.di);
+    w.u8(static_cast<std::uint8_t>(inst.dist.masterCluster));
+    w.b(inst.dist.masterWritesDest);
+    w.u64(inst.dist.slaves.size());
+    for (const auto &role : inst.dist.slaves)
+        writeSlaveRole(w, role);
+    w.u64(inst.copies.size());
+    for (const auto &copy : inst.copies) {
+        w.u8(copy.cluster);
+        w.b(copy.isMaster);
+        writeSlaveRole(w, copy.role);
+        w.u64(copy.reads.size());
+        for (const auto &rd : copy.reads) {
+            w.u8(rd.srcIndex);
+            w.u8(rd.cluster);
+            w.u8(static_cast<std::uint8_t>(rd.cls));
+            w.u16(rd.phys);
+        }
+        w.u64(copy.rtbClusters.size());
+        for (std::uint8_t c : copy.rtbClusters)
+            w.u8(c);
+        w.b(copy.inQueue);
+        w.b(copy.issued);
+        w.b(copy.suspended);
+        w.b(copy.woke);
+        w.b(copy.holdsOtb);
+        w.u64(copy.issueCycle);
+        w.u64(copy.completeCycle);
+        w.u64(copy.bufferBlockedSince);
+    }
+    w.u64(inst.renames.size());
+    for (const auto &ru : inst.renames) {
+        w.u8(ru.cluster);
+        w.u8(static_cast<std::uint8_t>(ru.cls));
+        w.u8(ru.arch);
+        w.u16(ru.newPhys);
+        w.u16(ru.prevPhys);
+    }
+    w.u64(inst.dispatchCycle);
+    w.u32(inst.masterEffLat);
+    w.u64(inst.memDepStoreSeq);
+    w.b(inst.dcacheLoadMiss);
+    w.b(inst.dcacheMemBound);
+    w.b(inst.condBranch);
+    w.b(inst.predTaken);
+    w.b(inst.mispredicted);
+}
+
+void
+readInFlightInst(ckpt::Reader &r, InFlightInst &inst)
+{
+    inst.di = exec::readDynInst(r);
+    inst.dist.masterCluster = r.u8();
+    inst.dist.masterWritesDest = r.b();
+    inst.dist.slaves.resize(r.u64());
+    for (auto &role : inst.dist.slaves)
+        role = readSlaveRole(r);
+    inst.copies.resize(r.u64());
+    for (auto &copy : inst.copies) {
+        copy.cluster = r.u8();
+        copy.isMaster = r.b();
+        copy.role = readSlaveRole(r);
+        copy.reads.resize(r.u64());
+        for (auto &rd : copy.reads) {
+            rd.srcIndex = r.u8();
+            rd.cluster = r.u8();
+            rd.cls = static_cast<isa::RegClass>(r.u8());
+            rd.phys = r.u16();
+        }
+        copy.rtbClusters.resize(r.u64());
+        for (auto &c : copy.rtbClusters)
+            c = r.u8();
+        copy.inQueue = r.b();
+        copy.issued = r.b();
+        copy.suspended = r.b();
+        copy.woke = r.b();
+        copy.holdsOtb = r.b();
+        copy.issueCycle = r.u64();
+        copy.completeCycle = r.u64();
+        copy.bufferBlockedSince = r.u64();
+    }
+    inst.renames.resize(r.u64());
+    for (auto &ru : inst.renames) {
+        ru.cluster = r.u8();
+        ru.cls = static_cast<isa::RegClass>(r.u8());
+        ru.arch = r.u8();
+        ru.newPhys = r.u16();
+        ru.prevPhys = r.u16();
+    }
+    inst.dispatchCycle = r.u64();
+    inst.masterEffLat = r.u32();
+    inst.memDepStoreSeq = r.u64();
+    inst.dcacheLoadMiss = r.b();
+    inst.dcacheMemBound = r.b();
+    inst.condBranch = r.b();
+    inst.predTaken = r.b();
+    inst.mispredicted = r.b();
+}
+
+void
+writeTransferBuffer(ckpt::Writer &w, const TransferBuffer &buf)
+{
+    w.u32(buf.inUse());
+    w.u64(buf.pendingFreeList().size());
+    for (Cycle c : buf.pendingFreeList())
+        w.u64(c);
+}
+
+void
+readTransferBuffer(ckpt::Reader &r, TransferBuffer &buf)
+{
+    const unsigned in_use = r.u32();
+    std::vector<Cycle> pending(r.u64());
+    for (Cycle &c : pending)
+        c = r.u64();
+    buf.restore(in_use, std::move(pending));
+}
+
+void
+writePhysRegFile(ckpt::Writer &w, const PhysRegFile &rf)
+{
+    w.u64(rf.readyAt.size());
+    for (Cycle c : rf.readyAt)
+        w.u64(c);
+    w.u64(rf.freeList.size());
+    for (std::uint16_t p : rf.freeList)
+        w.u16(p);
+}
+
+void
+readPhysRegFile(ckpt::Reader &r, PhysRegFile &rf)
+{
+    const std::uint64_t n = r.u64();
+    if (n != rf.readyAt.size())
+        throw std::runtime_error(
+            "checkpoint: physical register file size mismatch");
+    for (Cycle &c : rf.readyAt)
+        c = r.u64();
+    rf.freeList.resize(r.u64());
+    for (std::uint16_t &p : rf.freeList)
+        p = r.u16();
+}
+
+} // namespace
+
+std::uint64_t
+Processor::configHash() const
+{
+    const ProcessorConfig &c = config_;
+    ckpt::Writer w;
+    w.u32(c.numClusters);
+    w.u32(c.fetchWidth);
+    w.u32(c.fetchBufferEntries);
+    w.u32(c.dispatchQueueEntries);
+    w.b(c.holdQueueUntilRetire);
+    w.u32(c.physIntRegs);
+    w.u32(c.physFpRegs);
+    const isa::IssueRules &ir = c.issueRules;
+    for (unsigned v : {ir.all, ir.intMul, ir.intOther, ir.fpAll, ir.fpDiv,
+                       ir.fpOther, ir.loadStore, ir.ctrlFlow})
+        w.u32(v);
+    w.u32(c.retireWidth);
+    w.u32(c.retireWindow);
+    w.u32(c.operandBufferEntries);
+    w.u32(c.resultBufferEntries);
+    w.u32(c.replayWatchdog);
+    w.u32(c.bufferBlockThreshold);
+    w.u32(c.replayPenalty);
+    w.b(c.reserveOldestEntry);
+    w.u8(static_cast<std::uint8_t>(c.issueEngine));
+    encodeRegMap(w, c.regMap);
+    w.u64(c.mapSchedule.size());
+    for (const auto &map : c.mapSchedule)
+        encodeRegMap(w, map);
+    w.u32(c.remapTransferRate);
+    for (const mem::CacheParams *cp : {&c.memory.icache, &c.memory.dcache}) {
+        w.u64(cp->sizeBytes);
+        w.u32(cp->assoc);
+        w.u32(cp->blockBytes);
+        w.u32(cp->missLatency);
+        w.b(cp->writeAllocate);
+        w.u32(cp->mshrEntries);
+        w.u32(cp->hitLatency);
+        w.u32(cp->fillPorts);
+    }
+    w.u64(c.memory.l2SizeBytes);
+    w.u32(c.memory.l2Assoc);
+    w.u32(c.memory.l2BlockBytes);
+    w.u32(c.memory.l2HitLatency);
+    w.u32(c.memory.l2FillPorts);
+    w.u32(c.memory.memLatency);
+    w.u32(c.memory.memPorts);
+    w.u8(static_cast<std::uint8_t>(c.predictor));
+    w.b(c.speculativeHistory);
+    w.u32(c.bimodalIndexBits);
+    w.u32(c.historyBits);
+    w.u32(c.gshareIndexBits);
+    w.u32(c.chooserIndexBits);
+    return ckpt::fnv1a(w.data().data(), w.data().size());
+}
+
+void
+Processor::saveState(ckpt::SnapshotBuilder &b) const
+{
+    const Impl &im = *impl_;
+    ckpt::Writer &w = b.w();
+
+    b.section("CORE");
+    w.u64(cycle_);
+    w.u64(stepped_);
+    w.u64(im.m.now);
+    w.u64(im.m.lastProgress);
+    w.u32(im.m.consecutiveReplays);
+    w.u64(im.m.mispredictBlockSeq);
+    w.u64(im.m.replayRequestSeq);
+    // The live register map: §6 remaps mutate it at runtime, so it is
+    // machine state, distinct from the constructed config's map.
+    encodeRegMap(w, im.m.cfg.regMap);
+    w.u64(im.m.storeIssueCycle.size());
+    for (const auto &[seq, cyc] : im.m.storeIssueCycle) {
+        w.u64(seq);
+        w.u64(cyc);
+    }
+    w.u64(im.m.pendingBranches.size());
+    for (const auto &pb : im.m.pendingBranches) {
+        w.u64(pb.seq);
+        w.u64(pb.pc);
+        w.b(pb.taken);
+        w.b(pb.mispredicted);
+        w.u64(pb.wbCycle);
+    }
+    w.u64(im.m.rob.size());
+    for (const auto &inst : im.m.rob)
+        writeInFlightInst(w, *inst);
+    // Clusters; dispatch-queue slots name their instruction by retire-
+    // window index (pointers do not survive serialization).
+    for (const auto &cl : im.m.clusters) {
+        w.u64(cl.queue.size());
+        for (const auto &slot : cl.queue) {
+            std::uint32_t rob_idx = 0;
+            bool found = false;
+            for (std::size_t i = 0; i < im.m.rob.size(); ++i)
+                if (im.m.rob[i].get() == slot.inst) {
+                    rob_idx = static_cast<std::uint32_t>(i);
+                    found = true;
+                    break;
+                }
+            MCA_ASSERT(found, "queue slot points outside retire window");
+            w.u32(rob_idx);
+            w.u32(slot.copyIdx);
+        }
+        writePhysRegFile(w, cl.intRegs);
+        writePhysRegFile(w, cl.fpRegs);
+        for (unsigned ci = 0; ci < 2; ++ci)
+            for (unsigned a = 0; a < isa::kNumArchRegs; ++a)
+                w.u16(cl.renameMap[ci][a]);
+        for (unsigned ci = 0; ci < 2; ++ci)
+            for (unsigned a = 0; a < isa::kNumArchRegs; ++a)
+                w.b(cl.mapped[ci][a]);
+        writeTransferBuffer(w, cl.otb);
+        writeTransferBuffer(w, cl.rtb);
+        w.u64(cl.dividerBusyUntil.size());
+        for (Cycle c : cl.dividerBusyUntil)
+            w.u64(c);
+    }
+    im.fetch.saveState(w);
+    im.sched->saveState(w);
+
+    b.section("TRAC");
+    im.fetch.trace().saveState(w);
+
+    b.section("MEMS");
+    im.m.memsys.saveState(w);
+
+    b.section("BPRD");
+    im.m.predictor->saveState(w);
+
+    b.section("STAT");
+    std::uint64_t n_counters = 0, n_dists = 0;
+    im.stats->forEachCounter(
+        [&](const std::string &, const Counter &) { ++n_counters; });
+    im.stats->forEachDistribution(
+        [&](const std::string &, const Distribution &) { ++n_dists; });
+    w.u64(n_counters);
+    im.stats->forEachCounter(
+        [&](const std::string &name, const Counter &c) {
+            w.str(name);
+            w.u64(c.value());
+        });
+    w.u64(n_dists);
+    im.stats->forEachDistribution(
+        [&](const std::string &name, const Distribution &d) {
+            w.str(name);
+            w.u64(d.buckets().size());
+            for (std::uint64_t v : d.buckets())
+                w.u64(v);
+            w.u64(d.overflow());
+            w.u64(d.samples());
+            w.u64(d.sum());
+            w.f64(d.sumSq());
+            w.u64(d.max());
+        });
+
+    b.section("CSTK");
+    w.b(im.cstack != nullptr);
+    if (im.cstack) {
+        for (std::uint64_t v : im.cstack->slotCycles)
+            w.u64(v);
+        w.u32(im.cstack->slots);
+        w.u64(im.cstack->cycles);
+    }
+}
+
+void
+Processor::loadState(ckpt::SnapshotParser &p)
+{
+    Impl &im = *impl_;
+    ckpt::Reader &r = p.r();
+
+    p.section("CORE");
+    cycle_ = r.u64();
+    stepped_ = r.u64();
+    im.m.now = r.u64();
+    im.m.lastProgress = r.u64();
+    im.m.consecutiveReplays = r.u32();
+    im.m.mispredictBlockSeq = r.u64();
+    im.m.replayRequestSeq = r.u64();
+    decodeRegMap(r, im.m.cfg.regMap);
+    im.m.storeIssueCycle.clear();
+    const std::uint64_t n_stores = r.u64();
+    for (std::uint64_t i = 0; i < n_stores; ++i) {
+        const InstSeq seq = r.u64();
+        im.m.storeIssueCycle[seq] = r.u64();
+    }
+    im.m.pendingBranches.resize(r.u64());
+    for (auto &pb : im.m.pendingBranches) {
+        pb.seq = r.u64();
+        pb.pc = r.u64();
+        pb.taken = r.b();
+        pb.mispredicted = r.b();
+        pb.wbCycle = r.u64();
+    }
+    im.m.rob.clear();
+    const std::uint64_t n_rob = r.u64();
+    for (std::uint64_t i = 0; i < n_rob; ++i) {
+        auto inst = std::make_unique<InFlightInst>();
+        readInFlightInst(r, *inst);
+        im.m.rob.push_back(std::move(inst));
+    }
+    for (auto &cl : im.m.clusters) {
+        cl.queue.resize(r.u64());
+        for (auto &slot : cl.queue) {
+            const std::uint32_t rob_idx = r.u32();
+            if (rob_idx >= im.m.rob.size())
+                throw std::runtime_error(
+                    "checkpoint: queue slot outside retire window");
+            slot.inst = im.m.rob[rob_idx].get();
+            slot.copyIdx = r.u32();
+        }
+        readPhysRegFile(r, cl.intRegs);
+        readPhysRegFile(r, cl.fpRegs);
+        for (unsigned ci = 0; ci < 2; ++ci)
+            for (unsigned a = 0; a < isa::kNumArchRegs; ++a)
+                cl.renameMap[ci][a] = r.u16();
+        for (unsigned ci = 0; ci < 2; ++ci)
+            for (unsigned a = 0; a < isa::kNumArchRegs; ++a)
+                cl.mapped[ci][a] = r.b();
+        readTransferBuffer(r, cl.otb);
+        readTransferBuffer(r, cl.rtb);
+        const std::uint64_t n_div = r.u64();
+        if (n_div != cl.dividerBusyUntil.size())
+            throw std::runtime_error(
+                "checkpoint: divider count mismatch");
+        for (Cycle &c : cl.dividerBusyUntil)
+            c = r.u64();
+    }
+    im.fetch.loadState(r);
+    im.sched->loadState(r);
+
+    p.section("TRAC");
+    im.fetch.trace().loadState(r);
+
+    p.section("MEMS");
+    im.m.memsys.loadState(r);
+
+    p.section("BPRD");
+    im.m.predictor->loadState(r);
+
+    p.section("STAT");
+    const std::uint64_t n_counters = r.u64();
+    for (std::uint64_t i = 0; i < n_counters; ++i) {
+        const std::string name = r.str();
+        Counter *c = im.stats->findCounter(name);
+        if (!c)
+            throw std::runtime_error(
+                "checkpoint: unknown counter '" + name + "'");
+        c->set(r.u64());
+    }
+    const std::uint64_t n_dists = r.u64();
+    for (std::uint64_t i = 0; i < n_dists; ++i) {
+        const std::string name = r.str();
+        Distribution *d = im.stats->findDistribution(name);
+        if (!d)
+            throw std::runtime_error(
+                "checkpoint: unknown distribution '" + name + "'");
+        std::vector<std::uint64_t> buckets(r.u64());
+        if (buckets.size() != d->buckets().size())
+            throw std::runtime_error(
+                "checkpoint: distribution '" + name +
+                "' bucket count mismatch");
+        for (std::uint64_t &v : buckets)
+            v = r.u64();
+        const std::uint64_t overflow = r.u64();
+        const std::uint64_t samples = r.u64();
+        const std::uint64_t sum = r.u64();
+        const double sum_sq = r.f64();
+        const std::uint64_t max = r.u64();
+        d->restore(buckets, overflow, samples, sum, sum_sq, max);
+    }
+
+    p.section("CSTK");
+    if (r.b()) {
+        std::array<std::uint64_t, obs::kNumStallCauses> slot_cycles{};
+        for (std::uint64_t &v : slot_cycles)
+            v = r.u64();
+        const unsigned slots = r.u32();
+        const Cycle cycles = r.u64();
+        if (im.cstack) {
+            im.cstack->slotCycles = slot_cycles;
+            im.cstack->slots = slots;
+            im.cstack->cycles = cycles;
+        }
+    }
+    p.finish();
 }
 
 } // namespace mca::core

@@ -33,12 +33,14 @@
 #include <vector>
 
 #include "bpred/predictors.hh"
+#include "ckpt/snapshot.hh"
 #include "core/config.hh"
 #include "core/timeline.hh"
 #include "exec/trace.hh"
 #include "isa/distribution.hh"
 #include "isa/issue_rules.hh"
 #include "mem/cache.hh"
+#include "mem/memory.hh"
 #include "support/stats.hh"
 
 namespace mca::obs
@@ -102,11 +104,50 @@ class Processor
     SimResult run(Cycle max_cycles = ~Cycle{0});
 
     /**
+     * Run until `target_retired` total instructions have retired (or
+     * the cycle bound / trace end). Same fast-forward semantics as
+     * run(); the boundary is approximate by up to retireWidth-1
+     * instructions (retirement is batched per cycle).
+     */
+    SimResult runUntilRetired(std::uint64_t target_retired,
+                              Cycle max_cycles = ~Cycle{0});
+
+    /**
      * Advance exactly one cycle (never fast-forwards, so per-cycle
      * observation via observe() sees every cycle). Returns false once
      * the trace is exhausted and the pipeline has drained.
      */
     bool step();
+
+    // --- checkpoint/restore (src/ckpt, docs/sampling.md) -------------
+    /**
+     * FNV-1a hash over every architecturally relevant configuration
+     * field. Snapshots embed it; restoring into a differently shaped
+     * machine is rejected up front instead of desynchronizing the
+     * payload. idleSkip and paranoid are excluded (they alter neither
+     * machine state nor snapshot layout).
+     */
+    std::uint64_t configHash() const;
+
+    /**
+     * Serialize the complete simulation state — pipeline, in-flight
+     * window, trace cursor, memory hierarchy, predictor, statistics,
+     * attached cycle stack — into `b`. Only legal between cycles
+     * (outside step()); resuming a restored snapshot is bit-identical
+     * to the uninterrupted run (tests/ckpt_test.cc).
+     */
+    void saveState(ckpt::SnapshotBuilder &b) const;
+
+    /** Mirror of saveState. Throws std::runtime_error on mismatch. */
+    void loadState(ckpt::SnapshotParser &p);
+
+    // --- sampled-simulation access (src/sample) ----------------------
+    /** The memory hierarchy (functional cache warming). */
+    mem::MemorySystem &memorySystem();
+    /** The branch predictor (functional predictor warming). */
+    bpred::Predictor &predictor();
+    /** The trace feeding fetch (functional fast-forward). */
+    exec::TraceSource &trace();
 
     Cycle now() const { return cycle_; }
     /**

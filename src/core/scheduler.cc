@@ -559,6 +559,32 @@ EventScheduler::wakeCluster(unsigned c, Cycle at)
     wake_[c] = std::min(wake_[c], at);
 }
 
+void
+EventScheduler::saveState(ckpt::Writer &w) const
+{
+    w.u64(cursor_);
+    w.u64(wake_.size());
+    for (Cycle c : wake_)
+        w.u64(c);
+    for (char g : eventGated_)
+        w.u8(static_cast<std::uint8_t>(g));
+    w.u64(broadcastAt_);
+}
+
+void
+EventScheduler::loadState(ckpt::Reader &r)
+{
+    cursor_ = static_cast<std::size_t>(r.u64());
+    const std::uint64_t n = r.u64();
+    MCA_ASSERT(n == wake_.size(),
+               "restored scheduler cluster count mismatch");
+    for (Cycle &c : wake_)
+        c = r.u64();
+    for (char &g : eventGated_)
+        g = static_cast<char>(r.u8());
+    broadcastAt_ = r.u64();
+}
+
 std::unique_ptr<Scheduler>
 makeScheduler(MachineState &m)
 {

@@ -31,16 +31,17 @@
 #include <memory>
 #include <vector>
 
+#include "ckpt/io.hh"
 #include "core/machine.hh"
 
 namespace mca::core
 {
 
-class Scheduler
+class Scheduler : public ckpt::Checkpointable
 {
   public:
     explicit Scheduler(MachineState &m) : m_(m) {}
-    virtual ~Scheduler() = default;
+    ~Scheduler() override = default;
 
     /** Run one issue cycle over all clusters. */
     virtual void tick() = 0;
@@ -62,6 +63,13 @@ class Scheduler
     virtual void onRetired(unsigned count) { static_cast<void>(count); }
     /** A replay squashed the tail of the retire window. */
     virtual void onSquash() {}
+
+    /** Engine-local state; the scan engine is stateless. */
+    void saveState(ckpt::Writer &w) const override
+    {
+        static_cast<void>(w);
+    }
+    void loadState(ckpt::Reader &r) override { static_cast<void>(r); }
 
   protected:
     /**
@@ -155,6 +163,8 @@ class EventScheduler final : public Scheduler
     void onDispatched(const InFlightInst &inst) override;
     void onRetired(unsigned count) override;
     void onSquash() override;
+    void saveState(ckpt::Writer &w) const override;
+    void loadState(ckpt::Reader &r) override;
 
   protected:
     void wakeAll(Cycle at) override;

@@ -68,6 +68,22 @@ class TransferBuffer
     }
     unsigned capacity() const { return capacity_; }
 
+    /** Scheduled free cycles (checkpointing). */
+    const std::vector<Cycle> &pendingFreeList() const
+    {
+        return pendingFrees_;
+    }
+
+    /** Overwrite occupancy state (checkpoint restore). */
+    void
+    restore(unsigned in_use, std::vector<Cycle> pending_frees)
+    {
+        MCA_ASSERT(in_use <= capacity_,
+                   "transfer buffer restore exceeds capacity");
+        inUse_ = in_use;
+        pendingFrees_ = std::move(pending_frees);
+    }
+
   private:
     unsigned capacity_ = 0;
     unsigned inUse_ = 0;

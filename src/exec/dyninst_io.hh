@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Checkpoint serialization of DynInst / MachInst.
+ *
+ * The processor's in-flight window carries whole DynInsts (the trace
+ * cannot regenerate instructions that were already consumed), so
+ * snapshots embed them. Header-only: both core (in-flight window,
+ * fetch buffer) and tests use these helpers.
+ */
+
+#ifndef MCA_EXEC_DYNINST_IO_HH
+#define MCA_EXEC_DYNINST_IO_HH
+
+#include "ckpt/io.hh"
+#include "exec/dyninst.hh"
+
+namespace mca::exec
+{
+
+inline void
+writeReg(ckpt::Writer &w, const std::optional<isa::RegId> &reg)
+{
+    w.b(reg.has_value());
+    if (reg) {
+        w.u8(static_cast<std::uint8_t>(reg->cls));
+        w.u8(reg->index);
+    }
+}
+
+inline std::optional<isa::RegId>
+readReg(ckpt::Reader &r)
+{
+    if (!r.b())
+        return std::nullopt;
+    const auto cls = static_cast<isa::RegClass>(r.u8());
+    const std::uint8_t index = r.u8();
+    return isa::RegId(cls, index);
+}
+
+inline void
+writeMachInst(ckpt::Writer &w, const isa::MachInst &mi)
+{
+    w.u32(static_cast<std::uint32_t>(mi.op));
+    writeReg(w, mi.dest);
+    writeReg(w, mi.srcs[0]);
+    writeReg(w, mi.srcs[1]);
+    w.i64(mi.imm);
+}
+
+inline isa::MachInst
+readMachInst(ckpt::Reader &r)
+{
+    isa::MachInst mi;
+    mi.op = static_cast<isa::Op>(r.u32());
+    mi.dest = readReg(r);
+    mi.srcs[0] = readReg(r);
+    mi.srcs[1] = readReg(r);
+    mi.imm = r.i64();
+    return mi;
+}
+
+inline void
+writeDynInst(ckpt::Writer &w, const DynInst &di)
+{
+    w.u64(di.seq);
+    w.u64(di.pc);
+    writeMachInst(w, di.mi);
+    w.u64(di.effAddr);
+    w.b(di.taken);
+    w.u64(di.nextPc);
+    w.b(di.isSpill);
+    w.u32(di.remapIndex);
+}
+
+inline DynInst
+readDynInst(ckpt::Reader &r)
+{
+    DynInst di;
+    di.seq = r.u64();
+    di.pc = r.u64();
+    di.mi = readMachInst(r);
+    di.effAddr = r.u64();
+    di.taken = r.b();
+    di.nextPc = r.u64();
+    di.isSpill = r.b();
+    di.remapIndex = r.u32();
+    return di;
+}
+
+} // namespace mca::exec
+
+#endif // MCA_EXEC_DYNINST_IO_HH

@@ -1,9 +1,25 @@
 #include "exec/trace.hh"
 
+#include <stdexcept>
+
 #include "support/panic.hh"
 
 namespace mca::exec
 {
+
+void
+TraceSource::saveState(ckpt::Writer &) const
+{
+    throw std::runtime_error(
+        "checkpoint: this trace source cannot be checkpointed");
+}
+
+void
+TraceSource::loadState(ckpt::Reader &)
+{
+    throw std::runtime_error(
+        "checkpoint: this trace source cannot be restored");
+}
 
 ProgramTrace::ProgramTrace(prog::MachProgram prog, std::uint64_t seed,
                            std::uint64_t max_insts)
@@ -52,6 +68,54 @@ ProgramTrace::next()
     return di;
 }
 
+void
+ProgramTrace::saveState(ckpt::Writer &w) const
+{
+    w.u64(seed_);
+    w.u64(maxInsts_);
+    w.u64(seq_);
+    walker_.saveState(w);
+    w.u64(streamStates_.size());
+    for (const auto &[id, st] : streamStates_) {
+        w.u32(id);
+        for (std::uint64_t word : st.rng().rawState())
+            w.u64(word);
+        w.u64(st.offset());
+        w.u64(st.last());
+    }
+}
+
+void
+ProgramTrace::loadState(ckpt::Reader &r)
+{
+    const std::uint64_t seed = r.u64();
+    const std::uint64_t max_insts = r.u64();
+    if (seed != seed_ || max_insts != maxInsts_)
+        throw std::runtime_error(
+            "checkpoint: trace identity mismatch (snapshot seed/bound " +
+            std::to_string(seed) + "/" + std::to_string(max_insts) +
+            ", this trace " + std::to_string(seed_) + "/" +
+            std::to_string(maxInsts_) + ")");
+    seq_ = r.u64();
+    walker_.loadState(r);
+    streamStates_.clear();
+    const std::uint64_t nstreams = r.u64();
+    for (std::uint64_t i = 0; i < nstreams; ++i) {
+        const prog::AddrStreamId id = r.u32();
+        std::array<std::uint64_t, 4> raw;
+        for (std::uint64_t &word : raw)
+            word = r.u64();
+        const std::uint64_t offset = r.u64();
+        const Addr last = r.u64();
+        MCA_ASSERT(id < prog_.streams.size(),
+                   "restored stream id out of range");
+        prog::AddrStreamState st(prog_.streams[id],
+                                 Rng(hashSeed(seed_, 0x5eed5, id)));
+        st.restoreDynamicState(raw, offset, last);
+        streamStates_.emplace(id, st);
+    }
+}
+
 VectorTrace::VectorTrace(std::vector<DynInst> insts)
     : insts_(std::move(insts))
 {
@@ -63,6 +127,23 @@ VectorTrace::next()
     if (pos_ >= insts_.size())
         return std::nullopt;
     return insts_[pos_++];
+}
+
+void
+VectorTrace::saveState(ckpt::Writer &w) const
+{
+    w.u64(insts_.size());
+    w.u64(pos_);
+}
+
+void
+VectorTrace::loadState(ckpt::Reader &r)
+{
+    const std::uint64_t size = r.u64();
+    if (size != insts_.size())
+        throw std::runtime_error(
+            "checkpoint: vector trace length mismatch");
+    pos_ = static_cast<std::size_t>(r.u64());
 }
 
 std::vector<DynInst>

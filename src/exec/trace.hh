@@ -19,13 +19,21 @@ namespace mca::exec
 {
 
 /** Abstract producer of dynamic instructions. */
-class TraceSource
+class TraceSource : public ckpt::Checkpointable
 {
   public:
-    virtual ~TraceSource() = default;
+    ~TraceSource() override = default;
 
     /** Produce the next instruction, or nullopt at end of trace. */
     virtual std::optional<DynInst> next() = 0;
+
+    /**
+     * Checkpointing hooks. Sources that cannot rewind (live pipes)
+     * keep the default, which throws std::runtime_error — checkpoint
+     * requests on such a source are an input error, not a bug.
+     */
+    void saveState(ckpt::Writer &w) const override;
+    void loadState(ckpt::Reader &r) override;
 };
 
 /**
@@ -46,6 +54,11 @@ class ProgramTrace : public TraceSource
                  std::uint64_t max_insts = ~std::uint64_t{0});
 
     std::optional<DynInst> next() override;
+
+    /** Serialize walker cursors, stream states, and the sequence
+     *  counter; (program, seed) identity is validated on load. */
+    void saveState(ckpt::Writer &w) const override;
+    void loadState(ckpt::Reader &r) override;
 
   private:
     Addr addrFor(const prog::MachEntry &entry);
@@ -68,6 +81,9 @@ class VectorTrace : public TraceSource
 
     /** Renumber seq/nextPc fields to be self-consistent. */
     static std::vector<DynInst> normalize(std::vector<DynInst> insts);
+
+    void saveState(ckpt::Writer &w) const override;
+    void loadState(ckpt::Reader &r) override;
 
   private:
     std::vector<DynInst> insts_;

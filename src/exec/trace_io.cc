@@ -1,6 +1,7 @@
 #include "exec/trace_io.hh"
 
 #include <cstring>
+#include <stdexcept>
 
 #include "support/panic.hh"
 
@@ -159,6 +160,36 @@ FileTrace::next()
         MCA_FATAL("trace file shorter than its header promises");
     ++read_;
     return unpack(r);
+}
+
+void
+FileTrace::saveState(ckpt::Writer &w) const
+{
+    w.u64(count_);
+    w.u64(read_);
+}
+
+void
+FileTrace::loadState(ckpt::Reader &r)
+{
+    const std::uint64_t count = r.u64();
+    if (count != count_)
+        throw std::runtime_error(
+            "checkpoint: trace file record count mismatch (snapshot " +
+            std::to_string(count) + ", file " + std::to_string(count_) +
+            ")");
+    read_ = r.u64();
+    if (read_ > count_)
+        throw std::runtime_error(
+            "checkpoint: trace cursor beyond end of file");
+    // Header: magic + count + global-register masks, then records.
+    const long header = static_cast<long>(sizeof(kTraceMagic) +
+                                          sizeof(count_) +
+                                          2 * sizeof(std::uint32_t));
+    const long offset =
+        header + static_cast<long>(read_ * sizeof(PackedRecord));
+    if (std::fseek(file_, offset, SEEK_SET) != 0)
+        throw std::runtime_error("checkpoint: trace file seek failed");
 }
 
 } // namespace mca::exec

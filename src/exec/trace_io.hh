@@ -69,6 +69,10 @@ class FileTrace : public TraceSource
             map.setGlobal(reg);
     }
 
+    /** Checkpoint = record cursor; restore seeks the file back. */
+    void saveState(ckpt::Writer &w) const override;
+    void loadState(ckpt::Reader &r) override;
+
   private:
     std::FILE *file_ = nullptr;
     std::uint64_t count_ = 0;

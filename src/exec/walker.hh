@@ -20,6 +20,7 @@
 #include <map>
 #include <vector>
 
+#include "ckpt/io.hh"
 #include "prog/cfg.hh"
 #include "support/panic.hh"
 #include "support/random.hh"
@@ -185,6 +186,86 @@ class CfgWalker
 
     /** Count of dynamic call-stack frames (diagnostics). */
     std::size_t stackDepth() const { return callStack_.size(); }
+
+    /**
+     * Serialize the walk state. The program is static content the
+     * restoring walker already holds; only cursors, the call stack, and
+     * the dynamic halves of the lazily created model states are saved
+     * (model descriptions are rebuilt from the program by id).
+     */
+    void
+    saveState(ckpt::Writer &w) const
+    {
+        w.u32(fn_);
+        w.u32(blk_);
+        w.u32(idx_);
+        w.b(ended_);
+        w.u64(callStack_.size());
+        for (const Frame &f : callStack_) {
+            w.u32(f.fn);
+            w.u32(f.contBlock);
+        }
+        w.u64(branchStates_.size());
+        for (const auto &[id, st] : branchStates_) {
+            w.u32(id);
+            for (std::uint64_t word : st.rng().rawState())
+                w.u64(word);
+            w.u64(st.remainingTrips());
+            w.u64(st.patternPos());
+        }
+        w.u64(jumpRngs_.size());
+        for (const auto &[site, rng] : jumpRngs_) {
+            w.u64(site);
+            for (std::uint64_t word : rng.rawState())
+                w.u64(word);
+        }
+    }
+
+    /** Restore state saved by a walker over the same (program, seed). */
+    void
+    loadState(ckpt::Reader &r)
+    {
+        fn_ = r.u32();
+        blk_ = r.u32();
+        idx_ = r.u32();
+        ended_ = r.b();
+        callStack_.clear();
+        const std::uint64_t frames = r.u64();
+        for (std::uint64_t i = 0; i < frames; ++i) {
+            Frame f;
+            f.fn = r.u32();
+            f.contBlock = r.u32();
+            callStack_.push_back(f);
+        }
+        branchStates_.clear();
+        const std::uint64_t nbranch = r.u64();
+        for (std::uint64_t i = 0; i < nbranch; ++i) {
+            const prog::BranchModelId id = r.u32();
+            std::array<std::uint64_t, 4> raw;
+            for (std::uint64_t &word : raw)
+                word = r.u64();
+            const std::uint64_t remaining = r.u64();
+            const std::uint64_t pattern_pos = r.u64();
+            MCA_ASSERT(id < prog_->branchModels.size(),
+                       "restored branch model id out of range");
+            prog::BranchModelState st(prog_->branchModels[id],
+                                      Rng(hashSeed(seed_, 0xb7a9c4, id)));
+            st.restoreDynamicState(raw, remaining,
+                                   static_cast<std::size_t>(pattern_pos));
+            branchStates_.emplace(id, std::move(st));
+        }
+        jumpRngs_.clear();
+        const std::uint64_t njump = r.u64();
+        for (std::uint64_t i = 0; i < njump; ++i) {
+            const std::uint64_t site = r.u64();
+            std::array<std::uint64_t, 4> raw;
+            for (std::uint64_t &word : raw)
+                word = r.u64();
+            Rng rng(0);
+            rng.setRawState(raw);
+            jumpRngs_.emplace(site, rng);
+        }
+    }
 
   private:
     struct Frame

@@ -203,6 +203,16 @@ class RegisterMap
         return isGlobal(reg) || homeCluster(reg) == cluster;
     }
 
+    /** Raw global-register mask of one class (checkpointing). */
+    std::uint32_t globalMask(RegClass cls) const { return maskOf(cls); }
+
+    /** Raw home override of one register, -1 = mod rule (checkpointing). */
+    std::int8_t
+    homeOverride(RegId reg) const
+    {
+        return overrideOf(reg.cls)[reg.index];
+    }
+
     /** Number of local (non-global, non-zero) registers owned by cluster. */
     unsigned
     localRegCount(RegClass cls, unsigned cluster) const

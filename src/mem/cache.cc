@@ -1,6 +1,7 @@
 #include "mem/cache.hh"
 
 #include <algorithm>
+#include <stdexcept>
 
 #include "support/panic.hh"
 
@@ -204,6 +205,63 @@ Cache::flush()
         line = Line{};
     useClock_ = 0;
     outstanding_.clear();
+}
+
+void
+Cache::saveState(ckpt::Writer &w) const
+{
+    w.u64(useClock_);
+    w.u64(lines_.size());
+    for (const Line &line : lines_) {
+        w.b(line.valid);
+        w.b(line.dirty);
+        w.u64(line.tag);
+        w.u64(line.lastUse);
+        w.u64(line.fillReadyAt);
+        w.u8(static_cast<std::uint8_t>(line.fillFrom));
+    }
+    w.u64(outstanding_.size());
+    for (Cycle c : outstanding_)
+        w.u64(c);
+    w.u64(fillPorts_.busyUntil().size());
+    for (Cycle c : fillPorts_.busyUntil())
+        w.u64(c);
+}
+
+void
+Cache::loadState(ckpt::Reader &r)
+{
+    useClock_ = r.u64();
+    const std::uint64_t nlines = r.u64();
+    if (nlines != lines_.size())
+        throw std::runtime_error(
+            "checkpoint: cache '" + name_ + "' has " +
+            std::to_string(lines_.size()) + " lines, snapshot has " +
+            std::to_string(nlines));
+    for (Line &line : lines_) {
+        line.valid = r.b();
+        line.dirty = r.b();
+        line.tag = r.u64();
+        line.lastUse = r.u64();
+        line.fillReadyAt = r.u64();
+        line.fillFrom = static_cast<ServiceLevel>(r.u8());
+    }
+    outstanding_.resize(r.u64());
+    for (Cycle &c : outstanding_)
+        c = r.u64();
+    std::vector<Cycle> busy(r.u64());
+    for (Cycle &c : busy)
+        c = r.u64();
+    fillPorts_.restoreBusyUntil(busy);
+}
+
+void
+Cache::settle()
+{
+    for (Line &line : lines_)
+        line.fillReadyAt = 0;
+    outstanding_.clear();
+    fillPorts_.settle();
 }
 
 } // namespace mca::mem

@@ -30,6 +30,8 @@
 #include <string>
 #include <vector>
 
+#include "ckpt/io.hh"
+#include "support/panic.hh"
 #include "support/stats.hh"
 #include "support/types.hh"
 
@@ -138,6 +140,21 @@ class FillPorts
         return static_cast<unsigned>(busyUntil_.size());
     }
 
+    /** Per-port next-free cycles (checkpointing). */
+    const std::vector<Cycle> &busyUntil() const { return busyUntil_; }
+
+    /** Overwrite the port schedule (checkpoint restore). */
+    void
+    restoreBusyUntil(const std::vector<Cycle> &busy)
+    {
+        MCA_ASSERT(busy.size() == busyUntil_.size(),
+                   "fill port count mismatch on restore");
+        busyUntil_ = busy;
+    }
+
+    /** Forget all port bookings (warm-state normalization). */
+    void settle() { std::fill(busyUntil_.begin(), busyUntil_.end(), 0); }
+
   private:
     /** Cycle each port is next free (empty = unlimited). */
     std::vector<Cycle> busyUntil_;
@@ -148,10 +165,10 @@ class FillPorts
  * memory); `access` returns the cycle the data reaches the requester,
  * recursing down the chain on a miss.
  */
-class MemoryLevel
+class MemoryLevel : public ckpt::Checkpointable
 {
   public:
-    virtual ~MemoryLevel() = default;
+    ~MemoryLevel() override = default;
 
     /**
      * Perform one access.
@@ -171,6 +188,13 @@ class MemoryLevel
 
     /** Fills in flight at this level at `now` (observability). */
     virtual unsigned inFlight(Cycle now) const = 0;
+
+    /**
+     * Complete every in-flight fill immediately (warm-state restore:
+     * the functional warmer's synthetic clock has no relation to the
+     * restoring machine's, so pending fill times are normalized away).
+     */
+    virtual void settle() = 0;
 
     virtual const std::string &name() const = 0;
 };
@@ -213,6 +237,12 @@ class Cache : public MemoryLevel
 
     /** Outstanding fills at `now` (diagnostics, MSHR accounting). */
     unsigned outstandingFills(Cycle now) const;
+
+    /** Serialize tags, LRU clocks, and in-flight fills (not counters —
+     *  those live in the StatGroup and checkpoint with it). */
+    void saveState(ckpt::Writer &w) const override;
+    void loadState(ckpt::Reader &r) override;
+    void settle() override;
 
     unsigned
     inFlight(Cycle now) const override

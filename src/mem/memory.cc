@@ -1,6 +1,7 @@
 #include "mem/memory.hh"
 
 #include <algorithm>
+#include <stdexcept>
 
 namespace mca::mem
 {
@@ -84,6 +85,65 @@ MemorySystem::flush()
     if (l2_)
         l2_->flush();
     mem_.flush();
+}
+
+void
+FixedLatencyMemory::saveState(ckpt::Writer &w) const
+{
+    w.u64(outstanding_.size());
+    for (Cycle c : outstanding_)
+        w.u64(c);
+    w.u64(ports_.busyUntil().size());
+    for (Cycle c : ports_.busyUntil())
+        w.u64(c);
+}
+
+void
+FixedLatencyMemory::loadState(ckpt::Reader &r)
+{
+    outstanding_.resize(r.u64());
+    for (Cycle &c : outstanding_)
+        c = r.u64();
+    std::vector<Cycle> busy(r.u64());
+    for (Cycle &c : busy)
+        c = r.u64();
+    ports_.restoreBusyUntil(busy);
+}
+
+void
+MemorySystem::saveState(ckpt::Writer &w) const
+{
+    w.b(hasL2());
+    icache_.saveState(w);
+    dcache_.saveState(w);
+    if (l2_)
+        l2_->saveState(w);
+    mem_.saveState(w);
+}
+
+void
+MemorySystem::loadState(ckpt::Reader &r)
+{
+    const bool had_l2 = r.b();
+    if (had_l2 != hasL2())
+        throw std::runtime_error(
+            "checkpoint: L2 presence mismatch between snapshot and "
+            "restoring hierarchy");
+    icache_.loadState(r);
+    dcache_.loadState(r);
+    if (l2_)
+        l2_->loadState(r);
+    mem_.loadState(r);
+}
+
+void
+MemorySystem::settle()
+{
+    icache_.settle();
+    dcache_.settle();
+    if (l2_)
+        l2_->settle();
+    mem_.settle();
 }
 
 } // namespace mca::mem

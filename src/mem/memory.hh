@@ -70,6 +70,16 @@ class FixedLatencyMemory : public MemoryLevel
 
     unsigned inFlight(Cycle now) const override;
 
+    void saveState(ckpt::Writer &w) const override;
+    void loadState(ckpt::Reader &r) override;
+
+    void
+    settle() override
+    {
+        outstanding_.clear();
+        ports_.settle();
+    }
+
     const std::string &name() const override { return name_; }
 
     std::uint64_t reads() const { return reads_->value(); }
@@ -114,6 +124,13 @@ class MemorySystem
 
     /** Invalidate every level (testing support). */
     void flush();
+
+    /** Serialize every level, L1s through the backside. */
+    void saveState(ckpt::Writer &w) const;
+    void loadState(ckpt::Reader &r);
+
+    /** Complete all in-flight fills at every level (warm restore). */
+    void settle();
 
   private:
     MemoryParams params_;

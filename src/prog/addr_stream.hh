@@ -132,6 +132,21 @@ class AddrStreamState
         }
     }
 
+    // Dynamic-state access for checkpointing. The stream description
+    // is static program content, reconstructed from the Program by id.
+    const Rng &rng() const { return rng_; }
+    std::uint64_t offset() const { return offset_; }
+    Addr last() const { return last_; }
+
+    void
+    restoreDynamicState(const std::array<std::uint64_t, 4> &rng_state,
+                        std::uint64_t offset, Addr last)
+    {
+        rng_.setRawState(rng_state);
+        offset_ = offset;
+        last_ = last;
+    }
+
   private:
     AddrStream stream_;
     Rng rng_;

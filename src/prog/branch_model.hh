@@ -142,6 +142,21 @@ class BranchModelState
         }
     }
 
+    // Dynamic-state access for checkpointing. The model itself is
+    // static program content, reconstructed from the Program by id.
+    const Rng &rng() const { return rng_; }
+    std::uint64_t remainingTrips() const { return remaining_; }
+    std::size_t patternPos() const { return patternPos_; }
+
+    void
+    restoreDynamicState(const std::array<std::uint64_t, 4> &rng_state,
+                        std::uint64_t remaining, std::size_t pattern_pos)
+    {
+        rng_.setRawState(rng_state);
+        remaining_ = remaining;
+        patternPos_ = pattern_pos;
+    }
+
   private:
     void
     resetTrip()

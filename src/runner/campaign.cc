@@ -26,12 +26,14 @@ expandGrid(const CampaignGrid &grid)
     requireAxis(!grid.l2Kbs.empty(), "l2Kbs");
     requireAxis(!grid.l2Lats.empty(), "l2Lats");
     requireAxis(!grid.memLats.empty(), "memLats");
+    requireAxis(!grid.samplePeriods.empty(), "samplePeriods");
 
     std::vector<JobSpec> specs;
     specs.reserve(grid.benchmarks.size() * grid.machines.size() *
                   grid.schedulers.size() * grid.thresholds.size() *
                   grid.traceSeeds.size() * grid.l2Kbs.size() *
-                  grid.l2Lats.size() * grid.memLats.size());
+                  grid.l2Lats.size() * grid.memLats.size() *
+                  grid.samplePeriods.size());
     for (const auto &benchmark : grid.benchmarks)
       for (const auto &machine : grid.machines)
         for (const auto &scheduler : grid.schedulers)
@@ -39,7 +41,8 @@ expandGrid(const CampaignGrid &grid)
             for (std::uint64_t seed : grid.traceSeeds)
               for (unsigned l2kb : grid.l2Kbs)
                 for (unsigned l2lat : grid.l2Lats)
-                  for (unsigned memlat : grid.memLats) {
+                  for (unsigned memlat : grid.memLats)
+                    for (std::uint64_t period : grid.samplePeriods) {
                       JobSpec spec;
                       spec.benchmark = benchmark;
                       spec.machine = machine;
@@ -49,6 +52,9 @@ expandGrid(const CampaignGrid &grid)
                       spec.l2Kb = l2kb;
                       spec.l2Lat = l2lat;
                       spec.memLat = memlat;
+                      spec.samplePeriod = period;
+                      spec.sampleDetail = grid.sampleDetail;
+                      spec.sampleWarmup = grid.sampleWarmup;
                       spec.fillPorts = grid.fillPorts;
                       spec.scale = grid.scale;
                       spec.unroll = grid.unroll;
@@ -59,7 +65,7 @@ expandGrid(const CampaignGrid &grid)
                                              ? seed
                                              : spec.profileSeed;
                       specs.push_back(std::move(spec));
-                  }
+                    }
     return specs;
 }
 

@@ -30,7 +30,8 @@ namespace mca::runner
 {
 
 /** Parameter grid; expansion nests benchmark(outer) → machine →
- *  scheduler → threshold → traceSeed → l2Kb → l2Lat → memLat(inner). */
+ *  scheduler → threshold → traceSeed → l2Kb → l2Lat → memLat →
+ *  samplePeriod(inner). */
 struct CampaignGrid
 {
     std::vector<std::string> benchmarks = {"compress"};
@@ -42,6 +43,9 @@ struct CampaignGrid
     std::vector<unsigned> l2Kbs = {0};
     std::vector<unsigned> l2Lats = {6};
     std::vector<unsigned> memLats = {16};
+    /** Sampled-simulation axis: 0 = full detailed run (the default),
+     *  > 0 = systematic sampling with this period (docs/sampling.md). */
+    std::vector<std::uint64_t> samplePeriods = {0};
 
     // Shared run-control bounds (copied into every spec).
     double scale = 0.2;
@@ -49,6 +53,9 @@ struct CampaignGrid
     std::string predictor;
     /** Fill ports per memory level; 0 = unlimited (paper mode). */
     unsigned fillPorts = 0;
+    /** Per-interval sizes for the samplePeriods axis. */
+    std::uint64_t sampleDetail = 10'000;
+    std::uint64_t sampleWarmup = 2'000;
     std::uint64_t maxInsts = 300'000;
     Cycle maxCycles = 100'000'000;
     /** Tie each spec's profileSeed to its traceSeed (Table-2 harness

@@ -84,6 +84,9 @@ emitJsonLine(std::ostream &os, const JobResult &r)
        << ",\"l2_lat\":" << r.spec.l2Lat
        << ",\"mem_lat\":" << r.spec.memLat
        << ",\"fill_ports\":" << r.spec.fillPorts
+       << ",\"sample_period\":" << r.spec.samplePeriod
+       << ",\"sample_detail\":" << r.spec.sampleDetail
+       << ",\"sample_warmup\":" << r.spec.sampleWarmup
        << ",\"status\":\"" << jobStatusName(r.status) << "\""
        << ",\"error\":\"" << jsonEscape(r.error) << "\""
        << ",\"cycles\":" << r.cycles
@@ -107,7 +110,10 @@ emitJsonLine(std::ostream &os, const JobResult &r)
         os << ",\"stack_"
            << obs::stallCauseName(static_cast<obs::StallCause>(i))
            << "\":" << r.stackSlotCycles[i];
-    os << ",\"wall_ms\":" << jsonDouble(r.wallMs)
+    os << ",\"sampled\":" << (r.sampled ? "true" : "false")
+       << ",\"sampled_intervals\":" << r.sampledIntervals
+       << ",\"cpi_ci95\":" << jsonDouble(r.cpiCi95)
+       << ",\"wall_ms\":" << jsonDouble(r.wallMs)
        << ",\"from_cache\":" << (r.fromCache ? "true" : "false")
        << "}";
 }

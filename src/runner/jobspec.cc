@@ -11,6 +11,8 @@
 #include "runner/compile_cache.hh"
 #include "core/config.hh"
 #include "harness/experiment.hh"
+#include "sample/driver.hh"
+#include "sample/spec.hh"
 #include "workloads/workloads.hh"
 
 namespace mca::runner
@@ -126,7 +128,10 @@ JobSpec::canonicalKey() const
         << ";l2Kb=" << l2Kb
         << ";l2Lat=" << l2Lat
         << ";memLat=" << memLat
-        << ";fillPorts=" << fillPorts;
+        << ";fillPorts=" << fillPorts
+        << ";samplePeriod=" << samplePeriod
+        << ";sampleDetail=" << sampleDetail
+        << ";sampleWarmup=" << sampleWarmup;
     return oss.str();
 }
 
@@ -158,6 +163,13 @@ JobSpec::validate() const
         throw std::runtime_error("maxInsts must be positive");
     if (maxCycles == 0)
         throw std::runtime_error("maxCycles must be positive");
+    if (samplePeriod > 0) {
+        sample::SampleSpec sspec;
+        sspec.period = samplePeriod;
+        sspec.detail = sampleDetail;
+        sspec.warmup = sampleWarmup;
+        sspec.validate(); // overlap / zero-detail checks, same messages
+    }
 }
 
 const char *
@@ -201,6 +213,45 @@ runJob(const JobSpec &spec, CompileCache *compile_cache)
         out.spillLoads = compiled->alloc.spillLoadsInserted;
         out.spillStores = compiled->alloc.spillStoresInserted;
         out.otherClusterSpills = compiled->alloc.otherClusterSpills;
+
+        if (spec.samplePeriod > 0) {
+            // Sampled job: one functional warming pass + K detailed
+            // intervals instead of a full detailed run. The campaign
+            // already parallelizes across jobs, so the driver runs its
+            // intervals serially (no nested pools).
+            sample::SampleSpec sspec;
+            sspec.mode = sample::SampleSpec::Mode::Systematic;
+            sspec.period = spec.samplePeriod;
+            sspec.detail = spec.sampleDetail;
+            sspec.warmup = spec.sampleWarmup;
+            sspec.jobs = 1;
+            core::ProcessorConfig scfg = cfg;
+            scfg.regMap = compiled->hardwareMap(cfg.numClusters);
+            sample::SampledDriver driver(compiled->binary, scfg,
+                                         spec.traceSeed, spec.maxInsts);
+            const sample::SampleReport rep = driver.run(sspec);
+            if (!rep.allConserved)
+                throw std::runtime_error(
+                    "sampled interval violated cycle-stack conservation");
+            out.sampled = true;
+            out.sampledIntervals = rep.intervals.size();
+            out.cpiCi95 = rep.cpiCi95;
+            out.retired = rep.totalInsts;
+            out.cycles = static_cast<Cycle>(rep.estTotalCycles + 0.5);
+            out.ipc = rep.cpiMean > 0.0 ? 1.0 / rep.cpiMean : 0.0;
+            // Stall attribution summed over the measured windows; each
+            // interval conserves, so the sum does too.
+            if (!rep.intervals.empty())
+                out.stackSlots = rep.intervals.front().stack.slots;
+            for (const auto &iv : rep.intervals)
+                for (std::size_t i = 0; i < obs::kNumStallCauses; ++i)
+                    out.stackSlotCycles[i] += iv.stack.slotCycles[i];
+            out.status = JobStatus::Ok;
+            out.wallMs = std::chrono::duration<double, std::milli>(
+                             std::chrono::steady_clock::now() - start)
+                             .count();
+            return out;
+        }
 
         const harness::RunStats stats = harness::simulate(
             compiled->binary, compiled->hardwareMap(cfg.numClusters),

@@ -60,6 +60,15 @@ struct JobSpec
     /** Fill ports per memory level; 0 = unlimited (paper mode). */
     unsigned fillPorts = 0;
 
+    // Sampled-simulation axes (docs/sampling.md). samplePeriod = 0
+    // runs the full detailed simulation; > 0 switches the job to the
+    // systematic sampled driver with this interval period.
+    std::uint64_t samplePeriod = 0;
+    /** Detailed instructions measured per interval. */
+    std::uint64_t sampleDetail = 10'000;
+    /** Detailed warmup instructions discarded per interval. */
+    std::uint64_t sampleWarmup = 2'000;
+
     std::uint64_t traceSeed = 42;
     /** Seed for the profiling run (paper harness ties it to traceSeed). */
     std::uint64_t profileSeed = 42;
@@ -134,6 +143,15 @@ struct JobResult
      */
     std::array<std::uint64_t, obs::kNumStallCauses> stackSlotCycles{};
     unsigned stackSlots = 0;
+
+    // Sampled-run extras (zero/false for full detailed runs). For a
+    // sampled job, `cycles` is the extrapolated total (rounded),
+    // `retired` is the full trace length, and the cycle stack is the
+    // sum over the measured windows only.
+    bool sampled = false;
+    std::uint64_t sampledIntervals = 0;
+    /** 95% CI half-width on the per-interval CPI mean. */
+    double cpiCi95 = 0.0;
 
     /** Wall-clock milliseconds spent (informational; not cached identity). */
     double wallMs = 0.0;

@@ -14,10 +14,12 @@ namespace mca::runner
 namespace
 {
 
-// v3: memory-hierarchy taxonomy (dcache_l2/dcache_mem stack causes,
-// l2MissRate). v2: cycle-stack fields. Older entries fail the version
-// check and are treated as misses.
-constexpr int kFormatVersion = 3;
+// v4: sampled-simulation fields (sampled, sampledIntervals, cpiCi95)
+// and sample axes in the canonical key. v3: memory-hierarchy taxonomy
+// (dcache_l2/dcache_mem stack causes, l2MissRate). v2: cycle-stack
+// fields. Older entries fail the version check and are treated as
+// misses.
+constexpr int kFormatVersion = 4;
 
 std::string
 formatDouble(double value)
@@ -94,6 +96,9 @@ ResultCache::load(const JobSpec &spec) const
             out.stackSlotCycles[i] = std::stoull(fields.at(
                 std::string("stack_") +
                 obs::stallCauseName(static_cast<obs::StallCause>(i))));
+        out.sampled = fields.at("sampled") == "1";
+        out.sampledIntervals = std::stoull(fields.at("sampledIntervals"));
+        out.cpiCi95 = std::stod(fields.at("cpiCi95"));
         out.wallMs = std::stod(fields.at("wallMs"));
         out.fromCache = true;
         return out;
@@ -154,7 +159,10 @@ ResultCache::store(const JobResult &result) const
             out << "stack_"
                 << obs::stallCauseName(static_cast<obs::StallCause>(i))
                 << "\t" << result.stackSlotCycles[i] << "\n";
-        out << "wallMs\t" << formatDouble(result.wallMs) << "\n";
+        out << "sampled\t" << (result.sampled ? 1 : 0) << "\n"
+            << "sampledIntervals\t" << result.sampledIntervals << "\n"
+            << "cpiCi95\t" << formatDouble(result.cpiCi95) << "\n"
+            << "wallMs\t" << formatDouble(result.wallMs) << "\n";
     }
     std::filesystem::rename(tmp, path, ec);
     if (ec) {

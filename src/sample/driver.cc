@@ -1,0 +1,203 @@
+#include "sample/driver.hh"
+
+#include <cmath>
+#include <ostream>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+#include "ckpt/snapshot.hh"
+#include "core/processor.hh"
+#include "exec/trace.hh"
+#include "exec/walker.hh"
+#include "mem/memory.hh"
+#include "runner/thread_pool.hh"
+#include "sample/functional.hh"
+#include "support/stats.hh"
+
+namespace mca::sample
+{
+
+namespace
+{
+
+/** Salt decorrelating the systematic phase from the trace streams. */
+constexpr std::uint64_t kPhaseSalt = 0x5a3f1e;
+
+/**
+ * Restore `snap` into a fresh machine, run the detailed warmup, then
+ * measure `spec.detail` instructions with a cycle stack attached.
+ */
+IntervalResult
+measureInterval(const prog::MachProgram &binary,
+                const core::ProcessorConfig &config, std::uint64_t seed,
+                std::uint64_t max_insts, const ckpt::Snapshot &snap,
+                std::uint64_t start_inst, std::uint64_t index,
+                const SampleSpec &spec)
+{
+    IntervalResult out;
+    out.index = index;
+    out.startInst = start_inst;
+
+    StatGroup sg("mca");
+    exec::ProgramTrace trace(binary, seed, max_insts);
+    core::Processor proc(config, trace, sg);
+    ckpt::SnapshotParser parser(snap, proc.configHash());
+    proc.loadState(parser);
+
+    obs::CycleStack stack;
+    proc.attachCycleStack(&stack);
+
+    // The warming pass never stepped the pipeline, so the restored
+    // retired-count starts at zero and targets are interval-relative.
+    proc.runUntilRetired(spec.warmup);
+    out.warmupInsts = proc.retiredInstructions();
+
+    const Cycle measureFrom = proc.now();
+    stack.reset();
+    proc.runUntilRetired(spec.warmup + spec.detail);
+
+    out.instructions = proc.retiredInstructions() - out.warmupInsts;
+    out.cycles = proc.now() - measureFrom;
+    out.cpi = out.instructions != 0
+                  ? static_cast<double>(out.cycles) /
+                        static_cast<double>(out.instructions)
+                  : 0.0;
+    out.stack = stack;
+    out.conserved = stack.conserved();
+    return out;
+}
+
+} // namespace
+
+void
+SampleReport::dumpJson(std::ostream &os) const
+{
+    os << "{\"spec\": \"" << spec.canonical() << "\""
+       << ", \"total_insts\": " << totalInsts
+       << ", \"detailed_insts\": " << detailedInsts
+       << ", \"intervals\": " << intervals.size()
+       << ", \"cpi_mean\": " << cpiMean
+       << ", \"cpi_stddev\": " << cpiStdDev
+       << ", \"cpi_ci95\": " << cpiCi95
+       << ", \"est_total_cycles\": " << estTotalCycles
+       << ", \"all_conserved\": " << (allConserved ? "true" : "false")
+       << ", \"interval_table\": [";
+    for (std::size_t i = 0; i < intervals.size(); ++i) {
+        const IntervalResult &iv = intervals[i];
+        os << (i ? ", " : "") << "{\"start\": " << iv.startInst
+           << ", \"insts\": " << iv.instructions
+           << ", \"cycles\": " << iv.cycles << ", \"cpi\": " << iv.cpi
+           << ", \"conserved\": " << (iv.conserved ? "true" : "false")
+           << "}";
+    }
+    os << "]}\n";
+}
+
+SampledDriver::SampledDriver(prog::MachProgram binary,
+                             const core::ProcessorConfig &config,
+                             std::uint64_t trace_seed,
+                             std::uint64_t max_insts)
+    : binary_(std::move(binary)), config_(config), seed_(trace_seed),
+      maxInsts_(max_insts)
+{
+}
+
+SampleReport
+SampledDriver::run(const SampleSpec &spec) const
+{
+    spec.validate();
+
+    SampleReport rep;
+    rep.spec = spec;
+
+    const std::uint64_t phase =
+        spec.mode == SampleSpec::Mode::Systematic
+            ? exec::hashSeed(seed_, kPhaseSalt, 0) % spec.period
+            : spec.offset % spec.period;
+
+    // --- Pass 1: functional warming, snapshotting each interval start.
+    std::vector<ckpt::Snapshot> snaps;
+    std::vector<std::uint64_t> starts;
+    {
+        StatGroup sg("mca");
+        exec::ProgramTrace trace(binary_, seed_, maxInsts_);
+        core::Processor proc(config_, trace, sg);
+        FunctionalWarmer warmer(proc);
+
+        std::uint64_t nextStart = phase;
+        while (true) {
+            warmer.advance(nextStart - warmer.consumed());
+            if (warmer.ended())
+                break;
+            // Snapshots must capture quiescent hierarchies: retire all
+            // in-flight fills so restore needs no event replay.
+            proc.memorySystem().settle();
+            ckpt::SnapshotBuilder b(proc.configHash());
+            proc.saveState(b);
+            snaps.push_back(b.finish());
+            starts.push_back(warmer.consumed());
+            nextStart += spec.period;
+        }
+        rep.totalInsts = warmer.consumed();
+    }
+
+    // --- Pass 2: detailed measurement, farmed across the pool.
+    // Pre-sized slots keep the merge order deterministic regardless of
+    // worker scheduling; jobs=1 is the same code path run serially.
+    rep.intervals.resize(snaps.size());
+    std::vector<std::string> errors(snaps.size());
+    {
+        runner::ThreadPool pool(spec.jobs);
+        for (std::size_t k = 0; k < snaps.size(); ++k) {
+            pool.submit([&, k] {
+                try {
+                    rep.intervals[k] = measureInterval(
+                        binary_, config_, seed_, maxInsts_, snaps[k],
+                        starts[k], k, spec);
+                } catch (const std::exception &e) {
+                    errors[k] = e.what();
+                }
+            });
+        }
+        pool.wait();
+    }
+    for (std::size_t k = 0; k < errors.size(); ++k)
+        if (!errors[k].empty())
+            throw std::runtime_error("sample: interval " +
+                                     std::to_string(k) +
+                                     " failed: " + errors[k]);
+
+    // An interval snapshotted too close to the trace end may retire
+    // nothing inside the measured window; drop it from the estimate.
+    while (!rep.intervals.empty() &&
+           rep.intervals.back().instructions == 0)
+        rep.intervals.pop_back();
+
+    // --- Extrapolate.
+    double sum = 0.0;
+    for (const IntervalResult &iv : rep.intervals) {
+        sum += iv.cpi;
+        rep.detailedInsts += iv.warmupInsts + iv.instructions;
+        rep.allConserved = rep.allConserved && iv.conserved;
+    }
+    const std::size_t k = rep.intervals.size();
+    if (k > 0) {
+        rep.cpiMean = sum / static_cast<double>(k);
+        if (k > 1) {
+            double ss = 0.0;
+            for (const IntervalResult &iv : rep.intervals) {
+                const double d = iv.cpi - rep.cpiMean;
+                ss += d * d;
+            }
+            rep.cpiStdDev = std::sqrt(ss / static_cast<double>(k - 1));
+            rep.cpiCi95 =
+                1.96 * rep.cpiStdDev / std::sqrt(static_cast<double>(k));
+        }
+        rep.estTotalCycles =
+            rep.cpiMean * static_cast<double>(rep.totalInsts);
+    }
+    return rep;
+}
+
+} // namespace mca::sample

@@ -12,6 +12,7 @@
 #ifndef MCA_SUPPORT_RANDOM_HH
 #define MCA_SUPPORT_RANDOM_HH
 
+#include <array>
 #include <cstdint>
 
 namespace mca
@@ -49,6 +50,21 @@ class Rng
 
     /** Fork a child generator with a decorrelated seed stream. */
     Rng fork();
+
+    /** Raw xoshiro256** state words (checkpointing). */
+    std::array<std::uint64_t, 4>
+    rawState() const
+    {
+        return {s_[0], s_[1], s_[2], s_[3]};
+    }
+
+    /** Overwrite the state words (checkpoint restore). */
+    void
+    setRawState(const std::array<std::uint64_t, 4> &s)
+    {
+        for (unsigned i = 0; i < 4; ++i)
+            s_[i] = s[i];
+    }
 
   private:
     std::uint64_t s_[4];

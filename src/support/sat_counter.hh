@@ -38,6 +38,14 @@ class SatCounter
     std::uint8_t value() const { return value_; }
     std::uint8_t saturation() const { return max_; }
 
+    /** Overwrite the count (checkpoint restore). */
+    void
+    setValue(std::uint8_t v)
+    {
+        MCA_ASSERT(v <= max_, "restored value exceeds saturation");
+        value_ = v;
+    }
+
     /** MSB test: true in the upper half of the range. */
     bool predictTaken() const { return value_ > max_ / 2; }
 

@@ -89,6 +89,21 @@ Distribution::percentile(double p) const
     return max_; // quantile falls in the overflow bucket
 }
 
+void
+Distribution::restore(const std::vector<std::uint64_t> &buckets,
+                      std::uint64_t overflow, std::uint64_t samples,
+                      std::uint64_t sum, double sum_sq, std::uint64_t max)
+{
+    MCA_ASSERT(buckets.size() == buckets_.size(),
+               "distribution restore: bucket count mismatch");
+    buckets_ = buckets;
+    overflow_ = overflow;
+    samples_ = samples;
+    sum_ = sum;
+    sumSq_ = sum_sq;
+    max_ = max;
+}
+
 Counter &
 StatGroup::counter(const std::string &name, const std::string &desc)
 {
@@ -139,6 +154,38 @@ StatGroup::formulaAt(const std::string &name) const
     if (it == formulas_.end())
         MCA_PANIC("no formula named '", name, "' in group '", name_, "'");
     return it->second.fn();
+}
+
+Counter *
+StatGroup::findCounter(const std::string &name)
+{
+    auto it = counters_.find(name);
+    return it == counters_.end() ? nullptr : &it->second.counter;
+}
+
+Distribution *
+StatGroup::findDistribution(const std::string &name)
+{
+    auto it = dists_.find(name);
+    return it == dists_.end() ? nullptr : &it->second.dist;
+}
+
+void
+StatGroup::forEachCounter(
+    const std::function<void(const std::string &, const Counter &)> &fn)
+    const
+{
+    for (const auto &[name, entry] : counters_)
+        fn(name, entry.counter);
+}
+
+void
+StatGroup::forEachDistribution(
+    const std::function<void(const std::string &, const Distribution &)>
+        &fn) const
+{
+    for (const auto &[name, entry] : dists_)
+        fn(name, entry.dist);
 }
 
 void

@@ -33,6 +33,9 @@ class Counter
     std::uint64_t value() const { return value_; }
     void reset() { value_ = 0; }
 
+    /** Overwrite the value (checkpoint restore only). */
+    void set(std::uint64_t v) { value_ = v; }
+
   private:
     std::uint64_t value_ = 0;
 };
@@ -65,6 +68,16 @@ class Distribution
     const std::vector<std::uint64_t> &buckets() const { return buckets_; }
     std::uint64_t overflow() const { return overflow_; }
     std::uint64_t bucketWidth() const { return bucketWidth_; }
+    std::uint64_t sum() const { return sum_; }
+    double sumSq() const { return sumSq_; }
+
+    /**
+     * Overwrite accumulators (checkpoint restore only). The bucket
+     * vector must match the configured bucket count.
+     */
+    void restore(const std::vector<std::uint64_t> &buckets,
+                 std::uint64_t overflow, std::uint64_t samples,
+                 std::uint64_t sum, double sum_sq, std::uint64_t max);
 
   private:
     std::uint64_t bucketWidth_ = 1;
@@ -110,6 +123,20 @@ class StatGroup
 
     /** Evaluate a registered formula; panics if absent. */
     double formulaAt(const std::string &name) const;
+
+    /** Mutable lookup of an existing counter; null if absent. */
+    Counter *findCounter(const std::string &name);
+    /** Mutable lookup of an existing distribution; null if absent. */
+    Distribution *findDistribution(const std::string &name);
+
+    /** Visit every counter in registration (name) order. */
+    void forEachCounter(
+        const std::function<void(const std::string &, const Counter &)>
+            &fn) const;
+    /** Visit every distribution in registration (name) order. */
+    void forEachDistribution(
+        const std::function<void(const std::string &, const Distribution &)>
+            &fn) const;
 
     void resetAll();
     void dump(std::ostream &os) const;

@@ -79,13 +79,18 @@ usage()
         "  --trace-seeds LIST   trace interpreter seeds [42]\n"
         "  --l2-kb LIST         shared-L2 sizes in KB (0 = no L2) [0]\n"
         "  --l2-lat LIST        L2 hit latencies in cycles [6]\n"
-        "  --mem-lat LIST       memory backside latencies in cycles [16]\n\n"
+        "  --mem-lat LIST       memory backside latencies in cycles [16]\n"
+        "  --sample-periods LIST  sampled-run interval periods; 0 = full\n"
+        "                       detailed run (docs/sampling.md) [0]\n\n"
         "shared job parameters:\n"
         "  --fill-ports N       fills/cycle per level (0 = unlimited) [0]\n"
         "  --scale X            workload scale [0.2]\n"
         "  --unroll N           unroll factor [1]\n"
         "  --predictor KIND     " + joined(runner::validPredictors()) +
         " [machine default]\n"
+        "  --sample-detail N    measured insts per sampled interval "
+        "[10000]\n"
+        "  --sample-warmup N    detailed-warmup insts per interval [2000]\n"
         "  --max-insts N        trace length cap [300000]\n"
         "  --max-cycles N       cycle budget; exceeding it = timeout "
         "[100000000]\n\n"
@@ -201,6 +206,17 @@ parse(int argc, char **argv)
             opt.grid.l2Lats = needUnsignedList("--l2-lat");
         } else if (a == "--mem-lat") {
             opt.grid.memLats = needUnsignedList("--mem-lat");
+        } else if (a == "--sample-periods") {
+            opt.grid.samplePeriods.clear();
+            for (const auto &s : splitList(need("--sample-periods")))
+                opt.grid.samplePeriods.push_back(
+                    std::strtoull(s.c_str(), nullptr, 10));
+        } else if (a == "--sample-detail") {
+            opt.grid.sampleDetail = std::strtoull(
+                need("--sample-detail").c_str(), nullptr, 10);
+        } else if (a == "--sample-warmup") {
+            opt.grid.sampleWarmup = std::strtoull(
+                need("--sample-warmup").c_str(), nullptr, 10);
         } else if (a == "--fill-ports") {
             opt.grid.fillPorts = static_cast<unsigned>(
                 std::atoi(need("--fill-ports").c_str()));
@@ -271,6 +287,12 @@ parse(int argc, char **argv)
                     die(e.what());
                 }
             }
+    // Same early surfacing for infeasible sampling plans.
+    for (std::uint64_t period : opt.grid.samplePeriods)
+        if (period > 0 &&
+            opt.grid.sampleWarmup + opt.grid.sampleDetail > period)
+            die("sample warmup+detail exceeds period " +
+                std::to_string(period) + " (intervals would overlap)");
     return opt;
 }
 

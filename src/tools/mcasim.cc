@@ -24,6 +24,7 @@
 #include <string>
 #include <vector>
 
+#include "ckpt/snapshot.hh"
 #include "compiler/pass.hh"
 #include "compiler/pipeline.hh"
 #include "core/processor.hh"
@@ -34,6 +35,8 @@
 #include "obs/sampler.hh"
 #include "obs/snapshot.hh"
 #include "runner/jobspec.hh"
+#include "sample/driver.hh"
+#include "sample/spec.hh"
 #include "support/panic.hh"
 #include "workloads/workloads.hh"
 
@@ -86,6 +89,14 @@ struct Options
     std::vector<std::string> dumpAfter;
     unsigned timeline = 0; // print the first N instructions' events
     bool quiet = false;
+
+    // Checkpoint/restore + sampling (docs/sampling.md).
+    std::string sampleSpec; // --sample plan; empty = full detailed run
+    std::string ckptOut;    // write one snapshot here
+    Cycle ckptAt = 0;       // cycle to take it at (0 = end of run)
+    std::string ckptIn;     // restore this snapshot before running
+    Cycle ckptEvery = 0;    // periodic snapshot cadence (0 = off)
+    std::string ckptDir = "."; // directory for periodic snapshots
 
     // Observability (all off by default: the plain path is untouched).
     bool cycleStacks = false;
@@ -142,6 +153,16 @@ usage()
         "  --dump-binary        print the compiled binary's disassembly\n"
         "  --timeline N         print events for the first N instructions\n"
         "  --quiet              only the one-line summary\n\n"
+        "checkpoint & sampling (docs/sampling.md):\n"
+        "  --sample SPEC        sampled run: mode:period=N,detail=N,\n"
+        "                       warmup=N[,offset=N][,jobs=N]; mode is\n"
+        "                       systematic or periodic\n"
+        "  --ckpt-out FILE      write a snapshot (at --ckpt-at, or at\n"
+        "                       the end of the run)\n"
+        "  --ckpt-at N          cycle to take the --ckpt-out snapshot\n"
+        "  --ckpt-in FILE       restore a snapshot, then run to the end\n"
+        "  --ckpt-every N       write a snapshot every N cycles\n"
+        "  --ckpt-dir DIR       directory for --ckpt-every files [.]\n\n"
         "observability (docs/observability.md):\n"
         "  --cycle-stacks       per-cause retire-slot stall attribution\n"
         "  --interval-stats N   close a time-series interval every N cycles\n"
@@ -312,6 +333,22 @@ parse(int argc, char **argv)
                 std::atoi(need("--timeline").c_str()));
         } else if (a == "--quiet") {
             opt.quiet = true;
+        } else if (a == "--sample") {
+            opt.sampleSpec = need("--sample");
+        } else if (a == "--ckpt-out") {
+            opt.ckptOut = need("--ckpt-out");
+        } else if (a == "--ckpt-at") {
+            opt.ckptAt = std::strtoull(need("--ckpt-at").c_str(),
+                                       nullptr, 10);
+        } else if (a == "--ckpt-in") {
+            opt.ckptIn = need("--ckpt-in");
+        } else if (a == "--ckpt-every") {
+            opt.ckptEvery = std::strtoull(need("--ckpt-every").c_str(),
+                                          nullptr, 10);
+            if (opt.ckptEvery == 0)
+                MCA_FATAL("--ckpt-every must be >= 1");
+        } else if (a == "--ckpt-dir") {
+            opt.ckptDir = need("--ckpt-dir");
         } else if (a == "--cycle-stacks") {
             opt.cycleStacks = true;
         } else if (a == "--interval-stats") {
@@ -494,6 +531,42 @@ main(int argc, char **argv)
             compiled->binary, opt.traceSeed, opt.maxInsts);
     }
 
+    if (!opt.sampleSpec.empty()) {
+        // Sampled run: the driver replays the compiled binary itself
+        // (one functional warming pass + K detailed intervals), so it
+        // needs the program, not a pre-opened trace.
+        if (!compiled)
+            MCA_FATAL("--sample requires a compiled workload "
+                      "(--benchmark or --random-seed, not --load-trace)");
+        sample::SampleSpec spec;
+        try {
+            spec = sample::SampleSpec::parse(opt.sampleSpec);
+        } catch (const std::exception &e) {
+            MCA_FATAL(e.what());
+        }
+        sample::SampleReport rep;
+        try {
+            sample::SampledDriver driver(compiled->binary, cfg,
+                                         opt.traceSeed, opt.maxInsts);
+            rep = driver.run(spec);
+        } catch (const std::exception &e) {
+            MCA_FATAL(e.what());
+        }
+        if (!rep.allConserved)
+            MCA_FATAL("cycle-stack conservation violated in a sampled "
+                      "interval");
+        std::cout << source_desc << " on " << opt.machine << " [sampled "
+                  << spec.canonical() << "]: " << rep.totalInsts
+                  << " instructions, est " << rep.estTotalCycles
+                  << " cycles (cpi " << rep.cpiMean << " +/- "
+                  << rep.cpiCi95 << ", " << rep.intervals.size()
+                  << " intervals, " << rep.detailedInsts
+                  << " detailed insts)\n";
+        if (opt.jsonStats)
+            rep.dumpJson(std::cout);
+        return 0;
+    }
+
     StatGroup stats("mcasim");
     core::Processor cpu(cfg, *trace, stats);
     core::TimelineRecorder recorder;
@@ -503,6 +576,43 @@ main(int argc, char **argv)
     obs::CycleStack cstack;
     if (opt.cycleStacks)
         cpu.attachCycleStack(&cstack);
+
+    if (!opt.ckptIn.empty()) {
+        try {
+            const auto snap = ckpt::Snapshot::loadFile(opt.ckptIn);
+            ckpt::SnapshotParser parser(snap, cpu.configHash());
+            cpu.loadState(parser);
+        } catch (const std::exception &e) {
+            MCA_FATAL("--ckpt-in '", opt.ckptIn, "': ", e.what());
+        }
+        if (!opt.quiet)
+            std::cout << "restored " << opt.ckptIn << " (cycle "
+                      << cpu.now() << ", "
+                      << cpu.retiredInstructions() << " retired)\n";
+    }
+
+    auto saveSnapshot = [&](const std::string &path) {
+        ckpt::SnapshotBuilder builder(cpu.configHash());
+        cpu.saveState(builder);
+        try {
+            builder.finish().saveFile(path);
+        } catch (const std::exception &e) {
+            MCA_FATAL(e.what());
+        }
+        if (!opt.quiet)
+            std::cout << "wrote checkpoint " << path << " (cycle "
+                      << cpu.now() << ")\n";
+    };
+    auto periodicPath = [&](Cycle cycle) {
+        char name[32];
+        std::snprintf(name, sizeof name, "ckpt_%012llu.mck",
+                      static_cast<unsigned long long>(cycle));
+        return opt.ckptDir + "/" + name;
+    };
+    Cycle nextEvery =
+        opt.ckptEvery > 0 ? cpu.now() + opt.ckptEvery : ~Cycle{0};
+    // --ckpt-at 0 means "at the end of the run" (saved after the loop).
+    bool ckptOutSaved = opt.ckptOut.empty() || opt.ckptAt == 0;
 
     // Per-cycle observation is needed only for the sampler and the
     // counter tracks; without them the run loop is exactly cpu.run()
@@ -526,14 +636,50 @@ main(int argc, char **argv)
             if (!opt.traceOut.empty() &&
                 snap.cycle % counter_stride == 0)
                 exporter.addCounters(snap);
+            // step() never fast-forwards, so every boundary is seen.
+            if (!ckptOutSaved && cpu.now() >= opt.ckptAt) {
+                saveSnapshot(opt.ckptOut);
+                ckptOutSaved = true;
+            }
+            if (cpu.now() >= nextEvery) {
+                saveSnapshot(periodicPath(cpu.now()));
+                nextEvery += opt.ckptEvery;
+            }
         }
         sampler.finish();
         result.cycles = cpu.now();
         result.instructions = cpu.retiredInstructions();
         result.completed = true;
+    } else if (opt.ckptEvery > 0 || !ckptOutSaved) {
+        // Segmented run: stop at each checkpoint boundary (between
+        // cycles, where saveState is legal), snapshot, continue. The
+        // resumed segments are bit-identical to one uninterrupted
+        // run() (tests/ckpt_test.cc), so checkpoints are free of
+        // timing perturbation.
+        while (true) {
+            const Cycle bound =
+                std::min(nextEvery, ckptOutSaved ? ~Cycle{0} : opt.ckptAt);
+            result = cpu.run(bound);
+            if (result.completed)
+                break;
+            if (!ckptOutSaved && cpu.now() >= opt.ckptAt) {
+                saveSnapshot(opt.ckptOut);
+                ckptOutSaved = true;
+            }
+            if (cpu.now() >= nextEvery) {
+                saveSnapshot(periodicPath(cpu.now()));
+                nextEvery += opt.ckptEvery;
+            }
+        }
     } else {
         result = cpu.run();
     }
+    if (!opt.ckptOut.empty() && !ckptOutSaved)
+        saveSnapshot(opt.ckptOut);
+    // --ckpt-at 0 (or a bound past the run's end): snapshot the final
+    // state, which restores as a completed machine.
+    if (!opt.ckptOut.empty() && opt.ckptAt == 0)
+        saveSnapshot(opt.ckptOut);
 
     if (opt.cycleStacks) {
         MCA_ASSERT(cstack.conserved(),

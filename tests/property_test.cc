@@ -12,15 +12,22 @@
  *      the same dynamic path (same non-spill opcode sequence), the
  *      paper's core methodological invariant;
  *   4. machine liveness — both machines drain every trace completely
- *      and deterministically.
+ *      and deterministically;
+ *   5. snapshot fidelity — at arbitrary mid-run cycle points, a full
+ *      machine snapshot survives save → restore → re-save with
+ *      byte-identical payloads (the snapshot is a fixed point of
+ *      save∘load, so no machine state escapes the checkpoint chain).
  */
 
 #include <gtest/gtest.h>
 
+#include "ckpt/snapshot.hh"
 #include "compiler/interference.hh"
 #include "compiler/liveness.hh"
 #include "compiler/pipeline.hh"
+#include "core/processor.hh"
 #include "exec/trace.hh"
+#include "exec/walker.hh"
 #include "harness/experiment.hh"
 #include "workloads/workloads.hh"
 
@@ -235,3 +242,74 @@ INSTANTIATE_TEST_SUITE_P(Seeds, ModeMatrix,
                          ::testing::Range<std::uint64_t>(20, 28));
 
 } // namespace modes
+
+namespace ckptprop
+{
+
+using namespace mca;
+
+/**
+ * Snapshot fidelity across every benchmark in the registry plus the
+ * pointer-chase microbenchmark: stop a run at pseudo-random cycle
+ * points, save the full machine, restore it into a fresh machine, and
+ * re-save — the two payloads must be byte-identical. Any drift means
+ * some piece of state (queues, rename maps, caches, MSHRs, predictor,
+ * trace cursor, stats) escaped the save/restore chain.
+ */
+class SnapshotRoundTrip : public ::testing::TestWithParam<const char *>
+{
+};
+
+TEST_P(SnapshotRoundTrip, SaveRestoreSaveIsByteIdentical)
+{
+    const std::string bench = GetParam();
+    const auto program = bench == "chase"
+                             ? workloads::makePointerChase({})
+                             : workloads::benchmarkByName(bench).make({});
+    compiler::CompileOptions copt = compiler::compileOptionsFor("local", 2);
+    copt.profileSeed = 42;
+    const auto compiled = compiler::compile(program, copt);
+    auto cfg = core::ProcessorConfig::dualCluster8();
+    cfg.regMap = compiled.hardwareMap(2);
+
+    // Per-workload pseudo-random mid-run stop points (deterministic,
+    // but not aligned to anything the pipeline does).
+    std::uint64_t nameSalt = 0;
+    for (const char c : bench)
+        nameSalt = nameSalt * 131 + static_cast<unsigned char>(c);
+    for (std::uint64_t trial = 0; trial < 3; ++trial) {
+        const Cycle stop =
+            200 + exec::hashSeed(42, nameSalt, trial) % 5'000;
+
+        StatGroup sg("mca");
+        exec::ProgramTrace trace(compiled.binary, 42, 20'000);
+        core::Processor proc(cfg, trace, sg);
+        proc.run(stop);
+        ckpt::SnapshotBuilder save(proc.configHash());
+        proc.saveState(save);
+        const ckpt::Snapshot first = save.finish();
+
+        StatGroup sg2("mca");
+        exec::ProgramTrace trace2(compiled.binary, 42, 20'000);
+        core::Processor restored(cfg, trace2, sg2);
+        ckpt::SnapshotParser parser(first, restored.configHash());
+        restored.loadState(parser);
+        ckpt::SnapshotBuilder resave(restored.configHash());
+        restored.saveState(resave);
+        const ckpt::Snapshot second = resave.finish();
+
+        ASSERT_EQ(first.payload, second.payload)
+            << bench << ": payload drift at cycle " << stop;
+        EXPECT_EQ(first.contentHash(), second.contentHash());
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Workloads, SnapshotRoundTrip,
+                         ::testing::Values("compress", "doduc", "gcc1",
+                                           "ora", "su2cor", "tomcatv",
+                                           "chase"),
+                         [](const auto &info) {
+                             return std::string(info.param);
+                         });
+
+} // namespace ckptprop
