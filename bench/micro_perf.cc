@@ -273,6 +273,13 @@ runEngineComparison(const std::string &json_out)
         << "  \"machine\": \"dual8\",\n"
         << "  \"max_insts\": " << kMaxInsts << ",\n"
         << "  \"workloads\": [\n";
+    // ns_per_cycle is the reciprocal view (host nanoseconds per
+    // simulated cycle) that docs/profiling.md and prof_report.py work
+    // in; carrying it here lets profiles be compared against the
+    // committed baseline without unit juggling.
+    auto nsPerCycle = [](double cps) {
+        return cps > 0.0 ? 1e9 / cps : 0.0;
+    };
     for (std::size_t i = 0; i < rows.size(); ++i) {
         const Row &r = rows[i];
         out << "    {\"workload\": \"" << r.workload << "\", "
@@ -282,6 +289,10 @@ runEngineComparison(const std::string &json_out)
             << ", "
             << "\"event_cycles_per_sec\": " << r.event.cyclesPerSecond
             << ", "
+            << "\"scan_ns_per_cycle\": "
+            << nsPerCycle(r.scan.cyclesPerSecond) << ", "
+            << "\"event_ns_per_cycle\": "
+            << nsPerCycle(r.event.cyclesPerSecond) << ", "
             << "\"speedup\": "
             << r.event.cyclesPerSecond / r.scan.cyclesPerSecond << "}"
             << (i + 1 < rows.size() ? "," : "") << "\n";

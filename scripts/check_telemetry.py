@@ -1,0 +1,116 @@
+#!/usr/bin/env python3
+"""Validate an `mcarun --telemetry` JSONL stream (run from ci.sh).
+
+The stream's contract (src/runner/telemetry.hh): every line is one
+self-contained JSON object; an optional leading "start" record carries
+the job total; each finished job appends a "job" record whose `done`
+counter increases by exactly 1 (the campaign invokes the progress
+callback under its lock, so records are totally ordered); a final
+"summary" record closes the stream. This script asserts exactly that —
+it is the executable form of the contract:
+
+  - every line parses as JSON with a known "event" type;
+  - "job" records count done = 1, 2, ..., total with done <= total;
+  - elapsed_ms is non-decreasing and eta_ms is never negative;
+  - cache_hits <= done, and the final job record's done == total;
+  - the "summary" record is present, last, and consistent with the
+    job stream (total and from_cache match what was counted).
+
+Usage: check_telemetry.py FILE [--expect-total N]
+Exit status 0 when the stream honours the contract, 1 otherwise.
+"""
+
+import json
+import sys
+
+
+def fail(line_no, msg):
+    sys.exit("check_telemetry.py: line %d: %s" % (line_no, msg))
+
+
+def main():
+    args = sys.argv[1:]
+    expect_total = None
+    if "--expect-total" in args:
+        i = args.index("--expect-total")
+        expect_total = int(args[i + 1])
+        del args[i:i + 2]
+    if len(args) != 1:
+        sys.exit(__doc__)
+
+    records = []
+    with open(args[0]) as f:
+        for line_no, line in enumerate(f, 1):
+            line = line.strip()
+            if not line:
+                fail(line_no, "blank line in JSONL stream")
+            try:
+                rec = json.loads(line)
+            except json.JSONDecodeError as e:
+                fail(line_no, "not valid JSON: %s" % e)
+            if rec.get("event") not in ("start", "job", "summary"):
+                fail(line_no, "unknown event %r" % rec.get("event"))
+            records.append((line_no, rec))
+
+    if not records:
+        sys.exit("check_telemetry.py: %s: empty stream" % args[0])
+
+    total = None
+    done = 0
+    cache_hits = 0
+    last_elapsed = 0.0
+    summary = None
+    for line_no, rec in records:
+        if summary is not None:
+            fail(line_no, "record after the summary")
+        event = rec["event"]
+        if event == "start":
+            if done:
+                fail(line_no, "start record after job records")
+            total = rec["total"]
+        elif event == "job":
+            if rec["done"] != done + 1:
+                fail(line_no, "done jumped %d -> %d (expected +1)"
+                     % (done, rec["done"]))
+            done = rec["done"]
+            if total is None:
+                total = rec["total"]
+            elif rec["total"] != total:
+                fail(line_no, "total changed %d -> %d"
+                     % (total, rec["total"]))
+            if done > total:
+                fail(line_no, "done %d exceeds total %d" % (done, total))
+            if rec["elapsed_ms"] < last_elapsed:
+                fail(line_no, "elapsed_ms went backwards (%g -> %g)"
+                     % (last_elapsed, rec["elapsed_ms"]))
+            last_elapsed = rec["elapsed_ms"]
+            if rec["eta_ms"] < 0:
+                fail(line_no, "negative eta_ms %g" % rec["eta_ms"])
+            if rec["cache_hits"] > done:
+                fail(line_no, "cache_hits %d exceeds done %d"
+                     % (rec["cache_hits"], done))
+            cache_hits = rec["cache_hits"]
+            if "job" not in rec or "key" not in rec["job"]:
+                fail(line_no, "job record without a job key")
+        else:
+            summary = (line_no, rec)
+
+    if summary is None:
+        sys.exit("check_telemetry.py: %s: no summary record" % args[0])
+    line_no, rec = summary
+    if rec["total"] != done:
+        fail(line_no, "summary total %d != %d job records"
+             % (rec["total"], done))
+    if rec["from_cache"] != cache_hits:
+        fail(line_no, "summary from_cache %d != last cache_hits %d"
+             % (rec["from_cache"], cache_hits))
+    if expect_total is not None and done != expect_total:
+        sys.exit("check_telemetry.py: expected %d jobs, stream has %d"
+                 % (expect_total, done))
+
+    print("check_telemetry.py: OK (%d jobs, %d from cache, %.1f ms)"
+          % (done, cache_hits, last_elapsed))
+
+
+if __name__ == "__main__":
+    main()

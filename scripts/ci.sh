@@ -103,6 +103,31 @@ python3 scripts/check_ckpt.py "$SIM"
 # speedup with <= 2% CPI error (see EXPERIMENTS.md).
 "$BUILD/bench/sampled_speedup" --json-out "$ROOT/BENCH_sample.json"
 
+# Host-profiler smoke (docs/profiling.md): a profiled gcc1 run must
+# attribute >= 90% of its wall clock to regions, the report must
+# render, and the diff mode must accept two real profiles. The sampled
+# variant exercises the per-window Perfetto tracks and the
+# multi-threaded profile merge.
+"$SIM" --benchmark gcc1 --prof --prof-out /tmp/mca_ci_prof1.json \
+    --quiet >/dev/null
+python3 scripts/prof_report.py /tmp/mca_ci_prof1.json \
+    --min-coverage 0.9 >/dev/null
+"$SIM" --benchmark gcc1 --prof --prof-out /tmp/mca_ci_prof2.json \
+    --sample "systematic:period=20000,detail=4000,warmup=1000,jobs=2" \
+    --trace-out /tmp/mca_ci_prof_trace.json --quiet >/dev/null
+python3 scripts/prof_report.py /tmp/mca_ci_prof2.json >/dev/null
+python3 scripts/prof_report.py --diff /tmp/mca_ci_prof1.json \
+    /tmp/mca_ci_prof2.json >/dev/null
+
+# Campaign-telemetry smoke: the JSONL heartbeat must parse, count
+# done = 1..total monotonically, and close with a consistent summary.
+"$BUILD/src/tools/mcarun" --benchmarks compress,ora \
+    --schedulers native,local --scale 0.05 --max-insts 20000 --jobs 2 \
+    --no-cache --telemetry /tmp/mca_ci_telemetry.jsonl --no-table \
+    --quiet >/dev/null 2>&1
+python3 scripts/check_telemetry.py /tmp/mca_ci_telemetry.jsonl \
+    --expect-total 4
+
 # Throughput-regression gate: the fresh benches above vs the copies
 # saved before regeneration.
 python3 scripts/perf_gate.py "$PREV_BENCH" "$ROOT"

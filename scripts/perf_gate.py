@@ -55,6 +55,26 @@ def core_metrics(doc):
     }
 
 
+def print_ns_per_cycle(fresh_dir):
+    """Informational: host cost per simulated cycle, per workload.
+
+    The reciprocal of the gated cycles-per-second metrics, in the units
+    docs/profiling.md works in. Older BENCH_core.json files predate the
+    fields, so absence is not an error.
+    """
+    path = fresh_dir / "BENCH_core.json"
+    if not path.exists():
+        return
+    rows = load(path).get("workloads", [])
+    if not rows or "event_ns_per_cycle" not in rows[0]:
+        return
+    print("  host ns per simulated cycle (event engine):")
+    for r in rows:
+        print("    %-10s %8.1f ns/cycle (scan %8.1f)"
+              % (r["workload"], r["event_ns_per_cycle"],
+                 r.get("scan_ns_per_cycle", 0.0)))
+
+
 def compile_metrics(doc):
     wall = doc["wall_s_cache"]
     return {"compile.jobs_per_s":
@@ -134,6 +154,8 @@ def main():
                     % (name, metric, (1.0 - ratio) * 100.0, p, f))
             print("  %-20s %-18s %10.3g -> %10.3g  (%+5.1f%%) %s"
                   % (name, metric, p, f, (ratio - 1.0) * 100.0, verdict))
+
+    print_ns_per_cycle(fresh_dir)
 
     if failures:
         print("perf_gate.py: FAIL")

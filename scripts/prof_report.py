@@ -1,0 +1,185 @@
+#!/usr/bin/env python3
+"""Render, check, and diff mcasim host profiles (docs/profiling.md).
+
+The input is the JSON document written by `mcasim --prof-out FILE`: a
+tree of regions, each with inclusive time (total_ns), exclusive time
+(self_ns = total minus children), a call count, and optionally a block
+of hardware-counter deltas. Three modes:
+
+  prof_report.py PROFILE                  render the top-down tree
+  prof_report.py PROFILE --min-coverage F coverage check (for CI)
+  prof_report.py --diff OLD NEW           per-region comparison
+
+Coverage is *self-attributed*: the scope timer design guarantees every
+nanosecond between the first scope entry and the snapshot lands in
+exactly one region's self time, so the instrumented fraction of the run
+is root total_ns / wall_ns. With one thread that is <= 1; with worker
+threads (sampled runs, campaigns) the numerator is summed CPU time and
+legitimately exceeds the wall clock, so the check is a floor, never a
+ceiling.
+
+The diff mode keys regions by their full path, so a region that moved
+in the tree shows as removed + added rather than silently comparing
+different parents' children.
+
+Exit status: 0 on success, 1 on a failed coverage check or a malformed
+profile.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_profile(path):
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        sys.exit("prof_report.py: cannot read %s: %s" % (path, e))
+    for key in ("version", "wall_ns", "root"):
+        if key not in doc:
+            sys.exit("prof_report.py: %s: missing '%s' (not a "
+                     "--prof-out file?)" % (path, key))
+    return doc
+
+
+def fmt_ms(ns):
+    return "%.3f" % (ns / 1e6)
+
+
+def walk(node, path=()):
+    """Yield (path, node) depth-first; path excludes the root."""
+    for child in node.get("children", []):
+        child_path = path + (child["name"],)
+        yield child_path, child
+        yield from walk(child, child_path)
+
+
+def render(doc, max_depth, min_pct):
+    root = doc["root"]
+    total = root.get("total_ns", 0)
+    wall = doc.get("wall_ns", 0)
+    hw = doc.get("hw_available", False)
+
+    print("host profile: %s ms wall, %s ms in regions (%.1f%%), "
+          "%d thread%s%s"
+          % (fmt_ms(wall), fmt_ms(total),
+             100.0 * total / wall if wall else 0.0,
+             doc.get("threads", 0),
+             "" if doc.get("threads", 0) == 1 else "s",
+             ", hw counters" if hw else ""))
+    header = "%-42s %10s %10s %9s %7s" % (
+        "region", "total(ms)", "self(ms)", "calls", "%root")
+    if hw:
+        header += " %8s %12s" % ("ipc", "cache-miss")
+    print(header)
+
+    def emit(node, depth):
+        if max_depth is not None and depth > max_depth:
+            return
+        pct = 100.0 * node.get("total_ns", 0) / total if total else 0.0
+        if depth > 0 and pct < min_pct:
+            return
+        line = "%-42s %10s %10s %9d %6.1f%%" % (
+            "  " * depth + node["name"],
+            fmt_ms(node.get("total_ns", 0)),
+            fmt_ms(node.get("self_ns", 0)),
+            node.get("calls", 0), pct)
+        counts = node.get("hw")
+        if hw and counts and counts.get("cycles"):
+            ipc = counts.get("instructions", 0) / counts["cycles"]
+            line += " %8.2f %12d" % (ipc, counts.get("cache_misses", 0))
+        print(line)
+        for child in sorted(node.get("children", []),
+                            key=lambda c: -c.get("total_ns", 0)):
+            emit(child, depth + 1)
+
+    emit(root, 0)
+
+
+def check_coverage(doc, minimum, path):
+    wall = doc.get("wall_ns", 0)
+    total = doc["root"].get("total_ns", 0)
+    coverage = total / wall if wall else 0.0
+    verdict = "ok" if coverage >= minimum else "FAIL"
+    print("coverage: %.1f%% of wall clock attributed to regions "
+          "(minimum %.1f%%) %s"
+          % (100.0 * coverage, 100.0 * minimum, verdict))
+    if coverage < minimum:
+        sys.exit("prof_report.py: %s: coverage %.3f below minimum %.3f"
+                 % (path, coverage, minimum))
+
+
+def diff(old_path, new_path):
+    old_doc, new_doc = load_profile(old_path), load_profile(new_path)
+    old = {p: n for p, n in walk(old_doc["root"])}
+    new = {p: n for p, n in walk(new_doc["root"])}
+
+    print("profile diff: %s (%s ms) -> %s (%s ms)"
+          % (old_path, fmt_ms(old_doc["wall_ns"]),
+             new_path, fmt_ms(new_doc["wall_ns"])))
+    print("%-42s %10s %10s %8s %10s" % (
+        "region", "old(ms)", "new(ms)", "delta", "calls"))
+
+    rows = []
+    for path in sorted(set(old) | set(new)):
+        o, n = old.get(path), new.get(path)
+        o_ns = o.get("total_ns", 0) if o else 0
+        n_ns = n.get("total_ns", 0) if n else 0
+        rows.append((abs(n_ns - o_ns), path, o, n, o_ns, n_ns))
+    rows.sort(key=lambda r: (-r[0], r[1]))
+
+    for _, path, o, n, o_ns, n_ns in rows:
+        if o and n:
+            delta = ("%+7.1f%%" % (100.0 * (n_ns - o_ns) / o_ns)
+                     if o_ns else "   new")
+            calls = "%d" % n.get("calls", 0)
+            if o.get("calls") != n.get("calls"):
+                calls = "%d->%d" % (o.get("calls", 0), n.get("calls", 0))
+        elif n:
+            delta, calls = "   added", "%d" % n.get("calls", 0)
+        else:
+            delta, calls = " removed", "%d" % o.get("calls", 0)
+        print("%-42s %10s %10s %8s %10s" % (
+            "  " * (len(path) - 1) + path[-1],
+            fmt_ms(o_ns) if o else "-", fmt_ms(n_ns) if n else "-",
+            delta, calls))
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="render / check / diff mcasim --prof-out profiles")
+    parser.add_argument("profile", nargs="?",
+                        help="profile JSON from mcasim --prof-out")
+    parser.add_argument("--diff", nargs=2, metavar=("OLD", "NEW"),
+                        help="compare two profiles region by region")
+    parser.add_argument("--min-coverage", type=float, default=None,
+                        metavar="FRAC",
+                        help="fail unless root total / wall >= FRAC")
+    parser.add_argument("--depth", type=int, default=None,
+                        help="truncate the rendered tree at this depth")
+    parser.add_argument("--min-pct", type=float, default=0.0,
+                        help="hide regions below this %% of the root")
+    args = parser.parse_args()
+
+    if args.diff:
+        if args.profile or args.min_coverage is not None:
+            parser.error("--diff takes exactly two profiles and no "
+                         "other mode")
+        diff(*args.diff)
+        return
+    if not args.profile:
+        parser.error("a profile file (or --diff OLD NEW) is required")
+
+    doc = load_profile(args.profile)
+    render(doc, args.depth, args.min_pct)
+    if args.min_coverage is not None:
+        check_coverage(doc, args.min_coverage, args.profile)
+
+
+if __name__ == "__main__":
+    try:
+        main()
+    except BrokenPipeError:
+        sys.exit(0)  # output piped into head/less and closed early

@@ -4,6 +4,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "prof/prof.hh"
+
 namespace mca::ckpt
 {
 
@@ -58,6 +60,7 @@ Snapshot::writeTo(std::ostream &os) const
 void
 Snapshot::saveFile(const std::string &path) const
 {
+    PROF_SCOPE("ckpt.save_file");
     std::ofstream os(path, std::ios::binary | std::ios::trunc);
     if (!os)
         bad("cannot open '" + path + "' for writing");
@@ -102,6 +105,7 @@ Snapshot::readFrom(std::istream &is)
 Snapshot
 Snapshot::loadFile(const std::string &path)
 {
+    PROF_SCOPE("ckpt.load_file");
     std::ifstream is(path, std::ios::binary);
     if (!is)
         bad("cannot open '" + path + "'");

@@ -6,6 +6,7 @@
 #include <stdexcept>
 
 #include "exec/trace.hh"
+#include "prof/prof.hh"
 #include "support/panic.hh"
 
 namespace mca::compiler
@@ -325,7 +326,13 @@ PassManager::run(PassContext &ctx) const
         stat.spillOpsBefore = spillOpCount(ctx.out);
 
         const auto start = std::chrono::steady_clock::now();
-        pass->run(ctx);
+        {
+            // Region per pass, reusing the per-pass PassStat names so
+            // the host profile and pass-stats dumps line up.
+            prof::ScopeTimer prof_scope(
+                prof::internRegion("compile." + stat.pass));
+            pass->run(ctx);
+        }
         stat.wallMs = std::chrono::duration<double, std::milli>(
                           std::chrono::steady_clock::now() - start)
                           .count();

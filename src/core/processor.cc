@@ -13,6 +13,7 @@
 #include "isa/opcodes.hh"
 #include "obs/cycle_stack.hh"
 #include "obs/snapshot.hh"
+#include "prof/prof.hh"
 #include "support/panic.hh"
 
 namespace mca::core
@@ -489,15 +490,31 @@ Processor::step()
     if (im.pipelineEmpty())
         return false;
     im.m.now = cycle_;
-    im.beginCycle();
-    const unsigned n_retired = im.retire.tick();
-    if (n_retired > 0)
-        im.sched->onRetired(n_retired);
-    im.retire.resolveBranches();
-    im.sched->tick();
-    im.serviceReplayRequest();
-    im.fetch.tick();
-    im.dispatch.tick();
+    {
+        PROF_SCOPE("core.begin");
+        im.beginCycle();
+    }
+    {
+        PROF_SCOPE("core.retire");
+        const unsigned n_retired = im.retire.tick();
+        if (n_retired > 0)
+            im.sched->onRetired(n_retired);
+        im.retire.resolveBranches();
+    }
+    {
+        PROF_SCOPE("core.schedule");
+        im.sched->tick();
+        im.serviceReplayRequest();
+    }
+    {
+        PROF_SCOPE("core.fetch");
+        im.fetch.tick();
+    }
+    {
+        PROF_SCOPE("core.dispatch");
+        im.dispatch.tick();
+    }
+    PROF_SCOPE("core.account");
     im.checkWatchdog();
     if (im.m.cfg.paranoid)
         im.checkInvariants();
@@ -522,6 +539,7 @@ Processor::run(Cycle max_cycles)
     while (cycle_ < max_cycles) {
         if (!step())
             break;
+        PROF_SCOPE("core.idle_skip");
         cycle_ = impl_->fastForward(cycle_, max_cycles);
     }
     result.cycles = cycle_;
@@ -538,6 +556,7 @@ Processor::runUntilRetired(std::uint64_t target_retired, Cycle max_cycles)
            impl_->m.st.retired->value() < target_retired) {
         if (!step())
             break;
+        PROF_SCOPE("core.idle_skip");
         cycle_ = impl_->fastForward(cycle_, max_cycles);
     }
     result.cycles = cycle_;
@@ -841,6 +860,7 @@ Processor::configHash() const
 void
 Processor::saveState(ckpt::SnapshotBuilder &b) const
 {
+    PROF_SCOPE("ckpt.save_state");
     const Impl &im = *impl_;
     ckpt::Writer &w = b.w();
 
@@ -953,6 +973,7 @@ Processor::saveState(ckpt::SnapshotBuilder &b) const
 void
 Processor::loadState(ckpt::SnapshotParser &p)
 {
+    PROF_SCOPE("ckpt.load_state");
     Impl &im = *impl_;
     ckpt::Reader &r = p.r();
 

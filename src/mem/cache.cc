@@ -21,7 +21,8 @@ isPowerOfTwo(std::uint64_t x)
 
 Cache::Cache(std::string name, const CacheParams &params, StatGroup &stats,
              MemoryLevel *next, ServiceLevel level)
-    : name_(std::move(name)), params_(params), next_(next), level_(level),
+    : name_(std::move(name)), profRegion_(prof::internRegion("mem." + name_)),
+      params_(params), next_(next), level_(level),
       fillPorts_(params.fillPorts)
 {
     MCA_ASSERT(isPowerOfTwo(params.blockBytes), "block size not 2^n");
@@ -113,6 +114,7 @@ Cache::probe(Addr addr) const
 AccessResult
 Cache::access(Addr addr, bool is_write, Cycle now)
 {
+    prof::ScopeTimer prof_scope(profRegion_);
     ++*accesses_;
     const std::uint64_t set = setIndex(addr);
     const Addr tag = tagOf(addr);

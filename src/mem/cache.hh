@@ -31,6 +31,7 @@
 #include <vector>
 
 #include "ckpt/io.hh"
+#include "prof/prof.hh"
 #include "support/panic.hh"
 #include "support/stats.hh"
 #include "support/types.hh"
@@ -280,6 +281,8 @@ class Cache : public MemoryLevel
     void pruneOutstanding(Cycle now) const;
 
     std::string name_;
+    /** Interned "mem.<name>" host-profiler region (see src/prof). */
+    prof::RegionId profRegion_;
     CacheParams params_;
     MemoryLevel *next_;
     ServiceLevel level_;

@@ -8,7 +8,8 @@ namespace mca::mem
 
 FixedLatencyMemory::FixedLatencyMemory(std::string name, unsigned latency,
                                        unsigned ports, StatGroup &stats)
-    : name_(std::move(name)), latency_(latency), ports_(ports)
+    : name_(std::move(name)), profRegion_(prof::internRegion("mem." + name_)),
+      latency_(latency), ports_(ports)
 {
     reads_ = &stats.counter(name_ + ".reads",
                             "block fetches serviced by the backside");
@@ -19,6 +20,7 @@ FixedLatencyMemory::FixedLatencyMemory(std::string name, unsigned latency,
 AccessResult
 FixedLatencyMemory::access(Addr, bool is_write, Cycle now)
 {
+    prof::ScopeTimer prof_scope(profRegion_);
     if (is_write) {
         // Infinite write buffer: absorbed immediately, counted only.
         ++*writes_;

@@ -87,6 +87,8 @@ class FixedLatencyMemory : public MemoryLevel
 
   private:
     std::string name_;
+    /** Interned "mem.<name>" host-profiler region (see src/prof). */
+    prof::RegionId profRegion_;
     unsigned latency_;
     FillPorts ports_;
     mutable std::vector<Cycle> outstanding_;

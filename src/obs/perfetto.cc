@@ -211,6 +211,74 @@ PerfettoExporter::addCounters(const CycleObs &obs)
     }
 }
 
+void
+PerfettoExporter::nameProcess(unsigned pid, const std::string &name)
+{
+    Event ev;
+    ev.ph = 'M';
+    ev.pid = pid;
+    ev.name = "process_name";
+    ev.meta = name;
+    events_.push_back(std::move(ev));
+}
+
+void
+PerfettoExporter::addSlice(const std::string &name, unsigned pid,
+                           unsigned tid, Cycle ts, Cycle dur)
+{
+    Event ev;
+    ev.name = name;
+    ev.ph = 'X';
+    ev.ts = ts;
+    ev.dur = dur;
+    ev.pid = pid;
+    ev.tid = tid;
+    events_.push_back(std::move(ev));
+}
+
+void
+PerfettoExporter::addCounterValue(const std::string &name, unsigned pid,
+                                  Cycle ts, double value)
+{
+    Event ev;
+    ev.name = name;
+    ev.ph = 'C';
+    ev.ts = ts;
+    ev.pid = pid;
+    ev.tid = 0;
+    ev.value = value;
+    events_.push_back(std::move(ev));
+}
+
+namespace
+{
+
+/** Flame-graph layout: a node spans [start, start+total), children
+ *  pack sequentially from its start; the tail gap is the self time.
+ *  Offsets stay in ns until emission so rounding never accumulates. */
+void
+emitProfileNode(PerfettoExporter &ex, const prof::ProfileNode &node,
+                std::uint64_t start_ns, unsigned pid)
+{
+    ex.addSlice(node.name, pid, 1, start_ns / 1000,
+                std::max<Cycle>(node.totalNs / 1000, 1));
+    std::uint64_t off = start_ns;
+    for (const auto &child : node.children) {
+        emitProfileNode(ex, child, off, pid);
+        off += child.totalNs;
+    }
+}
+
+} // namespace
+
+void
+PerfettoExporter::addHostProfile(const prof::ProfileNode &root,
+                                 unsigned pid)
+{
+    nameProcess(pid, "host profile");
+    emitProfileNode(*this, root, 0, pid);
+}
+
 std::vector<PerfettoExporter::Event>
 PerfettoExporter::sortedEvents() const
 {

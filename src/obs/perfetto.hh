@@ -20,6 +20,14 @@
  * One simulated cycle maps to one microsecond of trace time. Events
  * are emitted sorted by timestamp, so every track's timestamps are
  * monotonically non-decreasing (asserted by tests/obs_test.cc).
+ *
+ * The exporter also carries *host-side* tracks so guest cycles and
+ * host wall time render in one trace: addHostProfile() lays a src/prof
+ * region tree out as a flame graph on its own process (one host
+ * microsecond = one trace microsecond), and the generic
+ * nameProcess/addSlice/addCounterValue primitives let tools emit
+ * custom tracks (mcasim uses them for per-window tracks of sampled
+ * runs: window extent, measured CPI, snapshot-restore time).
  */
 
 #ifndef MCA_OBS_PERFETTO_HH
@@ -31,6 +39,7 @@
 
 #include "core/timeline.hh"
 #include "obs/snapshot.hh"
+#include "prof/prof.hh"
 #include "support/types.hh"
 
 namespace mca::obs
@@ -61,6 +70,24 @@ class PerfettoExporter
 
     /** Append one cycle's occupancy counters (call once per cycle). */
     void addCounters(const CycleObs &obs);
+
+    /** Name a process track explicitly (idempotence is the caller's). */
+    void nameProcess(unsigned pid, const std::string &name);
+
+    /** Append one complete slice ('X') on (pid, tid). */
+    void addSlice(const std::string &name, unsigned pid, unsigned tid,
+                  Cycle ts, Cycle dur);
+
+    /** Append one counter sample ('C') on pid's counter track. */
+    void addCounterValue(const std::string &name, unsigned pid, Cycle ts,
+                         double value);
+
+    /**
+     * Render a host-profiler region tree as a flame graph on process
+     * @p pid (named "host profile"): each region is a slice whose
+     * children pack sequentially inside it, 1 host us = 1 trace us.
+     */
+    void addHostProfile(const prof::ProfileNode &root, unsigned pid);
 
     /** Events sorted by (ts, insertion order) — the emission order. */
     std::vector<Event> sortedEvents() const;

@@ -1,0 +1,117 @@
+#include "prof/hwcounters.hh"
+
+#include <cstring>
+
+#if defined(__linux__) && __has_include(<linux/perf_event.h>)
+#define MCA_PROF_HAVE_PERF_EVENT 1
+#include <linux/perf_event.h>
+#include <sys/ioctl.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+#endif
+
+namespace mca::prof
+{
+
+#if defined(MCA_PROF_HAVE_PERF_EVENT)
+
+namespace
+{
+
+int
+openCounter(std::uint64_t config, int group_fd)
+{
+    perf_event_attr attr;
+    std::memset(&attr, 0, sizeof attr);
+    attr.type = PERF_TYPE_HARDWARE;
+    attr.size = sizeof attr;
+    attr.config = config;
+    attr.disabled = group_fd < 0 ? 1 : 0; // leader starts the group
+    attr.exclude_kernel = 1;
+    attr.exclude_hv = 1;
+    attr.read_format = PERF_FORMAT_GROUP;
+    return static_cast<int>(syscall(__NR_perf_event_open, &attr,
+                                    /*pid=*/0, /*cpu=*/-1, group_fd,
+                                    /*flags=*/0));
+}
+
+} // namespace
+
+bool
+HwGroup::open()
+{
+    static const std::uint64_t kConfigs[4] = {
+        PERF_COUNT_HW_CPU_CYCLES,
+        PERF_COUNT_HW_INSTRUCTIONS,
+        PERF_COUNT_HW_CACHE_MISSES,
+        PERF_COUNT_HW_BRANCH_MISSES,
+    };
+
+    for (int i = 0; i < 4; ++i) {
+        fds_[i] = openCounter(kConfigs[i], i == 0 ? -1 : fds_[0]);
+        if (fds_[i] < 0) {
+            close();
+            return false;
+        }
+    }
+    leader_ = fds_[0];
+
+    if (ioctl(leader_, PERF_EVENT_IOC_RESET, PERF_IOC_FLAG_GROUP) != 0 ||
+        ioctl(leader_, PERF_EVENT_IOC_ENABLE, PERF_IOC_FLAG_GROUP) != 0) {
+        close();
+        return false;
+    }
+    return true;
+}
+
+bool
+HwGroup::read(std::uint64_t out[4])
+{
+    out[0] = out[1] = out[2] = out[3] = 0;
+    if (leader_ < 0)
+        return false;
+
+    // PERF_FORMAT_GROUP layout: { u64 nr; u64 values[nr]; }
+    std::uint64_t buf[1 + 4];
+    const auto n = ::read(leader_, buf, sizeof buf);
+    if (n != static_cast<ssize_t>(sizeof buf) || buf[0] != 4)
+        return false;
+    for (int i = 0; i < 4; ++i)
+        out[i] = buf[1 + i];
+    return true;
+}
+
+void
+HwGroup::close()
+{
+    for (int i = 3; i >= 0; --i) {
+        if (fds_[i] >= 0)
+            ::close(fds_[i]);
+        fds_[i] = -1;
+    }
+    leader_ = -1;
+}
+
+#else // !MCA_PROF_HAVE_PERF_EVENT
+
+bool
+HwGroup::open()
+{
+    return false;
+}
+
+bool
+HwGroup::read(std::uint64_t out[4])
+{
+    out[0] = out[1] = out[2] = out[3] = 0;
+    return false;
+}
+
+void
+HwGroup::close()
+{
+}
+
+#endif
+
+} // namespace mca::prof

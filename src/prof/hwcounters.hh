@@ -1,0 +1,53 @@
+/**
+ * @file
+ * perf_event_open counter group for the profiler (internal).
+ *
+ * One group per thread: cycles (leader), instructions, cache misses,
+ * branch misses, opened with PERF_FORMAT_GROUP so a single read()
+ * returns all four values coherently. open() fails gracefully — and
+ * permanently for the thread — when the kernel refuses (EPERM under
+ * perf_event_paranoid, ENOSYS in minimal containers) or when built on
+ * a platform without perf events; callers fall back to time-only
+ * profiling.
+ */
+
+#ifndef MCA_PROF_HWCOUNTERS_HH
+#define MCA_PROF_HWCOUNTERS_HH
+
+#include <cstdint>
+
+namespace mca::prof
+{
+
+class HwGroup
+{
+  public:
+    HwGroup() = default;
+    ~HwGroup() { close(); }
+
+    HwGroup(const HwGroup &) = delete;
+    HwGroup &operator=(const HwGroup &) = delete;
+
+    /** Open the 4-counter group for the calling thread. */
+    bool open();
+
+    /** True after a successful open(). */
+    bool usable() const { return leader_ >= 0; }
+
+    /**
+     * Read {cycles, instructions, cache misses, branch misses} into
+     * @p out. Returns false (and zeroes @p out) if unusable or the
+     * read fails.
+     */
+    bool read(std::uint64_t out[4]);
+
+    void close();
+
+  private:
+    int leader_ = -1;
+    int fds_[4] = {-1, -1, -1, -1};
+};
+
+} // namespace mca::prof
+
+#endif // MCA_PROF_HWCOUNTERS_HH

@@ -2,8 +2,10 @@
 
 #include <chrono>
 #include <mutex>
+#include <optional>
 #include <stdexcept>
 
+#include "prof/prof.hh"
 #include "runner/compile_cache.hh"
 #include "runner/thread_pool.hh"
 
@@ -114,7 +116,13 @@ runCampaign(const std::vector<JobSpec> &specs,
     {
         ThreadPool pool(options.jobs);
         for (std::size_t i = 0; i < specs.size(); ++i) {
-            if (auto cached = cache.load(specs[i])) {
+            std::optional<JobResult> cached;
+            {
+                PROF_SCOPE("runner.result_cache.lookup");
+                cached = cache.load(specs[i]);
+            }
+            if (cached) {
+                PROF_SCOPE("runner.result_cache.hit");
                 settle(i, std::move(*cached));
                 continue;
             }

@@ -2,6 +2,7 @@
 
 #include <cstdio>
 
+#include "prof/prof.hh"
 #include "runner/jobspec.hh"
 
 namespace mca::runner
@@ -44,13 +45,17 @@ CompileCache::getOrCompile(const std::string &key, const Builder &build,
     }
     if (hit)
         *hit = !building;
-    if (building) {
-        try {
-            promise.set_value(
-                std::make_shared<const compiler::CompileOutput>(build()));
-        } catch (...) {
-            promise.set_exception(std::current_exception());
-        }
+    if (!building) {
+        // Counted as a host-profile region so campaign profiles show
+        // how often (and how long) jobs wait on someone else's compile.
+        PROF_SCOPE("runner.compile_cache.hit");
+        return future.get();
+    }
+    try {
+        promise.set_value(
+            std::make_shared<const compiler::CompileOutput>(build()));
+    } catch (...) {
+        promise.set_exception(std::current_exception());
     }
     return future.get();
 }

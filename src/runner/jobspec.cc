@@ -8,6 +8,7 @@
 #include <stdexcept>
 
 #include "compiler/pipeline.hh"
+#include "prof/prof.hh"
 #include "runner/compile_cache.hh"
 #include "core/config.hh"
 #include "harness/experiment.hh"
@@ -188,6 +189,7 @@ runJob(const JobSpec &spec, CompileCache *compile_cache)
 {
     JobResult out;
     out.spec = spec;
+    PROF_SCOPE("runner.job");
     const auto start = std::chrono::steady_clock::now();
     try {
         spec.validate();
@@ -198,6 +200,7 @@ runJob(const JobSpec &spec, CompileCache *compile_cache)
         // Workload construction lives inside the builder so cache hits
         // skip it along with the compile.
         const auto build = [&] {
+            PROF_SCOPE("runner.compile");
             workloads::WorkloadParams wp;
             wp.scale = spec.scale;
             const prog::Program program =
@@ -229,7 +232,11 @@ runJob(const JobSpec &spec, CompileCache *compile_cache)
             scfg.regMap = compiled->hardwareMap(cfg.numClusters);
             sample::SampledDriver driver(compiled->binary, scfg,
                                          spec.traceSeed, spec.maxInsts);
-            const sample::SampleReport rep = driver.run(sspec);
+            sample::SampleReport rep;
+            {
+                PROF_SCOPE("runner.sample");
+                rep = driver.run(sspec);
+            }
             if (!rep.allConserved)
                 throw std::runtime_error(
                     "sampled interval violated cycle-stack conservation");
@@ -253,9 +260,13 @@ runJob(const JobSpec &spec, CompileCache *compile_cache)
             return out;
         }
 
-        const harness::RunStats stats = harness::simulate(
-            compiled->binary, compiled->hardwareMap(cfg.numClusters),
-            cfg, spec.traceSeed, spec.maxInsts, spec.maxCycles);
+        harness::RunStats stats;
+        {
+            PROF_SCOPE("runner.simulate");
+            stats = harness::simulate(
+                compiled->binary, compiled->hardwareMap(cfg.numClusters),
+                cfg, spec.traceSeed, spec.maxInsts, spec.maxCycles);
+        }
 
         out.cycles = stats.cycles;
         out.retired = stats.retired;

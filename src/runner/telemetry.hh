@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Live campaign telemetry: a JSONL heartbeat stream for mcarun.
+ *
+ * A TelemetryWriter hooks CampaignOptions::onResult and appends one
+ * JSON object per settled job to a file (line-buffered, flushed per
+ * record so `tail -f` and dashboards see progress live):
+ *
+ *   {"event":"start", "total":N, ...}
+ *   {"event":"job", "done":k, "total":N, "elapsed_ms":..,
+ *    "eta_ms":.., "sim_cycles":.., "sim_cycles_per_sec":..,
+ *    "cache_hits":.., "cache_hit_rate":.., "compile_cache_hits":..,
+ *    "job":{"key":.., "status":.., "cycles":.., "wall_ms":..,
+ *           "from_cache":..,"sampled":..}}
+ *   {"event":"summary", ...}
+ *
+ * `eta_ms` extrapolates the mean per-job wall time over the remaining
+ * jobs; `sim_cycles_per_sec` is aggregate simulated throughput
+ * (sum of job cycles / campaign elapsed), the campaign-level figure of
+ * merit the ROADMAP's perf work optimizes. Per-job host time rides in
+ * `job.wall_ms`, so the stream doubles as a host-time attribution
+ * record across the campaign (cache hits report ~0 wall and are
+ * excluded from the ETA model).
+ *
+ * Ordering/thread-safety: runCampaign invokes onResult under its
+ * progress lock, so records are totally ordered and `done` increases
+ * by exactly 1 per line — scripts/check_telemetry.py asserts this.
+ */
+
+#ifndef MCA_RUNNER_TELEMETRY_HH
+#define MCA_RUNNER_TELEMETRY_HH
+
+#include <chrono>
+#include <cstdint>
+#include <fstream>
+#include <string>
+
+#include "runner/campaign.hh"
+#include "runner/jobspec.hh"
+
+namespace mca::runner
+{
+
+class TelemetryWriter
+{
+  public:
+    /** Opens @p path for truncating write; throws on failure. */
+    explicit TelemetryWriter(const std::string &path);
+
+    /** Emit the start record; call once, before the campaign runs. */
+    void start(std::size_t total_jobs);
+
+    /** CampaignOptions::onResult-compatible per-job record. */
+    void onResult(std::size_t finished, std::size_t total,
+                  const JobResult &result);
+
+    /** Emit the final summary record and flush. */
+    void finish(const CampaignSummary &summary);
+
+  private:
+    double elapsedMs() const;
+
+    std::ofstream out_;
+    std::chrono::steady_clock::time_point start_;
+    std::uint64_t simCycles_ = 0;
+    std::size_t cacheHits_ = 0;
+    std::size_t ran_ = 0;        ///< jobs that actually executed
+    double ranWallMs_ = 0.0;     ///< their summed host time
+};
+
+} // namespace mca::runner
+
+#endif // MCA_RUNNER_TELEMETRY_HH

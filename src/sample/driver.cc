@@ -1,5 +1,6 @@
 #include "sample/driver.hh"
 
+#include <chrono>
 #include <cmath>
 #include <ostream>
 #include <stdexcept>
@@ -11,6 +12,7 @@
 #include "exec/trace.hh"
 #include "exec/walker.hh"
 #include "mem/memory.hh"
+#include "prof/prof.hh"
 #include "runner/thread_pool.hh"
 #include "sample/functional.hh"
 #include "support/stats.hh"
@@ -35,15 +37,24 @@ measureInterval(const prog::MachProgram &binary,
                 std::uint64_t start_inst, std::uint64_t index,
                 const SampleSpec &spec)
 {
+    PROF_SCOPE("sample.measure");
     IntervalResult out;
     out.index = index;
     out.startInst = start_inst;
 
+    const auto t0 = std::chrono::steady_clock::now();
     StatGroup sg("mca");
     exec::ProgramTrace trace(binary, seed, max_insts);
     core::Processor proc(config, trace, sg);
-    ckpt::SnapshotParser parser(snap, proc.configHash());
-    proc.loadState(parser);
+    {
+        PROF_SCOPE("sample.restore");
+        ckpt::SnapshotParser parser(snap, proc.configHash());
+        proc.loadState(parser);
+    }
+    out.restoreHostNs = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - t0)
+            .count());
 
     obs::CycleStack stack;
     proc.attachCycleStack(&stack);
@@ -65,6 +76,10 @@ measureInterval(const prog::MachProgram &binary,
                   : 0.0;
     out.stack = stack;
     out.conserved = stack.conserved();
+    out.hostNs = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - t0)
+            .count());
     return out;
 }
 
@@ -89,7 +104,8 @@ SampleReport::dumpJson(std::ostream &os) const
            << ", \"insts\": " << iv.instructions
            << ", \"cycles\": " << iv.cycles << ", \"cpi\": " << iv.cpi
            << ", \"conserved\": " << (iv.conserved ? "true" : "false")
-           << "}";
+           << ", \"restore_ms\": "
+           << static_cast<double>(iv.restoreHostNs) / 1e6 << "}";
     }
     os << "]}\n";
 }
@@ -120,6 +136,7 @@ SampledDriver::run(const SampleSpec &spec) const
     std::vector<ckpt::Snapshot> snaps;
     std::vector<std::uint64_t> starts;
     {
+        PROF_SCOPE("sample.warm");
         StatGroup sg("mca");
         exec::ProgramTrace trace(binary_, seed_, maxInsts_);
         core::Processor proc(config_, trace, sg);
@@ -133,6 +150,7 @@ SampledDriver::run(const SampleSpec &spec) const
             // Snapshots must capture quiescent hierarchies: retire all
             // in-flight fills so restore needs no event replay.
             proc.memorySystem().settle();
+            PROF_SCOPE("sample.snapshot");
             ckpt::SnapshotBuilder b(proc.configHash());
             proc.saveState(b);
             snaps.push_back(b.finish());

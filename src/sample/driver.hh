@@ -59,6 +59,10 @@ struct IntervalResult
     obs::CycleStack stack;
     /** Retire-slot conservation held on every measured cycle. */
     bool conserved = true;
+    /** Host ns restoring the snapshot into the fresh machine. */
+    std::uint64_t restoreHostNs = 0;
+    /** Host ns for the whole window (restore + warmup + measure). */
+    std::uint64_t hostNs = 0;
 };
 
 /** Whole-run extrapolation from the measured intervals. */

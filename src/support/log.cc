@@ -1,0 +1,99 @@
+#include "support/log.hh"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <ctime>
+#include <mutex>
+
+namespace mca::log
+{
+
+namespace
+{
+
+Level
+initialThreshold()
+{
+    if (const char *env = std::getenv("MCA_LOG_LEVEL")) {
+        Level parsed;
+        if (parseLevel(env, parsed))
+            return parsed;
+        std::fprintf(stderr, "warn: MCA_LOG_LEVEL '%s' not recognized; "
+                             "using 'info'\n", env);
+    }
+    return Level::Info;
+}
+
+std::atomic<Level> &
+thresholdFlag()
+{
+    static std::atomic<Level> level{initialThreshold()};
+    return level;
+}
+
+std::mutex &
+writeMutex()
+{
+    static std::mutex m;
+    return m;
+}
+
+} // namespace
+
+Level
+threshold()
+{
+    return thresholdFlag().load(std::memory_order_relaxed);
+}
+
+void
+setThreshold(Level level)
+{
+    thresholdFlag().store(level, std::memory_order_relaxed);
+}
+
+bool
+parseLevel(std::string_view text, Level &out)
+{
+    if (text == "debug") out = Level::Debug;
+    else if (text == "info") out = Level::Info;
+    else if (text == "warn") out = Level::Warn;
+    else if (text == "error") out = Level::Error;
+    else if (text == "off") out = Level::Off;
+    else return false;
+    return true;
+}
+
+const char *
+levelName(Level level)
+{
+    switch (level) {
+      case Level::Debug: return "debug";
+      case Level::Info: return "info";
+      case Level::Warn: return "warn";
+      case Level::Error: return "error";
+      case Level::Off: return "off";
+    }
+    return "?";
+}
+
+void
+write(Level level, std::string_view component, const std::string &msg)
+{
+    const auto now = std::chrono::system_clock::now();
+    const std::time_t secs = std::chrono::system_clock::to_time_t(now);
+    const auto ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                        now.time_since_epoch()).count() % 1000;
+    std::tm tm{};
+    localtime_r(&secs, &tm);
+
+    std::lock_guard<std::mutex> lock(writeMutex());
+    std::fprintf(stderr, "[%02d:%02d:%02d.%03d] %-5s %.*s: %s\n",
+                 tm.tm_hour, tm.tm_min, tm.tm_sec, static_cast<int>(ms),
+                 levelName(level), static_cast<int>(component.size()),
+                 component.data(), msg.c_str());
+}
+
+} // namespace mca::log

@@ -3,6 +3,8 @@
 #include <cstdlib>
 #include <iostream>
 
+#include "support/log.hh"
+
 namespace mca
 {
 
@@ -25,13 +27,13 @@ fatalImpl(const char *file, int line, const std::string &msg)
 void
 warnImpl(const std::string &msg)
 {
-    std::cerr << "warn: " << msg << std::endl;
+    MCA_LOG_WARN("mca", msg);
 }
 
 void
 informImpl(const std::string &msg)
 {
-    std::cerr << "info: " << msg << std::endl;
+    MCA_LOG_INFO("mca", msg);
 }
 
 } // namespace mca

@@ -24,6 +24,7 @@
 #include <fstream>
 #include <functional>
 #include <iostream>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -32,6 +33,8 @@
 #include "runner/campaign.hh"
 #include "runner/emit.hh"
 #include "runner/table2.hh"
+#include "runner/telemetry.hh"
+#include "support/log.hh"
 #include "support/table.hh"
 
 #ifndef MCA_VERSION_STRING
@@ -53,6 +56,7 @@ struct Options
     bool noCompileCache = false;
     std::string jsonOut;
     std::string csvOut;
+    std::string telemetryOut;
     bool quiet = false;
     bool printTable = true;
 };
@@ -108,6 +112,12 @@ usage()
         "output:\n"
         "  --out FILE           JSON-lines results ('-' = stdout)\n"
         "  --csv FILE           CSV results ('-' = stdout)\n"
+        "  --telemetry FILE     live campaign heartbeat as JSON lines:\n"
+        "                       one record per finished job with done/\n"
+        "                       total, ETA, aggregate sim-cycles/s, and\n"
+        "                       cache-hit rates (docs/profiling.md)\n"
+        "  --log-level LVL      debug|info|warn|error|off [info; or env\n"
+        "                       MCA_LOG_LEVEL]\n"
         "  --no-table           skip the human-readable table\n"
         "  --quiet              no progress line\n\n"
         "introspection:\n"
@@ -250,6 +260,15 @@ parse(int argc, char **argv)
             opt.jsonOut = need("--out");
         } else if (a == "--csv") {
             opt.csvOut = need("--csv");
+        } else if (a == "--telemetry") {
+            opt.telemetryOut = need("--telemetry");
+        } else if (a == "--log-level") {
+            const std::string text = need("--log-level");
+            log::Level level;
+            if (!log::parseLevel(text, level))
+                die("unknown log level '" + text +
+                    "' (valid: debug, info, warn, error, off)");
+            log::setThreshold(level);
         } else if (a == "--no-table") {
             opt.printTable = false;
         } else if (a == "--quiet") {
@@ -426,6 +445,23 @@ main(int argc, char **argv)
     runner::ProgressPrinter progress(std::cerr, !opt.quiet);
     campaign.onResult = std::ref(progress);
 
+    // The telemetry stream shares the progress callback; runCampaign
+    // invokes it under its own lock, so the JSONL records stay totally
+    // ordered (done increments by exactly 1 per line).
+    std::optional<runner::TelemetryWriter> telemetry;
+    if (!opt.telemetryOut.empty()) {
+        try {
+            telemetry.emplace(opt.telemetryOut);
+        } catch (const std::exception &e) {
+            die(e.what());
+        }
+        campaign.onResult = [&](std::size_t finished, std::size_t total,
+                                const runner::JobResult &result) {
+            progress(finished, total, result);
+            telemetry->onResult(finished, total, result);
+        };
+    }
+
     runner::CampaignSummary summary;
     std::vector<runner::JobResult> results;
     std::vector<harness::Table2Row> table2Rows;
@@ -449,9 +485,13 @@ main(int argc, char **argv)
         } catch (const std::exception &e) {
             die(e.what());
         }
+        if (telemetry)
+            telemetry->start(specs.size());
         results = runner::runCampaign(specs, campaign, &summary);
     }
     progress.finish();
+    if (telemetry)
+        telemetry->finish(summary);
 
     if (!opt.jsonOut.empty())
         writeResults(opt.jsonOut, results, /*csv=*/false);
@@ -469,10 +509,10 @@ main(int argc, char **argv)
 
     for (const auto &r : results)
         if (r.status != runner::JobStatus::Ok)
-            std::cerr << "mcarun: " << r.spec.benchmark << "/"
-                      << r.spec.machine << "/" << r.spec.scheduler << " "
-                      << runner::jobStatusName(r.status) << ": "
-                      << r.error << "\n";
+            MCA_LOG_WARN("mcarun",
+                         r.spec.benchmark, "/", r.spec.machine, "/",
+                         r.spec.scheduler, " ",
+                         runner::jobStatusName(r.status), ": ", r.error);
     runner::emitSummary(std::cerr, summary);
     return 0;
 }

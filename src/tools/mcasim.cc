@@ -34,9 +34,11 @@
 #include "obs/perfetto.hh"
 #include "obs/sampler.hh"
 #include "obs/snapshot.hh"
+#include "prof/prof.hh"
 #include "runner/jobspec.hh"
 #include "sample/driver.hh"
 #include "sample/spec.hh"
+#include "support/log.hh"
 #include "support/panic.hh"
 #include "workloads/workloads.hh"
 
@@ -104,6 +106,11 @@ struct Options
     std::string statsOut;    // interval rows (.csv => CSV, else JSONL)
     std::string traceOut;    // Chrome trace-event JSON
     unsigned traceInsts = 2000; // slice cap for --trace-out
+
+    // Host-side self-profiling (docs/profiling.md).
+    bool prof = false;       // record host-time regions
+    std::string profOut;     // write the profile JSON here
+    bool profHw = false;     // sample perf_event hardware counters
 };
 
 void
@@ -169,6 +176,14 @@ usage()
         "  --stats-out FILE     interval rows (JSONL; *.csv writes CSV)\n"
         "  --trace-out FILE     Chrome trace-event JSON (Perfetto)\n"
         "  --trace-insts N      instruction slices in the trace [2000]\n\n"
+        "host profiling (docs/profiling.md):\n"
+        "  --prof               profile host time by simulator region\n"
+        "  --prof-out FILE      write the profile as JSON (implies --prof;\n"
+        "                       render with scripts/prof_report.py)\n"
+        "  --prof-hw            also sample hardware counters per region\n"
+        "                       (perf_event_open; falls back to time-only)\n"
+        "  --log-level LVL      debug|info|warn|error|off [info; or env\n"
+        "                       MCA_LOG_LEVEL]\n\n"
         "introspection:\n"
         "  --version            print the version string and exit\n"
         "  --list-benchmarks    print the benchmark names, one per line\n";
@@ -363,6 +378,21 @@ parse(int argc, char **argv)
         } else if (a == "--trace-insts") {
             opt.traceInsts = static_cast<unsigned>(
                 std::atoi(need("--trace-insts").c_str()));
+        } else if (a == "--prof") {
+            opt.prof = true;
+        } else if (a == "--prof-out") {
+            opt.profOut = need("--prof-out");
+            opt.prof = true;
+        } else if (a == "--prof-hw") {
+            opt.profHw = true;
+            opt.prof = true;
+        } else if (a == "--log-level") {
+            const std::string text = need("--log-level");
+            log::Level level;
+            if (!log::parseLevel(text, level))
+                MCA_FATAL("unknown log level '", text,
+                          "' (valid: debug, info, warn, error, off)");
+            log::setThreshold(level);
         } else {
             usage();
             MCA_FATAL("unknown argument: ", a);
@@ -456,12 +486,62 @@ machineConfig(const Options &opt, unsigned *clusters)
     return cfg;
 }
 
+/**
+ * Close out a profiled run: snapshot the merged region tree, write the
+ * JSON document to --prof-out, merge a host-profile flame track into
+ * the Perfetto trace (when one is being written), and log a one-line
+ * digest. Call only after every instrumented scope has closed.
+ */
+void
+finishProfile(const Options &opt, obs::PerfettoExporter *exporter,
+              unsigned host_pid)
+{
+    const prof::Profile profile = prof::snapshot();
+    if (!opt.profOut.empty()) {
+        std::ofstream out(opt.profOut, std::ios::trunc);
+        if (!out)
+            MCA_FATAL("cannot write --prof-out file '", opt.profOut,
+                      "'");
+        profile.dumpJson(out);
+    }
+    if (exporter)
+        exporter->addHostProfile(profile.root, host_pid);
+    if (!opt.quiet) {
+        const double coverage =
+            profile.wallNs != 0
+                ? 100.0 * static_cast<double>(profile.root.totalNs) /
+                      static_cast<double>(profile.wallNs)
+                : 0.0;
+        char digest[160];
+        std::snprintf(digest, sizeof digest,
+                      "%.1f ms wall, %.1f%% in regions, %u thread%s, "
+                      "hw counters %s",
+                      static_cast<double>(profile.wallNs) / 1e6, coverage,
+                      profile.threads, profile.threads == 1 ? "" : "s",
+                      prof::hwRequested()
+                          ? (profile.hwAvailable ? "on" : "unavailable")
+                          : "off");
+        MCA_LOG_INFO("prof", digest);
+        if (!opt.profOut.empty())
+            MCA_LOG_INFO("prof", "wrote profile to ", opt.profOut,
+                         " (render with scripts/prof_report.py)");
+    }
+}
+
 } // namespace
 
 int
 main(int argc, char **argv)
 {
     const Options opt = parse(argc, argv);
+
+    // Enable recording before any instrumented work so Profile::wallNs
+    // spans (and the coverage check is honest about) the whole run.
+    if (opt.prof) {
+        if (opt.profHw)
+            prof::setHwEnabled(true);
+        prof::setEnabled(true);
+    }
 
     unsigned clusters = 2;
     core::ProcessorConfig cfg = machineConfig(opt, &clusters);
@@ -481,6 +561,7 @@ main(int argc, char **argv)
         trace = std::move(ft);
     } else {
         prog::Program program = [&] {
+            PROF_SCOPE("workload");
             if (opt.randomSeed) {
                 workloads::RandomProgramParams rp;
                 rp.seed = *opt.randomSeed;
@@ -505,6 +586,7 @@ main(int argc, char **argv)
             copt.verifyIr = true;
         copt.dumpAfter = opt.dumpAfter;
         try {
+            PROF_SCOPE("compile");
             compiled = compiler::compile(program, copt);
         } catch (const std::exception &e) {
             MCA_FATAL(e.what());
@@ -546,6 +628,7 @@ main(int argc, char **argv)
         }
         sample::SampleReport rep;
         try {
+            PROF_SCOPE("simulate");
             sample::SampledDriver driver(compiled->binary, cfg,
                                          opt.traceSeed, opt.maxInsts);
             rep = driver.run(spec);
@@ -564,6 +647,38 @@ main(int argc, char **argv)
                   << " detailed insts)\n";
         if (opt.jsonStats)
             rep.dumpJson(std::cout);
+
+        // Per-window trace: one slice per measured interval placed at
+        // its estimated position in the full run (start instruction x
+        // mean CPI), with measured-CPI and snapshot-restore-time
+        // counter tracks alongside, plus the host profile when --prof.
+        if (!opt.traceOut.empty()) {
+            obs::PerfettoExporter exporter;
+            exporter.nameProcess(0, "sampled windows");
+            for (const auto &iv : rep.intervals) {
+                const Cycle ts = static_cast<Cycle>(
+                    static_cast<double>(iv.startInst) * rep.cpiMean);
+                exporter.addSlice("window " + std::to_string(iv.index),
+                                  0, 1, ts,
+                                  std::max<Cycle>(iv.cycles, 1));
+                exporter.addCounterValue("measured CPI", 0, ts, iv.cpi);
+                exporter.addCounterValue(
+                    "restore ms", 0, ts,
+                    static_cast<double>(iv.restoreHostNs) / 1e6);
+            }
+            if (opt.prof)
+                finishProfile(opt, &exporter, 1);
+            std::ofstream out(opt.traceOut, std::ios::trunc);
+            if (!out)
+                MCA_FATAL("cannot write --trace-out file '",
+                          opt.traceOut, "'");
+            exporter.write(out);
+            if (!opt.quiet)
+                std::cout << "wrote trace to " << opt.traceOut
+                          << " (open in ui.perfetto.dev)\n";
+        } else if (opt.prof) {
+            finishProfile(opt, nullptr, 0);
+        }
         return 0;
     }
 
@@ -623,6 +738,11 @@ main(int argc, char **argv)
         opt.intervalStats > 0 ? opt.intervalStats : 1);
     obs::PerfettoExporter exporter;
     core::SimResult result;
+    // One top-level region spanning the detailed run (and the
+    // checkpoint saves riding on it); closed explicitly below, before
+    // the profiler snapshot.
+    std::optional<prof::ScopeTimer> simScope(
+        std::in_place, prof::internRegion("simulate"));
     if (per_cycle) {
         // Counter tracks sample at the interval period (or a small
         // fixed stride) so long runs do not drown the trace.
@@ -680,6 +800,7 @@ main(int argc, char **argv)
     // state, which restores as a completed machine.
     if (!opt.ckptOut.empty() && opt.ckptAt == 0)
         saveSnapshot(opt.ckptOut);
+    simScope.reset();
 
     if (opt.cycleStacks) {
         MCA_ASSERT(cstack.conserved(),
@@ -781,6 +902,13 @@ main(int argc, char **argv)
                           << " intervals to " << opt.statsOut << "\n";
         }
     }
+
+    // The host profile rides in the Perfetto trace (as a flame-graph
+    // process after the clusters and the memory system) when one is
+    // being written, so guest cycles and host time open side by side.
+    if (opt.prof)
+        finishProfile(opt, opt.traceOut.empty() ? nullptr : &exporter,
+                      clusters + 1);
 
     if (!opt.traceOut.empty()) {
         // Cap the instruction slices so long runs stay loadable; the
