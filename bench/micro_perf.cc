@@ -221,6 +221,8 @@ runEngineComparison(const std::string &json_out)
         std::string workload;
         EngineSample scan;
         EngineSample event;
+        prog::MachProgram binary;
+        isa::RegisterMap map;
     };
     std::vector<Row> rows;
 
@@ -230,13 +232,14 @@ runEngineComparison(const std::string &json_out)
         copt.scheduler = compiler::SchedulerKind::Local;
         copt.numClusters = 2;
         const auto out = compiler::compile(program, copt);
-        const auto map = out.hardwareMap(2);
         Row row;
         row.workload = name;
-        row.scan = measureEngine(out.binary, map, IssueEngine::Scan,
+        row.binary = out.binary;
+        row.map = out.hardwareMap(2);
+        row.scan = measureEngine(row.binary, row.map, IssueEngine::Scan,
                                  kMaxInsts);
-        row.event = measureEngine(out.binary, map, IssueEngine::Event,
-                                  kMaxInsts);
+        row.event = measureEngine(row.binary, row.map,
+                                  IssueEngine::Event, kMaxInsts);
         std::cout << name << ": scan "
                   << static_cast<std::uint64_t>(row.scan.cyclesPerSecond)
                   << " cyc/s, event "
@@ -260,9 +263,38 @@ runEngineComparison(const std::string &json_out)
     workloads::RandomProgramParams rp;
     rp.seed = 7;
     rp.numFunctions = 4;
-    rp.segmentsPerFunction = 8;
-    rp.loopTrip = 20;
+    rp.segmentsPerFunction = 16;
+    rp.loopTrip = 2000;
     addWorkload("random7", workloads::makeRandomProgram(rp));
+
+    // Regression gate: the event engine must not lose to the reference
+    // scan engine on tomcatv (its issue-saturated inner loop once made
+    // the wakeup bookkeeping a net loss — the saturated-mode fallback
+    // in EventScheduler fixes that). The comparison is a ratio of two
+    // wall-clock rates on a shared machine, so re-measure both engines
+    // a few times before declaring a real regression.
+    for (auto &row : rows) {
+        if (row.workload != "tomcatv")
+            continue;
+        for (int attempt = 0;
+             attempt < 5 &&
+             row.event.cyclesPerSecond < row.scan.cyclesPerSecond;
+             ++attempt) {
+            std::cout << "tomcatv event/scan below 1.0, re-measuring ("
+                      << attempt + 1 << "/5)\n";
+            row.scan = measureEngine(row.binary, row.map,
+                                     IssueEngine::Scan, kMaxInsts);
+            row.event = measureEngine(row.binary, row.map,
+                                      IssueEngine::Event, kMaxInsts);
+        }
+        if (row.event.cyclesPerSecond < row.scan.cyclesPerSecond) {
+            std::cerr << "FAIL: tomcatv event engine slower than scan ("
+                      << row.event.cyclesPerSecond / 1e6 << " vs "
+                      << row.scan.cyclesPerSecond / 1e6
+                      << " Mcyc/s) after 5 re-measurements\n";
+            return 1;
+        }
+    }
 
     std::ofstream out(json_out, std::ios::trunc);
     if (!out) {

@@ -23,6 +23,16 @@ cmake --build "$BUILD" -j
 cd "$BUILD"
 ctest --output-on-failure -j
 
+# Sanitizer job: the full test suite again under ASan+UBSan (separate
+# build tree; every finding is fatal via -fno-sanitize-recover=all).
+cd "$ROOT"
+cmake -B "$BUILD-asan" -S . -DMCA_SANITIZE=ON
+cmake --build "$BUILD-asan" -j
+cd "$BUILD-asan"
+ctest --output-on-failure -j
+cd "$ROOT"
+cd "$BUILD"
+
 # Observability smoke: cycle stacks conserve and the Perfetto trace is
 # loadable (scripts/check_trace.py validates both).
 cd "$ROOT"

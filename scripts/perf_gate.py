@@ -55,12 +55,14 @@ def core_metrics(doc):
     }
 
 
-def print_ns_per_cycle(fresh_dir):
-    """Informational: host cost per simulated cycle, per workload.
+def print_ns_per_cycle(prev_dir, fresh_dir):
+    """Informational: host cost per simulated cycle, per workload,
+    with the per-workload delta against the pre-run baseline.
 
     The reciprocal of the gated cycles-per-second metrics, in the units
     docs/profiling.md works in. Older BENCH_core.json files predate the
-    fields, so absence is not an error.
+    fields, so absence is not an error; a negative delta means the
+    fresh run spends fewer host ns per simulated cycle (faster).
     """
     path = fresh_dir / "BENCH_core.json"
     if not path.exists():
@@ -68,11 +70,25 @@ def print_ns_per_cycle(fresh_dir):
     rows = load(path).get("workloads", [])
     if not rows or "event_ns_per_cycle" not in rows[0]:
         return
-    print("  host ns per simulated cycle (event engine):")
+    prev_rows = {}
+    prev_path = prev_dir / "BENCH_core.json"
+    if prev_path.exists():
+        for r in load(prev_path).get("workloads", []):
+            if r.get("event_ns_per_cycle", 0.0) > 0:
+                prev_rows[r["workload"]] = r
+    print("  host ns per simulated cycle (event engine, "
+          "delta vs pre-run baseline):")
     for r in rows:
-        print("    %-10s %8.1f ns/cycle (scan %8.1f)"
+        prev = prev_rows.get(r["workload"])
+        if prev:
+            delta = (r["event_ns_per_cycle"] /
+                     prev["event_ns_per_cycle"] - 1.0) * 100.0
+            delta_col = "%+7.1f%%" % delta
+        else:
+            delta_col = "     n/a"
+        print("    %-10s %8.1f ns/cycle (scan %8.1f)  %s"
               % (r["workload"], r["event_ns_per_cycle"],
-                 r.get("scan_ns_per_cycle", 0.0)))
+                 r.get("scan_ns_per_cycle", 0.0), delta_col))
 
 
 def compile_metrics(doc):
@@ -155,7 +171,7 @@ def main():
             print("  %-20s %-18s %10.3g -> %10.3g  (%+5.1f%%) %s"
                   % (name, metric, p, f, (ratio - 1.0) * 100.0, verdict))
 
-    print_ns_per_cycle(fresh_dir)
+    print_ns_per_cycle(prev_dir, fresh_dir)
 
     if failures:
         print("perf_gate.py: FAIL")

@@ -24,8 +24,19 @@ namespace mca::core
 /** Hardware state of one cluster. */
 struct Cluster
 {
+    /**
+     * The scan list: copies still awaiting issue (or a suspended
+     * slave's wake), age-ordered. In window mode an issued copy's
+     * queue entry stays occupied until retirement but never needs
+     * another scan, so it is dropped from this vector and accounted in
+     * `held` instead; occupancy() is the hardware queue's true fill.
+     */
     std::vector<QueueSlot> queue;   // age-ordered
+    /** Entries held by issued copies awaiting retirement (window mode). */
+    unsigned held = 0;
     unsigned queueCapacity = 0;
+
+    std::size_t occupancy() const { return queue.size() + held; }
     PhysRegFile intRegs, fpRegs;
     std::array<std::array<std::uint16_t, isa::kNumArchRegs>, 2> renameMap{};
     std::array<std::array<bool, isa::kNumArchRegs>, 2> mapped{};

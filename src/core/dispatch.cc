@@ -51,22 +51,23 @@ DispatchUnit::tryDispatch(const exec::DynInst &di)
 
     auto &clusters = m_.clusters;
     // Distribution decision; instructions with no local-register
-    // constraint go to the currently least-loaded cluster.
+    // constraint go to the currently least-loaded cluster (occupancy
+    // counts entries held by issued copies awaiting retirement).
     unsigned least = 0;
     for (unsigned c = 1; c < clusters.size(); ++c)
-        if (clusters[c].queue.size() < clusters[least].queue.size())
+        if (clusters[c].occupancy() < clusters[least].occupancy())
             least = c;
     const isa::Distribution dist =
         isa::decideDistribution(di.mi, m_.cfg.regMap, least);
 
     // --- resource checks ------------------------------------------
     // Queue entries, one per copy.
-    std::vector<unsigned> dq_need(clusters.size(), 0);
-    ++dq_need[dist.masterCluster];
+    dqNeed_.assign(clusters.size(), 0);
+    ++dqNeed_[dist.masterCluster];
     for (const auto &sl : dist.slaves)
-        ++dq_need[sl.cluster];
+        ++dqNeed_[sl.cluster];
     for (unsigned c = 0; c < clusters.size(); ++c)
-        if (clusters[c].queue.size() + dq_need[c] >
+        if (clusters[c].occupancy() + dqNeed_[c] >
             clusters[c].queueCapacity) {
             ++*m_.st.stallDq;
             m_.dqStallThisCycle = true;
@@ -76,14 +77,14 @@ DispatchUnit::tryDispatch(const exec::DynInst &di)
     // Physical destination registers.
     const bool has_dest = di.mi.hasDest() && !di.mi.dest->isZero();
     if (has_dest) {
-        std::vector<unsigned> phys_need(clusters.size(), 0);
+        physNeed_.assign(clusters.size(), 0);
         if (dist.masterWritesDest)
-            ++phys_need[dist.masterCluster];
+            ++physNeed_[dist.masterCluster];
         for (const auto &sl : dist.slaves)
             if (sl.receivesResult)
-                ++phys_need[sl.cluster];
+                ++physNeed_[sl.cluster];
         for (unsigned c = 0; c < clusters.size(); ++c)
-            if (phys_need[c] >
+            if (physNeed_[c] >
                 (clusters[c].regs(di.mi.dest->cls).freeList.size())) {
                 ++*m_.st.stallPhys;
                 idle_ = IdleEffect::StallPhys;
@@ -92,39 +93,39 @@ DispatchUnit::tryDispatch(const exec::DynInst &di)
     }
 
     // --- commit the dispatch ----------------------------------------
-    auto inst = std::make_unique<InFlightInst>();
-    inst->di = di;
-    inst->dist = dist;
-    inst->dispatchCycle = m_.now;
-    inst->condBranch = isa::isCondBranch(di.mi.op);
+    const InFlightHandle h = m_.pool.alloc();
+    InFlightInst &inst = m_.pool.get(h);
+    inst = InFlightInst{};
+    inst.di = di;
+    inst.dist = dist;
+    inst.dispatchCycle = m_.now;
+    inst.condBranch = isa::isCondBranch(di.mi.op);
 
     // Perfect memory disambiguation (trace addresses are oracle): a
-    // store registers itself; a load records the youngest older store
-    // to its dword, if one is still in flight.
-    if (isa::isStore(di.mi.op)) {
-        m_.storeIssueCycle.emplace(di.seq, kNoCycle);
-    } else if (isa::isLoad(di.mi.op)) {
-        const Addr dword = di.effAddr >> 3;
-        for (std::size_t i = m_.rob.size(); i-- > 0;) {
-            const auto &older = *m_.rob[i];
-            if (isa::isStore(older.di.mi.op) &&
-                (older.di.effAddr >> 3) == dword) {
-                inst->memDepStoreSeq = older.di.seq;
-                break;
-            }
+    // load records the youngest older store to its dword, if one is
+    // still in flight. The per-dword index replaces a backward walk of
+    // the retire window; its maintenance (dispatch insert, retire
+    // erase, squash rebuild) guarantees any entry found here is live.
+    if (isa::isLoad(di.mi.op)) {
+        const auto it = m_.storeByDword.find(di.effAddr >> 3);
+        if (it != m_.storeByDword.end()) {
+            inst.memDepStore = it->second.handle;
+            inst.memDepStoreSeq = it->second.seq;
         }
+    } else if (isa::isStore(di.mi.op)) {
+        m_.storeByDword[di.effAddr >> 3] = {h, di.seq};
     }
 
     // Build copies: master first.
     CopyState master;
     master.cluster = static_cast<std::uint8_t>(dist.masterCluster);
     master.isMaster = true;
-    inst->copies.push_back(master);
+    inst.copies.push_back(master);
     for (const auto &sl : dist.slaves) {
         CopyState s;
         s.cluster = static_cast<std::uint8_t>(sl.cluster);
         s.role = sl;
-        inst->copies.push_back(s);
+        inst.copies.push_back(s);
     }
 
     // Source reads: resolved against the current rename maps, before
@@ -139,7 +140,7 @@ DispatchUnit::tryDispatch(const exec::DynInst &di)
             Cluster &cl = clusters[dist.masterCluster];
             MCA_ASSERT(cl.mappedOf(reg.cls, reg.index),
                        "read of unmapped register ", isa::regName(reg));
-            inst->copies[0].reads.push_back(
+            inst.copies[0].reads.push_back(
                 {static_cast<std::uint8_t>(i),
                  static_cast<std::uint8_t>(dist.masterCluster), reg.cls,
                  cl.mapOf(reg.cls, reg.index)});
@@ -147,7 +148,7 @@ DispatchUnit::tryDispatch(const exec::DynInst &di)
             // A slave in the register's home cluster forwards it.
             const unsigned home = m_.cfg.regMap.homeCluster(reg);
             bool found = false;
-            for (auto &copy : inst->copies) {
+            for (auto &copy : inst.copies) {
                 if (copy.isMaster || copy.cluster != home ||
                     !(copy.role.srcMask & (1u << i)))
                     continue;
@@ -184,7 +185,7 @@ DispatchUnit::tryDispatch(const exec::DynInst &di)
                        isa::regName(dest));
             ru.prevPhys = cl.mapOf(dest.cls, dest.index);
             cl.mapOf(dest.cls, dest.index) = fresh;
-            inst->renames.push_back(ru);
+            inst.renames.push_back(ru);
         };
         if (dist.masterWritesDest)
             renameIn(dist.masterCluster);
@@ -194,35 +195,35 @@ DispatchUnit::tryDispatch(const exec::DynInst &di)
     }
 
     // Insert copies into their dispatch queues.
-    for (unsigned i = 0; i < inst->copies.size(); ++i) {
-        auto &copy = inst->copies[i];
+    for (unsigned i = 0; i < inst.copies.size(); ++i) {
+        auto &copy = inst.copies[i];
         copy.inQueue = true;
-        clusters[copy.cluster].queue.push_back({inst.get(), i});
+        clusters[copy.cluster].queue.push_back({h, i});
         m_.record(m_.now, di.seq, copy.cluster,
                   TimelineEvent::Dispatched);
     }
 
     // Branch prediction at queue-insertion time (paper footnote 2).
-    if (inst->condBranch) {
+    if (inst.condBranch) {
         ++*m_.st.bpredLookups;
-        inst->predTaken = m_.predictor->predict(di.pc);
-        inst->mispredicted = inst->predTaken != di.taken;
-        if (inst->mispredicted) {
+        inst.predTaken = m_.predictor->predict(di.pc);
+        inst.mispredicted = inst.predTaken != di.taken;
+        if (inst.mispredicted) {
             ++*m_.st.bpredMispredicts;
             m_.mispredictBlockSeq = di.seq;
         }
     }
 
     ++*m_.st.dispatched;
-    *m_.st.distCopies += inst->copies.size();
+    *m_.st.distCopies += inst.copies.size();
     if (dist.isDual())
         ++*m_.st.distDual;
     else
         ++*m_.st.distSingle;
 
-    m_.rob.push_back(std::move(inst));
+    m_.rob.pushBack(h);
     m_.activityThisCycle = true;
-    sched_.onDispatched(*m_.rob.back());
+    sched_.onDispatched(inst);
     return true;
 }
 

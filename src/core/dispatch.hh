@@ -50,6 +50,9 @@ class DispatchUnit
     FetchUnit &fetch_;
     Scheduler &sched_;
     IdleEffect idle_ = IdleEffect::None;
+    /** Per-cluster resource-check scratch, reused across dispatches. */
+    std::vector<unsigned> dqNeed_;
+    std::vector<unsigned> physNeed_;
 };
 
 } // namespace mca::core

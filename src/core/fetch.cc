@@ -56,7 +56,7 @@ FetchUnit::tick()
                 break;
             }
             const auto r =
-                m_.icache.access(pendingFetch_->pc, false, m_.now);
+                m_.icache.accessFast(pendingFetch_->pc, false, m_.now);
             if (!r.hit) {
                 icacheReadyAt_ = r.readyAt;
                 icachePending_ = true;

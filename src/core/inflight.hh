@@ -5,16 +5,25 @@
  * and pending branch write-backs. Shared by the pipeline components
  * (FetchUnit, DispatchUnit, Scheduler, RetireUnit) through
  * core::MachineState; see docs/architecture.md.
+ *
+ * In-flight instructions live in a per-machine SlabPool (the retire
+ * window bounds the population), and every reference between machine
+ * structures — dispatch-queue slots, memory-dependence links — is a
+ * generation-checked InFlightHandle rather than a pointer: a handle
+ * held across a squash or retirement goes stale instead of dangling.
+ * The short per-instruction sequences (copies, reads, renames) use
+ * inline-storage vectors so dispatch performs no heap allocation.
  */
 
 #ifndef MCA_CORE_INFLIGHT_HH
 #define MCA_CORE_INFLIGHT_HH
 
 #include <cstdint>
-#include <vector>
 
 #include "exec/trace.hh"
 #include "isa/distribution.hh"
+#include "support/arena.hh"
+#include "support/small_vector.hh"
 #include "support/types.hh"
 
 namespace mca::core
@@ -45,9 +54,10 @@ struct CopyState
     std::uint8_t cluster = 0;
     bool isMaster = false;
     isa::SlaveRole role;
-    std::vector<SrcRead> reads;
+    /** At most one read per source operand. */
+    SmallVector<SrcRead, 2> reads;
     /** Clusters where this (master) copy allocated RTB entries. */
-    std::vector<std::uint8_t> rtbClusters;
+    SmallVector<std::uint8_t, 4> rtbClusters;
 
     bool inQueue = false;
     bool issued = false;
@@ -62,20 +72,24 @@ struct CopyState
     Cycle bufferBlockedSince = kNoCycle;
 };
 
-/** A dynamic instruction in flight (ROB entry). */
+/** A dynamic instruction in flight (ROB entry, SlabPool slot). */
 struct InFlightInst
 {
     exec::DynInst di;
     isa::Distribution dist;
-    std::vector<CopyState> copies; // copies[0] is the master
-    std::vector<RenameUpdate> renames;
+    SmallVector<CopyState, 2> copies; // copies[0] is the master
+    SmallVector<RenameUpdate, 2> renames;
     Cycle dispatchCycle = 0;
     /** Master's effective latency (set at master issue; cache-aware). */
     unsigned masterEffLat = 0;
     /**
      * Youngest older store to the same dword, if any (perfect memory
-     * disambiguation; the load waits and forwards from it).
+     * disambiguation; the load waits and forwards from it). The handle
+     * resolves the store's pool slot directly; its generation check
+     * detects retirement/squash, and the sequence number confirms the
+     * occupant (a dead handle means the store completed long ago).
      */
+    PoolHandle memDepStore = kNoHandle;
     InstSeq memDepStoreSeq = kNoSeq;
     /** Load whose effective latency exceeded the d-cache hit time. */
     bool dcacheLoadMiss = false;
@@ -109,10 +123,13 @@ struct InFlightInst
     }
 };
 
+/** Handle of a pool-resident in-flight instruction. */
+using InFlightHandle = SlabPool<InFlightInst>::Handle;
+
 /** Dispatch-queue slot: a copy waiting to issue. */
 struct QueueSlot
 {
-    InFlightInst *inst;
+    InFlightHandle inst;
     unsigned copyIdx;
 };
 

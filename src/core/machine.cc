@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <string>
 
+#include "isa/opcodes.hh"
 #include "support/panic.hh"
 
 namespace mca::core
@@ -55,22 +56,24 @@ CoreStats::init(StatGroup &sg, unsigned num_clusters)
     bpredMispredicts = &sg.counter("bpred.mispredicts",
                                    "conditional-branch mispredictions");
 
+    // Formulas may be evaluated after the Processor (and this CoreStats)
+    // is gone — the StatGroup is caller-owned — so capture the counters,
+    // which live in the StatGroup, never `this`.
     sg.formula("sim.ipc",
-               [this] {
-                   return cycles->value() == 0
+               [cyc = cycles, ret = retired] {
+                   return cyc->value() == 0
                               ? 0.0
-                              : static_cast<double>(retired->value()) /
-                                    static_cast<double>(cycles->value());
+                              : static_cast<double>(ret->value()) /
+                                    static_cast<double>(cyc->value());
                },
                "retired instructions per cycle");
     sg.formula("bpred.accuracy",
-               [this] {
-                   return bpredLookups->value() == 0
+               [lookups = bpredLookups, miss = bpredMispredicts] {
+                   return lookups->value() == 0
                               ? 0.0
-                              : 1.0 - static_cast<double>(
-                                          bpredMispredicts->value()) /
+                              : 1.0 - static_cast<double>(miss->value()) /
                                           static_cast<double>(
-                                              bpredLookups->value());
+                                              lookups->value());
                },
                "conditional-branch prediction accuracy");
 
@@ -97,7 +100,8 @@ CoreStats::init(StatGroup &sg, unsigned num_clusters)
 
 MachineState::MachineState(const ProcessorConfig &config, StatGroup &sg)
     : cfg(config), memsys(config.memory, sg), icache(memsys.icache()),
-      dcache(memsys.dcache())
+      dcache(memsys.dcache()), pool(config.retireWindow),
+      rob(config.retireWindow)
 {
     switch (cfg.predictor) {
       case ProcessorConfig::PredictorKind::McFarling:
@@ -155,6 +159,19 @@ MachineState::MachineState(const ProcessorConfig &config, StatGroup &sg)
     }
 
     st.init(sg, cfg.numClusters);
+}
+
+void
+MachineState::rebuildStoreIndex()
+{
+    storeByDword.clear();
+    // Walk oldest to youngest so the youngest store to each dword wins.
+    for (std::size_t i = 0; i < rob.size(); ++i) {
+        const InFlightHandle h = rob.at(i);
+        const InFlightInst &in = pool.get(h);
+        if (isa::isStore(in.di.mi.op))
+            storeByDword[in.di.effAddr >> 3] = {h, in.di.seq};
+    }
 }
 
 } // namespace mca::core

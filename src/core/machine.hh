@@ -11,9 +11,8 @@
 #ifndef MCA_CORE_MACHINE_HH
 #define MCA_CORE_MACHINE_HH
 
-#include <deque>
-#include <map>
 #include <memory>
+#include <unordered_map>
 #include <vector>
 
 #include "bpred/predictors.hh"
@@ -22,6 +21,8 @@
 #include "core/inflight.hh"
 #include "core/timeline.hh"
 #include "mem/memory.hh"
+#include "support/arena.hh"
+#include "support/circular_queue.hh"
 #include "support/stats.hh"
 
 namespace mca::core
@@ -87,11 +88,37 @@ struct MachineState
     // --- machine state ------------------------------------------------
     Cycle now = 0;
     std::vector<Cluster> clusters;
-    std::deque<std::unique_ptr<InFlightInst>> rob;
+    /**
+     * In-flight instruction storage: one contiguous slab sized to the
+     * retire window (never reallocates, so references held within a
+     * cycle stay valid), addressed through generation-checked handles.
+     * The ROB itself is a ring of handles in program order.
+     */
+    SlabPool<InFlightInst> pool;
+    CircularQueue<InFlightHandle> rob;
 
     std::vector<PendingBranch> pendingBranches;
     /** Dispatch/fetch blocked behind this unresolved mispredict. */
     InstSeq mispredictBlockSeq = kNoSeq;
+
+    /** An in-flight store named by dependence bookkeeping. */
+    struct StoreRef
+    {
+        InFlightHandle handle = kNoHandle;
+        InstSeq seq = kNoSeq;
+    };
+    /**
+     * Youngest in-flight store per data dword (the perfect-
+     * disambiguation index dispatch consults for loads, replacing a
+     * backward walk of the retire window). Maintained incrementally:
+     * stores insert at dispatch, retirement erases a store's own
+     * entry, and a replay squash rebuilds the index from the surviving
+     * window (rebuildStoreIndex). Every entry therefore names a live
+     * store; derived state, never serialized.
+     */
+    std::unordered_map<Addr, StoreRef> storeByDword;
+    /** Rebuild storeByDword from the retire window (squash/restore). */
+    void rebuildStoreIndex();
 
     Cycle lastProgress = 0;
     unsigned consecutiveReplays = 0;
@@ -108,15 +135,15 @@ struct MachineState
     bool activityThisCycle = false;
     /** Oldest buffer-blocked queue head requesting a replay. */
     InstSeq replayRequestSeq = kNoSeq;
-    /**
-     * In-flight stores by sequence number: kNoCycle until the store
-     * issues, then its issue cycle. Erased at retire/squash, so a
-     * missing entry means the store completed long ago.
-     */
-    std::map<InstSeq, Cycle> storeIssueCycle;
 
     // --- statistics ----------------------------------------------------
     CoreStats st;
+
+    InFlightInst &inst(InFlightHandle h) { return pool.get(h); }
+    const InFlightInst &inst(InFlightHandle h) const
+    {
+        return pool.get(h);
+    }
 
     void
     record(Cycle cycle, InstSeq seq, unsigned cluster, TimelineEvent ev)

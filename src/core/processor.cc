@@ -69,7 +69,7 @@ Processor::Impl::beginCycle()
     for (unsigned c = 0; c < m.clusters.size(); ++c) {
         m.clusters[c].otb.beginCycle(m.now);
         m.clusters[c].rtb.beginCycle(m.now);
-        m.st.queueOccupancy[c]->sample(m.clusters[c].queue.size());
+        m.st.queueOccupancy[c]->sample(m.clusters[c].occupancy());
     }
     m.st.robOccupancy->sample(m.rob.size());
     m.retiredThisCycle = 0;
@@ -87,7 +87,7 @@ Processor::Impl::serviceReplayRequest()
     // Locate the blocked instruction; squash everything younger so the
     // buffer entries it is waiting for drain.
     for (std::size_t i = 0; i < m.rob.size(); ++i) {
-        if (m.rob[i]->di.seq != seq)
+        if (m.pool.get(m.rob.at(i)).di.seq != seq)
             continue;
         if (i + 1 >= m.rob.size())
             return; // nothing younger to squash; watchdog will decide
@@ -95,7 +95,7 @@ Processor::Impl::serviceReplayRequest()
         replayFromIndex(i + 1);
         // Restart the block timer so the head waits a full threshold
         // before requesting another replay.
-        for (auto &copy : m.rob[i]->copies)
+        for (auto &copy : m.pool.get(m.rob.at(i)).copies)
             copy.bufferBlockedSince = kNoCycle;
         return;
     }
@@ -106,14 +106,17 @@ Processor::Impl::replayFromIndex(std::size_t keep)
 {
     MCA_ASSERT(keep >= 1 && keep <= m.rob.size(), "bad replay index");
     ++*m.st.replayExceptions;
-    m.record(m.now, m.rob[keep - 1]->di.seq,
-             m.rob[keep - 1]->copies[0].cluster,
-             TimelineEvent::ReplayException);
+    {
+        const InFlightInst &anchor = m.pool.get(m.rob.at(keep - 1));
+        m.record(m.now, anchor.di.seq, anchor.copies[0].cluster,
+                 TimelineEvent::ReplayException);
+    }
 
     // Squash from the youngest back to (and excluding) index keep-1.
     std::vector<exec::DynInst> replayed;
     while (m.rob.size() > keep) {
-        InFlightInst &inst = *m.rob.back();
+        const InFlightHandle h = m.rob.back();
+        InFlightInst &inst = m.pool.get(h);
         ++*m.st.replaySquashed;
         replayed.push_back(inst.di);
         // Undo renames in reverse order.
@@ -132,14 +135,19 @@ Processor::Impl::replayFromIndex(std::size_t keep)
                 for (std::uint8_t c : copy.rtbClusters)
                     m.clusters[c].rtb.scheduleFree(m.now);
         }
-        // Remove copies from the queues.
+        // Remove copies from the queues: unissued/suspended copies are
+        // in the scan lists; issued ones hold accounted window entries.
         for (auto &cl : m.clusters)
             cl.queue.erase(
                 std::remove_if(cl.queue.begin(), cl.queue.end(),
                                [&](const QueueSlot &s) {
-                                   return s.inst == &inst;
+                                   return s.inst == h;
                                }),
                 cl.queue.end());
+        if (m.cfg.holdQueueUntilRetire)
+            for (const auto &copy : inst.copies)
+                if (!copy.inQueue)
+                    --m.clusters[copy.cluster].held;
         // Drop any pending predictor update.
         m.pendingBranches.erase(
             std::remove_if(m.pendingBranches.begin(),
@@ -152,10 +160,13 @@ Processor::Impl::replayFromIndex(std::size_t keep)
             m.mispredictBlockSeq = kNoSeq;
         if (m.replayRequestSeq == inst.di.seq)
             m.replayRequestSeq = kNoSeq;
-        if (isa::isStore(inst.di.mi.op))
-            m.storeIssueCycle.erase(inst.di.seq);
-        m.rob.pop_back();
+        m.rob.popBack();
+        m.pool.free(h);
     }
+    // Squashing can expose an older in-flight store to a dword whose
+    // index entry named a now-dead younger store: rebuild the index
+    // from the surviving window.
+    m.rebuildStoreIndex();
 
     // Re-feed the squashed instructions, oldest first. `replayed` is
     // youngest-first (popped from the ROB tail), so pushing each entry
@@ -169,7 +180,8 @@ Processor::Impl::replayFromIndex(std::size_t keep)
     ++m.consecutiveReplays;
     if (m.consecutiveReplays > 16)
         MCA_PANIC("replay exceptions are not making progress (seq ",
-                  m.rob.empty() ? 0 : m.rob.front()->di.seq, ")");
+                  m.rob.empty() ? 0 : m.pool.get(m.rob.front()).di.seq,
+                  ")");
     sched->onSquash();
 }
 
@@ -202,8 +214,8 @@ Processor::Impl::checkInvariants()
             for (unsigned a = 0; a < isa::kNumArchRegs; ++a)
                 if (cl.mappedOf(cls, a))
                     ++invRefs[cl.mapOf(cls, a)];
-            for (const auto &inst : m.rob)
-                for (const auto &ru : inst->renames)
+            for (std::size_t i = 0; i < m.rob.size(); ++i)
+                for (const auto &ru : m.pool.get(m.rob.at(i)).renames)
                     if (ru.cluster == c && ru.cls == cls)
                         ++invRefs[ru.prevPhys];
             for (std::size_t p = 0; p < invRefs.size(); ++p)
@@ -216,14 +228,16 @@ Processor::Impl::checkInvariants()
     // frees that have not matured yet.
     invOtbHolds.assign(m.clusters.size(), 0);
     invRtbHolds.assign(m.clusters.size(), 0);
-    for (const auto &inst : m.rob)
-        for (const auto &copy : inst->copies) {
+    for (std::size_t i = 0; i < m.rob.size(); ++i) {
+        const InFlightInst &inst = m.pool.get(m.rob.at(i));
+        for (const auto &copy : inst.copies) {
             if (copy.holdsOtb)
-                ++invOtbHolds[inst->copies[0].cluster];
+                ++invOtbHolds[inst.copies[0].cluster];
             if (copy.isMaster)
                 for (auto c : copy.rtbClusters)
                     ++invRtbHolds[c];
         }
+    }
     for (unsigned c = 0; c < m.clusters.size(); ++c) {
         MCA_ASSERT(m.clusters[c].otb.inUse() ==
                        invOtbHolds[c] + m.clusters[c].otb.pendingFrees(),
@@ -238,11 +252,90 @@ Processor::Impl::checkInvariants()
                    " holds ", invRtbHolds[c], " pending ",
                    m.clusters[c].rtb.pendingFrees());
     }
-    // The retire window must hold program order.
+    // The retire window must hold program order, and every window
+    // handle must resolve to a live pool slot.
+    for (std::size_t i = 0; i < m.rob.size(); ++i)
+        MCA_ASSERT(m.pool.isLive(m.rob.at(i)),
+                   "retire window holds a dead handle at cycle ", m.now);
     for (std::size_t i = 1; i < m.rob.size(); ++i)
-        MCA_ASSERT(m.rob[i - 1]->di.seq < m.rob[i]->di.seq,
+        MCA_ASSERT(m.pool.get(m.rob.at(i - 1)).di.seq <
+                       m.pool.get(m.rob.at(i)).di.seq,
                    "retire window out of program order at cycle ",
                    m.now);
+    MCA_ASSERT(m.pool.size() == m.rob.size(),
+               "pool population diverged from the retire window at "
+               "cycle ", m.now);
+    // Generation-handle hygiene: every dispatch-queue slot must name a
+    // live in-flight instruction that is present in the retire window
+    // (a handle held across retirement or squash must have gone stale,
+    // never aliased a reused slot), and a load's memory-dependence
+    // handle, when still live, must name exactly the store whose
+    // sequence number it captured at dispatch.
+    for (unsigned c = 0; c < m.clusters.size(); ++c)
+        for (const auto &slot : m.clusters[c].queue) {
+            MCA_ASSERT(m.pool.isLive(slot.inst),
+                       "queue slot holds a stale handle in cluster ", c,
+                       " at cycle ", m.now);
+            const InFlightInst &qi = m.pool.get(slot.inst);
+            MCA_ASSERT(slot.copyIdx < qi.copies.size(),
+                       "queue slot copy index out of range at cycle ",
+                       m.now);
+            MCA_ASSERT(qi.copies[slot.copyIdx].cluster == c,
+                       "queue slot copy in the wrong cluster at cycle ",
+                       m.now);
+            bool in_rob = false;
+            for (std::size_t i = 0; i < m.rob.size() && !in_rob; ++i)
+                in_rob = m.rob.at(i) == slot.inst;
+            MCA_ASSERT(in_rob, "queue slot instruction not in the "
+                               "retire window at cycle ", m.now);
+        }
+    // Window-mode held accounting: cl.held must equal the number of
+    // in-flight copies that left the scan list at issue (inQueue
+    // cleared) but still occupy a queue entry until retirement.
+    if (m.cfg.holdQueueUntilRetire) {
+        std::vector<unsigned> expect_held(m.clusters.size(), 0);
+        for (std::size_t i = 0; i < m.rob.size(); ++i)
+            for (const auto &copy : m.pool.get(m.rob.at(i)).copies)
+                if (!copy.inQueue)
+                    ++expect_held[copy.cluster];
+        for (unsigned c = 0; c < m.clusters.size(); ++c)
+            MCA_ASSERT(m.clusters[c].held == expect_held[c],
+                       "held queue-entry accounting leak in cluster ",
+                       c, " at cycle ", m.now, ": held ",
+                       m.clusters[c].held, " expected ", expect_held[c]);
+    }
+    // Store-dependence index: every entry must name the youngest live
+    // in-flight store to its dword, and every in-flight store must be
+    // covered by an entry at least as young.
+    for (const auto &[dword, ref] : m.storeByDword) {
+        const InFlightInst *store = m.pool.tryGet(ref.handle);
+        MCA_ASSERT(store && store->di.seq == ref.seq &&
+                       isa::isStore(store->di.mi.op) &&
+                       (store->di.effAddr >> 3) == dword,
+                   "store index entry names a dead or mismatched store "
+                   "at cycle ", m.now);
+    }
+    for (std::size_t i = 0; i < m.rob.size(); ++i) {
+        const InFlightInst &inst = m.pool.get(m.rob.at(i));
+        if (!isa::isStore(inst.di.mi.op))
+            continue;
+        const auto it = m.storeByDword.find(inst.di.effAddr >> 3);
+        MCA_ASSERT(it != m.storeByDword.end() &&
+                       it->second.seq >= inst.di.seq,
+                   "in-flight store missing from the dependence index "
+                   "at cycle ", m.now);
+    }
+    for (std::size_t i = 0; i < m.rob.size(); ++i) {
+        const InFlightInst &inst = m.pool.get(m.rob.at(i));
+        if (inst.memDepStoreSeq == kNoSeq)
+            continue;
+        if (const InFlightInst *dep = m.pool.tryGet(inst.memDepStore))
+            if (dep->di.seq == inst.memDepStoreSeq)
+                MCA_ASSERT(isa::isStore(dep->di.mi.op) &&
+                               dep->di.seq < inst.di.seq,
+                           "memory-dependence handle names a non-store "
+                           "or younger instruction at cycle ", m.now);
+    }
     // The fetch buffer must as well.
     const auto &fb = fetch.buffer();
     for (std::size_t i = 1; i < fb.size(); ++i)
@@ -275,7 +368,7 @@ Processor::Impl::classifyStall() const
         return StallCause::Drain;
     }
 
-    const InFlightInst &head = *m.rob.front();
+    const InFlightInst &head = m.pool.get(m.rob.front());
     const CopyState &master = head.copies[0];
 
     if (!master.issued) {
@@ -341,10 +434,15 @@ Processor::Impl::classifyStall() const
 Cycle
 Processor::Impl::fastForward(Cycle next, Cycle limit)
 {
-    if (!m.cfg.idleSkip ||
-        m.cfg.issueEngine != ProcessorConfig::IssueEngine::Event)
+    if (m.cfg.issueEngine != ProcessorConfig::IssueEngine::Event)
         return next;
     if (m.activityThisCycle || pipelineEmpty())
+        return next;
+    // An idle cycle ends any issue-saturated phase (the event engine
+    // drops out of its full-scan mode so wakeups — and this skip — can
+    // take over again).
+    sched->onIdleCycle();
+    if (!m.cfg.idleSkip)
         return next;
 
     // Earliest future cycle any stage can act: a scheduler wakeup, a
@@ -371,7 +469,7 @@ Processor::Impl::fastForward(Cycle next, Cycle limit)
     // frees are pending (frees are only scheduled by issue and squash,
     // both activity), so beginCycle would be a pure re-sample.
     for (unsigned c = 0; c < m.clusters.size(); ++c)
-        m.st.queueOccupancy[c]->sample(m.clusters[c].queue.size(), k);
+        m.st.queueOccupancy[c]->sample(m.clusters[c].occupancy(), k);
     m.st.robOccupancy->sample(m.rob.size(), k);
     switch (fetch.idleEffect()) {
       case FetchUnit::IdleEffect::BranchStall:
@@ -468,7 +566,7 @@ Processor::observe(obs::CycleObs &out) const
     for (std::size_t c = 0; c < im.m.clusters.size(); ++c) {
         const Cluster &cl = im.m.clusters[c];
         obs::ClusterObs &o = out.clusters[c];
-        o.queueOcc = static_cast<unsigned>(cl.queue.size());
+        o.queueOcc = static_cast<unsigned>(cl.occupancy());
         o.queueCap = cl.queueCapacity;
         o.otbInUse = cl.otb.inUse();
         o.otbCap = cl.otb.capacity();
@@ -483,48 +581,85 @@ Processor::retiredInstructions() const
     return impl_->m.st.retired->value();
 }
 
+namespace
+{
+
+/**
+ * Compile-time-selected host-profiler scope: the <false> sink is an
+ * empty object the optimizer deletes, so a WithProf=false cycle kernel
+ * carries no per-stage timer construction at all (not even the
+ * enabled() load PROF_SCOPE pays).
+ */
+template <bool WithProf>
+struct MaybeProfScope
+{
+    explicit MaybeProfScope(prof::RegionId) {}
+};
+
+template <>
+struct MaybeProfScope<true>
+{
+    explicit MaybeProfScope(prof::RegionId id) : timer(id) {}
+    prof::ScopeTimer timer;
+};
+
+// Stage regions, interned once (PROF_SCOPE's static-local pattern
+// would re-check its guard per call inside the templated kernel).
+const prof::RegionId kRegBegin = prof::internRegion("core.begin");
+const prof::RegionId kRegRetire = prof::internRegion("core.retire");
+const prof::RegionId kRegSchedule = prof::internRegion("core.schedule");
+const prof::RegionId kRegFetch = prof::internRegion("core.fetch");
+const prof::RegionId kRegDispatch = prof::internRegion("core.dispatch");
+const prof::RegionId kRegAccount = prof::internRegion("core.account");
+const prof::RegionId kRegIdleSkip = prof::internRegion("core.idle_skip");
+
+} // namespace
+
+template <bool WithObs, bool WithProf>
 bool
-Processor::step()
+Processor::stepImpl()
 {
     Impl &im = *impl_;
     if (im.pipelineEmpty())
         return false;
     im.m.now = cycle_;
     {
-        PROF_SCOPE("core.begin");
+        MaybeProfScope<WithProf> ps(kRegBegin);
         im.beginCycle();
     }
     {
-        PROF_SCOPE("core.retire");
+        MaybeProfScope<WithProf> ps(kRegRetire);
         const unsigned n_retired = im.retire.tick();
         if (n_retired > 0)
             im.sched->onRetired(n_retired);
         im.retire.resolveBranches();
     }
     {
-        PROF_SCOPE("core.schedule");
+        MaybeProfScope<WithProf> ps(kRegSchedule);
         im.sched->tick();
         im.serviceReplayRequest();
     }
     {
-        PROF_SCOPE("core.fetch");
+        MaybeProfScope<WithProf> ps(kRegFetch);
         im.fetch.tick();
     }
     {
-        PROF_SCOPE("core.dispatch");
+        MaybeProfScope<WithProf> ps(kRegDispatch);
         im.dispatch.tick();
     }
-    PROF_SCOPE("core.account");
+    MaybeProfScope<WithProf> ps(kRegAccount);
     im.checkWatchdog();
-    if (im.m.cfg.paranoid)
-        im.checkInvariants();
-    if (im.cstack) {
-        obs::CycleStack &cs = *im.cstack;
-        cs.slots = im.m.cfg.retireWidth;
-        const auto cause = im.m.retiredThisCycle < cs.slots
-                               ? im.classifyStall()
-                               : obs::StallCause::Base;
-        cs.account(im.m.retiredThisCycle, cause);
+    if constexpr (WithObs) {
+        if (im.m.cfg.paranoid)
+            im.checkInvariants();
+        if (im.cstack) {
+            obs::CycleStack &cs = *im.cstack;
+            cs.slots = im.m.cfg.retireWidth;
+            const auto cause = im.m.retiredThisCycle < cs.slots
+                                   ? im.classifyStall()
+                                   : obs::StallCause::Base;
+            cs.account(im.m.retiredThisCycle, cause);
+        }
     }
     ++cycle_;
     ++stepped_;
@@ -532,14 +667,29 @@ Processor::step()
     return true;
 }
 
+bool
+Processor::step()
+{
+    // Selected per call: the cycle stack can attach/detach and the
+    // profiler can toggle between any two cycles, and the lockstep
+    // harness steps machines whose attachment states differ.
+    const Impl &im = *impl_;
+    const bool obs = im.cstack != nullptr || im.m.cfg.paranoid;
+    if (prof::enabled())
+        return obs ? stepImpl<true, true>() : stepImpl<false, true>();
+    return obs ? stepImpl<true, false>() : stepImpl<false, false>();
+}
+
+template <bool WithObs, bool WithProf>
 SimResult
-Processor::run(Cycle max_cycles)
+Processor::runLoop(std::uint64_t target_retired, Cycle max_cycles)
 {
     SimResult result;
-    while (cycle_ < max_cycles) {
-        if (!step())
+    while (cycle_ < max_cycles &&
+           impl_->m.st.retired->value() < target_retired) {
+        if (!stepImpl<WithObs, WithProf>())
             break;
-        PROF_SCOPE("core.idle_skip");
+        MaybeProfScope<WithProf> ps(kRegIdleSkip);
         cycle_ = impl_->fastForward(cycle_, max_cycles);
     }
     result.cycles = cycle_;
@@ -549,20 +699,30 @@ Processor::run(Cycle max_cycles)
 }
 
 SimResult
+Processor::runDispatch(std::uint64_t target_retired, Cycle max_cycles)
+{
+    // Hoist the accounting selection out of the loop. Attachment state
+    // cannot change while run() owns the thread, and profiler toggles
+    // mid-run only lose attribution for the remainder of that call.
+    const Impl &im = *impl_;
+    const bool obs = im.cstack != nullptr || im.m.cfg.paranoid;
+    if (prof::enabled())
+        return obs ? runLoop<true, true>(target_retired, max_cycles)
+                   : runLoop<false, true>(target_retired, max_cycles);
+    return obs ? runLoop<true, false>(target_retired, max_cycles)
+               : runLoop<false, false>(target_retired, max_cycles);
+}
+
+SimResult
+Processor::run(Cycle max_cycles)
+{
+    return runDispatch(~std::uint64_t{0}, max_cycles);
+}
+
+SimResult
 Processor::runUntilRetired(std::uint64_t target_retired, Cycle max_cycles)
 {
-    SimResult result;
-    while (cycle_ < max_cycles &&
-           impl_->m.st.retired->value() < target_retired) {
-        if (!step())
-            break;
-        PROF_SCOPE("core.idle_skip");
-        cycle_ = impl_->fastForward(cycle_, max_cycles);
-    }
-    result.cycles = cycle_;
-    result.instructions = impl_->m.st.retired->value();
-    result.completed = impl_->pipelineEmpty();
-    return result;
+    return runDispatch(target_retired, max_cycles);
 }
 
 mem::MemorySystem &
@@ -875,10 +1035,21 @@ Processor::saveState(ckpt::SnapshotBuilder &b) const
     // The live register map: §6 remaps mutate it at runtime, so it is
     // machine state, distinct from the constructed config's map.
     encodeRegMap(w, im.m.cfg.regMap);
-    w.u64(im.m.storeIssueCycle.size());
-    for (const auto &[seq, cyc] : im.m.storeIssueCycle) {
-        w.u64(seq);
-        w.u64(cyc);
+    // In-flight stores' issue cycles, in the legacy map layout (seq ->
+    // issue cycle, ascending seq). The data is derived from the stores'
+    // master copies — the live map was eliminated — and the retire
+    // window is seq-ordered, matching the old std::map iteration.
+    std::uint64_t n_store_rows = 0;
+    for (std::size_t i = 0; i < im.m.rob.size(); ++i)
+        if (isa::isStore(im.m.pool.get(im.m.rob.at(i)).di.mi.op))
+            ++n_store_rows;
+    w.u64(n_store_rows);
+    for (std::size_t i = 0; i < im.m.rob.size(); ++i) {
+        const InFlightInst &inst = im.m.pool.get(im.m.rob.at(i));
+        if (!isa::isStore(inst.di.mi.op))
+            continue;
+        w.u64(inst.di.seq);
+        w.u64(inst.copies[0].issueCycle);
     }
     w.u64(im.m.pendingBranches.size());
     for (const auto &pb : im.m.pendingBranches) {
@@ -889,25 +1060,36 @@ Processor::saveState(ckpt::SnapshotBuilder &b) const
         w.u64(pb.wbCycle);
     }
     w.u64(im.m.rob.size());
-    for (const auto &inst : im.m.rob)
-        writeInFlightInst(w, *inst);
+    for (std::size_t i = 0; i < im.m.rob.size(); ++i)
+        writeInFlightInst(w, im.m.pool.get(im.m.rob.at(i)));
     // Clusters; dispatch-queue slots name their instruction by retire-
-    // window index (pointers do not survive serialization).
-    for (const auto &cl : im.m.clusters) {
-        w.u64(cl.queue.size());
-        for (const auto &slot : cl.queue) {
-            std::uint32_t rob_idx = 0;
-            bool found = false;
-            for (std::size_t i = 0; i < im.m.rob.size(); ++i)
-                if (im.m.rob[i].get() == slot.inst) {
-                    rob_idx = static_cast<std::uint32_t>(i);
-                    found = true;
-                    break;
+    // window index (handles do not survive serialization). The rows
+    // are derived from the retire window rather than the live scan
+    // list: in window mode an issued copy's entry lives on only as a
+    // cl.held count, but the serialized queue keeps one row per
+    // occupied entry in age order, preserving the byte format.
+    for (unsigned c = 0; c < im.m.clusters.size(); ++c) {
+        const auto forEachRow = [&](auto &&fn) {
+            for (std::size_t i = 0; i < im.m.rob.size(); ++i) {
+                const InFlightInst &qi = im.m.pool.get(im.m.rob.at(i));
+                for (std::uint32_t ci = 0; ci < qi.copies.size(); ++ci) {
+                    const CopyState &copy = qi.copies[ci];
+                    if (copy.cluster != c ||
+                        (!copy.inQueue &&
+                         !im.m.cfg.holdQueueUntilRetire))
+                        continue;
+                    fn(static_cast<std::uint32_t>(i), ci);
                 }
-            MCA_ASSERT(found, "queue slot points outside retire window");
-            w.u32(rob_idx);
-            w.u32(slot.copyIdx);
-        }
+            }
+        };
+        std::uint64_t n_rows = 0;
+        forEachRow([&](std::uint32_t, std::uint32_t) { ++n_rows; });
+        w.u64(n_rows);
+        forEachRow([&](std::uint32_t i, std::uint32_t ci) {
+            w.u32(i);
+            w.u32(ci);
+        });
+        const Cluster &cl = im.m.clusters[c];
         writePhysRegFile(w, cl.intRegs);
         writePhysRegFile(w, cl.fpRegs);
         for (unsigned ci = 0; ci < 2; ++ci)
@@ -986,11 +1168,13 @@ Processor::loadState(ckpt::SnapshotParser &p)
     im.m.mispredictBlockSeq = r.u64();
     im.m.replayRequestSeq = r.u64();
     decodeRegMap(r, im.m.cfg.regMap);
-    im.m.storeIssueCycle.clear();
-    const std::uint64_t n_stores = r.u64();
-    for (std::uint64_t i = 0; i < n_stores; ++i) {
-        const InstSeq seq = r.u64();
-        im.m.storeIssueCycle[seq] = r.u64();
+    // The legacy store-issue map rows carry no independent state (each
+    // value equals the store's master-copy issueCycle, restored with
+    // the window below): read and discard, keeping the byte format.
+    const std::uint64_t n_store_rows = r.u64();
+    for (std::uint64_t i = 0; i < n_store_rows; ++i) {
+        r.u64(); // seq
+        r.u64(); // issue cycle
     }
     im.m.pendingBranches.resize(r.u64());
     for (auto &pb : im.m.pendingBranches) {
@@ -1001,21 +1185,59 @@ Processor::loadState(ckpt::SnapshotParser &p)
         pb.wbCycle = r.u64();
     }
     im.m.rob.clear();
+    im.m.pool.clear();
     const std::uint64_t n_rob = r.u64();
+    if (n_rob > im.m.pool.capacity())
+        throw std::runtime_error(
+            "checkpoint: retire window larger than configured");
     for (std::uint64_t i = 0; i < n_rob; ++i) {
-        auto inst = std::make_unique<InFlightInst>();
-        readInFlightInst(r, *inst);
-        im.m.rob.push_back(std::move(inst));
+        const InFlightHandle h = im.m.pool.alloc();
+        InFlightInst &inst = im.m.pool.get(h);
+        inst = InFlightInst{};
+        readInFlightInst(r, inst);
+        im.m.rob.pushBack(h);
     }
+    // Rebuild the loads' memory-dependence handles from the serialized
+    // sequence numbers; a store that already left the window simply
+    // stays unresolved (kNoHandle), the same observable state as a
+    // stale handle.
+    for (std::size_t i = 0; i < im.m.rob.size(); ++i) {
+        InFlightInst &inst = im.m.pool.get(im.m.rob.at(i));
+        inst.memDepStore = kNoHandle;
+        if (inst.memDepStoreSeq == kNoSeq)
+            continue;
+        for (std::size_t j = i; j-- > 0;) {
+            const InFlightHandle oh = im.m.rob.at(j);
+            if (im.m.pool.get(oh).di.seq == inst.memDepStoreSeq) {
+                inst.memDepStore = oh;
+                break;
+            }
+        }
+    }
+    im.m.rebuildStoreIndex();
     for (auto &cl : im.m.clusters) {
-        cl.queue.resize(r.u64());
-        for (auto &slot : cl.queue) {
+        // Split the serialized queue rows back into the live scan list
+        // (copies still awaiting issue/wake, i.e. inQueue) and the
+        // window-mode held count (issued copies whose entries stay
+        // occupied until retirement).
+        cl.queue.clear();
+        cl.held = 0;
+        const std::uint64_t n_rows = r.u64();
+        for (std::uint64_t k = 0; k < n_rows; ++k) {
             const std::uint32_t rob_idx = r.u32();
             if (rob_idx >= im.m.rob.size())
                 throw std::runtime_error(
                     "checkpoint: queue slot outside retire window");
-            slot.inst = im.m.rob[rob_idx].get();
-            slot.copyIdx = r.u32();
+            const std::uint32_t copy_idx = r.u32();
+            const InFlightHandle h = im.m.rob.at(rob_idx);
+            const InFlightInst &qi = im.m.pool.get(h);
+            if (copy_idx >= qi.copies.size())
+                throw std::runtime_error(
+                    "checkpoint: queue slot copy index out of range");
+            if (qi.copies[copy_idx].inQueue)
+                cl.queue.push_back({h, copy_idx});
+            else
+                ++cl.held;
         }
         readPhysRegFile(r, cl.intRegs);
         readPhysRegFile(r, cl.fpRegs);

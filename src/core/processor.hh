@@ -162,6 +162,24 @@ class Processor
 
   private:
     struct Impl;
+
+    /**
+     * The cycle kernel, specialized at compile time on its two
+     * cross-cutting accounting dimensions so the common configuration
+     * (no cycle stack, no paranoid sweep, host profiler off) runs with
+     * the observability code removed rather than branched around:
+     *  - WithObs: cycle-stack attribution and the paranoid invariant
+     *    sweep are reachable;
+     *  - WithProf: the per-stage host-profiler scopes are constructed.
+     * step() selects the instantiation per call (attachment state can
+     * change between any two cycles); run()/runUntilRetired hoist the
+     * selection out of their loops.
+     */
+    template <bool WithObs, bool WithProf> bool stepImpl();
+    template <bool WithObs, bool WithProf>
+    SimResult runLoop(std::uint64_t target_retired, Cycle max_cycles);
+    SimResult runDispatch(std::uint64_t target_retired, Cycle max_cycles);
+
     ProcessorConfig config_;
     Cycle cycle_ = 0;
     Cycle stepped_ = 0;

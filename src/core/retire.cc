@@ -12,21 +12,26 @@ RetireUnit::tick()
 {
     unsigned n = 0;
     while (n < m_.cfg.retireWidth && !m_.rob.empty() &&
-           m_.rob.front()->allComplete(m_.now)) {
-        InFlightInst &inst = *m_.rob.front();
+           m_.pool.get(m_.rob.front()).allComplete(m_.now)) {
+        const InFlightHandle h = m_.rob.front();
+        InFlightInst &inst = m_.pool.get(h);
         // Free the previous mappings of every renamed destination.
         for (const auto &ru : inst.renames)
             m_.clusters[ru.cluster].regs(ru.cls).free(ru.prevPhys);
-        if (isa::isStore(inst.di.mi.op))
-            m_.storeIssueCycle.erase(inst.di.seq);
-        if (m_.cfg.holdQueueUntilRetire) {
-            for (auto &cl : m_.clusters)
-                cl.queue.erase(
-                    std::remove_if(cl.queue.begin(), cl.queue.end(),
-                                   [&](const QueueSlot &s) {
-                                       return s.inst == &inst;
-                                   }),
-                    cl.queue.end());
+        // Release the queue entries the copies held to retirement (a
+        // retiring instruction's copies are all complete, hence all in
+        // the held account, never in the scan list).
+        if (m_.cfg.holdQueueUntilRetire)
+            for (const auto &copy : inst.copies)
+                --m_.clusters[copy.cluster].held;
+        // Drop the store's own dependence-index entry (an older store
+        // to the dword cannot still be in flight: retirement is in
+        // order, and a younger one would have overwritten the entry).
+        if (isa::isStore(inst.di.mi.op)) {
+            const auto it = m_.storeByDword.find(inst.di.effAddr >> 3);
+            if (it != m_.storeByDword.end() &&
+                it->second.seq == inst.di.seq)
+                m_.storeByDword.erase(it);
         }
         m_.record(m_.now, inst.di.seq, inst.copies[0].cluster,
                   TimelineEvent::Retired);
@@ -36,7 +41,8 @@ RetireUnit::tick()
         m_.lastProgress = m_.now;
         m_.consecutiveReplays = 0;
         m_.activityThisCycle = true;
-        m_.rob.pop_front();
+        m_.rob.popFront();
+        m_.pool.free(h);
     }
     return n;
 }
@@ -71,7 +77,7 @@ RetireUnit::nextEventCycle() const
             e = at;
     };
     if (!m_.rob.empty())
-        for (const auto &copy : m_.rob.front()->copies)
+        for (const auto &copy : m_.pool.get(m_.rob.front()).copies)
             fold(copy.completeCycle);
     for (const auto &b : m_.pendingBranches)
         fold(b.wbCycle);

@@ -58,18 +58,23 @@ Scheduler::masterReady(const InFlightInst &inst, const CopyState &copy,
         m_.dcache.wouldReject(inst.di.effAddr, now))
         return blockedAt(now + 1);
     // Memory dependence: a load waits until the older same-address
-    // store has issued (its data then forwards).
+    // store has issued (its data then forwards). The handle resolves
+    // the store's pool slot directly; a dead handle (or a reused slot,
+    // detected by the sequence check) means the store retired or was
+    // squashed — exactly the cases that unblock the load.
     if (inst.memDepStoreSeq != kNoSeq) {
-        const auto it = m_.storeIssueCycle.find(inst.memDepStoreSeq);
-        if (it != m_.storeIssueCycle.end() &&
-            (it->second == kNoCycle || it->second >= now)) {
-            if (it->second == kNoCycle) {
-                // The store's issue is a broadcast event: the load can
-                // be in any cluster relative to the store.
-                scanLeftEventGated_ = true;
-                return blockedAt(kNoCycle);
+        const InFlightInst *store = m_.pool.tryGet(inst.memDepStore);
+        if (store && store->di.seq == inst.memDepStoreSeq) {
+            const Cycle issued_at = store->copies[0].issueCycle;
+            if (issued_at == kNoCycle || issued_at >= now) {
+                if (issued_at == kNoCycle) {
+                    // The store's issue is a broadcast event: the load
+                    // can be in any cluster relative to the store.
+                    scanLeftEventGated_ = true;
+                    return blockedAt(kNoCycle);
+                }
+                return blockedAt(issued_at + 1);
             }
-            return blockedAt(it->second + 1);
         }
     }
     // Result transfer buffers in every receiving cluster. Checked last
@@ -106,7 +111,7 @@ Scheduler::issueMaster(InFlightInst &inst, CopyState &copy)
     // Effective latency (cache-aware for loads).
     unsigned lat = isa::opLatency(op);
     if (isa::isLoad(op)) {
-        const auto r = m_.dcache.access(inst.di.effAddr, false, now);
+        const auto r = m_.dcache.accessFast(inst.di.effAddr, false, now);
         const Cycle data_ready = std::max(now + 2, r.readyAt + 2);
         lat = static_cast<unsigned>(data_ready - now);
         if (inst.memDepStoreSeq != kNoSeq) {
@@ -119,9 +124,10 @@ Scheduler::issueMaster(InFlightInst &inst, CopyState &copy)
         inst.dcacheMemBound =
             inst.dcacheLoadMiss && r.servedBy == mem::ServiceLevel::Memory;
     } else if (isa::isStore(op)) {
-        m_.dcache.access(inst.di.effAddr, true, now);
+        m_.dcache.accessFast(inst.di.effAddr, true, now);
         lat = 1;
-        m_.storeIssueCycle[inst.di.seq] = now;
+        // Dependent loads observe the issue through the store's own
+        // copy state (copy.issueCycle, set above) via their handle.
     }
     inst.masterEffLat = lat;
 
@@ -286,13 +292,17 @@ Scheduler::scanCluster(unsigned c, InstSeq oldest_unissued,
             *wake_out = at;
     };
 
-    std::vector<QueueSlot> survivors;
-    survivors.reserve(cl.queue.size());
+    // Issued/removed slots are compacted out in place (two-pointer,
+    // order-preserving); the issue actions never touch the queue
+    // vector, so reading ahead of the write cursor is safe and no
+    // per-scan survivor vector is allocated.
+    std::size_t out = 0;
     unsigned older_unissued = 0;
 
     bool head_checked = false;
-    for (auto &slot : cl.queue) {
-        InFlightInst &inst = *slot.inst;
+    for (std::size_t qi = 0; qi < cl.queue.size(); ++qi) {
+        const QueueSlot slot = cl.queue[qi];
+        InFlightInst &inst = m_.pool.get(slot.inst);
         CopyState &copy = inst.copies[slot.copyIdx];
         const CopyState &master = inst.copies[0];
         bool remove = false;
@@ -300,7 +310,7 @@ Scheduler::scanCluster(unsigned c, InstSeq oldest_unissued,
 
         if (copy.issued && !copy.suspended) {
             // Window mode: already issued, waiting for retirement.
-            survivors.push_back(slot);
+            cl.queue[out++] = slot;
             continue;
         }
         if (inst.dispatchCycle >= now) {
@@ -393,12 +403,12 @@ Scheduler::scanCluster(unsigned c, InstSeq oldest_unissued,
         }
 
         if (remove) {
-            if (m_.cfg.holdQueueUntilRetire) {
-                // The entry stays occupied until retirement.
-                survivors.push_back(slot);
-            } else {
-                copy.inQueue = false;
-            }
+            copy.inQueue = false;
+            // In window mode the entry stays occupied until retirement
+            // but never needs another scan: account it in cl.held and
+            // drop it from the scan list.
+            if (m_.cfg.holdQueueUntilRetire)
+                ++cl.held;
         } else {
             if (!copy.issued) {
                 ++older_unissued;
@@ -428,10 +438,10 @@ Scheduler::scanCluster(unsigned c, InstSeq oldest_unissued,
                     }
                 }
             }
-            survivors.push_back(slot);
+            cl.queue[out++] = slot;
         }
     }
-    cl.queue = std::move(survivors);
+    cl.queue.resize(out);
 }
 
 // --- scan engine ------------------------------------------------------
@@ -443,9 +453,10 @@ ScanScheduler::tick()
     // buffer blocks *it*, no older instruction exists to drain the
     // buffer, so the block is a deadlock.
     InstSeq oldest_unissued = kNoSeq;
-    for (const auto &inst : m_.rob) {
-        if (!inst->allIssued()) {
-            oldest_unissued = inst->di.seq;
+    for (std::size_t i = 0; i < m_.rob.size(); ++i) {
+        const InFlightInst &inst = m_.pool.get(m_.rob.at(i));
+        if (!inst.allIssued()) {
+            oldest_unissued = inst.di.seq;
             break;
         }
     }
@@ -461,10 +472,20 @@ EventScheduler::tick()
 {
     // Advance the monotone cursor over the fully-issued prefix (issued
     // flags are only ever set; squash clamps the cursor instead).
-    while (cursor_ < m_.rob.size() && m_.rob[cursor_]->allIssued())
+    while (cursor_ < m_.rob.size() &&
+           m_.pool.get(m_.rob.at(cursor_)).allIssued())
         ++cursor_;
     const InstSeq oldest =
-        cursor_ < m_.rob.size() ? m_.rob[cursor_]->di.seq : kNoSeq;
+        cursor_ < m_.rob.size() ? m_.pool.get(m_.rob.at(cursor_)).di.seq
+                                : kNoSeq;
+
+    // Saturated: behave exactly like the scan engine and skip the
+    // wakeup bookkeeping entirely (wakeAll/wakeCluster are no-ops).
+    if (saturated_) {
+        for (unsigned c = 0; c < m_.clusters.size(); ++c)
+            scanCluster(c, oldest, nullptr);
+        return;
+    }
 
     // Deliver a matured broadcast to every cluster that is event-gated
     // NOW (each flag is fresh as of that cluster's latest scan, which
@@ -487,9 +508,12 @@ EventScheduler::tick()
         if (matured_[c])
             wake_[c] = kNoCycle;
     }
+    bool all_matured = true;
     for (unsigned c = 0; c < m_.clusters.size(); ++c) {
-        if (!matured_[c])
+        if (!matured_[c]) {
+            all_matured = false;
             continue;
+        }
         Cycle bound = kNoCycle;
         scanCluster(c, oldest, &bound);
         eventGated_[c] = scanLeftEventGated_;
@@ -498,11 +522,20 @@ EventScheduler::tick()
         if (bound < wake_[c])
             wake_[c] = bound;
     }
+
+    if (all_matured) {
+        if (++saturatedStreak_ >= kSaturationStreak)
+            saturated_ = true;
+    } else {
+        saturatedStreak_ = 0;
+    }
 }
 
 Cycle
 EventScheduler::nextWakeCycle() const
 {
+    if (saturated_)
+        return m_.now + 1; // full scan every cycle, like the scan engine
     // Conservatively include a pending broadcast even if no cluster is
     // currently gated on it; broadcasts only arise from issue actions,
     // so they never throttle a genuinely idle stretch.
@@ -529,6 +562,8 @@ EventScheduler::onRetired(unsigned count)
 void
 EventScheduler::onSquash()
 {
+    exitSaturation();
+    saturatedStreak_ = 0;
     if (cursor_ > m_.rob.size())
         cursor_ = m_.rob.size();
     // Squash frees transfer-buffer entries (usable from now+1), undoes
@@ -542,8 +577,36 @@ EventScheduler::onSquash()
 }
 
 void
+EventScheduler::onIdleCycle()
+{
+    // An idle cycle means the machine is no longer issue-bound: the
+    // wakeup machinery (and the idle fast-forward it feeds) earns its
+    // keep again.
+    exitSaturation();
+    saturatedStreak_ = 0;
+}
+
+void
+EventScheduler::exitSaturation()
+{
+    if (!saturated_)
+        return;
+    saturated_ = false;
+    // Conservative re-entry into event-driven mode: wake every cluster
+    // next cycle and assume event gating everywhere; the next scans
+    // recompute the real bounds and flags.
+    const Cycle at = m_.now + 1;
+    for (Cycle &w : wake_)
+        w = std::min(w, at);
+    std::fill(eventGated_.begin(), eventGated_.end(), char(1));
+    broadcastAt_ = kNoCycle;
+}
+
+void
 EventScheduler::wakeAll(Cycle at)
 {
+    if (saturated_)
+        return; // every cluster scans every cycle anyway
     // Issue-path broadcast: it only concerns clusters left event-gated
     // by their last scan (a copy blocked on a full buffer or an
     // unissued store), so it is held in broadcastAt_ and matched
@@ -556,6 +619,8 @@ EventScheduler::wakeAll(Cycle at)
 void
 EventScheduler::wakeCluster(unsigned c, Cycle at)
 {
+    if (saturated_)
+        return;
     wake_[c] = std::min(wake_[c], at);
 }
 
@@ -564,11 +629,17 @@ EventScheduler::saveState(ckpt::Writer &w) const
 {
     w.u64(cursor_);
     w.u64(wake_.size());
+    // Saturation is transient host-side state: snapshots record the
+    // conservative exit values instead (same byte layout), so a
+    // restored run re-enters event-driven mode with every cluster
+    // woken and re-saturates on its own if the workload still
+    // qualifies. Resaving a restored snapshot reproduces these bytes.
+    const Cycle at = m_.now + 1;
     for (Cycle c : wake_)
-        w.u64(c);
+        w.u64(saturated_ ? std::min(c, at) : c);
     for (char g : eventGated_)
-        w.u8(static_cast<std::uint8_t>(g));
-    w.u64(broadcastAt_);
+        w.u8(saturated_ ? std::uint8_t{1} : static_cast<std::uint8_t>(g));
+    w.u64(saturated_ ? kNoCycle : broadcastAt_);
 }
 
 void
@@ -583,6 +654,8 @@ EventScheduler::loadState(ckpt::Reader &r)
     for (char &g : eventGated_)
         g = static_cast<char>(r.u8());
     broadcastAt_ = r.u64();
+    saturated_ = false;
+    saturatedStreak_ = 0;
 }
 
 std::unique_ptr<Scheduler>

@@ -63,6 +63,12 @@ class Scheduler : public ckpt::Checkpointable
     virtual void onRetired(unsigned count) { static_cast<void>(count); }
     /** A replay squashed the tail of the retire window. */
     virtual void onSquash() {}
+    /**
+     * The cycle just stepped had no activity in any stage (the idle
+     * fast-forward is about to consider skipping ahead). The event
+     * engine uses this as the exit signal of its saturated mode.
+     */
+    virtual void onIdleCycle() {}
 
     /** Engine-local state; the scan engine is stateless. */
     void saveState(ckpt::Writer &w) const override
@@ -163,6 +169,7 @@ class EventScheduler final : public Scheduler
     void onDispatched(const InFlightInst &inst) override;
     void onRetired(unsigned count) override;
     void onSquash() override;
+    void onIdleCycle() override;
     void saveState(ckpt::Writer &w) const override;
     void loadState(ckpt::Reader &r) override;
 
@@ -197,6 +204,25 @@ class EventScheduler final : public Scheduler
      * its flag is only fresh once its own scan has run.
      */
     Cycle broadcastAt_ = kNoCycle;
+
+    /**
+     * Saturated mode: on issue-bound workloads every cluster matures a
+     * wakeup every cycle (issue broadcasts re-arm all gated clusters at
+     * now+1), so the wakeup bookkeeping is pure overhead on top of a de
+     * facto full scan. After kSaturationStreak consecutive ticks in
+     * which every cluster scanned, the engine degenerates to the scan
+     * engine's behavior — scan all clusters, skip the wake/broadcast
+     * accounting — which is cycle-exact by the same proof as the scan
+     * engine (a full scan is a superset of any wakeup-driven scan).
+     * The first idle cycle (onIdleCycle) or squash exits back to
+     * event-driven mode with every cluster conservatively woken.
+     * Transient host-side state: never serialized (saveState writes
+     * the conservative post-exit values instead).
+     */
+    static constexpr unsigned kSaturationStreak = 64;
+    void exitSaturation();
+    unsigned saturatedStreak_ = 0;
+    bool saturated_ = false;
 };
 
 /** Build the engine selected by cfg.issueEngine. */

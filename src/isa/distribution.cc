@@ -1,6 +1,7 @@
 #include "isa/distribution.hh"
 
 #include <algorithm>
+#include <array>
 
 #include "support/panic.hh"
 
@@ -22,8 +23,12 @@ decideDistribution(const MachInst &mi, const RegisterMap &map,
 
     // Count the local registers named per cluster (the paper's
     // master-selection rule: the master executes where the majority of
-    // the named local registers live).
-    std::vector<unsigned> local_count(nclusters, 0);
+    // the named local registers live). Fixed-size scratch: this runs
+    // once per dispatched instruction, so it must not allocate.
+    constexpr unsigned kMaxClusters = 32;
+    MCA_ASSERT(nclusters <= kMaxClusters,
+               "cluster count exceeds the distribution scratch bound");
+    std::array<unsigned, kMaxClusters> local_count{};
     bool any_local = false;
 
     auto countReg = [&](const RegId &reg) {

@@ -15,10 +15,10 @@
 #define MCA_ISA_DISTRIBUTION_HH
 
 #include <optional>
-#include <vector>
 
 #include "isa/inst.hh"
 #include "isa/registers.hh"
+#include "support/small_vector.hh"
 
 namespace mca::isa
 {
@@ -39,7 +39,9 @@ struct SlaveRole
 struct Distribution
 {
     unsigned masterCluster = 0;
-    std::vector<SlaveRole> slaves;
+    /** Inline storage covers a master plus slaves in three other
+     *  clusters; wider machines spill to the heap. */
+    SmallVector<SlaveRole, 3> slaves;
     /** Master allocates a physical register for the destination. */
     bool masterWritesDest = false;
 

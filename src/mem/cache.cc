@@ -32,6 +32,11 @@ Cache::Cache(std::string name, const CacheParams &params, StatGroup &stats,
     numSets_ = params.sizeBytes / (params.blockBytes * params.assoc);
     MCA_ASSERT(isPowerOfTwo(numSets_), "set count not 2^n");
     lines_.resize(numSets_ * params.assoc);
+    while ((std::uint64_t{1} << blockShift_) < params.blockBytes)
+        ++blockShift_;
+    while ((std::uint64_t{1} << setShift_) < numSets_)
+        ++setShift_;
+    setMask_ = numSets_ - 1;
 
     accesses_ = &stats.counter(name_ + ".accesses", "cache accesses");
     hits_ = &stats.counter(name_ + ".hits", "cache hits");
@@ -61,10 +66,8 @@ Cache::outstandingFills(Cycle now) const
 }
 
 bool
-Cache::wouldReject(Addr addr, Cycle now)
+Cache::wouldRejectSlow(Addr addr, Cycle now)
 {
-    if (params_.mshrEntries == 0)
-        return false; // inverted MSHR: never rejects
     pruneOutstanding(now);
     if (outstanding_.size() < params_.mshrEntries)
         return false;
@@ -83,13 +86,13 @@ Cache::wouldReject(Addr addr, Cycle now)
 std::uint64_t
 Cache::setIndex(Addr addr) const
 {
-    return (addr / params_.blockBytes) & (numSets_ - 1);
+    return (addr >> blockShift_) & setMask_;
 }
 
 Addr
 Cache::tagOf(Addr addr) const
 {
-    return (addr / params_.blockBytes) / numSets_;
+    return (addr >> blockShift_) >> setShift_;
 }
 
 Addr

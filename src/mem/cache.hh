@@ -215,14 +215,66 @@ class Cache : public MemoryLevel
 
     AccessResult access(Addr addr, bool is_write, Cycle now) override;
 
+    /**
+     * Devirtualized L1-hit fast path for the cycle kernel's dominant
+     * case: a resident line whose fill has landed. Semantically
+     * identical to access() — the hit replicates the exact hit-path
+     * mutations inline (access/hit counters, LRU touch via one
+     * useClock_ bump, the dirty bit) and returns the same AccessResult
+     * (servedBy = this level). Anything else — a miss, a merge with an
+     * in-flight fill, the fast path disabled, or the host profiler
+     * active (so per-region attribution stays exact) — falls through
+     * to the virtual chain, which re-probes from scratch; the fall
+     * through performs no state change, so exactly one probe mutates.
+     */
+    AccessResult
+    accessFast(Addr addr, bool is_write, Cycle now)
+    {
+        if (!fastPath_ || prof::enabled())
+            return access(addr, is_write, now);
+        const std::uint64_t set = (addr >> blockShift_) & setMask_;
+        const Addr tag = (addr >> blockShift_) >> setShift_;
+        Line *ln = &lines_[set * params_.assoc];
+        for (unsigned w = 0; w < params_.assoc; ++w, ++ln) {
+            if (ln->valid && ln->tag == tag) {
+                if (ln->fillReadyAt > now)
+                    break; // in-flight merge: take the slow path
+                ++*accesses_;
+                ln->lastUse = ++useClock_;
+                if (is_write)
+                    ln->dirty = true;
+                ++*hits_;
+                return AccessResult{true, false, false,
+                                    now + params_.hitLatency, level_};
+            }
+        }
+        return access(addr, is_write, now);
+    }
+
+    /**
+     * Disable (or re-enable) the inlined hit fast path, forcing every
+     * access through the virtual chain; the differential tests compare
+     * both configurations for bit-identity.
+     */
+    void setFastPath(bool on) { fastPath_ = on; }
+    bool fastPathEnabled() const { return fastPath_; }
+
     bool probe(Addr addr) const override;
 
     /**
      * True if an access to addr at `now` would be rejected by a full
      * explicit MSHR file (always false with the inverted MSHR). Counts
      * a rejection; issue logic polls this before consuming resources.
+     * Inline for the common inverted-MSHR configuration: the poll is
+     * on the per-issue hot path and usually a single compare.
      */
-    bool wouldReject(Addr addr, Cycle now);
+    bool
+    wouldReject(Addr addr, Cycle now)
+    {
+        if (params_.mshrEntries == 0)
+            return false; // inverted MSHR: never rejects
+        return wouldRejectSlow(addr, now);
+    }
 
     void flush() override;
 
@@ -280,6 +332,9 @@ class Cache : public MemoryLevel
     /** Drop completed fills from the outstanding list. */
     void pruneOutstanding(Cycle now) const;
 
+    /** Out-of-line MSHR-file poll (explicit-MSHR configs only). */
+    bool wouldRejectSlow(Addr addr, Cycle now);
+
     std::string name_;
     /** Interned "mem.<name>" host-profiler region (see src/prof). */
     prof::RegionId profRegion_;
@@ -288,6 +343,12 @@ class Cache : public MemoryLevel
     ServiceLevel level_;
     FillPorts fillPorts_;
     std::uint64_t numSets_;
+    /** Shift/mask forms of the index math (block size and set count
+     *  are asserted powers of two at construction). */
+    unsigned blockShift_ = 0;
+    unsigned setShift_ = 0;
+    std::uint64_t setMask_ = 0;
+    bool fastPath_ = true;
     std::vector<Line> lines_;   // numSets_ * assoc, row-major by set
     std::uint64_t useClock_ = 0;
     /** Fill-completion times of in-flight misses (mutable: pruning is

@@ -35,11 +35,11 @@ FunctionalWarmer::advance(std::uint64_t n)
         ++now_;
         const Addr block = di->pc / icacheBlockBytes_;
         if (block != lastFetchBlock_) {
-            icache.access(di->pc, /*is_write=*/false, now_);
+            icache.accessFast(di->pc, /*is_write=*/false, now_);
             lastFetchBlock_ = block;
         }
         if (isa::isMemOp(di->mi.op))
-            dcache.access(di->effAddr, isa::isStore(di->mi.op), now_);
+            dcache.accessFast(di->effAddr, isa::isStore(di->mi.op), now_);
         if (isa::isCondBranch(di->mi.op))
             pred.update(di->pc, di->taken);
         // A taken control transfer breaks fetch-block locality, so the

@@ -1,0 +1,168 @@
+/**
+ * @file
+ * Fixed-capacity object pool ("arena slab") with generation-checked
+ * handles.
+ *
+ * The cycle kernel keeps its in-flight instruction records in one
+ * contiguous slab per machine instead of heap-allocated nodes: the
+ * retire window bounds the live population, so a SlabPool sized to the
+ * window never allocates after construction, and every pipeline stage
+ * that walks instructions touches one array. References into the slab
+ * are dense 32-bit handles carrying a generation counter; freeing a
+ * slot bumps its generation, so a stale handle held across reuse can
+ * never alias the new occupant — tryGet() returns nullptr instead
+ * (see docs/architecture.md, "cycle kernel anatomy").
+ *
+ * Allocation order is deterministic (LIFO free list), which the
+ * bit-identity harness relies on: two runs of the same workload
+ * produce the same handle sequence.
+ */
+
+#ifndef MCA_SUPPORT_ARENA_HH
+#define MCA_SUPPORT_ARENA_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "support/panic.hh"
+
+namespace mca
+{
+
+/**
+ * Handle into a SlabPool: slot index plus the slot's generation at
+ * allocation time. Value type, trivially copyable, totally ordered so
+ * it can key sorted containers in tests.
+ */
+struct PoolHandle
+{
+    std::uint32_t idx = kInvalidIdx;
+    std::uint32_t gen = 0;
+
+    static constexpr std::uint32_t kInvalidIdx = ~std::uint32_t{0};
+
+    bool valid() const { return idx != kInvalidIdx; }
+
+    friend bool
+    operator==(const PoolHandle &a, const PoolHandle &b)
+    {
+        return a.idx == b.idx && a.gen == b.gen;
+    }
+    friend bool
+    operator!=(const PoolHandle &a, const PoolHandle &b)
+    {
+        return !(a == b);
+    }
+    friend bool
+    operator<(const PoolHandle &a, const PoolHandle &b)
+    {
+        return a.idx != b.idx ? a.idx < b.idx : a.gen < b.gen;
+    }
+};
+
+/** Sentinel "no instruction" handle. */
+inline constexpr PoolHandle kNoHandle{};
+
+template <typename T>
+class SlabPool
+{
+  public:
+    using Handle = PoolHandle;
+
+    explicit SlabPool(std::size_t capacity)
+        : slots_(capacity), gens_(capacity, 0), live_(capacity, 0)
+    {
+        MCA_ASSERT(capacity > 0 && capacity < Handle::kInvalidIdx,
+                   "slab pool capacity out of range");
+        freeList_.reserve(capacity);
+        // LIFO free list popping from the back: seed it in reverse so
+        // the first allocations hand out slots 0, 1, 2, ...
+        for (std::size_t i = capacity; i-- > 0;)
+            freeList_.push_back(static_cast<std::uint32_t>(i));
+    }
+
+    std::size_t capacity() const { return slots_.size(); }
+    std::size_t size() const { return slots_.size() - freeList_.size(); }
+    bool full() const { return freeList_.empty(); }
+
+    /** Allocate a slot; the object keeps whatever state it last had
+     *  (callers reset it). The pool must not be full. */
+    Handle
+    alloc()
+    {
+        MCA_ASSERT(!freeList_.empty(), "slab pool exhausted");
+        const std::uint32_t idx = freeList_.back();
+        freeList_.pop_back();
+        live_[idx] = 1;
+        return Handle{idx, gens_[idx]};
+    }
+
+    /** Release a slot; bumps the generation so the handle goes stale. */
+    void
+    free(Handle h)
+    {
+        MCA_ASSERT(isLive(h), "freeing a stale or dead pool handle");
+        ++gens_[h.idx];
+        live_[h.idx] = 0;
+        freeList_.push_back(h.idx);
+    }
+
+    /** True if `h` names the current occupant of its slot. */
+    bool
+    isLive(Handle h) const
+    {
+        return h.idx < slots_.size() && live_[h.idx] &&
+               gens_[h.idx] == h.gen;
+    }
+
+    /** Resolve a handle known to be live (asserted). */
+    T &
+    get(Handle h)
+    {
+        MCA_ASSERT(isLive(h), "dereference of stale pool handle (idx ",
+                   h.idx, " gen ", h.gen, ")");
+        return slots_[h.idx];
+    }
+
+    const T &
+    get(Handle h) const
+    {
+        MCA_ASSERT(isLive(h), "dereference of stale pool handle (idx ",
+                   h.idx, " gen ", h.gen, ")");
+        return slots_[h.idx];
+    }
+
+    /** Resolve a possibly stale handle: nullptr once the slot was
+     *  freed or reused (generation mismatch). */
+    T *
+    tryGet(Handle h)
+    {
+        return isLive(h) ? &slots_[h.idx] : nullptr;
+    }
+
+    const T *
+    tryGet(Handle h) const
+    {
+        return isLive(h) ? &slots_[h.idx] : nullptr;
+    }
+
+    /** Free every live slot (checkpoint restore). Generations keep
+     *  counting up, so handles from before the clear stay stale. */
+    void
+    clear()
+    {
+        for (std::uint32_t i = 0; i < slots_.size(); ++i)
+            if (live_[i])
+                free(Handle{i, gens_[i]});
+    }
+
+  private:
+    std::vector<T> slots_;
+    std::vector<std::uint32_t> gens_;
+    std::vector<std::uint8_t> live_;
+    std::vector<std::uint32_t> freeList_;
+};
+
+} // namespace mca
+
+#endif // MCA_SUPPORT_ARENA_HH

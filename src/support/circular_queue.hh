@@ -2,9 +2,11 @@
  * @file
  * Fixed-capacity FIFO queue backed by a circular buffer.
  *
- * A general hardware-queue utility. The current processor models its
- * dispatch queues and retire window with flat vectors (issue removes
- * from the middle), so this structure serves library users and tests.
+ * A general hardware-queue utility; the core's retire window is one
+ * (a ring of in-flight handles, see src/core/machine.hh). The backing
+ * buffer is rounded up to a power of two so every index computation is
+ * a mask, not a division — this sits on the simulator's per-cycle hot
+ * path. The logical capacity stays exactly as requested.
  */
 
 #ifndef MCA_SUPPORT_CIRCULAR_QUEUE_HH
@@ -22,10 +24,14 @@ template <typename T>
 class CircularQueue
 {
   public:
-    explicit CircularQueue(std::size_t capacity)
-        : slots_(capacity), capacity_(capacity)
+    explicit CircularQueue(std::size_t capacity) : capacity_(capacity)
     {
         MCA_ASSERT(capacity > 0, "circular queue needs nonzero capacity");
+        std::size_t buf = 1;
+        while (buf < capacity)
+            buf <<= 1;
+        slots_.resize(buf);
+        mask_ = buf - 1;
     }
 
     bool empty() const { return size_ == 0; }
@@ -39,7 +45,7 @@ class CircularQueue
     pushBack(T value)
     {
         MCA_ASSERT(!full(), "push to full circular queue");
-        slots_[(head_ + size_) % capacity_] = std::move(value);
+        slots_[(head_ + size_) & mask_] = std::move(value);
         ++size_;
     }
 
@@ -49,9 +55,18 @@ class CircularQueue
     {
         MCA_ASSERT(!empty(), "pop from empty circular queue");
         T value = std::move(slots_[head_]);
-        head_ = (head_ + 1) % capacity_;
+        head_ = (head_ + 1) & mask_;
         --size_;
         return value;
+    }
+
+    /** Remove and return the tail element; queue must not be empty. */
+    T
+    popBack()
+    {
+        MCA_ASSERT(!empty(), "pop from empty circular queue");
+        --size_;
+        return std::move(slots_[(head_ + size_) & mask_]);
     }
 
     /** Access the i-th oldest element (0 == head). */
@@ -59,19 +74,20 @@ class CircularQueue
     at(std::size_t i)
     {
         MCA_ASSERT(i < size_, "circular queue index out of range");
-        return slots_[(head_ + i) % capacity_];
+        return slots_[(head_ + i) & mask_];
     }
 
     const T &
     at(std::size_t i) const
     {
         MCA_ASSERT(i < size_, "circular queue index out of range");
-        return slots_[(head_ + i) % capacity_];
+        return slots_[(head_ + i) & mask_];
     }
 
     T &front() { return at(0); }
     const T &front() const { return at(0); }
     T &back() { return at(size_ - 1); }
+    const T &back() const { return at(size_ - 1); }
 
     /** Drop the newest n elements (used on squash). */
     void
@@ -91,6 +107,7 @@ class CircularQueue
   private:
     std::vector<T> slots_;
     std::size_t capacity_;
+    std::size_t mask_ = 0;
     std::size_t head_ = 0;
     std::size_t size_ = 0;
 };

@@ -1,0 +1,230 @@
+/**
+ * @file
+ * Vector with inline storage for the first N elements.
+ *
+ * The in-flight instruction records of the cycle kernel hold several
+ * short sequences (copies, source reads, renames, slave roles) whose
+ * lengths are bounded by the machine shape — almost always 1-3
+ * entries. Keeping them inline in the owning record removes the
+ * per-dispatch heap allocations std::vector would make and keeps a
+ * record's state in one cache-line neighborhood; the rare oversize
+ * case (many-cluster configurations) spills to the heap with ordinary
+ * geometric growth.
+ *
+ * Supports the subset of the std::vector interface the simulator uses.
+ * Iterators are invalidated by any growth, as with std::vector.
+ */
+
+#ifndef MCA_SUPPORT_SMALL_VECTOR_HH
+#define MCA_SUPPORT_SMALL_VECTOR_HH
+
+#include <cstddef>
+#include <memory>
+#include <new>
+#include <utility>
+
+#include "support/panic.hh"
+
+namespace mca
+{
+
+template <typename T, std::size_t N>
+class SmallVector
+{
+  public:
+    using value_type = T;
+    using iterator = T *;
+    using const_iterator = const T *;
+
+    SmallVector() = default;
+
+    SmallVector(const SmallVector &other) { appendAll(other); }
+
+    SmallVector(SmallVector &&other) noexcept { moveFrom(other); }
+
+    SmallVector &
+    operator=(const SmallVector &other)
+    {
+        if (this != &other) {
+            clear();
+            appendAll(other);
+        }
+        return *this;
+    }
+
+    SmallVector &
+    operator=(SmallVector &&other) noexcept
+    {
+        if (this != &other) {
+            destroyAll();
+            moveFrom(other);
+        }
+        return *this;
+    }
+
+    ~SmallVector() { destroyAll(); }
+
+    std::size_t size() const { return size_; }
+    bool empty() const { return size_ == 0; }
+    std::size_t capacity() const { return cap_; }
+
+    iterator begin() { return data_; }
+    iterator end() { return data_ + size_; }
+    const_iterator begin() const { return data_; }
+    const_iterator end() const { return data_ + size_; }
+
+    T &operator[](std::size_t i) { return data_[i]; }
+    const T &operator[](std::size_t i) const { return data_[i]; }
+    T &front() { return data_[0]; }
+    const T &front() const { return data_[0]; }
+    T &back() { return data_[size_ - 1]; }
+    const T &back() const { return data_[size_ - 1]; }
+
+    void
+    push_back(const T &v)
+    {
+        reserve(size_ + 1);
+        ::new (static_cast<void *>(data_ + size_)) T(v);
+        ++size_;
+    }
+
+    void
+    push_back(T &&v)
+    {
+        reserve(size_ + 1);
+        ::new (static_cast<void *>(data_ + size_)) T(std::move(v));
+        ++size_;
+    }
+
+    template <typename... Args>
+    T &
+    emplace_back(Args &&...args)
+    {
+        reserve(size_ + 1);
+        T *p = ::new (static_cast<void *>(data_ + size_))
+            T(std::forward<Args>(args)...);
+        ++size_;
+        return *p;
+    }
+
+    void
+    pop_back()
+    {
+        MCA_ASSERT(size_ > 0, "pop_back on empty SmallVector");
+        data_[--size_].~T();
+    }
+
+    /** Erase one element, shifting the tail left (preserves order). */
+    iterator
+    erase(iterator pos)
+    {
+        MCA_ASSERT(pos >= begin() && pos < end(),
+                   "SmallVector erase out of range");
+        for (iterator it = pos; it + 1 != end(); ++it)
+            *it = std::move(*(it + 1));
+        pop_back();
+        return pos;
+    }
+
+    void
+    clear()
+    {
+        while (size_ > 0)
+            data_[--size_].~T();
+    }
+
+    void
+    resize(std::size_t n)
+    {
+        if (n < size_) {
+            while (size_ > n)
+                data_[--size_].~T();
+            return;
+        }
+        reserve(n);
+        while (size_ < n)
+            ::new (static_cast<void *>(data_ + size_++)) T();
+    }
+
+    void
+    reserve(std::size_t n)
+    {
+        if (n <= cap_)
+            return;
+        std::size_t want = cap_ * 2;
+        if (want < n)
+            want = n;
+        T *fresh = static_cast<T *>(
+            ::operator new(want * sizeof(T), std::align_val_t{alignof(T)}));
+        for (std::size_t i = 0; i < size_; ++i) {
+            ::new (static_cast<void *>(fresh + i)) T(std::move(data_[i]));
+            data_[i].~T();
+        }
+        if (onHeap())
+            ::operator delete(data_, std::align_val_t{alignof(T)});
+        data_ = fresh;
+        cap_ = want;
+    }
+
+  private:
+    bool onHeap() const { return data_ != inlinePtr(); }
+
+    T *inlinePtr() { return reinterpret_cast<T *>(inline_); }
+    const T *
+    inlinePtr() const
+    {
+        return reinterpret_cast<const T *>(inline_);
+    }
+
+    void
+    appendAll(const SmallVector &other)
+    {
+        reserve(other.size_);
+        for (std::size_t i = 0; i < other.size_; ++i)
+            push_back(other.data_[i]);
+    }
+
+    /** Take other's contents; leaves other empty. Requires *this to
+     *  hold no constructed elements. */
+    void
+    moveFrom(SmallVector &other) noexcept
+    {
+        if (other.onHeap()) {
+            data_ = other.data_;
+            cap_ = other.cap_;
+            size_ = other.size_;
+            other.data_ = other.inlinePtr();
+            other.cap_ = N;
+            other.size_ = 0;
+        } else {
+            data_ = inlinePtr();
+            cap_ = N;
+            size_ = 0;
+            for (std::size_t i = 0; i < other.size_; ++i) {
+                ::new (static_cast<void *>(data_ + i))
+                    T(std::move(other.data_[i]));
+                ++size_;
+            }
+            other.clear();
+        }
+    }
+
+    void
+    destroyAll()
+    {
+        clear();
+        if (onHeap())
+            ::operator delete(data_, std::align_val_t{alignof(T)});
+        data_ = inlinePtr();
+        cap_ = N;
+    }
+
+    alignas(T) unsigned char inline_[N * sizeof(T)];
+    T *data_ = inlinePtr();
+    std::size_t size_ = 0;
+    std::size_t cap_ = N;
+};
+
+} // namespace mca
+
+#endif // MCA_SUPPORT_SMALL_VECTOR_HH
