@@ -10,7 +10,10 @@
 
 #include <iostream>
 
+#include "compiler/affinity.hh"
 #include "compiler/partition.hh"
+#include "compiler/partition_ml.hh"
+#include "compiler/pipeline.hh"
 #include "harness/figure6.hh"
 #include "support/table.hh"
 
@@ -73,5 +76,37 @@ main()
                                 : std::to_string(c)});
     }
     result.print(std::cout);
+
+    // Partitioner comparison on the same graph: every partition pass at
+    // 2 clusters, scored against the affinity graph (cut = weighted
+    // affinity edges split across clusters, balance = heaviest/ideal).
+    const auto graph = compiler::buildAffinityGraph(fig.program);
+    std::cout << "\nPartitioner comparison on the Figure-6 graph "
+                 "(2 clusters,\naffinity weight "
+              << graph.totalEdgeWeight << "):\n";
+    TextTable cmp;
+    std::vector<std::string> header = {"partitioner", "cut", "balance"};
+    for (const auto &[name, v] : fig.values)
+        header.push_back(name);
+    cmp.header(header);
+    for (const auto &pname : compiler::partitionerNames()) {
+        compiler::ClusterAssignment a;
+        if (pname == "local")
+            a = compiler::localSchedule(fig.program, opt);
+        else if (pname == "roundrobin")
+            a = compiler::roundRobinSchedule(fig.program, opt);
+        else
+            a = compiler::multilevelPartition(fig.program, opt);
+        const auto stats = compiler::scorePartition(graph, a, 2);
+        std::vector<std::string> cells = {
+            pname, std::to_string(stats.cutWeight),
+            TextTable::num(stats.balance)};
+        for (const auto &[name, v] : fig.values) {
+            const int c = a.clusterOf(v);
+            cells.push_back(c < 0 ? "glob" : std::to_string(c));
+        }
+        cmp.row(cells);
+    }
+    cmp.print(std::cout);
     return 0;
 }

@@ -14,7 +14,7 @@ cd "$ROOT"
 # perf gate at the end compares fresh vs previous throughput.
 PREV_BENCH="$(mktemp -d /tmp/mca_prev_bench.XXXXXX)"
 for f in BENCH_core.json BENCH_compile.json BENCH_mem.json \
-         BENCH_sample.json; do
+         BENCH_sample.json BENCH_partition.json; do
     [ -f "$f" ] && cp "$f" "$PREV_BENCH/$f"
 done
 
@@ -59,6 +59,8 @@ python3 scripts/check_trace.py /tmp/mca_ci_trace.json \
     --machine single8 --verify-ir --quiet >/dev/null
 "$SIM" --benchmark ora --max-insts 5000 --scheduler roundrobin \
     --verify-ir --quiet >/dev/null
+"$SIM" --benchmark ora --max-insts 5000 --scheduler multilevel \
+    --verify-ir --quiet >/dev/null
 "$SIM" --list-passes >/dev/null
 "$SIM" --benchmark ora --max-insts 5000 --dump-after regalloc --quiet \
     >/dev/null
@@ -82,6 +84,28 @@ echo "$SUMMARY" | grep -q "compiles: 12 (6 shared)" || {
 # compile sharing; fails if the cache does more than one compile per
 # distinct config or perturbs any job result (see EXPERIMENTS.md).
 "$BUILD/bench/campaign_compile" --json-out "$ROOT/BENCH_compile.json"
+
+# N-cluster partitioning smokes: the --clusters machine selection with
+# every partitioner at 4 clusters (verified IR), the Figure-6
+# partitioner comparison, and a 4-cluster mcarun partitioner sweep.
+for p in local roundrobin multilevel; do
+    "$SIM" --benchmark ora --max-insts 5000 --clusters 4 \
+        --partitioner "$p" --verify-ir --quiet >/dev/null
+done
+"$SIM" --benchmark ora --max-insts 5000 --clusters 8 \
+    --partitioner multilevel --verify-ir --quiet >/dev/null
+"$BUILD/bench/fig6_partitioning" >/dev/null
+"$BUILD/src/tools/mcarun" --benchmarks compress --machines quad8 \
+    --partitioners local,roundrobin,multilevel --schedulers native \
+    --scale 0.05 --max-insts 20000 --jobs 4 --no-cache --no-table \
+    --quiet >/dev/null
+
+# Partition-quality benchmark: the cluster-count x partitioner sweep;
+# fails unless the multilevel partitioner cuts no more affinity weight
+# than round-robin on every workload and matches or beats the local
+# scheduler's geomean IPC at 4 and 8 clusters (see EXPERIMENTS.md).
+"$BUILD/bench/ablation_clusters" --jobs 4 \
+    --json-out "$ROOT/BENCH_partition.json"
 
 # Memory-hierarchy sensitivity smoke: the L2 x memory-latency grid over
 # compress + su2cor; fails on a cycle-stack conservation violation, a

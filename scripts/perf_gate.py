@@ -16,7 +16,8 @@ both single wall-clock measurements of multi-second runs; the core and
 compile numbers average many iterations. Boolean quality bits are hard
 requirements on the *fresh* files regardless of history:
 BENCH_mem.json conservation/determinism, BENCH_sample.json target_met
-and per-row conservation.
+and per-row conservation, BENCH_partition.json multilevel-vs-roundrobin
+cut and multilevel-vs-local IPC geomeans.
 
 A missing previous file skips that comparison (first run on a branch);
 a missing fresh file is an error.
@@ -121,6 +122,18 @@ def check_booleans(fresh_dir, failures):
                 failures.append(
                     "BENCH_sample.json: %s violated cycle-stack "
                     "conservation" % row.get("benchmark", "?"))
+    partition = fresh_dir / "BENCH_partition.json"
+    if partition.exists():
+        doc = load(partition)
+        if doc.get("jobs_ok") != doc.get("jobs_total"):
+            failures.append(
+                "BENCH_partition.json: %s/%s jobs succeeded"
+                % (doc.get("jobs_ok"), doc.get("jobs_total")))
+        for key in ("ml_cut_le_roundrobin", "ml_ipc_ge_local_quad8",
+                    "ml_ipc_ge_local_octa8"):
+            if not doc.get(key, False):
+                failures.append(
+                    "BENCH_partition.json: %s is false" % key)
 
 
 FILES = [

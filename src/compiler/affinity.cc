@@ -1,0 +1,157 @@
+#include "compiler/affinity.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "compiler/liveness.hh"
+
+namespace mca::compiler
+{
+
+namespace
+{
+
+/** Integer co-occurrence weight of one instruction in `blk`. */
+std::uint64_t
+blockUnitWeight(const prog::BasicBlock &blk)
+{
+    // +1 keeps zero-weight (never-profiled) blocks contributing, so
+    // the graph shape does not depend on whether a profile ran.
+    const double w = blk.weight;
+    return 1 + (w > 0 ? static_cast<std::uint64_t>(std::llround(w)) : 0);
+}
+
+} // namespace
+
+AffinityGraph
+buildAffinityGraph(const prog::Program &prog)
+{
+    AffinityGraph graph;
+    const std::size_t nvalues = prog.values.size();
+    graph.nodeOf.assign(nvalues, AffinityGraph::kNoNode);
+    graph.liveSpan.assign(nvalues, 0);
+
+    // Liveness gives the node set (every local live range the program
+    // references) and the diagnostic span per value.
+    const ProgramLiveness live = computeLiveness(prog);
+    BitSet referenced(nvalues);
+    for (const auto &fn : live.functions)
+        for (std::size_t b = 0; b < fn.use.size(); ++b) {
+            referenced.unionWith(fn.use[b]);
+            referenced.unionWith(fn.def[b]);
+            for (prog::ValueId v = 0; v < nvalues; ++v)
+                if (fn.liveIn[b].test(v) || fn.def[b].test(v))
+                    ++graph.liveSpan[v];
+        }
+
+    for (prog::ValueId v = 0; v < nvalues; ++v) {
+        if (!referenced.test(v) || prog.values[v].globalCandidate)
+            continue;
+        graph.nodeOf[v] = static_cast<std::uint32_t>(graph.nodeValue.size());
+        graph.nodeValue.push_back(v);
+    }
+
+    const std::size_t n = graph.numNodes();
+    graph.nodeWeight.assign(n, 0);
+    graph.adj.assign(n, {});
+
+    // One accumulator per undirected edge, keyed by (lo, hi).
+    std::unordered_map<std::uint64_t, std::uint64_t> edges;
+    auto edgeKey = [](std::uint32_t a, std::uint32_t b) {
+        if (a > b)
+            std::swap(a, b);
+        return (static_cast<std::uint64_t>(a) << 32) | b;
+    };
+
+    std::uint32_t ops[3];
+    for (const auto &fn : prog.functions)
+        for (const auto &blk : fn.blocks) {
+            const std::uint64_t w = blockUnitWeight(blk);
+            for (const auto &in : blk.instrs) {
+                unsigned nops = 0;
+                auto collect = [&](prog::ValueId v) {
+                    if (v == prog::kNoValue)
+                        return;
+                    const std::uint32_t node = graph.nodeOf[v];
+                    if (node == AffinityGraph::kNoNode)
+                        return;
+                    for (unsigned i = 0; i < nops; ++i)
+                        if (ops[i] == node)
+                            return;
+                    ops[nops++] = node;
+                };
+                collect(in.dest);
+                collect(in.srcs[0]);
+                collect(in.srcs[1]);
+                if (in.dest != prog::kNoValue &&
+                    graph.nodeOf[in.dest] != AffinityGraph::kNoNode)
+                    graph.nodeWeight[graph.nodeOf[in.dest]] += w;
+                for (unsigned i = 0; i < nops; ++i)
+                    for (unsigned j = i + 1; j < nops; ++j)
+                        edges[edgeKey(ops[i], ops[j])] += w;
+            }
+        }
+
+    // Pure live-ins are never written; give them unit weight so the
+    // balance constraint still sees them.
+    for (std::size_t i = 0; i < n; ++i) {
+        if (graph.nodeWeight[i] == 0)
+            graph.nodeWeight[i] = 1;
+        graph.totalNodeWeight += graph.nodeWeight[i];
+    }
+
+    for (const auto &[key, weight] : edges) {
+        const auto a = static_cast<std::uint32_t>(key >> 32);
+        const auto b = static_cast<std::uint32_t>(key & 0xffffffffu);
+        graph.adj[a].push_back({b, weight});
+        graph.adj[b].push_back({a, weight});
+        graph.totalEdgeWeight += weight;
+    }
+    for (auto &list : graph.adj)
+        std::sort(list.begin(), list.end(),
+                  [](const AffinityGraph::Edge &x,
+                     const AffinityGraph::Edge &y) { return x.to < y.to; });
+
+    return graph;
+}
+
+std::uint64_t
+cutWeight(const AffinityGraph &graph, const ClusterAssignment &assignment)
+{
+    std::uint64_t cut = 0;
+    for (std::size_t u = 0; u < graph.numNodes(); ++u) {
+        const int cu = assignment.clusterOf(graph.nodeValue[u]);
+        if (cu < 0)
+            continue;
+        for (const auto &e : graph.adj[u]) {
+            if (e.to <= u)
+                continue;   // count each undirected edge once
+            const int cv = assignment.clusterOf(graph.nodeValue[e.to]);
+            if (cv >= 0 && cv != cu)
+                cut += e.weight;
+        }
+    }
+    return cut;
+}
+
+double
+balanceOf(const AffinityGraph &graph, const ClusterAssignment &assignment,
+          unsigned num_clusters)
+{
+    if (graph.numNodes() == 0 || num_clusters == 0 ||
+        graph.totalNodeWeight == 0)
+        return 0.0;
+    std::vector<std::uint64_t> part(num_clusters, 0);
+    for (std::size_t u = 0; u < graph.numNodes(); ++u) {
+        const int c = assignment.clusterOf(graph.nodeValue[u]);
+        if (c >= 0 && static_cast<unsigned>(c) < num_clusters)
+            part[static_cast<unsigned>(c)] += graph.nodeWeight[u];
+    }
+    const std::uint64_t max = *std::max_element(part.begin(), part.end());
+    const double ideal =
+        static_cast<double>(graph.totalNodeWeight) / num_clusters;
+    return static_cast<double>(max) / ideal;
+}
+
+} // namespace mca::compiler

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Live-range affinity graph: the input of the multilevel partitioner
+ * and the shared quality metric for every partitioner.
+ *
+ * Nodes are the local (non-global-candidate) live ranges a program
+ * references. An edge connects two values that appear as operands of
+ * the same instruction; its weight is the estimated number of dynamic
+ * executions of such instructions (profile block weights), i.e. the
+ * dual-distribution cost the machine pays every time the two endpoints
+ * end up on different clusters. A node's weight is the estimated
+ * number of instructions that *write* the value — the instruction
+ * issue load its home cluster absorbs — so a weight-balanced
+ * partition is a balanced run-time instruction distribution.
+ *
+ * The graph is partitioner-agnostic: cutWeight()/balanceOf() score any
+ * ClusterAssignment (local scheduler, round-robin, multilevel), which
+ * is what makes the per-pass cut/balance stats comparable across
+ * partitioners.
+ */
+
+#ifndef MCA_COMPILER_AFFINITY_HH
+#define MCA_COMPILER_AFFINITY_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "compiler/partition.hh"
+#include "prog/cfg.hh"
+
+namespace mca::compiler
+{
+
+/** Weighted undirected graph over the program's local live ranges. */
+struct AffinityGraph
+{
+    static constexpr std::uint32_t kNoNode = ~std::uint32_t{0};
+
+    struct Edge
+    {
+        std::uint32_t to;          ///< dense node index
+        std::uint64_t weight;      ///< co-occurrence weight
+    };
+
+    /** Dense node index -> ValueId (ascending, so ids are stable). */
+    std::vector<prog::ValueId> nodeValue;
+    /** ValueId -> dense node index, or kNoNode for globals/unreferenced. */
+    std::vector<std::uint32_t> nodeOf;
+    /** Estimated dynamic def count (>= 1) — the balance weight. */
+    std::vector<std::uint64_t> nodeWeight;
+    /** Blocks in which the value is live (liveness span, diagnostics). */
+    std::vector<std::uint32_t> liveSpan;
+    /** Symmetric adjacency, each list sorted by `to`. */
+    std::vector<std::vector<Edge>> adj;
+
+    std::uint64_t totalNodeWeight = 0;
+    /** Sum over distinct edges (each edge counted once). */
+    std::uint64_t totalEdgeWeight = 0;
+
+    std::size_t numNodes() const { return nodeValue.size(); }
+};
+
+/**
+ * Build the affinity graph: liveness identifies the referenced local
+ * live ranges, profile block weights scale every co-occurrence.
+ */
+AffinityGraph buildAffinityGraph(const prog::Program &prog);
+
+/**
+ * Total weight of edges whose endpoints sit on different clusters —
+ * the estimated dynamic count of dual-distributed instructions. Edges
+ * with an unassigned endpoint are not cut (unassigned values are never
+ * referenced or are replicated).
+ */
+std::uint64_t cutWeight(const AffinityGraph &graph,
+                        const ClusterAssignment &assignment);
+
+/**
+ * Heaviest cluster's node weight divided by the ideal (total/N); 1.0
+ * is perfectly balanced, N is everything-on-one-cluster. Returns 0 for
+ * an empty graph.
+ */
+double balanceOf(const AffinityGraph &graph,
+                 const ClusterAssignment &assignment,
+                 unsigned num_clusters);
+
+} // namespace mca::compiler
+
+#endif // MCA_COMPILER_AFFINITY_HH

@@ -1,6 +1,8 @@
 #include "compiler/partition.hh"
 
 #include <algorithm>
+#include <stdexcept>
+#include <string>
 
 #include "support/panic.hh"
 
@@ -78,6 +80,18 @@ struct UseDefIndex
 
 } // namespace
 
+void
+PartitionOptions::validate() const
+{
+    if (numClusters == 0 ||
+        numClusters > ClusterAssignment::kMaxClusters)
+        throw std::runtime_error(
+            "partitioner cluster count " + std::to_string(numClusters) +
+            " out of range (accepted: 1.." +
+            std::to_string(ClusterAssignment::kMaxClusters) +
+            "; assignments are stored as int8_t)");
+}
+
 unsigned
 estimateDistributionWidth(const prog::Instr &in, const prog::Program &prog,
                           const ClusterAssignment &assignment,
@@ -98,8 +112,8 @@ ClusterAssignment
 localSchedule(const prog::Program &prog, const PartitionOptions &options,
               PartitionTrace *trace)
 {
+    options.validate();
     const unsigned nclusters = options.numClusters;
-    MCA_ASSERT(nclusters >= 2, "local scheduler needs >= 2 clusters");
 
     ClusterAssignment assignment(prog.values.size());
     UseDefIndex index(prog);
@@ -295,6 +309,7 @@ ClusterAssignment
 roundRobinSchedule(const prog::Program &prog,
                    const PartitionOptions &options)
 {
+    options.validate();
     ClusterAssignment assignment(prog.values.size());
     unsigned next = 0;
     for (prog::ValueId v = 0; v < prog.values.size(); ++v) {

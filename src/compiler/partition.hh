@@ -45,6 +45,13 @@ namespace mca::compiler
 struct ClusterAssignment
 {
     static constexpr std::int8_t kUnassigned = -1;
+    /**
+     * Hard ceiling on cluster indices: assignments are stored as
+     * int8_t, so any partitioner accepts at most 127 clusters.
+     * PartitionOptions::validate() enforces this before the storage
+     * could silently wrap.
+     */
+    static constexpr unsigned kMaxClusters = 127;
 
     std::vector<std::int8_t> cluster;
 
@@ -52,6 +59,12 @@ struct ClusterAssignment
         : cluster(nvalues, kUnassigned)
     {}
 
+    /**
+     * Cluster of `v`, or kUnassigned. A ValueId past the end of the
+     * table is deliberately reported as unassigned rather than
+     * asserted: passes that grow the value table (spill temporaries)
+     * query the pre-growth assignment for the new ids.
+     */
     int
     clusterOf(prog::ValueId v) const
     {
@@ -65,7 +78,7 @@ struct ClusterAssignment
     }
 };
 
-/** Tuning knobs for the local scheduler. */
+/** Tuning knobs shared by every partitioner. */
 struct PartitionOptions
 {
     unsigned numClusters = 2;
@@ -75,6 +88,13 @@ struct PartitionOptions
      * ablation bench sweeps it.
      */
     unsigned imbalanceThreshold = 4;
+
+    /**
+     * Throw std::runtime_error unless 1 <= numClusters <=
+     * ClusterAssignment::kMaxClusters. Every partitioner calls this on
+     * entry; the tools validate at parse time for a friendlier error.
+     */
+    void validate() const;
 };
 
 /** Record of the scheduler's decision order (Figure 6 reproduction). */
@@ -91,7 +111,8 @@ struct PartitionTrace
  *
  * Global-register candidates are left unassigned (they are replicated in
  * every cluster). Local values never written by any instruction (pure
- * live-ins) are assigned in a final majority-vote pass.
+ * live-ins) are assigned in a final majority-vote pass. Works for any
+ * cluster count >= 1 (N = 1 degenerates to everything on cluster 0).
  */
 ClusterAssignment localSchedule(const prog::Program &prog,
                                 const PartitionOptions &options,

@@ -5,6 +5,8 @@
 #include <cstdio>
 #include <stdexcept>
 
+#include "compiler/affinity.hh"
+#include "compiler/partition_ml.hh"
 #include "exec/trace.hh"
 #include "prof/prof.hh"
 #include "support/panic.hh"
@@ -133,6 +135,7 @@ class PartitionPass : public Pass
         PartitionOptions popt;
         popt.numClusters = ctx.options.numClusters;
         popt.imbalanceThreshold = ctx.options.imbalanceThreshold;
+        popt.validate();
         switch (ctx.options.scheduler) {
           case SchedulerKind::Native:
             MCA_PANIC("partition pass scheduled for a native compile");
@@ -148,7 +151,21 @@ class PartitionPass : public Pass
                        "round-robin needs a clustered target");
             ctx.out.partition = roundRobinSchedule(ctx.program, popt);
             break;
+          case SchedulerKind::Multilevel:
+            MCA_ASSERT(ctx.options.numClusters >= 2,
+                       "multilevel partitioner needs a clustered target");
+            ctx.out.partition = multilevelPartition(
+                ctx.program, popt, &ctx.out.partitionStats);
+            break;
         }
+        // One comparable quality record per compile, whichever
+        // partitioner ran (the multilevel fills its FM fields above).
+        if (ctx.options.scheduler != SchedulerKind::Multilevel) {
+            const AffinityGraph graph = buildAffinityGraph(ctx.program);
+            ctx.out.partitionStats = scorePartition(
+                graph, ctx.out.partition, ctx.options.numClusters);
+        }
+        exportPartitionStats(ctx.out.partitionStats, ctx.stats);
         ctx.verify.clusterOf = &ctx.out.partition.cluster;
         ctx.verify.numClusters = ctx.options.numClusters;
     }
@@ -378,6 +395,31 @@ exportPassStats(const std::vector<PassStat> &passes, StatGroup &group,
                       "spill loads+stores inserted so far") +=
             stat.spillOpsAfter;
     }
+}
+
+void
+exportPartitionStats(const PartitionStats &stats, StatGroup &group,
+                     const std::string &prefix)
+{
+    group.counter(prefix + ".cut_weight",
+                  "affinity edge weight cut by the partition") +=
+        stats.cutWeight;
+    group.counter(prefix + ".total_weight",
+                  "total affinity edge weight") += stats.totalEdgeWeight;
+    group.counter(prefix + ".balance_x1000",
+                  "heaviest cluster / ideal weight, x1000") +=
+        static_cast<std::uint64_t>(stats.balance * 1000.0);
+    group.counter(prefix + ".fm_gain",
+                  "cut reduction from FM refinement") += stats.fmGain;
+    group.counter(prefix + ".fm_passes",
+                  "FM refinement passes executed") += stats.fmPasses;
+    group.counter(prefix + ".coarsen_levels",
+                  "coarsening levels built") += stats.coarsenLevels;
+    group.counter(prefix + ".nodes",
+                  "affinity-graph nodes (local live ranges)") +=
+        stats.numNodes;
+    group.counter(prefix + ".clusters",
+                  "clusters partitioned for") += stats.numClusters;
 }
 
 } // namespace mca::compiler

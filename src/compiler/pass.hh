@@ -112,6 +112,15 @@ void exportPassStats(const std::vector<PassStat> &passes,
                      StatGroup &group,
                      const std::string &prefix = "pass");
 
+/**
+ * Register `<prefix>.{cut_weight,total_weight,balance_x1000,fm_gain,
+ * fm_passes,coarsen_levels,nodes,clusters}` counters for one
+ * partitioning run — the partition pass's quality record, exported
+ * next to the per-pass counters for any clustered scheduler.
+ */
+void exportPartitionStats(const PartitionStats &stats, StatGroup &group,
+                          const std::string &prefix = "partition");
+
 /** Runs a pass sequence over a context; see the file comment. */
 class PassManager
 {

@@ -19,6 +19,7 @@ schedulerName(SchedulerKind kind)
     case SchedulerKind::Native: return "native";
     case SchedulerKind::Local: return "local";
     case SchedulerKind::RoundRobin: return "roundrobin";
+    case SchedulerKind::Multilevel: return "multilevel";
     }
     return "unknown";
 }
@@ -57,10 +58,22 @@ compileOptionsFor(const std::string &scheduler, unsigned machine_clusters)
         copt.scheduler = machine_clusters >= 2 ? SchedulerKind::Local
                                                : SchedulerKind::Native;
         copt.numClusters = machine_clusters;
+    } else if (scheduler == "multilevel") {
+        copt.scheduler = machine_clusters >= 2 ? SchedulerKind::Multilevel
+                                               : SchedulerKind::Native;
+        copt.numClusters = machine_clusters;
     } else {
         throw std::runtime_error("unknown scheduler '" + scheduler + "'");
     }
     return copt;
+}
+
+const std::vector<std::string> &
+partitionerNames()
+{
+    static const std::vector<std::string> kNames = {"local", "roundrobin",
+                                                    "multilevel"};
+    return kNames;
 }
 
 isa::RegisterMap

@@ -25,6 +25,7 @@
 
 #include "compiler/optimize.hh"
 #include "compiler/partition.hh"
+#include "compiler/partition_ml.hh"
 #include "compiler/regalloc.hh"
 #include "compiler/schedule.hh"
 #include "compiler/superblock.hh"
@@ -47,6 +48,12 @@ enum class SchedulerKind
     Local,
     /** Blind round-robin assignment (ablation). */
     RoundRobin,
+    /**
+     * Multilevel graph partitioner over the live-range affinity graph
+     * (coarsen / partition / FM-refine, partition_ml.hh). Scales to
+     * any cluster count.
+     */
+    Multilevel,
 };
 
 struct CompileOptions
@@ -94,14 +101,21 @@ struct CompileOptions
 
 /**
  * The canonical CompileOptions for a named scheduler ("native",
- * "local", "roundrobin") targeting a machine with `machine_clusters`
- * clusters — the one place the name-to-options mapping lives, shared
- * by mcasim, the runner, and the Table-2 harness. A "local" request on
- * a single-cluster machine degrades to Native (nothing to partition).
+ * "local", "roundrobin", "multilevel") targeting a machine with
+ * `machine_clusters` clusters — the one place the name-to-options
+ * mapping lives, shared by mcasim, the runner, and the Table-2
+ * harness. A "local" or "multilevel" request on a single-cluster
+ * machine degrades to Native (nothing to partition).
  * Throws std::runtime_error on an unknown scheduler name.
  */
 CompileOptions compileOptionsFor(const std::string &scheduler,
                                  unsigned machine_clusters);
+
+/**
+ * The partitioner names `--partitioner` accepts: the clustered
+ * schedulers, i.e. every SchedulerKind except Native.
+ */
+const std::vector<std::string> &partitionerNames();
 
 /** Wall-clock and IR-delta record for one executed pass. */
 struct PassStat
@@ -130,6 +144,11 @@ struct CompileOutput
     ClusterAssignment partition;
     /** Partitioner decision record (Figure-6 reproduction). */
     PartitionTrace partitionTrace;
+    /**
+     * Partition quality (affinity cut, balance, FM gain) for any
+     * clustered scheduler; all-zero for Native.
+     */
+    PartitionStats partitionStats;
     OptStats optStats;
     UnrollStats unrollStats;
     SuperblockStats superblockStats;

@@ -216,15 +216,26 @@ struct ProcessorConfig
      */
     void validate() const;
 
-    /** N-cluster generalization of the 8-way machine (extension §6). */
+    /**
+     * N-cluster generalization of the 8-way machine (extension §6).
+     * `flag` names the command-line option a bad count came from so
+     * the parse-time error points at what to fix; the default blames
+     * the call itself.
+     */
     static ProcessorConfig
-    multiCluster8(unsigned n)
+    multiCluster8(unsigned n, const char *flag = nullptr)
     {
-        if (n == 0 || 128 % n != 0)
+        // The register map supports at most 8 clusters, and the
+        // 128-entry window/register budget must split evenly.
+        if (n == 0 || n > 8 || 128 % n != 0) {
+            const std::string who =
+                flag ? flag : "multiCluster8(" + std::to_string(n) + ")";
             throw std::runtime_error(
-                "multiCluster8(" + std::to_string(n) + "): cluster count " +
-                "must be a divisor of the 8-way machine's 128-entry "
-                "window/register budget (1, 2, 4, 8, ...)");
+                who + ": cluster count " + std::to_string(n) +
+                " not supported; the 8-way machine's 128-entry "
+                "window/register budget divides into 1, 2, 4, or 8 "
+                "clusters");
+        }
         ProcessorConfig c;
         c.numClusters = n;
         c.dispatchQueueEntries = 128 / n;

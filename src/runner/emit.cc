@@ -105,6 +105,8 @@ emitJsonLine(std::ostream &os, const JobResult &r)
        << ",\"spill_loads\":" << r.spillLoads
        << ",\"spill_stores\":" << r.spillStores
        << ",\"other_cluster_spills\":" << r.otherClusterSpills
+       << ",\"partition_cut\":" << r.partitionCut
+       << ",\"partition_balance\":" << jsonDouble(r.partitionBalance)
        << ",\"stack_slots\":" << r.stackSlots;
     for (std::size_t i = 0; i < obs::kNumStallCauses; ++i)
         os << ",\"stack_"
@@ -136,7 +138,8 @@ emitCsvHeader(std::ostream &os)
           "dist_single,dist_dual,operand_forwards,result_forwards,"
           "replays,issue_disorder,bpred_accuracy,dcache_miss_rate,"
           "icache_miss_rate,l2_miss_rate,spill_loads,spill_stores,"
-          "other_cluster_spills,stack_slots";
+          "other_cluster_spills,partition_cut,partition_balance,"
+          "stack_slots";
     for (std::size_t i = 0; i < obs::kNumStallCauses; ++i)
         os << ",stack_"
            << obs::stallCauseName(static_cast<obs::StallCause>(i));
@@ -163,6 +166,7 @@ emitCsvRow(std::ostream &os, const JobResult &r)
        << jsonDouble(r.icacheMissRate) << ','
        << jsonDouble(r.l2MissRate) << ',' << r.spillLoads << ','
        << r.spillStores << ',' << r.otherClusterSpills << ','
+       << r.partitionCut << ',' << jsonDouble(r.partitionBalance) << ','
        << r.stackSlots;
     for (std::size_t i = 0; i < obs::kNumStallCauses; ++i)
         os << ',' << r.stackSlotCycles[i];

@@ -80,6 +80,8 @@ machineConfigFor(const JobSpec &spec)
         cfg = core::ProcessorConfig::dualCluster4();
     else if (spec.machine == "quad8")
         cfg = core::ProcessorConfig::multiCluster8(4);
+    else if (spec.machine == "octa8")
+        cfg = core::ProcessorConfig::multiCluster8(8);
     else
         throw std::runtime_error("unknown machine '" + spec.machine + "'");
 
@@ -216,6 +218,8 @@ runJob(const JobSpec &spec, CompileCache *compile_cache)
         out.spillLoads = compiled->alloc.spillLoadsInserted;
         out.spillStores = compiled->alloc.spillStoresInserted;
         out.otherClusterSpills = compiled->alloc.otherClusterSpills;
+        out.partitionCut = compiled->partitionStats.cutWeight;
+        out.partitionBalance = compiled->partitionStats.balance;
 
         if (spec.samplePeriod > 0) {
             // Sampled job: one functional warming pass + K detailed
@@ -301,7 +305,7 @@ const std::vector<std::string> &
 validMachines()
 {
     static const std::vector<std::string> kMachines = {
-        "single8", "dual8", "single4", "dual4", "quad8",
+        "single8", "dual8", "single4", "dual4", "quad8", "octa8",
     };
     return kMachines;
 }
@@ -310,7 +314,7 @@ const std::vector<std::string> &
 validSchedulers()
 {
     static const std::vector<std::string> kSchedulers = {
-        "native", "local", "roundrobin",
+        "native", "local", "roundrobin", "multilevel",
     };
     return kSchedulers;
 }

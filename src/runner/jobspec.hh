@@ -39,9 +39,9 @@ struct JobSpec
     /** Workload scale (loop trip counts). */
     double scale = 0.2;
 
-    /** Machine name: single8|dual8|single4|dual4|quad8. */
+    /** Machine name: single8|dual8|single4|dual4|quad8|octa8. */
     std::string machine = "dual8";
-    /** Scheduler name: native|local|roundrobin. */
+    /** Scheduler/partitioner name: native|local|roundrobin|multilevel. */
     std::string scheduler = "local";
     /** Local-scheduler imbalance threshold. */
     unsigned threshold = 4;
@@ -135,6 +135,10 @@ struct JobResult
     std::uint64_t spillLoads = 0;
     std::uint64_t spillStores = 0;
     std::uint64_t otherClusterSpills = 0;
+    /** Affinity edge weight the partition cut (0 for native). */
+    std::uint64_t partitionCut = 0;
+    /** Heaviest cluster / ideal cluster weight (0 for native). */
+    double partitionBalance = 0.0;
 
     /**
      * Cycle-stack stall attribution: slot-cycles per cause, in

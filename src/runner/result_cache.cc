@@ -14,12 +14,13 @@ namespace mca::runner
 namespace
 {
 
-// v4: sampled-simulation fields (sampled, sampledIntervals, cpiCi95)
-// and sample axes in the canonical key. v3: memory-hierarchy taxonomy
-// (dcache_l2/dcache_mem stack causes, l2MissRate). v2: cycle-stack
-// fields. Older entries fail the version check and are treated as
-// misses.
-constexpr int kFormatVersion = 4;
+// v5: partition-quality fields (partitionCut, partitionBalance) for
+// the N-cluster partitioner sweeps. v4: sampled-simulation fields
+// (sampled, sampledIntervals, cpiCi95) and sample axes in the
+// canonical key. v3: memory-hierarchy taxonomy (dcache_l2/dcache_mem
+// stack causes, l2MissRate). v2: cycle-stack fields. Older entries
+// fail the version check and are treated as misses.
+constexpr int kFormatVersion = 5;
 
 std::string
 formatDouble(double value)
@@ -90,6 +91,8 @@ ResultCache::load(const JobSpec &spec) const
         out.spillLoads = std::stoull(fields.at("spillLoads"));
         out.spillStores = std::stoull(fields.at("spillStores"));
         out.otherClusterSpills = std::stoull(fields.at("otherClusterSpills"));
+        out.partitionCut = std::stoull(fields.at("partitionCut"));
+        out.partitionBalance = std::stod(fields.at("partitionBalance"));
         out.stackSlots =
             static_cast<unsigned>(std::stoul(fields.at("stackSlots")));
         for (std::size_t i = 0; i < obs::kNumStallCauses; ++i)
@@ -154,6 +157,9 @@ ResultCache::store(const JobResult &result) const
             << "spillLoads\t" << result.spillLoads << "\n"
             << "spillStores\t" << result.spillStores << "\n"
             << "otherClusterSpills\t" << result.otherClusterSpills << "\n"
+            << "partitionCut\t" << result.partitionCut << "\n"
+            << "partitionBalance\t" << formatDouble(result.partitionBalance)
+            << "\n"
             << "stackSlots\t" << result.stackSlots << "\n";
         for (std::size_t i = 0; i < obs::kNumStallCauses; ++i)
             out << "stack_"

@@ -29,6 +29,7 @@
 #include <string>
 #include <vector>
 
+#include "compiler/pipeline.hh"
 #include "obs/cycle_stack.hh"
 #include "runner/campaign.hh"
 #include "runner/emit.hh"
@@ -79,6 +80,10 @@ usage()
         " [dual8]\n"
         "  --schedulers LIST    " + joined(runner::validSchedulers()) +
         " [local]\n"
+        "  --partitioners LIST  " + joined(compiler::partitionerNames()) +
+        "\n"
+        "                       (appended to --schedulers; the scheduler\n"
+        "                       axis is the partitioner axis)\n"
         "  --thresholds LIST    local-scheduler imbalance thresholds [4]\n"
         "  --trace-seeds LIST   trace interpreter seeds [42]\n"
         "  --l2-kb LIST         shared-L2 sizes in KB (0 = no L2) [0]\n"
@@ -203,6 +208,18 @@ parse(int argc, char **argv)
             opt.grid.machines = splitList(need("--machines"));
         } else if (a == "--schedulers") {
             opt.grid.schedulers = splitList(need("--schedulers"));
+        } else if (a == "--partitioners") {
+            // Partitioners ARE schedulers (the scheduler name selects
+            // the partition pass); this axis just restricts the valid
+            // set to the partition-capable ones and appends.
+            const auto names = splitList(need("--partitioners"));
+            checkChoices(names, compiler::partitionerNames(),
+                         "partitioner");
+            for (const auto &name : names)
+                if (std::find(opt.grid.schedulers.begin(),
+                              opt.grid.schedulers.end(),
+                              name) == opt.grid.schedulers.end())
+                    opt.grid.schedulers.push_back(name);
         } else if (a == "--thresholds") {
             opt.grid.thresholds = needUnsignedList("--thresholds");
         } else if (a == "--trace-seeds") {

@@ -63,6 +63,7 @@ struct Options
     unsigned threshold = 4;
     unsigned unroll = 1;
     unsigned clusters = 0; // 0 = implied by machine
+    bool machineSet = false; // --machine given explicitly
     std::optional<unsigned> dqEntries;
     std::optional<unsigned> otbEntries;
     std::optional<unsigned> rtbEntries;
@@ -123,7 +124,11 @@ usage()
         "  --random-seed N      random fuzzer program\n"
         "  --load-trace FILE    replay a saved trace file\n\n"
         "compilation:\n"
-        "  --scheduler KIND     native|local|roundrobin  [local]\n"
+        "  --scheduler KIND     native|local|roundrobin|multilevel "
+        "[local]\n"
+        "  --partitioner KIND   local|roundrobin|multilevel — alias of\n"
+        "                       --scheduler restricted to the clustered\n"
+        "                       partitioners (docs/compiler.md)\n"
         "  --threshold N        local-scheduler imbalance threshold [4]\n"
         "  --unroll N           unroll counted self-loops [1]\n"
         "  --scale X            workload scale [0.2]\n"
@@ -133,7 +138,11 @@ usage()
         "  --pass-stats         per-pass wall clock + IR deltas\n"
         "  --list-passes        print the pass registry and exit\n\n"
         "machine:\n"
-        "  --machine NAME       single8|dual8|single4|dual4|quad8 [dual8]\n"
+        "  --machine NAME       single8|dual8|single4|dual4|quad8|octa8\n"
+        "                       [dual8]\n"
+        "  --clusters N         N-cluster split of the 8-way machine\n"
+        "                       (1|2|4|8, = multiCluster8(N)); must agree\n"
+        "                       with --machine when both are given\n"
         "  --dq N               dispatch-queue entries per cluster\n"
         "  --otb N --rtb N      transfer-buffer entries per cluster\n"
         "  --mshr N             explicit MSHR entries (0 = inverted)\n"
@@ -240,10 +249,25 @@ parse(int argc, char **argv)
             opt.machine = need("--machine");
             checkChoice(opt.machine, runner::validMachines(),
                         "--machine");
+            opt.machineSet = true;
         } else if (a == "--scheduler") {
             opt.scheduler = need("--scheduler");
             checkChoice(opt.scheduler, runner::validSchedulers(),
                         "--scheduler");
+        } else if (a == "--partitioner") {
+            opt.scheduler = need("--partitioner");
+            checkChoice(opt.scheduler, compiler::partitionerNames(),
+                        "--partitioner");
+        } else if (a == "--clusters") {
+            const long n = std::atol(need("--clusters").c_str());
+            // Parse-time guard for the partitioner's int8_t assignment
+            // storage; the machine factory narrows further to 1|2|4|8.
+            if (n <= 0 ||
+                n > static_cast<long>(
+                        compiler::ClusterAssignment::kMaxClusters))
+                MCA_FATAL("--clusters: cluster count ", n,
+                          " out of range (accepted: 1, 2, 4, or 8)");
+            opt.clusters = static_cast<unsigned>(n);
         } else if (a == "--scale") {
             opt.scale = std::atof(need("--scale").c_str());
         } else if (a == "--max-insts") {
@@ -398,6 +422,8 @@ parse(int argc, char **argv)
             MCA_FATAL("unknown argument: ", a);
         }
     }
+    if (opt.clusters > 0 && !opt.machineSet)
+        opt.machine = "multi8x" + std::to_string(opt.clusters);
     return opt;
 }
 
@@ -413,14 +439,32 @@ machineConfig(const Options &opt, unsigned *clusters)
             {"dual4", &core::ProcessorConfig::dualCluster4},
         };
     core::ProcessorConfig cfg;
-    if (opt.machine == "quad8") {
+    if (opt.clusters > 0 && !opt.machineSet) {
+        // --clusters alone selects the N-cluster 8-way machine.
+        try {
+            cfg = core::ProcessorConfig::multiCluster8(opt.clusters,
+                                                       "--clusters");
+        } catch (const std::exception &e) {
+            MCA_FATAL(e.what());
+        }
+    } else if (opt.machine == "quad8") {
         cfg = core::ProcessorConfig::multiCluster8(4);
+    } else if (opt.machine == "octa8") {
+        cfg = core::ProcessorConfig::multiCluster8(8);
     } else {
         auto it = kMachines.find(opt.machine);
         if (it == kMachines.end())
             MCA_FATAL("unknown machine '", opt.machine, "'");
         cfg = it->second();
     }
+    // Cross-check: the binary is partitioned for the machine's cluster
+    // count, so an explicit --clusters must agree with --machine.
+    if (opt.clusters > 0 && opt.machineSet &&
+        cfg.numClusters != opt.clusters)
+        MCA_FATAL("--clusters ", opt.clusters, " disagrees with --machine ",
+                  opt.machine, " (", cfg.numClusters,
+                  " clusters); the compiled binary is partitioned for "
+                  "the machine's cluster count");
     *clusters = cfg.numClusters;
     if (opt.dqEntries)
         cfg.dispatchQueueEntries = *opt.dqEntries;
@@ -833,6 +877,21 @@ main(int argc, char **argv)
         // --dump-stats and --json carry it alongside the run stats.
         compiler::exportPassStats(compiled->passStats, stats,
                                   "compile.pass");
+        compiler::exportPartitionStats(compiled->partitionStats, stats,
+                                       "compile.partition");
+        if (!opt.quiet && compiled->partitionStats.numClusters > 1) {
+            const auto &ps = compiled->partitionStats;
+            std::printf("partition quality: cut %llu / %llu affinity "
+                        "weight, balance %.3f, fm gain %llu "
+                        "(%u clusters, %llu nodes)\n",
+                        static_cast<unsigned long long>(ps.cutWeight),
+                        static_cast<unsigned long long>(
+                            ps.totalEdgeWeight),
+                        ps.balance,
+                        static_cast<unsigned long long>(ps.fmGain),
+                        ps.numClusters,
+                        static_cast<unsigned long long>(ps.numNodes));
+        }
         if (!opt.quiet) {
             std::cout << "compiler passes:\n";
             std::printf("  %-10s %10s %8s %8s %8s %10s\n", "pass",
