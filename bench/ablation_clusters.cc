@@ -14,6 +14,11 @@
  *   - ml_ipc_ge_local_quad8 / _octa8: multilevel matches or beats the
  *     local scheduler's geomean IPC at 4 and at 8 clusters.
  *
+ * A second, informational sweep crosses the three partitioners with
+ * the shared-L2 axis (quad8, l2_kb in {0, 256}) and lands in the JSON
+ * as `l2_cross_rows` — it does not participate in the gates above, it
+ * records how partition quality interacts with the memory hierarchy.
+ *
  * Usage: ablation_clusters [--scale S] [--max-insts N] [--jobs N]
  *                          [--json-out FILE]
  */
@@ -129,10 +134,26 @@ main(int argc, char **argv)
     runner::CampaignSummary summary;
     const auto results = runner::runCampaign(specs, options, &summary);
 
+    // Informational partitioner x L2 cross sweep (gates are computed
+    // over the main sweep only).
+    runner::CampaignGrid cross = base;
+    cross.machines = {"quad8"};
+    cross.schedulers = {"local", "roundrobin", "multilevel"};
+    cross.l2Kbs = {0, 256};
+    const auto crossSpecs = runner::expandGrid(cross);
+    runner::CampaignSummary crossSummary;
+    const auto crossResults =
+        runner::runCampaign(crossSpecs, options, &crossSummary);
+
     int rc = 0;
     if (summary.ok != results.size()) {
         std::cerr << "FAIL: " << summary.ok << "/" << results.size()
                   << " jobs succeeded\n";
+        rc = 1;
+    }
+    if (crossSummary.ok != crossResults.size()) {
+        std::cerr << "FAIL: L2 cross sweep: " << crossSummary.ok << "/"
+                  << crossResults.size() << " jobs succeeded\n";
         rc = 1;
     }
 
@@ -196,6 +217,18 @@ main(int argc, char **argv)
               << TextTable::num(quadRatio) << ", octa8 "
               << TextTable::num(octaRatio) << "\n";
 
+    std::cout << "\nPartitioner x L2 cross sweep (quad8)\n";
+    TextTable crossTable;
+    crossTable.header({"benchmark", "partitioner", "l2_kb", "cycles",
+                       "ipc", "l2_miss_rate", "cut"});
+    for (const auto &r : crossResults)
+        crossTable.row({r.spec.benchmark, r.spec.scheduler,
+                        std::to_string(r.spec.l2Kb),
+                        std::to_string(r.cycles), TextTable::num(r.ipc),
+                        TextTable::num(r.l2MissRate),
+                        std::to_string(r.partitionCut)});
+    crossTable.print(std::cout);
+
     if (!json_out.empty()) {
         std::ofstream out(json_out, std::ios::trunc);
         if (!out) {
@@ -227,6 +260,19 @@ main(int argc, char **argv)
                 << ", \"partition_cut\": " << r.partitionCut
                 << ", \"partition_balance\": " << r.partitionBalance
                 << "}" << (i + 1 < results.size() ? "," : "") << "\n";
+        }
+        out << "  ],\n  \"l2_cross_rows\": [\n";
+        for (std::size_t i = 0; i < crossResults.size(); ++i) {
+            const auto &r = crossResults[i];
+            out << "    {\"benchmark\": \"" << r.spec.benchmark
+                << "\", \"scheduler\": \"" << r.spec.scheduler
+                << "\", \"l2_kb\": " << r.spec.l2Kb
+                << ", \"cycles\": " << r.cycles
+                << ", \"ipc\": " << r.ipc
+                << ", \"l2_miss_rate\": " << r.l2MissRate
+                << ", \"partition_cut\": " << r.partitionCut
+                << "}" << (i + 1 < crossResults.size() ? "," : "")
+                << "\n";
         }
         out << "  ]\n}\n";
         std::cout << "wrote " << json_out << "\n";

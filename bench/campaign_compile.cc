@@ -9,8 +9,16 @@
  * shared by its single- and dual-machine legs. This harness runs the
  * campaign both ways, asserts the cache does exactly one compile per
  * distinct pair (and that results are bit-identical to the uncached
- * run), and reports the wall-clock difference. scripts/ci.sh stores
- * the result as BENCH_compile.json.
+ * run), and reports the wall-clock difference. A third leg re-runs the
+ * cached campaign with CampaignOptions::compileBarrier — no simulation
+ * until every compile has finished — to isolate what the task-graph
+ * executor's compile/simulate overlap is worth: `overlap_speedup`
+ * (wall clock, only meaningful on a multi-core host) and
+ * `overlap_critical_path` (barrier/overlap schedule critical-path
+ * ratio — the hardware-independent view: the barrier chains the
+ * slowest compile in front of every simulation, overlap makes the
+ * critical path one job's own compile→simulate chain).
+ * scripts/ci.sh stores the result as BENCH_compile.json.
  *
  * Usage: campaign_compile [--scale S] [--max-insts N] [--jobs N]
  *                         [--trials N] [--json-out FILE]
@@ -40,11 +48,12 @@ struct Sample
 
 Sample
 runOnce(const std::vector<runner::JobSpec> &specs, unsigned jobs,
-        bool compile_cache)
+        bool compile_cache, bool compile_barrier = false)
 {
     runner::CampaignOptions options;
     options.jobs = jobs;
     options.compileCache = compile_cache;
+    options.compileBarrier = compile_barrier;
     Sample s;
     const auto t0 = std::chrono::steady_clock::now();
     s.results = runner::runCampaign(specs, options, &s.summary);
@@ -117,14 +126,18 @@ main(int argc, char **argv)
     const std::size_t expect_jobs = specs.size();
     const std::size_t expect_compiles = (specs.size() / 3) * 2;
 
-    Sample off, on;
+    Sample off, on, barrier;
     for (unsigned t = 0; t < trials; ++t) {
         Sample a = runOnce(specs, jobs, /*compile_cache=*/false);
         Sample b = runOnce(specs, jobs, /*compile_cache=*/true);
+        Sample c = runOnce(specs, jobs, /*compile_cache=*/true,
+                           /*compile_barrier=*/true);
         if (t == 0 || a.wallS < off.wallS)
             off = std::move(a);
         if (t == 0 || b.wallS < on.wallS)
             on = std::move(b);
+        if (t == 0 || c.wallS < barrier.wallS)
+            barrier = std::move(c);
     }
 
     int rc = 0;
@@ -155,8 +168,18 @@ main(int argc, char **argv)
         std::cerr << "FAIL: compile sharing changed job results\n";
         rc = 1;
     }
+    if (!sameResults(on.results, barrier.results)) {
+        std::cerr << "FAIL: compile barrier changed job results\n";
+        rc = 1;
+    }
 
     const double speedup = on.wallS > 0.0 ? off.wallS / on.wallS : 0.0;
+    const double overlap_speedup =
+        on.wallS > 0.0 ? barrier.wallS / on.wallS : 0.0;
+    const double overlap_critical_path =
+        on.summary.criticalPathMs > 0.0
+            ? barrier.summary.criticalPathMs / on.summary.criticalPathMs
+            : 0.0;
     std::cout << "table2 campaign: " << expect_jobs << " jobs, "
               << expect_compiles << " distinct compile configs\n"
               << "  no compile cache: " << off.wallS << " s ("
@@ -164,7 +187,13 @@ main(int argc, char **argv)
               << "  compile cache:    " << on.wallS << " s ("
               << on.summary.compiles << " compiles, "
               << on.summary.compileHits << " shared)\n"
-              << "  wall-clock ratio: " << speedup << "x\n";
+              << "  compile barrier:  " << barrier.wallS
+              << " s (no compile/simulate overlap)\n"
+              << "  wall-clock ratio: " << speedup << "x\n"
+              << "  overlap speedup:  " << overlap_speedup << "x\n"
+              << "  critical path:    " << on.summary.criticalPathMs
+              << " ms overlapped vs " << barrier.summary.criticalPathMs
+              << " ms barriered (" << overlap_critical_path << "x)\n";
 
     if (!json_out.empty()) {
         std::ofstream out(json_out, std::ios::trunc);
@@ -185,7 +214,15 @@ main(int argc, char **argv)
             << "  \"compile_hits\": " << on.summary.compileHits << ",\n"
             << "  \"wall_s_no_cache\": " << off.wallS << ",\n"
             << "  \"wall_s_cache\": " << on.wallS << ",\n"
+            << "  \"wall_s_compile_barrier\": " << barrier.wallS << ",\n"
             << "  \"speedup\": " << speedup << ",\n"
+            << "  \"overlap_speedup\": " << overlap_speedup << ",\n"
+            << "  \"critical_path_ms\": " << on.summary.criticalPathMs
+            << ",\n"
+            << "  \"critical_path_ms_barrier\": "
+            << barrier.summary.criticalPathMs << ",\n"
+            << "  \"overlap_critical_path\": " << overlap_critical_path
+            << ",\n"
             << "  \"results_identical\": "
             << (sameResults(off.results, on.results) ? "true" : "false")
             << "\n}\n";

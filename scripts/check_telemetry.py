@@ -10,11 +10,15 @@ callback under its lock, so records are totally ordered); a final
 it is the executable form of the contract:
 
   - every line parses as JSON with a known "event" type;
+  - the "start" record carries the resolved worker width (jobs >= 1);
   - "job" records count done = 1, 2, ..., total with done <= total;
   - elapsed_ms is non-decreasing and eta_ms is never negative;
   - cache_hits <= done, and the final job record's done == total;
   - the "summary" record is present, last, and consistent with the
-    job stream (total and from_cache match what was counted).
+    job stream (total and from_cache match what was counted), and
+    carries the task-graph executor's critical_path_ms (>= 0, not
+    above the campaign wall clock by more than rounding) and
+    max_queue_depth (>= 0) stats.
 
 Usage: check_telemetry.py FILE [--expect-total N]
 Exit status 0 when the stream honours the contract, 1 otherwise.
@@ -68,6 +72,10 @@ def main():
             if done:
                 fail(line_no, "start record after job records")
             total = rec["total"]
+            if "jobs" not in rec:
+                fail(line_no, "start record without a jobs width")
+            if rec["jobs"] < 1:
+                fail(line_no, "start jobs width %d < 1" % rec["jobs"])
         elif event == "job":
             if rec["done"] != done + 1:
                 fail(line_no, "done jumped %d -> %d (expected +1)"
@@ -104,6 +112,20 @@ def main():
     if rec["from_cache"] != cache_hits:
         fail(line_no, "summary from_cache %d != last cache_hits %d"
              % (rec["from_cache"], cache_hits))
+    if "critical_path_ms" not in rec or "max_queue_depth" not in rec:
+        fail(line_no, "summary missing executor stats "
+             "(critical_path_ms / max_queue_depth)")
+    if rec["critical_path_ms"] < 0:
+        fail(line_no, "negative critical_path_ms %g"
+             % rec["critical_path_ms"])
+    # Allow generous slack: the critical path is measured per-node and
+    # can exceed wall_ms only by scheduling/rounding noise.
+    if rec["critical_path_ms"] > rec["wall_ms"] * 1.5 + 50.0:
+        fail(line_no, "critical_path_ms %g implausibly exceeds "
+             "wall_ms %g" % (rec["critical_path_ms"], rec["wall_ms"]))
+    if rec["max_queue_depth"] < 0:
+        fail(line_no, "negative max_queue_depth %d"
+             % rec["max_queue_depth"])
     if expect_total is not None and done != expect_total:
         sys.exit("check_telemetry.py: expected %d jobs, stream has %d"
                  % (expect_total, done))

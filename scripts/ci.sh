@@ -31,6 +31,18 @@ cmake --build "$BUILD-asan" -j
 cd "$BUILD-asan"
 ctest --output-on-failure -j
 cd "$ROOT"
+
+# ThreadSanitizer job: the concurrent subsystems — task-graph executor,
+# campaign runner, sampled driver — under TSan (separate build tree;
+# only the affected test binaries are built and run, the rest of the
+# suite is single-threaded and covered by the ASan job above).
+cmake -B "$BUILD-tsan" -S . -DMCA_SANITIZE=thread
+cmake --build "$BUILD-tsan" -j \
+    --target taskgraph_test runner_test sample_test
+"$BUILD-tsan/tests/taskgraph_test"
+"$BUILD-tsan/tests/runner_test"
+"$BUILD-tsan/tests/sample_test"
+
 cd "$BUILD"
 
 # Observability smoke: cycle stacks conserve and the Perfetto trace is

@@ -115,13 +115,17 @@ def check_booleans(fresh_dir, failures):
         doc = load(sample)
         if not doc.get("target_met", False):
             failures.append("BENCH_sample.json: target_met is false "
-                            "(no benchmark at 10x speedup with <=2% "
+                            "(no benchmark at 7x speedup with <=2% "
                             "CPI error)")
         for row in doc.get("rows", []):
             if not row.get("conserved", False):
                 failures.append(
                     "BENCH_sample.json: %s violated cycle-stack "
                     "conservation" % row.get("benchmark", "?"))
+            if not row.get("pipe_identical", True):
+                failures.append(
+                    "BENCH_sample.json: %s pipelined (jobs=2) estimate "
+                    "differs from serial" % row.get("benchmark", "?"))
     partition = fresh_dir / "BENCH_partition.json"
     if partition.exists():
         doc = load(partition)

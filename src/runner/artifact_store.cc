@@ -1,11 +1,11 @@
-#include "runner/result_cache.hh"
+#include "runner/artifact_store.hh"
 
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
-#include <map>
 #include <thread>
 
+#include "prof/prof.hh"
 #include "support/panic.hh"
 
 namespace mca::runner
@@ -14,14 +14,13 @@ namespace mca::runner
 namespace
 {
 
-// v5: partition-quality fields (partitionCut, partitionBalance) for
-// the N-cluster partitioner sweeps. v4: sampled-simulation fields
-// (sampled, sampledIntervals, cpiCi95) and sample axes in the
-// canonical key. v3: memory-hierarchy taxonomy (dcache_l2/dcache_mem
-// stack causes, l2MissRate). v2: cycle-stack fields. Older entries
-// fail the version check and are treated as misses.
-constexpr int kFormatVersion = 5;
+// v6: unified artifact-store layout — a `type` line names the payload
+// kind so every artifact class shares one addressing scheme. v5 and
+// older entries (the pre-ArtifactStore result cache) fail the version
+// check and read as cold; a rerun overwrites them in place.
+constexpr int kFormatVersion = 6;
 
+/** Shortest round-trippable decimal form, stable across platforms. */
 std::string
 formatDouble(double value)
 {
@@ -32,20 +31,20 @@ formatDouble(double value)
 
 } // namespace
 
-ResultCache::ResultCache(std::string dir) : dir_(std::move(dir)) {}
+ArtifactStore::ArtifactStore(std::string dir) : dir_(std::move(dir)) {}
 
 std::string
-ResultCache::entryPath(const JobSpec &spec) const
+ArtifactStore::resultPath(const JobSpec &spec) const
 {
     return dir_ + "/" + spec.contentHash() + ".result";
 }
 
 std::optional<JobResult>
-ResultCache::load(const JobSpec &spec) const
+ArtifactStore::loadResult(const JobSpec &spec) const
 {
-    if (!enabled())
+    if (!persistent())
         return std::nullopt;
-    std::ifstream in(entryPath(spec));
+    std::ifstream in(resultPath(spec));
     if (!in)
         return std::nullopt;
 
@@ -58,9 +57,11 @@ ResultCache::load(const JobSpec &spec) const
         fields[line.substr(0, tab)] = line.substr(tab + 1);
     }
 
-    // Reject stale formats and (theoretical) hash collisions: the entry
-    // must carry the exact canonical key of the requesting spec.
+    // Reject stale formats, foreign payload types, and (theoretical)
+    // hash collisions: the artifact must carry the exact canonical key
+    // of the requesting spec.
     if (fields["version"] != std::to_string(kFormatVersion) ||
+        fields["type"] != "result" ||
         fields["key"] != spec.canonicalKey())
         return std::nullopt;
 
@@ -104,27 +105,31 @@ ResultCache::load(const JobSpec &spec) const
         out.cpiCi95 = std::stod(fields.at("cpiCi95"));
         out.wallMs = std::stod(fields.at("wallMs"));
         out.fromCache = true;
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            ++stats_.resultHits;
+        }
         return out;
     } catch (const std::exception &) {
-        return std::nullopt; // malformed entry == miss; rerun overwrites it
+        return std::nullopt; // malformed artifact == miss; rerun overwrites
     }
 }
 
 void
-ResultCache::store(const JobResult &result) const
+ArtifactStore::storeResult(const JobResult &result) const
 {
-    if (!enabled() || result.status == JobStatus::Failed)
+    if (!persistent() || result.status == JobStatus::Failed)
         return;
 
     std::error_code ec;
     std::filesystem::create_directories(dir_, ec);
     if (ec) {
-        MCA_WARN("result cache: cannot create '", dir_, "': ",
+        MCA_WARN("artifact store: cannot create '", dir_, "': ",
                  ec.message());
         return;
     }
 
-    const std::string path = entryPath(result.spec);
+    const std::string path = resultPath(result.spec);
     const std::string tmp =
         path + ".tmp." +
         std::to_string(
@@ -132,10 +137,11 @@ ResultCache::store(const JobResult &result) const
     {
         std::ofstream out(tmp, std::ios::trunc);
         if (!out) {
-            MCA_WARN("result cache: cannot write '", tmp, "'");
+            MCA_WARN("artifact store: cannot write '", tmp, "'");
             return;
         }
         out << "version\t" << kFormatVersion << "\n"
+            << "type\tresult\n"
             << "key\t" << result.spec.canonicalKey() << "\n"
             << "status\t" << jobStatusName(result.status) << "\n"
             << "error\t" << result.error << "\n"
@@ -172,9 +178,67 @@ ResultCache::store(const JobResult &result) const
     }
     std::filesystem::rename(tmp, path, ec);
     if (ec) {
-        MCA_WARN("result cache: cannot rename '", tmp, "': ", ec.message());
+        MCA_WARN("artifact store: cannot rename '", tmp, "': ",
+                 ec.message());
         std::filesystem::remove(tmp, ec);
     }
+}
+
+ArtifactStore::Compiled
+ArtifactStore::getOrCompile(const std::string &key, const Builder &build,
+                            bool *hit)
+{
+    std::promise<Compiled> promise;
+    std::shared_future<Compiled> future;
+    bool building = false;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++stats_.compileLookups;
+        auto it = compiled_.find(key);
+        if (it == compiled_.end()) {
+            building = true;
+            ++stats_.compiles;
+            future = promise.get_future().share();
+            compiled_.emplace(key, future);
+        } else {
+            ++stats_.compileHits;
+            future = it->second;
+        }
+    }
+    if (hit)
+        *hit = !building;
+    if (!building) {
+        // Counted as a host-profile region so campaign profiles show
+        // how often jobs adopt someone else's compile. Under the
+        // task-graph campaign the future is already ready (the compile
+        // node preceded us), so this never blocks a worker.
+        PROF_SCOPE("runner.artifacts.compile_hit");
+        return future.get();
+    }
+    try {
+        promise.set_value(
+            std::make_shared<const compiler::CompileOutput>(build()));
+    } catch (...) {
+        promise.set_exception(std::current_exception());
+    }
+    return future.get();
+}
+
+ArtifactStore::Stats
+ArtifactStore::stats() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return stats_;
+}
+
+std::string
+ArtifactStore::compileKeyFor(const JobSpec &spec,
+                             const compiler::CompileOptions &options)
+{
+    char buf[40];
+    std::snprintf(buf, sizeof buf, "%.17g", spec.scale);
+    return "benchmark=" + spec.benchmark + ";scale=" + buf + ";" +
+           options.canonicalKey();
 }
 
 } // namespace mca::runner

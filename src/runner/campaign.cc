@@ -1,13 +1,15 @@
 #include "runner/campaign.hh"
 
 #include <chrono>
+#include <map>
 #include <mutex>
 #include <optional>
 #include <stdexcept>
 
+#include "compiler/pipeline.hh"
 #include "prof/prof.hh"
-#include "runner/compile_cache.hh"
-#include "runner/thread_pool.hh"
+#include "taskgraph/taskgraph.hh"
+#include "workloads/workloads.hh"
 
 namespace mca::runner
 {
@@ -94,10 +96,9 @@ runCampaign(const std::vector<JobSpec> &specs,
             const CampaignOptions &options, CampaignSummary *summary)
 {
     const auto start = std::chrono::steady_clock::now();
-    const ResultCache cache(options.cacheDir);
-    CompileCache compileCache;
-    CompileCache *const ccache =
-        options.compileCache ? &compileCache : nullptr;
+    ArtifactStore store(options.cacheDir);
+    ArtifactStore *const compileStore =
+        options.compileCache ? &store : nullptr;
 
     std::vector<JobResult> results(specs.size());
     std::mutex progressMutex;
@@ -113,26 +114,108 @@ runCampaign(const std::vector<JobSpec> &specs,
             options.onResult(finished, specs.size(), results[index]);
     };
 
-    {
-        ThreadPool pool(options.jobs);
-        for (std::size_t i = 0; i < specs.size(); ++i) {
-            std::optional<JobResult> cached;
-            {
-                PROF_SCOPE("runner.result_cache.lookup");
-                cached = cache.load(specs[i]);
-            }
-            if (cached) {
-                PROF_SCOPE("runner.result_cache.hit");
-                settle(i, std::move(*cached));
-                continue;
-            }
-            pool.submit([&, i] {
-                JobResult result = runJob(specs[i], ccache);
-                cache.store(result);
+    // --- Graph construction. Store hits settle immediately; every
+    // other spec becomes one simulation node, preceded by one shared
+    // compile node per distinct compile key. The compile edge replaces
+    // the old blocking-future path: a job whose binary is still
+    // compiling is simply not ready yet, so its worker slot simulates
+    // some other point instead of sleeping in future.get().
+    taskgraph::TaskGraph graph;
+    std::map<std::string, taskgraph::NodeId> compileNodes;
+    std::vector<std::pair<std::size_t, taskgraph::NodeId>> simNodes;
+    std::uint64_t keyedJobs = 0; // sim jobs routed through a compile key
+
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+        const JobSpec &spec = specs[i];
+        std::optional<JobResult> stored;
+        {
+            PROF_SCOPE("runner.artifacts.lookup");
+            stored = store.loadResult(spec);
+        }
+        if (stored) {
+            PROF_SCOPE("runner.artifacts.hit");
+            settle(i, std::move(*stored));
+            continue;
+        }
+
+        const taskgraph::NodeId sim = graph.add(
+            spec.benchmark + "/" + spec.machine + "/" + spec.scheduler,
+            spec.samplePeriod > 0 ? "sample" : "sim", [&, i] {
+                JobResult result = runJob(specs[i], compileStore);
+                store.storeResult(result);
                 settle(i, std::move(result));
             });
+        simNodes.emplace_back(i, sim);
+
+        if (!compileStore)
+            continue;
+        // Keying needs the validated machine shape; a spec that fails
+        // here will fail identically inside runJob, which owns the
+        // error reporting — leave its node without a compile edge.
+        std::string key;
+        try {
+            spec.validate();
+            const core::ProcessorConfig cfg = machineConfigFor(spec);
+            const compiler::CompileOptions copt =
+                jobCompileOptions(spec, cfg.numClusters);
+            key = ArtifactStore::compileKeyFor(spec, copt);
+        } catch (const std::exception &) {
+            continue;
         }
-        pool.wait();
+        ++keyedJobs;
+        auto it = compileNodes.find(key);
+        if (it == compileNodes.end()) {
+            const taskgraph::NodeId compile = graph.add(
+                "compile " + spec.benchmark + "/" + spec.scheduler,
+                "compile", [&, i, key] {
+                    const JobSpec &cspec = specs[i];
+                    const core::ProcessorConfig cfg =
+                        machineConfigFor(cspec);
+                    const compiler::CompileOptions copt =
+                        jobCompileOptions(cspec, cfg.numClusters);
+                    store.getOrCompile(key, [&] {
+                        PROF_SCOPE("runner.compile");
+                        workloads::WorkloadParams wp;
+                        wp.scale = cspec.scale;
+                        const prog::Program program =
+                            workloads::benchmarkByName(cspec.benchmark)
+                                .make(wp);
+                        return compiler::compile(program, copt);
+                    });
+                });
+            it = compileNodes.emplace(key, compile).first;
+        }
+        graph.addEdge(it->second, sim);
+    }
+
+    if (options.compileBarrier && !compileNodes.empty()) {
+        // Pre-taskgraph phasing, kept for A/B measurement: every
+        // simulation waits for every compile.
+        const taskgraph::NodeId barrier =
+            graph.add("compile barrier", "barrier", [] {});
+        for (const auto &entry : compileNodes)
+            graph.addEdge(entry.second, barrier);
+        for (const auto &node : simNodes)
+            graph.addEdge(barrier, node.second);
+    }
+
+    taskgraph::ExecStats estats;
+    if (graph.size() > 0) {
+        const taskgraph::Executor executor(options.jobs);
+        estats = executor.run(graph);
+    }
+
+    // Simulation nodes cancelled by a failed compile never ran their
+    // body; settle them now (in spec order) with the compiler's error
+    // text — the same message the blocking path used to rethrow.
+    for (const auto &node : simNodes) {
+        if (graph.status(node.second) != taskgraph::NodeStatus::Cancelled)
+            continue;
+        JobResult result;
+        result.spec = specs[node.first];
+        result.status = JobStatus::Failed;
+        result.error = graph.error(node.second);
+        settle(node.first, std::move(result));
     }
 
     const double wallMs = std::chrono::duration<double, std::milli>(
@@ -140,9 +223,15 @@ runCampaign(const std::vector<JobSpec> &specs,
                               .count();
     if (summary) {
         *summary = summarize(results, wallMs);
-        const CompileCache::Stats cstats = compileCache.stats();
-        summary->compiles = cstats.compiles;
-        summary->compileHits = cstats.hits;
+        summary->compiles = store.stats().compiles;
+        // Shared = keyed jobs minus the distinct keys they resolved
+        // to; single-flight in the store guarantees the distinct-key
+        // count is exactly the builder-invocation count.
+        summary->compileHits =
+            keyedJobs - static_cast<std::uint64_t>(compileNodes.size());
+        summary->jobs = options.jobs ? options.jobs : 1;
+        summary->criticalPathMs = estats.criticalPathMs;
+        summary->maxQueueDepth = estats.maxQueueDepth;
     }
     return results;
 }

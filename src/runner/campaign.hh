@@ -7,13 +7,22 @@
  * run-control bounds; expandGrid() flattens it into JobSpecs in a
  * deterministic order (the nesting order documented on the struct).
  *
- * runCampaign() executes any job list N-wide on a ThreadPool with an
- * optional on-disk ResultCache. Determinism guarantee: results are
- * written into their spec's slot (never in completion order), each job
- * owns all of its state, and `harness::simulate` is single-threaded
- * internally — so the emitted results are bit-identical for any
- * `jobs` width. A job that throws or exhausts its cycle budget is
- * recorded (status Failed / TimedOut) and the campaign continues.
+ * runCampaign() is graph construction: each spec not served by the
+ * ArtifactStore becomes a simulation node in a taskgraph::TaskGraph,
+ * with one deduplicated compile node per distinct compile key feeding
+ * its simulation nodes, and the whole DAG runs N-wide on the
+ * taskgraph::Executor. Because the compile dependency is an edge
+ * rather than a blocking future inside the job body, a compile only
+ * ever occupies one worker while sibling workers simulate other
+ * points (bench/campaign_compile measures the overlap win).
+ *
+ * Determinism guarantee: results are written into their spec's slot
+ * (never in completion order), each job owns all of its state, and
+ * `harness::simulate` is single-threaded internally — so the emitted
+ * results are bit-identical for any `jobs` width. A job that throws or
+ * exhausts its cycle budget is recorded (status Failed / TimedOut) and
+ * the campaign continues; a failed compile fails exactly the jobs that
+ * depended on it, with the compiler's error text.
  */
 
 #ifndef MCA_RUNNER_CAMPAIGN_HH
@@ -23,8 +32,8 @@
 #include <string>
 #include <vector>
 
+#include "runner/artifact_store.hh"
 #include "runner/jobspec.hh"
-#include "runner/result_cache.hh"
 
 namespace mca::runner
 {
@@ -82,6 +91,14 @@ struct CampaignSummary
     std::uint64_t compiles = 0;
     /** Jobs that shared a compile instead of running their own. */
     std::uint64_t compileHits = 0;
+
+    // Executor outcome (zero when every job came from the store).
+    /** Resolved worker width the campaign ran at. */
+    unsigned jobs = 0;
+    /** Longest compile→simulate chain in host ms (taskgraph.hh). */
+    double criticalPathMs = 0.0;
+    /** Peak ready-queue depth inside the executor. */
+    std::size_t maxQueueDepth = 0;
 };
 
 struct CampaignOptions
@@ -91,8 +108,15 @@ struct CampaignOptions
     /** Cache directory; empty disables caching. */
     std::string cacheDir;
     /** Share compiles across jobs with equal (workload, compile-config)
-     *  keys (see compile_cache.hh). Results are identical either way. */
+     *  keys (see artifact_store.hh). Results are identical either way. */
     bool compileCache = true;
+    /**
+     * Measurement baseline for bench/campaign_compile: insert a
+     * barrier node so no simulation starts until every compile has
+     * finished (the pre-taskgraph phasing). Results are identical;
+     * only the schedule — and the wall clock — changes.
+     */
+    bool compileBarrier = false;
     /**
      * Called after each job settles, under a lock (safe to write to a
      * stream), with (finished-count, total, just-finished result).

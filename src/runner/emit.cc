@@ -196,6 +196,15 @@ emitSummary(std::ostream &os, const CampaignSummary &summary)
     if (summary.compiles > 0)
         os << " | compiles: " << summary.compiles << " ("
            << summary.compileHits << " shared)";
+    if (summary.jobs > 0) {
+        os << " | jobs: " << summary.jobs;
+        if (summary.criticalPathMs > 0.0) {
+            char cp[32];
+            std::snprintf(cp, sizeof cp, "%.1f", summary.criticalPathMs);
+            os << ", critical path " << cp << " ms, peak queue "
+               << summary.maxQueueDepth;
+        }
+    }
     os << "\n";
 }
 

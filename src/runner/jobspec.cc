@@ -9,7 +9,7 @@
 
 #include "compiler/pipeline.hh"
 #include "prof/prof.hh"
-#include "runner/compile_cache.hh"
+#include "runner/artifact_store.hh"
 #include "core/config.hh"
 #include "harness/experiment.hh"
 #include "sample/driver.hh"
@@ -29,17 +29,6 @@ canonicalDouble(double value)
     char buf[40];
     std::snprintf(buf, sizeof buf, "%.17g", value);
     return buf;
-}
-
-compiler::CompileOptions
-compileOptionsFor(const JobSpec &spec, unsigned machine_clusters)
-{
-    compiler::CompileOptions copt =
-        compiler::compileOptionsFor(spec.scheduler, machine_clusters);
-    copt.imbalanceThreshold = spec.threshold;
-    copt.unrollFactor = spec.unroll;
-    copt.profileSeed = spec.profileSeed;
-    return copt;
 }
 
 std::string
@@ -111,6 +100,17 @@ machineConfigFor(const JobSpec &spec)
     cfg.memory.memPorts = spec.fillPorts;
     cfg.validate();
     return cfg;
+}
+
+compiler::CompileOptions
+jobCompileOptions(const JobSpec &spec, unsigned machine_clusters)
+{
+    compiler::CompileOptions copt =
+        compiler::compileOptionsFor(spec.scheduler, machine_clusters);
+    copt.imbalanceThreshold = spec.threshold;
+    copt.unrollFactor = spec.unroll;
+    copt.profileSeed = spec.profileSeed;
+    return copt;
 }
 
 std::string
@@ -187,7 +187,7 @@ jobStatusName(JobStatus status)
 }
 
 JobResult
-runJob(const JobSpec &spec, CompileCache *compile_cache)
+runJob(const JobSpec &spec, ArtifactStore *store)
 {
     JobResult out;
     out.spec = spec;
@@ -198,7 +198,7 @@ runJob(const JobSpec &spec, CompileCache *compile_cache)
 
         const core::ProcessorConfig cfg = machineConfigFor(spec);
         const compiler::CompileOptions copt =
-            compileOptionsFor(spec, cfg.numClusters);
+            jobCompileOptions(spec, cfg.numClusters);
         // Workload construction lives inside the builder so cache hits
         // skip it along with the compile.
         const auto build = [&] {
@@ -210,11 +210,10 @@ runJob(const JobSpec &spec, CompileCache *compile_cache)
             return compiler::compile(program, copt);
         };
         const std::shared_ptr<const compiler::CompileOutput> compiled =
-            compile_cache
-                ? compile_cache->getOrCompile(
-                      CompileCache::keyFor(spec, copt), build)
-                : std::make_shared<const compiler::CompileOutput>(
-                      build());
+            store ? store->getOrCompile(
+                        ArtifactStore::compileKeyFor(spec, copt), build)
+                  : std::make_shared<const compiler::CompileOutput>(
+                        build());
         out.spillLoads = compiled->alloc.spillLoadsInserted;
         out.spillStores = compiled->alloc.spillStoresInserted;
         out.otherClusterSpills = compiled->alloc.otherClusterSpills;

@@ -28,6 +28,11 @@
 #include "obs/cycle_stack.hh"
 #include "support/types.hh"
 
+namespace mca::compiler
+{
+struct CompileOptions;
+}
+
 namespace mca::runner
 {
 
@@ -163,19 +168,20 @@ struct JobResult
     bool fromCache = false;
 };
 
-class CompileCache;
+class ArtifactStore;
 
 /**
  * Validate, compile, and simulate one spec. Never throws for
  * invalid-spec or pipeline errors — those come back as status Failed
  * with the message in `error`.
  *
- * With a CompileCache, the compile step is memoized on the
+ * With an ArtifactStore, the compile step is memoized on the
  * (workload, compile-config) pair: jobs differing only in machine or
- * run-control fields share one compiled binary (see compile_cache.hh).
+ * run-control fields share one compiled binary (see artifact_store.hh).
+ * The task-graph campaign pre-compiles each distinct key in its own
+ * node, so by the time runJob asks the store the artifact is ready.
  */
-JobResult runJob(const JobSpec &spec,
-                 CompileCache *compile_cache = nullptr);
+JobResult runJob(const JobSpec &spec, ArtifactStore *store = nullptr);
 
 /**
  * Build the ProcessorConfig a spec names (machine factory + predictor
@@ -184,6 +190,15 @@ JobResult runJob(const JobSpec &spec,
  * uses this at parse time to fail fast before any job runs.
  */
 core::ProcessorConfig machineConfigFor(const JobSpec &spec);
+
+/**
+ * The compile configuration a spec names: the scheduler's base options
+ * with the spec's threshold/unroll/profile-seed applied. The campaign
+ * uses this (with machineConfigFor) to key compile artifacts before
+ * any job runs.
+ */
+compiler::CompileOptions jobCompileOptions(const JobSpec &spec,
+                                           unsigned machine_clusters);
 
 /** Valid choices for the enumerated spec fields (for CLI help/errors). */
 const std::vector<std::string> &validMachines();

@@ -65,9 +65,10 @@ TelemetryWriter::elapsedMs() const
 }
 
 void
-TelemetryWriter::start(std::size_t total_jobs)
+TelemetryWriter::start(std::size_t total_jobs, unsigned jobs_width)
 {
     out_ << "{\"event\":\"start\",\"total\":" << total_jobs
+         << ",\"jobs\":" << jobs_width
          << ",\"elapsed_ms\":" << jsonDouble(elapsedMs()) << "}\n";
     out_.flush();
 }
@@ -133,7 +134,10 @@ TelemetryWriter::finish(const CampaignSummary &summary)
          << ",\"compile_cache_hits\":" << summary.compileHits
          << ",\"wall_ms\":" << jsonDouble(summary.wallMs)
          << ",\"sim_cycles\":" << simCycles_
-         << ",\"host_ms\":" << jsonDouble(ranWallMs_) << "}\n";
+         << ",\"host_ms\":" << jsonDouble(ranWallMs_)
+         << ",\"jobs\":" << summary.jobs
+         << ",\"critical_path_ms\":" << jsonDouble(summary.criticalPathMs)
+         << ",\"max_queue_depth\":" << summary.maxQueueDepth << "}\n";
     out_.flush();
 }
 

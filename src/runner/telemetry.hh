@@ -6,13 +6,19 @@
  * JSON object per settled job to a file (line-buffered, flushed per
  * record so `tail -f` and dashboards see progress live):
  *
- *   {"event":"start", "total":N, ...}
+ *   {"event":"start", "total":N, "jobs":W, ...}
  *   {"event":"job", "done":k, "total":N, "elapsed_ms":..,
  *    "eta_ms":.., "sim_cycles":.., "sim_cycles_per_sec":..,
  *    "cache_hits":.., "cache_hit_rate":.., "compile_cache_hits":..,
  *    "job":{"key":.., "status":.., "cycles":.., "wall_ms":..,
  *           "from_cache":..,"sampled":..}}
- *   {"event":"summary", ...}
+ *   {"event":"summary", ..., "critical_path_ms":..,
+ *    "max_queue_depth":..}
+ *
+ * The summary's `critical_path_ms` and `max_queue_depth` come from the
+ * task-graph executor (src/taskgraph): the longest compile→simulate
+ * chain bounds the campaign at infinite width, and the peak ready-queue
+ * depth shows how saturated the chosen --jobs width ran.
  *
  * `eta_ms` extrapolates the mean per-job wall time over the remaining
  * jobs; `sim_cycles_per_sec` is aggregate simulated throughput
@@ -47,8 +53,9 @@ class TelemetryWriter
     /** Opens @p path for truncating write; throws on failure. */
     explicit TelemetryWriter(const std::string &path);
 
-    /** Emit the start record; call once, before the campaign runs. */
-    void start(std::size_t total_jobs);
+    /** Emit the start record (with the resolved worker width); call
+     *  once, before the campaign runs. */
+    void start(std::size_t total_jobs, unsigned jobs_width);
 
     /** CampaignOptions::onResult-compatible per-job record. */
     void onResult(std::size_t finished, std::size_t total,

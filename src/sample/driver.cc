@@ -13,7 +13,6 @@
 #include "exec/walker.hh"
 #include "mem/memory.hh"
 #include "prof/prof.hh"
-#include "runner/thread_pool.hh"
 #include "sample/functional.hh"
 #include "support/stats.hh"
 
@@ -132,62 +131,108 @@ SampledDriver::run(const SampleSpec &spec) const
             ? exec::hashSeed(seed_, kPhaseSalt, 0) % spec.period
             : spec.offset % spec.period;
 
-    // --- Pass 1: functional warming, snapshotting each interval start.
-    std::vector<ckpt::Snapshot> snaps;
-    std::vector<std::uint64_t> starts;
-    {
-        PROF_SCOPE("sample.warm");
-        StatGroup sg("mca");
-        exec::ProgramTrace trace(binary_, seed_, maxInsts_);
-        core::Processor proc(config_, trace, sg);
-        FunctionalWarmer warmer(proc);
+    // Both passes run as one task graph: warm_k advances the shared
+    // warmer to interval k's start and snapshots it, warm_k → warm_k+1
+    // chain edges serialize the shared state (every edge is a
+    // happens-before through the executor), and measure_k depends only
+    // on warm_k — so window k measures while window k+1 warms. The
+    // node count is the static upper bound on interval starts
+    // (s_k = phase + k*period <= maxInsts); windows past the actual
+    // trace end warm to nothing and their default slots are trimmed
+    // below, exactly like the old sequential loop's break.
+    const std::uint64_t nWindows =
+        phase <= maxInsts_ ? (maxInsts_ - phase) / spec.period + 1 : 0;
 
-        std::uint64_t nextStart = phase;
-        while (true) {
-            warmer.advance(nextStart - warmer.consumed());
-            if (warmer.ended())
-                break;
-            // Snapshots must capture quiescent hierarchies: retire all
-            // in-flight fills so restore needs no event replay.
-            proc.memorySystem().settle();
-            PROF_SCOPE("sample.snapshot");
-            ckpt::SnapshotBuilder b(proc.configHash());
-            proc.saveState(b);
-            snaps.push_back(b.finish());
-            starts.push_back(warmer.consumed());
-            nextStart += spec.period;
-        }
-        rep.totalInsts = warmer.consumed();
-    }
+    StatGroup sg("mca");
+    exec::ProgramTrace trace(binary_, seed_, maxInsts_);
+    core::Processor proc(config_, trace, sg);
+    FunctionalWarmer warmer(proc);
+    bool traceDone = false; // touched only by chain-ordered warm nodes
 
-    // --- Pass 2: detailed measurement, farmed across the pool.
-    // Pre-sized slots keep the merge order deterministic regardless of
-    // worker scheduling; jobs=1 is the same code path run serially.
-    rep.intervals.resize(snaps.size());
-    std::vector<std::string> errors(snaps.size());
-    {
-        runner::ThreadPool pool(spec.jobs);
-        for (std::size_t k = 0; k < snaps.size(); ++k) {
-            pool.submit([&, k] {
-                try {
-                    rep.intervals[k] = measureInterval(
-                        binary_, config_, seed_, maxInsts_, snaps[k],
-                        starts[k], k, spec);
-                } catch (const std::exception &e) {
-                    errors[k] = e.what();
+    std::vector<ckpt::Snapshot> snaps(nWindows);
+    std::vector<char> hasSnap(nWindows, 0);
+    std::vector<std::uint64_t> starts(nWindows, 0);
+    rep.intervals.resize(nWindows);
+
+    taskgraph::TaskGraph graph;
+    std::vector<taskgraph::NodeId> warmNodes(nWindows);
+    std::vector<taskgraph::NodeId> measureNodes(nWindows);
+    for (std::uint64_t k = 0; k < nWindows; ++k) {
+        const std::uint64_t target = phase + k * spec.period;
+        warmNodes[k] = graph.add(
+            "warm " + std::to_string(k), "warm", [&, k, target] {
+                if (traceDone)
+                    return;
+                PROF_SCOPE("sample.warm");
+                warmer.advance(target - warmer.consumed());
+                if (warmer.ended()) {
+                    traceDone = true;
+                    return;
                 }
+                // Snapshots must capture quiescent hierarchies: retire
+                // all in-flight fills so restore needs no event replay.
+                proc.memorySystem().settle();
+                PROF_SCOPE("sample.snapshot");
+                ckpt::SnapshotBuilder b(proc.configHash());
+                proc.saveState(b);
+                snaps[k] = b.finish();
+                starts[k] = warmer.consumed();
+                hasSnap[k] = 1;
             });
-        }
-        pool.wait();
+        measureNodes[k] = graph.add(
+            "measure " + std::to_string(k), "measure", [&, k] {
+                if (!hasSnap[k])
+                    return; // past trace end; slot trimmed below
+                rep.intervals[k] = measureInterval(
+                    binary_, config_, seed_, maxInsts_, snaps[k],
+                    starts[k], k, spec);
+                snaps[k] = ckpt::Snapshot{}; // free the payload early
+            });
+        if (k > 0)
+            graph.addEdge(warmNodes[k - 1], warmNodes[k]);
+        graph.addEdge(warmNodes[k], measureNodes[k]);
     }
-    for (std::size_t k = 0; k < errors.size(); ++k)
-        if (!errors[k].empty())
-            throw std::runtime_error("sample: interval " +
-                                     std::to_string(k) +
-                                     " failed: " + errors[k]);
+    // The warming pass always consumes the full trace (totalInsts is
+    // the extrapolation base), even when the last interval start falls
+    // short of the end.
+    const taskgraph::NodeId drain =
+        graph.add("warm drain", "warm", [&] {
+            PROF_SCOPE("sample.warm");
+            while (!warmer.ended())
+                warmer.advance(spec.period);
+            rep.totalInsts = warmer.consumed();
+        });
+    if (nWindows > 0)
+        graph.addEdge(warmNodes[nWindows - 1], drain);
 
-    // An interval snapshotted too close to the trace end may retire
-    // nothing inside the measured window; drop it from the estimate.
+    const taskgraph::Executor executor(spec.jobs);
+    const taskgraph::ExecStats estats = executor.run(graph);
+    rep.taskSpans = estats.spans;
+    rep.execCriticalPathMs = estats.criticalPathMs;
+    rep.execMaxQueueDepth = estats.maxQueueDepth;
+
+    // Surface node failures with the same messages the sequential
+    // driver threw: warming errors propagate as-is, measurement errors
+    // name the lowest failing interval.
+    for (std::uint64_t k = 0; k < nWindows; ++k)
+        if (graph.status(warmNodes[k]) == taskgraph::NodeStatus::Failed)
+            throw std::runtime_error(graph.error(warmNodes[k]));
+    if (graph.status(drain) == taskgraph::NodeStatus::Failed)
+        throw std::runtime_error(graph.error(drain));
+    for (std::uint64_t k = 0; k < nWindows; ++k)
+        if (graph.status(measureNodes[k]) ==
+            taskgraph::NodeStatus::Failed)
+            throw std::runtime_error("sample: interval " +
+                                     std::to_string(k) + " failed: " +
+                                     graph.error(measureNodes[k]));
+
+    // Trim windows past the trace end (never snapshotted), then any
+    // interval snapshotted too close to the end to retire anything
+    // inside the measured window.
+    std::size_t snapCount = 0;
+    while (snapCount < nWindows && hasSnap[snapCount])
+        ++snapCount;
+    rep.intervals.resize(snapCount);
     while (!rep.intervals.empty() &&
            rep.intervals.back().instructions == 0)
         rep.intervals.pop_back();

@@ -12,11 +12,19 @@
  * mean of the per-interval CPIs with a 95% confidence interval
  * (1.96 * s / sqrt(K)); estimated total cycles = mean CPI * N.
  *
+ * Since the task-graph refactor both passes share one
+ * taskgraph::Executor: warming is a chain of per-interval nodes
+ * (warm_0 → warm_1 → ... — the warmer state is shared, so the chain
+ * edges serialize it), and each measurement node depends only on its
+ * own interval's warm node. Window i therefore measures while window
+ * i+1 warms, instead of all warming finishing before any measurement
+ * starts.
+ *
  * Determinism: interval starts are fixed by (spec, trace seed) before
  * any measurement begins, workers write into pre-sized result slots
  * indexed by interval number, and jobs=1 runs the identical code path
  * serially — so parallel and serial runs produce bit-identical reports
- * (tests/sample_test.cc).
+ * (tests/sample_test.cc, tests/taskgraph_test.cc).
  *
  * Cost model: a sampled run pays N functional instructions plus
  * K*(warmup+detail) detailed ones, against N detailed instructions for
@@ -37,6 +45,7 @@
 #include "prog/cfg.hh"
 #include "sample/spec.hh"
 #include "support/types.hh"
+#include "taskgraph/taskgraph.hh"
 
 namespace mca::sample
 {
@@ -82,6 +91,15 @@ struct SampleReport
     double estTotalCycles = 0.0;
     /** Every interval's cycle stack conserved. */
     bool allConserved = true;
+
+    // Executor observability (host-time only; never part of the
+    // simulated result and excluded from dumpJson).
+    /** Per-node spans of the warm/measure graph (Perfetto export). */
+    std::vector<taskgraph::TaskSpan> taskSpans;
+    /** Longest warm→measure chain in host ms. */
+    double execCriticalPathMs = 0.0;
+    /** Peak ready-queue depth inside the executor. */
+    std::size_t execMaxQueueDepth = 0;
 
     /**
      * Emit the report as one JSON object (spec, totals, extrapolation,

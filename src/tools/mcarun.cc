@@ -27,6 +27,7 @@
 #include <optional>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "compiler/pipeline.hh"
@@ -107,8 +108,9 @@ usage()
         "  --table2             run the Table-2 experiment (3 jobs per\n"
         "                       benchmark) and print the speedup table\n\n"
         "execution:\n"
-        "  --jobs N             worker threads [1]; results identical "
-        "at any width\n"
+        "  --jobs N|auto        worker threads [1; auto = all hardware "
+        "threads];\n"
+        "                       results identical at any width\n"
         "  --cache DIR          result-cache directory [.mcarun-cache]\n"
         "  --no-cache           disable the result cache\n"
         "  --no-compile-cache   compile every job separately (default:\n"
@@ -263,10 +265,22 @@ parse(int argc, char **argv)
         } else if (a == "--table2") {
             opt.table2 = true;
         } else if (a == "--jobs" || a == "-j") {
-            opt.jobs = static_cast<unsigned>(
-                std::atoi(need("--jobs").c_str()));
-            if (opt.jobs == 0)
-                die("--jobs must be at least 1");
+            // Parse-time validation: junk or 0 dies here, before any
+            // compile or simulation starts. "auto" asks the host.
+            const std::string v = need("--jobs");
+            if (v == "auto") {
+                const unsigned hw = std::thread::hardware_concurrency();
+                opt.jobs = hw ? hw : 1;
+            } else {
+                char *end = nullptr;
+                const unsigned long parsed =
+                    std::strtoul(v.c_str(), &end, 10);
+                if (v.empty() || end == nullptr || *end != '\0' ||
+                    parsed == 0 || parsed > 4096)
+                    die("--jobs expects a positive worker count "
+                        "(1..4096) or 'auto', got '" + v + "'");
+                opt.jobs = static_cast<unsigned>(parsed);
+            }
         } else if (a == "--cache") {
             opt.cacheDir = need("--cache");
         } else if (a == "--no-cache") {
@@ -503,7 +517,7 @@ main(int argc, char **argv)
             die(e.what());
         }
         if (telemetry)
-            telemetry->start(specs.size());
+            telemetry->start(specs.size(), opt.jobs);
         results = runner::runCampaign(specs, campaign, &summary);
     }
     progress.finish();

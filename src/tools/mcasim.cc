@@ -710,8 +710,21 @@ main(int argc, char **argv)
                     "restore ms", 0, ts,
                     static_cast<double>(iv.restoreHostNs) / 1e6);
             }
+            // The executor's schedule as its own process: one slice
+            // per warm/measure node on its assigned lane, in host
+            // microseconds — the picture of window i measuring while
+            // window i+1 warms (src/taskgraph/taskgraph.hh).
+            exporter.nameProcess(1, "task graph");
+            for (const auto &span : rep.taskSpans) {
+                const std::uint64_t dur =
+                    (span.endNs - span.startNs) / 1000;
+                exporter.addSlice(span.name, 1,
+                                  static_cast<int>(span.lane) + 1,
+                                  span.startNs / 1000,
+                                  std::max<std::uint64_t>(dur, 1));
+            }
             if (opt.prof)
-                finishProfile(opt, &exporter, 1);
+                finishProfile(opt, &exporter, 2);
             std::ofstream out(opt.traceOut, std::ios::trunc);
             if (!out)
                 MCA_FATAL("cannot write --trace-out file '",

@@ -19,7 +19,7 @@
 
 #include "compiler/pipeline.hh"
 #include "runner/campaign.hh"
-#include "runner/compile_cache.hh"
+#include "runner/artifact_store.hh"
 #include "runner/emit.hh"
 #include "runner/table2.hh"
 #include "runner/thread_pool.hh"
@@ -302,12 +302,12 @@ TEST(Campaign, CacheRejectsMismatchedKey)
     const TempDir dir("collide");
     const JobSpec spec = tinySpec();
     const JobResult result = runner::runJob(spec);
-    const runner::ResultCache cache(dir.str());
-    cache.store(result);
+    const runner::ArtifactStore store(dir.str());
+    store.storeResult(result);
 
     // Corrupt the stored key: the loader must treat it as a miss (this
     // is the collision-safety path — hash matches, key does not).
-    const std::string path = cache.entryPath(spec);
+    const std::string path = store.resultPath(spec);
     std::ifstream in(path);
     std::string contents((std::istreambuf_iterator<char>(in)),
                          std::istreambuf_iterator<char>());
@@ -317,7 +317,7 @@ TEST(Campaign, CacheRejectsMismatchedKey)
     contents.replace(pos, 18, "benchmark=tampered");
     std::ofstream(path, std::ios::trunc) << contents;
 
-    EXPECT_FALSE(cache.load(spec).has_value());
+    EXPECT_FALSE(store.loadResult(spec).has_value());
 }
 
 TEST(Campaign, FailedJobsAreNotCached)
@@ -429,9 +429,9 @@ TEST(Emit, JsonAndCsvShapes)
     EXPECT_NE(header.find("cycles"), std::string::npos);
 }
 
-TEST(CompileCacheTest, OneBuildPerKey)
+TEST(ArtifactStoreTest, OneBuildPerKey)
 {
-    runner::CompileCache cache;
+    runner::ArtifactStore store;
     int builds = 0;
     auto build = [&builds] {
         ++builds;
@@ -442,32 +442,32 @@ TEST(CompileCacheTest, OneBuildPerKey)
     };
 
     bool hit = true;
-    const auto first = cache.getOrCompile("k1", build, &hit);
+    const auto first = store.getOrCompile("k1", build, &hit);
     EXPECT_FALSE(hit);
-    const auto again = cache.getOrCompile("k1", build, &hit);
+    const auto again = store.getOrCompile("k1", build, &hit);
     EXPECT_TRUE(hit);
     EXPECT_EQ(builds, 1);
     EXPECT_EQ(first.get(), again.get()); // literally the same output
-    cache.getOrCompile("k2", build, &hit);
+    store.getOrCompile("k2", build, &hit);
     EXPECT_FALSE(hit);
     EXPECT_EQ(builds, 2);
 
-    const auto stats = cache.stats();
-    EXPECT_EQ(stats.lookups, 3u);
-    EXPECT_EQ(stats.hits, 1u);
+    const auto stats = store.stats();
+    EXPECT_EQ(stats.compileLookups, 3u);
+    EXPECT_EQ(stats.compileHits, 1u);
     EXPECT_EQ(stats.compiles, 2u);
 }
 
-TEST(CompileCacheTest, BuilderExceptionReachesEveryWaiter)
+TEST(ArtifactStoreTest, BuilderExceptionReachesEveryWaiter)
 {
-    runner::CompileCache cache;
+    runner::ArtifactStore store;
     const auto boom = []() -> compiler::CompileOutput {
         throw std::runtime_error("boom");
     };
-    EXPECT_THROW(cache.getOrCompile("bad", boom), std::runtime_error);
+    EXPECT_THROW(store.getOrCompile("bad", boom), std::runtime_error);
     // The poisoned entry rethrows instead of re-running the builder.
     int builds = 0;
-    EXPECT_THROW(cache.getOrCompile(
+    EXPECT_THROW(store.getOrCompile(
                      "bad",
                      [&builds]() -> compiler::CompileOutput {
                          ++builds;
@@ -477,7 +477,7 @@ TEST(CompileCacheTest, BuilderExceptionReachesEveryWaiter)
     EXPECT_EQ(builds, 0);
 }
 
-TEST(CompileCacheTest, KeyIgnoresMachineAndRunControlFields)
+TEST(ArtifactStoreTest, KeyIgnoresMachineAndRunControlFields)
 {
     JobSpec a = tinySpec();
     a.machine = "single8";
@@ -488,21 +488,21 @@ TEST(CompileCacheTest, KeyIgnoresMachineAndRunControlFields)
     // Native compiles are cluster-blind, so both land on numClusters=1
     // and the key collapses across machines, seeds, and budgets.
     const auto copt = compiler::compileOptionsFor("native", 1);
-    EXPECT_EQ(runner::CompileCache::keyFor(a, copt),
-              runner::CompileCache::keyFor(b, copt));
+    EXPECT_EQ(runner::ArtifactStore::compileKeyFor(a, copt),
+              runner::ArtifactStore::compileKeyFor(b, copt));
 
     JobSpec scaled = tinySpec();
     scaled.scale = 0.1;
-    EXPECT_NE(runner::CompileCache::keyFor(a, copt),
-              runner::CompileCache::keyFor(scaled, copt));
+    EXPECT_NE(runner::ArtifactStore::compileKeyFor(a, copt),
+              runner::ArtifactStore::compileKeyFor(scaled, copt));
     JobSpec other = tinySpec();
     other.benchmark = "ora";
-    EXPECT_NE(runner::CompileCache::keyFor(a, copt),
-              runner::CompileCache::keyFor(other, copt));
+    EXPECT_NE(runner::ArtifactStore::compileKeyFor(a, copt),
+              runner::ArtifactStore::compileKeyFor(other, copt));
     EXPECT_NE(
-        runner::CompileCache::keyFor(
+        runner::ArtifactStore::compileKeyFor(
             a, compiler::compileOptionsFor("local", 2)),
-        runner::CompileCache::keyFor(a, copt));
+        runner::ArtifactStore::compileKeyFor(a, copt));
 }
 
 TEST(Campaign, CompileCacheSharesCompilesAcrossTheGrid)
